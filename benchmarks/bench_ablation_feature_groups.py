@@ -1,0 +1,57 @@
+"""Ablation — contribution of each obfuscation-targeted feature group.
+
+DESIGN.md §5: the V set bundles four groups (O1: V13–V15, O2: V5–V7,
+O3: V8–V12, O4: V1–V4).  Dropping one group at a time and re-running the
+RF classifier measures each group's marginal F₂ contribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import BENCH_FOLDS, save_artifact
+
+from repro.features.matrix import extract_features
+from repro.features.vfeatures import V_FEATURE_GROUPS
+from repro.ml.model_selection import cross_validate
+from repro.pipeline.classifiers import make_classifier
+
+
+def _rf_f2(X: np.ndarray, y: np.ndarray) -> float:
+    cv = cross_validate(
+        lambda: make_classifier("RF", random_state=0),
+        X,
+        y,
+        n_splits=min(BENCH_FOLDS, 5),
+        random_state=0,
+    )
+    return cv.pooled_report["f2"]
+
+
+def test_feature_group_ablation(benchmark, dataset):
+    X = extract_features(dataset.sources, "V")
+    y = dataset.labels
+    baseline = _rf_f2(X, y)
+
+    lines = [
+        "ABLATION: drop one V feature group, RF classifier",
+        f"{'variant':<22} {'F2':>7} {'delta':>8}",
+        f"{'all 15 features':<22} {baseline:>7.3f} {0.0:>8.3f}",
+    ]
+    deltas = {}
+    for group, indices in V_FEATURE_GROUPS.items():
+        keep = [i for i in range(X.shape[1]) if i not in indices]
+        f2 = _rf_f2(X[:, keep], y)
+        deltas[group] = baseline - f2
+        lines.append(
+            f"{'without ' + group:<22} {f2:>7.3f} {f2 - baseline:>8.3f}"
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_artifact("ablation_feature_groups.txt", text)
+
+    # No single group's removal should break the detector completely: the
+    # paper's premise is that the groups overlap in coverage.
+    for group, delta in deltas.items():
+        assert delta < 0.35, f"removing {group} collapsed the detector"
+
+    benchmark.pedantic(lambda: _rf_f2(X, y), iterations=1, rounds=2)

@@ -1,0 +1,71 @@
+"""Ablation — the paper's normalization choice (Section IV.C.4).
+
+Aebersold et al. normalize count features by whole-script length; the paper
+instead uses V1 (comment-free code length) as the normalization unit.  This
+bench evaluates three V5 variants: raw count, per-total-length, and the
+paper's per-V1, holding everything else fixed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import BENCH_FOLDS, save_artifact
+
+from repro.features.matrix import extract_features
+from repro.ml.model_selection import cross_validate
+from repro.pipeline.classifiers import make_classifier, preprocessor_for
+from repro.vba.analyzer import analyze
+from repro.vba.tokens import STRING_CONCAT_OPERATORS
+
+V5_INDEX = 4  # V5_string_op_freq
+
+
+def _variant_matrices(sources: list[str]) -> dict[str, np.ndarray]:
+    base = extract_features(sources, "V")
+    raw_counts = np.empty(len(sources))
+    total_lengths = np.empty(len(sources))
+    for i, source in enumerate(sources):
+        analysis = analyze(source)
+        raw_counts[i] = analysis.operator_count(STRING_CONCAT_OPERATORS)
+        total_lengths[i] = max(1, len(source))
+    per_v1 = base  # the paper's choice, as extracted
+    raw = base.copy()
+    raw[:, V5_INDEX] = raw_counts
+    per_total = base.copy()
+    per_total[:, V5_INDEX] = raw_counts / total_lengths
+    return {"raw count": raw, "per total length": per_total, "per V1 (paper)": per_v1}
+
+
+def _mlp_f2(X: np.ndarray, y: np.ndarray) -> float:
+    cv = cross_validate(
+        lambda: make_classifier("MLP", random_state=0),
+        X,
+        y,
+        n_splits=min(BENCH_FOLDS, 5),
+        random_state=0,
+        preprocessor_factory=preprocessor_for("MLP"),
+    )
+    return cv.pooled_report["f2"]
+
+
+def test_normalization_ablation(benchmark, dataset):
+    variants = _variant_matrices(dataset.sources)
+    y = dataset.labels
+    lines = [
+        "ABLATION: V5 normalization unit, MLP classifier",
+        f"{'variant':<22} {'F2':>7}",
+    ]
+    scores = {}
+    for name, X in variants.items():
+        scores[name] = _mlp_f2(X, y)
+        lines.append(f"{name:<22} {scores[name]:>7.3f}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_artifact("ablation_normalization.txt", text)
+
+    # Normalized variants should not be materially worse than the raw
+    # count (scale-free features generalize across macro sizes).
+    assert scores["per V1 (paper)"] >= scores["raw count"] - 0.1
+
+    X = variants["per V1 (paper)"]
+    benchmark.pedantic(lambda: _mlp_f2(X, y), iterations=1, rounds=1)

@@ -1,0 +1,59 @@
+"""Micro-benchmarks for the substrate layers.
+
+Throughput of the pieces every experiment is built on: MS-OVBA codec,
+compound-file write/read, macro extraction, VBA lexing, and V/J feature
+extraction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus.benign import generate_benign_module
+from repro.corpus.documents import build_document_bytes
+from repro.features.jfeatures import extract_j_features
+from repro.features.vfeatures import extract_v_features
+from repro.ole.compression import compress, decompress
+from repro.ole.extractor import extract_macros
+from repro.vba.lexer import tokenize
+
+_RNG = random.Random(99)
+SAMPLE_MODULE = generate_benign_module(_RNG, target_length=4000)
+SAMPLE_BYTES = SAMPLE_MODULE.encode("latin-1", "replace")
+SAMPLE_DOC = build_document_bytes([SAMPLE_MODULE], "doc")
+COMPRESSED = compress(SAMPLE_BYTES)
+
+
+def test_bench_ovba_compress(benchmark):
+    result = benchmark(compress, SAMPLE_BYTES)
+    assert decompress(result) == SAMPLE_BYTES
+
+
+def test_bench_ovba_decompress(benchmark):
+    result = benchmark(decompress, COMPRESSED)
+    assert result == SAMPLE_BYTES
+
+
+def test_bench_document_build(benchmark):
+    blob = benchmark(build_document_bytes, [SAMPLE_MODULE], "doc")
+    assert blob[:4] == b"\xd0\xcf\x11\xe0"
+
+
+def test_bench_macro_extraction(benchmark):
+    result = benchmark(extract_macros, SAMPLE_DOC)
+    assert result.sources == [SAMPLE_MODULE]
+
+
+def test_bench_lexer(benchmark):
+    tokens = benchmark(tokenize, SAMPLE_MODULE)
+    assert tokens[-1].kind.name == "EOF"
+
+
+def test_bench_v_features(benchmark):
+    vector = benchmark(extract_v_features, SAMPLE_MODULE)
+    assert vector.shape == (15,)
+
+
+def test_bench_j_features(benchmark):
+    vector = benchmark(extract_j_features, SAMPLE_MODULE)
+    assert vector.shape == (20,)

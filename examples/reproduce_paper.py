@@ -1,0 +1,67 @@
+"""One-shot reproduction of the paper's evaluation (Section V).
+
+Builds the synthetic corpus, runs the preprocessing pipeline, evaluates all
+five classifiers on both feature sets with stratified CV, and prints every
+table and figure next to the paper's published numbers.
+
+Usage::
+
+    python examples/reproduce_paper.py [scale] [folds]
+
+``scale`` is the corpus size relative to the paper's 2,537 files (default
+0.12 — about 300 files / 600 macros, a couple of minutes).  ``scale 1.0``
+regenerates the full population (4,212 macros; expect a long run).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.corpus.builder import CorpusBuilder, paper_profile
+from repro.pipeline.dataset import DatasetBuilder
+from repro.pipeline.experiment import ExperimentRunner
+from repro.pipeline.reporting import (
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_table2,
+    render_table3,
+    render_table5,
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.12
+    folds = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+
+    started = time.time()
+    print(f"Building corpus at scale {scale} (paper population x {scale})...")
+    profile = paper_profile().scaled(scale) if scale < 1.0 else paper_profile()
+    corpus = CorpusBuilder(profile, seed=2016).build()
+    print(render_table2(corpus.summary()))
+
+    print("\nExtracting and preprocessing macros (olevba-equivalent)...")
+    dataset = DatasetBuilder().build(corpus.documents, corpus.truth)
+    print(render_table3(dataset))
+
+    normal_lengths = [len(s.source) for s in dataset.samples if not s.obfuscated]
+    obfuscated_lengths = [len(s.source) for s in dataset.samples if s.obfuscated]
+    print()
+    print(render_fig5(normal_lengths, obfuscated_lengths))
+
+    print(f"\nRunning {folds}-fold CV for 5 classifiers x 2 feature sets...")
+    runner = ExperimentRunner(n_splits=folds)
+    result = runner.run(dataset)
+
+    print()
+    print(render_table5(result))
+    print()
+    print(render_fig6(result))
+    print()
+    print(render_fig7(result))
+    print(f"\ntotal wall time: {time.time() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Mail-gateway triage scenario: scan an Office document before opening it.
+
+The workflow the paper's introduction motivates — a phishing attachment
+arrives, and the gateway must decide without executing anything:
+
+1. build a realistic malicious .docm (obfuscated downloader) and a benign
+   .xlsm, byte-for-byte real containers;
+2. extract every VBA macro statically (the olevba-equivalent stack:
+   zip → CFB → dir stream → MS-OVBA decompression);
+3. score each macro with a trained obfuscation detector;
+4. cross-check with the simulated multi-vendor AV aggregate.
+
+Run with::
+
+    python examples/scan_document.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import ObfuscationDetector
+from repro.avsim.virustotal import VirusTotalSim
+from repro.corpus.benign import generate_benign_module
+from repro.corpus.documents import build_document_bytes
+from repro.corpus.malicious import generate_malicious_macro
+from repro.obfuscation.pipeline import default_pipeline
+from repro.ole.extractor import extract_macros
+
+from quickstart import build_training_data
+
+
+def make_suspicious_attachment(rng: random.Random) -> bytes:
+    """An obfuscated downloader inside a .docm, like a phishing attachment."""
+    plain = generate_malicious_macro(rng, "word")
+    obfuscated = default_pipeline().run(plain, seed=1337)
+    return build_document_bytes(
+        [obfuscated.source],
+        "docm",
+        document_variables=obfuscated.document_variables,
+    )
+
+
+def make_legitimate_workbook(rng: random.Random) -> bytes:
+    """A normal automation workbook with two macros."""
+    macros = [
+        generate_benign_module(rng, "excel", target_length=1200),
+        generate_benign_module(rng, "excel", target_length=600),
+    ]
+    return build_document_bytes(macros, "xlsm")
+
+
+def triage(name: str, blob: bytes, detector: ObfuscationDetector, av: VirusTotalSim) -> None:
+    print(f"\n=== {name} ({len(blob):,} bytes) ===")
+    result = extract_macros(blob)
+    print(f"container: {result.container}, macros: {len(result.modules)}")
+    if result.document_variables:
+        print(f"hidden document variables: {len(result.document_variables)}")
+    for module in result.modules:
+        probability = detector.predict_proba([module.source])[0][1]
+        flag = "OBFUSCATED" if probability >= 0.5 else "normal"
+        print(
+            f"  module {module.name!r}: {len(module.source):,} chars "
+            f"-> {flag} (P = {probability:.3f})"
+        )
+    report = av.scan(result.sources)
+    print(
+        f"AV aggregate: {report.detections}/{report.total_vendors} vendors "
+        f"flagged -> {report.verdict.value}"
+    )
+
+
+def main() -> None:
+    rng = random.Random(2016)
+    print("Training detector...")
+    detector = ObfuscationDetector("RF").fit(*build_training_data())
+    av = VirusTotalSim()
+
+    triage("invoice_overdue.docm (phishing)", make_suspicious_attachment(rng), detector, av)
+    triage("budget_2016.xlsm (legitimate)", make_legitimate_workbook(rng), detector, av)
+
+    print(
+        "\nNote how the obfuscated attachment evades most signature vendors "
+        "(the in-between VirusTotal band) while the obfuscation detector "
+        "flags it — the gap the paper's method fills."
+    )
+
+
+if __name__ == "__main__":
+    main()

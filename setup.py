@@ -1,0 +1,7 @@
+"""Legacy shim: enables editable installs in offline environments lacking
+the ``wheel`` package (``pip install -e . --no-build-isolation`` falls back
+to ``python setup.py develop``)."""
+
+from setuptools import setup
+
+setup()

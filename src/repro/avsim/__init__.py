@@ -1,0 +1,28 @@
+"""Multi-vendor AV simulation: the VirusTotal substrate for dataset labeling."""
+
+from repro.avsim.signatures import MASTER_SIGNATURES, Signature, match_signatures
+from repro.avsim.vendor import AVVendor, build_vendor_fleet
+from repro.avsim.virustotal import (
+    BENIGN_THRESHOLD,
+    MALICIOUS_THRESHOLD,
+    LabelingOutcome,
+    ScanReport,
+    Verdict,
+    VirusTotalSim,
+    label_documents,
+)
+
+__all__ = [
+    "AVVendor",
+    "BENIGN_THRESHOLD",
+    "LabelingOutcome",
+    "MALICIOUS_THRESHOLD",
+    "MASTER_SIGNATURES",
+    "ScanReport",
+    "Signature",
+    "Verdict",
+    "VirusTotalSim",
+    "build_vendor_fleet",
+    "label_documents",
+    "match_signatures",
+]

@@ -1,0 +1,76 @@
+"""Signature corpus for the simulated anti-virus vendors.
+
+Real signature-based AV keys on byte patterns; for macro malware the
+effective signatures are suspicious keywords, API names, auto-exec triggers
+and URL/path shapes.  Obfuscation (O2/O3) removes exactly these plaintext
+markers — the property the paper's Section III discusses and the labeling
+experiment depends on.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Signature:
+    """One detection rule: a name plus a compiled pattern and a weight."""
+
+    name: str
+    pattern: re.Pattern
+    weight: int = 1
+
+
+def _sig(name: str, pattern: str, weight: int = 1) -> Signature:
+    return Signature(name, re.compile(pattern, re.IGNORECASE), weight)
+
+
+#: The master signature set; every vendor uses a subset.
+MASTER_SIGNATURES: tuple[Signature, ...] = (
+    # Download / execute APIs.
+    _sig("api.urlmon", r"URLDownloadToFile"),
+    _sig("api.shell", r"\bShell\b\s*[( ]", 1),
+    _sig("api.wscript", r"WScript\.Shell"),
+    _sig("api.xmlhttp", r"MSXML2\.XMLHTTP|Microsoft\.XMLHTTP"),
+    _sig("api.adodb", r"ADODB\.Stream"),
+    _sig("api.savetofile", r"\bSaveToFile\b"),
+    _sig("api.wmi", r"winmgmts:|Win32_Process"),
+    _sig("api.createobject_shell", r'CreateObject\s*\(\s*"WScript'),
+    # Command lines.
+    _sig("cmd.powershell", r"powershell", 2),
+    _sig("cmd.hidden", r"-w\s+hidden|-windowstyle\s+hidden"),
+    _sig("cmd.bitsadmin", r"bitsadmin\s+/transfer"),
+    _sig("cmd.cmdexe", r"cmd\s*/c"),
+    _sig("cmd.webclient", r"Net\.WebClient|DownloadFile"),
+    # Payload shapes.
+    _sig("url.exe", r"https?://[^\"']+\.exe", 2),
+    _sig("path.exe_drop", r"(TEMP|APPDATA|PROGRAMDATA)[^\"']*\.exe"),
+    _sig("blob.mz_hex", r"4D5A[0-9A-F]{40,}", 2),
+    # Auto-exec triggers combined with suspicious content score higher at
+    # the vendor layer; standalone they are weak indicators.
+    _sig("trigger.autoopen", r"\b(Auto_?Open|Document_Open|Workbook_Open)\b", 0),
+    # Obfuscation-artifact heuristics: real engines flag the *shape* of
+    # encoded payloads even when plaintext markers are gone.  This is what
+    # keeps heavily obfuscated campaign samples detectable by a subset of
+    # vendors (and what pushes them into the paper's manual-inspection band).
+    _sig("obf.chr_chain", r"(Chr\(\d+\)\s*&\s*){4,}", 2),
+    _sig("obf.numeric_array", r"Array\(\s*\d+(\s*,\s*\d+){20,}", 2),
+    _sig("obf.base64_blob", r'"[A-Za-z0-9+/]{48,}={0,2}"', 1),
+    _sig("obf.hex_blob", r'"[0-9A-Fa-f]{64,}"', 1),
+    _sig("obf.replace_decoder", r'Replace\("[^"]*",\s*"[^"]*",\s*"[^"]*"\)', 1),
+    _sig("api.environ", r"\bEnviron\b", 1),
+    _sig("api.createobject", r"\bCreateObject\b", 1),
+)
+
+#: Signatures considered *strong* (weight >= 2) — used by heuristic vendors.
+STRONG_SIGNATURE_NAMES = frozenset(
+    sig.name for sig in MASTER_SIGNATURES if sig.weight >= 2
+)
+
+
+def match_signatures(
+    text: str, signatures: tuple[Signature, ...] = MASTER_SIGNATURES
+) -> list[Signature]:
+    """Return the signatures whose pattern occurs in the macro text."""
+    return [sig for sig in signatures if sig.pattern.search(text)]

@@ -1,0 +1,79 @@
+"""Simulated anti-virus vendors.
+
+Each vendor owns a deterministic subset of the master signature set plus a
+detection threshold and a small heuristic bonus for auto-exec triggers, so
+vendors disagree on borderline samples exactly the way VirusTotal's ~60
+engines disagree — which is why the paper needs the 25-vendor / 2-vendor
+labeling thresholds rather than trusting any single engine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.avsim.signatures import MASTER_SIGNATURES, Signature
+
+_VENDOR_NAME_PARTS_A = (
+    "Aegis", "Bastion", "Citadel", "Delta", "Ensign", "Fortis", "Guard",
+    "Helios", "Iron", "Krypt", "Lumen", "Merid", "Nova", "Orbit", "Praet",
+    "Quart", "Rampart", "Sentin", "Titan", "Umbra", "Vanta", "Ward",
+)
+_VENDOR_NAME_PARTS_B = (
+    "Scan", "Shield", "Defender", "AV", "Secure", "Labs", "Total",
+    "Protect", "Watch", "Gate",
+)
+
+
+@dataclass(frozen=True)
+class AVVendor:
+    """One simulated engine."""
+
+    name: str
+    signatures: tuple[Signature, ...]
+    threshold: int  # minimum weighted score to flag
+    heuristic_autoexec_bonus: int  # extra score when an auto-exec trigger fires
+
+    def scan(self, macro_text: str) -> bool:
+        """Return True when the vendor flags the macro text as malicious."""
+        score = 0
+        autoexec_seen = False
+        for signature in self.signatures:
+            if signature.pattern.search(macro_text):
+                if signature.name.startswith("trigger."):
+                    autoexec_seen = True
+                else:
+                    score += signature.weight
+        if autoexec_seen and score > 0:
+            score += self.heuristic_autoexec_bonus
+        return score >= self.threshold
+
+    def scan_document(self, macro_texts: list[str]) -> bool:
+        """A document is flagged if any of its macros is."""
+        return any(self.scan(text) for text in macro_texts)
+
+
+def build_vendor_fleet(count: int = 60, seed: int = 60) -> list[AVVendor]:
+    """Build a deterministic fleet of ``count`` distinct vendors."""
+    rng = random.Random(seed)
+    vendors: list[AVVendor] = []
+    used_names: set[str] = set()
+    while len(vendors) < count:
+        name = rng.choice(_VENDOR_NAME_PARTS_A) + rng.choice(_VENDOR_NAME_PARTS_B)
+        if name in used_names:
+            name = f"{name}{len(vendors)}"
+        used_names.add(name)
+        # Vendors carry 60–95% of the master set, so coverage varies.
+        subset_size = rng.randint(
+            int(len(MASTER_SIGNATURES) * 0.6), len(MASTER_SIGNATURES)
+        )
+        signatures = tuple(rng.sample(MASTER_SIGNATURES, subset_size))
+        vendors.append(
+            AVVendor(
+                name=name,
+                signatures=signatures,
+                threshold=rng.choice((2, 2, 3, 3, 4)),
+                heuristic_autoexec_bonus=rng.choice((0, 1, 1)),
+            )
+        )
+    return vendors

@@ -1,0 +1,36 @@
+"""Synthetic corpus substrate: the paper's data-collection substitute.
+
+Benign/malicious macro template families (:mod:`.benign`,
+:mod:`.malicious`), document assembly (:mod:`.documents`) and the
+population builder reproducing Tables II/III (:mod:`.builder`).
+"""
+
+from repro.corpus.benign import BENIGN_FAMILIES, generate_benign_macro
+from repro.corpus.builder import (
+    Corpus,
+    CorpusBuilder,
+    CorpusProfile,
+    default_bench_profile,
+    paper_profile,
+)
+from repro.corpus.documents import (
+    SyntheticDocument,
+    build_document_bytes,
+    make_document,
+)
+from repro.corpus.malicious import MALICIOUS_FAMILIES, generate_malicious_macro
+
+__all__ = [
+    "BENIGN_FAMILIES",
+    "Corpus",
+    "CorpusBuilder",
+    "CorpusProfile",
+    "MALICIOUS_FAMILIES",
+    "SyntheticDocument",
+    "build_document_bytes",
+    "default_bench_profile",
+    "generate_benign_macro",
+    "generate_malicious_macro",
+    "make_document",
+    "paper_profile",
+]

@@ -1,0 +1,591 @@
+"""Benign VBA macro template families.
+
+Each family is a callable ``(rng) -> str`` producing a realistic macro of the
+kind the paper's benign corpus contains (Excel/Word office automation
+collected via Google keyword search).  Families vary identifiers, constants,
+loop bounds and comments through the RNG, so two draws are textually distinct
+macros — the corpus deduplication step (Section IV.B) then behaves like the
+paper's.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus import names
+from repro.vba.writer import CodeWriter
+
+
+def _maybe_comment(writer: CodeWriter, rng: random.Random, probability: float = 0.25) -> None:
+    if rng.random() < probability:
+        writer.line(f"'{rng.choice(names.COMMENT_PHRASES)}")
+
+
+def format_header_macro(rng: random.Random) -> str:
+    proc = names.procedure_name(rng)
+    row_var = names.variable_name(rng)
+    last_col = rng.randint(5, 26)
+    writer = CodeWriter()
+    _maybe_comment(writer, rng)
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        writer.line(f"Dim {row_var} As Long")
+        writer.line(f"{row_var} = 1")
+        writer.line(f'Worksheets("{rng.choice(names.SHEET_NAMES)}").Activate')
+        with writer.block(
+            f"With Range(Cells({row_var}, 1), Cells({row_var}, {last_col}))", "End With"
+        ):
+            writer.line(".Font.Bold = True")
+            writer.line(f".Interior.ColorIndex = {rng.randint(3, 40)}")
+            writer.line(f'.NumberFormat = "{rng.choice(("General", "0.00", "#,##0"))}"')
+            if rng.random() < 0.5:
+                writer.line(".Borders.LineStyle = 1")
+    return writer.render()
+
+
+def sum_column_macro(rng: random.Random) -> str:
+    proc = names.procedure_name(rng)
+    total, row, last = (names.variable_name(rng) for _ in range(3))
+    while len({total, row, last}) < 3:
+        total, row, last = (names.variable_name(rng) for _ in range(3))
+    column = rng.randint(1, 12)
+    writer = CodeWriter()
+    with writer.block(f"Function {proc}() As Double", "End Function"):
+        writer.line(f"Dim {total} As Double")
+        writer.line(f"Dim {row} As Long")
+        writer.line(f"Dim {last} As Long")
+        writer.line(f"{last} = Cells(Rows.Count, {column}).End(xlUp).Row")
+        _maybe_comment(writer, rng)
+        with writer.block(f"For {row} = 2 To {last}", f"Next {row}"):
+            with writer.block(
+                f"If IsNumeric(Cells({row}, {column}).Value) Then", "End If"
+            ):
+                writer.line(f"{total} = {total} + Cells({row}, {column}).Value")
+        writer.line(f"{proc} = {total}")
+    return writer.render()
+
+
+def send_email_macro(rng: random.Random) -> str:
+    proc = names.procedure_name(rng)
+    subject = rng.choice(names.EMAIL_SUBJECTS)
+    writer = CodeWriter()
+    _maybe_comment(writer, rng, 0.7)
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        writer.line("Dim OutlookApp As Object")
+        writer.line("Dim MItem As Object")
+        writer.line('Set OutlookApp = CreateObject("Outlook.Application")')
+        writer.line("Set MItem = OutlookApp.CreateItem(0)")
+        with writer.block("With MItem", "End With"):
+            writer.line(f'.To = Range("A{rng.randint(1, 9)}").Value')
+            writer.line(f'.Subject = "{subject}"')
+            writer.line('.Body = "Please find the details attached."')
+            if rng.random() < 0.5:
+                writer.line(".Attachments.Add ActiveWorkbook.FullName")
+            writer.line(".Display")
+    return writer.render()
+
+
+def save_backup_macro(rng: random.Random) -> str:
+    proc = names.procedure_name(rng)
+    path_var = names.variable_name(rng)
+    stem = rng.choice(names.FILE_STEMS)
+    writer = CodeWriter()
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        writer.line(f"Dim {path_var} As String")
+        writer.line(
+            f'{path_var} = ThisWorkbook.Path & "\\{stem}_" & '
+            'Format(Now, "yyyymmdd") & ".xlsx"'
+        )
+        _maybe_comment(writer, rng)
+        writer.line("Application.DisplayAlerts = False")
+        writer.line(f"ThisWorkbook.SaveCopyAs {path_var}")
+        writer.line("Application.DisplayAlerts = True")
+        writer.line(f'MsgBox "Backup saved to " & {path_var}')
+    return writer.render()
+
+
+def clean_text_macro(rng: random.Random) -> str:
+    proc = names.procedure_name(rng)
+    cell_var = names.variable_name(rng)
+    column = rng.choice("ABCDEF")
+    writer = CodeWriter()
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        writer.line(f"Dim {cell_var} As Range")
+        _maybe_comment(writer, rng)
+        with writer.block(
+            f'For Each {cell_var} In Range("{column}1:{column}{rng.randint(50, 500)}")',
+            f"Next {cell_var}",
+        ):
+            with writer.block(f"If Not IsEmpty({cell_var}.Value) Then", "End If"):
+                writer.line(f"{cell_var}.Value = Trim({cell_var}.Value)")
+                if rng.random() < 0.5:
+                    writer.line(f"{cell_var}.Value = UCase({cell_var}.Value)")
+                else:
+                    writer.line(
+                        f'{cell_var}.Value = Replace({cell_var}.Value, "  ", " ")'
+                    )
+    return writer.render()
+
+
+def date_report_macro(rng: random.Random) -> str:
+    proc = names.procedure_name(rng)
+    month_var = names.variable_name(rng)
+    writer = CodeWriter()
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        writer.line(f"Dim {month_var} As Integer")
+        with writer.block(f"For {month_var} = 1 To 12", f"Next {month_var}"):
+            writer.line(
+                f"Cells({month_var} + 1, 1).Value = MonthName({month_var})"
+            )
+            writer.line(
+                f"Cells({month_var} + 1, 2).Value = "
+                f"WorksheetFunction.SumIf(Range(\"A:A\"), {month_var}, Range(\"B:B\"))"
+            )
+        _maybe_comment(writer, rng)
+        writer.line('Columns("A:B").AutoFit')
+    return writer.render()
+
+
+def validation_macro(rng: random.Random) -> str:
+    proc = names.procedure_name(rng)
+    value_var = names.variable_name(rng)
+    limit = rng.randint(100, 10_000)
+    writer = CodeWriter()
+    with writer.block(f"Function {proc}(ByVal {value_var} As Double) As Boolean", "End Function"):
+        writer.line(f"{proc} = True")
+        with writer.block(f"If {value_var} < 0 Then", "End If"):
+            writer.line(f"{proc} = False")
+            writer.line(f'MsgBox "Value must not be negative"')
+        with writer.block(f"If {value_var} > {limit} Then", "End If"):
+            writer.line(f"{proc} = False")
+            writer.line(f'MsgBox "Value exceeds the {limit} limit"')
+    return writer.render()
+
+
+def sort_range_macro(rng: random.Random) -> str:
+    proc = names.procedure_name(rng)
+    sheet = rng.choice(names.SHEET_NAMES)
+    column = rng.choice("ABCD")
+    writer = CodeWriter()
+    _maybe_comment(writer, rng)
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        with writer.block(f'With Worksheets("{sheet}").Sort', "End With"):
+            writer.line(f'.SortFields.Add Key:=Range("{column}1"), Order:=1')
+            writer.line(f'.SetRange Range("A1:F{rng.randint(100, 900)}")')
+            writer.line(".Header = 1")
+            writer.line(".Apply")
+    return writer.render()
+
+
+def chart_macro(rng: random.Random) -> str:
+    proc = names.procedure_name(rng)
+    writer = CodeWriter()
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        writer.line("Dim chartObj As Object")
+        writer.line(
+            f"Set chartObj = ActiveSheet.ChartObjects.Add(10, 10, {rng.randint(200, 500)}, {rng.randint(150, 350)})"
+        )
+        with writer.block("With chartObj.Chart", "End With"):
+            writer.line(f'.SetSourceData Worksheets("{rng.choice(names.SHEET_NAMES)}").Range("A1:B{rng.randint(10, 60)}")')
+            writer.line(f".ChartType = {rng.choice((4, 5, 51, 57))}")
+            writer.line(f'.HasTitle = True')
+            writer.line(f'.ChartTitle.Text = "{rng.choice(names.NOUNS)} by {rng.choice(names.NOUNS)}"')
+    return writer.render()
+
+
+def word_mail_merge_macro(rng: random.Random) -> str:
+    proc = names.procedure_name(rng)
+    writer = CodeWriter()
+    _maybe_comment(writer, rng)
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        writer.line("Dim doc As Document")
+        writer.line("Set doc = ActiveDocument")
+        with writer.block("With doc.MailMerge", "End With"):
+            writer.line('.OpenDataSource Name:=ThisDocument.Path & "\\contacts.xlsx"')
+            writer.line(".Destination = 0")
+            writer.line(f".SuppressBlankLines = {rng.choice(('True', 'False'))}")
+            writer.line(".Execute")
+    return writer.render()
+
+
+def word_styles_macro(rng: random.Random) -> str:
+    proc = names.procedure_name(rng)
+    para_var = names.variable_name(rng)
+    size = rng.randint(9, 14)
+    writer = CodeWriter()
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        writer.line(f"Dim {para_var} As Paragraph")
+        with writer.block(
+            f"For Each {para_var} In ActiveDocument.Paragraphs", f"Next {para_var}"
+        ):
+            with writer.block(
+                f"If {para_var}.OutlineLevel = 1 Then", "End If"
+            ):
+                writer.line(f"{para_var}.Range.Font.Size = {size + 4}")
+                writer.line(f"{para_var}.Range.Font.Bold = True")
+        _maybe_comment(writer, rng)
+        writer.line(f"ActiveDocument.Content.Font.Size = {size}")
+    return writer.render()
+
+
+def file_list_macro(rng: random.Random) -> str:
+    proc = names.procedure_name(rng)
+    file_var = names.variable_name(rng)
+    row_var = names.variable_name(rng)
+    while row_var == file_var:
+        row_var = names.variable_name(rng)
+    writer = CodeWriter()
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        writer.line(f"Dim {file_var} As String")
+        writer.line(f"Dim {row_var} As Long")
+        writer.line(f"{row_var} = 1")
+        writer.line(f'{file_var} = Dir(ThisWorkbook.Path & "\\*.{rng.choice(("xlsx", "csv", "txt"))}")')
+        with writer.block(f'Do While {file_var} <> ""', "Loop"):
+            writer.line(f"Cells({row_var}, 1).Value = {file_var}")
+            writer.line(f"{row_var} = {row_var} + 1")
+            writer.line(f"{file_var} = Dir()")
+    return writer.render()
+
+
+def progress_counter_macro(rng: random.Random) -> str:
+    """The paper's Fig. 2 shape, un-obfuscated: a simple DoEvents loop."""
+    proc = names.procedure_name(rng)
+    counter = names.variable_name(rng)
+    limit = rng.randint(20, 80)
+    writer = CodeWriter()
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        writer.line(f"Dim {counter} As Integer")
+        writer.line(f"{counter} = {rng.randint(1, 5)}")
+        with writer.block(f"Do While {counter} < {limit}", "Loop"):
+            writer.line(f"DoEvents: {counter} = {counter} + 1")
+        writer.line(f'Application.StatusBar = "Done after " & {counter} & " steps"')
+    return writer.render()
+
+
+def pivot_refresh_macro(rng: random.Random) -> str:
+    proc = names.procedure_name(rng)
+    pivot_var = names.variable_name(rng)
+    sheet_var = names.variable_name(rng)
+    while sheet_var == pivot_var:
+        sheet_var = names.variable_name(rng)
+    writer = CodeWriter()
+    _maybe_comment(writer, rng)
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        writer.line(f"Dim {sheet_var} As Worksheet")
+        writer.line(f"Dim {pivot_var} As PivotTable")
+        with writer.block(
+            f"For Each {sheet_var} In ThisWorkbook.Worksheets", f"Next {sheet_var}"
+        ):
+            with writer.block(
+                f"For Each {pivot_var} In {sheet_var}.PivotTables", f"Next {pivot_var}"
+            ):
+                writer.line(f"{pivot_var}.RefreshTable")
+        writer.line('MsgBox "All pivot tables refreshed"')
+    return writer.render()
+
+
+#: All benign families, tagged by the host application they fit.
+BENIGN_FAMILIES: tuple[tuple[str, object], ...] = (
+    ("excel", format_header_macro),
+    ("excel", sum_column_macro),
+    ("excel", send_email_macro),
+    ("excel", save_backup_macro),
+    ("excel", clean_text_macro),
+    ("excel", date_report_macro),
+    ("excel", validation_macro),
+    ("excel", sort_range_macro),
+    ("excel", chart_macro),
+    ("excel", file_list_macro),
+    ("excel", progress_counter_macro),
+    ("excel", pivot_refresh_macro),
+    ("word", word_mail_merge_macro),
+    ("word", word_styles_macro),
+    ("word", progress_counter_macro),
+)
+
+
+def generate_benign_macro(rng: random.Random, host: str | None = None) -> str:
+    """Draw one benign macro, optionally restricted to a host application."""
+    families = [
+        generator
+        for family_host, generator in BENIGN_FAMILIES
+        if host is None or family_host == host
+    ]
+    return rng.choice(families)(rng)
+
+
+def lookup_table_macro(rng: random.Random) -> str:
+    """A string-rich benign macro: constant lookup tables and joins.
+
+    Benign automation legitimately uses many string literals and ``&``
+    concatenation — noise that stresses string-count features.
+    """
+    proc = names.procedure_name(rng)
+    kind = rng.choice(("months", "regions", "codes"))
+    if kind == "months":
+        items = [
+            "January", "February", "March", "April", "May", "June",
+            "July", "August", "September", "October", "November", "December",
+        ]
+    elif kind == "regions":
+        items = [
+            "North", "South", "East", "West", "Central", "Overseas",
+            "Domestic", "Export", "Wholesale", "Retail",
+        ]
+    else:
+        items = [f"{rng.choice(names.NOUNS)}-{rng.randint(100, 999)}" for _ in range(rng.randint(8, 16))]
+    writer = CodeWriter()
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        writer.line("Dim labels As Variant")
+        quoted = ", ".join(f'"{item}"' for item in items)
+        writer.line(f"labels = Array({quoted})")
+        writer.line("Dim i As Long")
+        with writer.block("For i = LBound(labels) To UBound(labels)", "Next i"):
+            writer.line("Cells(i + 2, 1).Value = labels(i)")
+            writer.line(f'Cells(i + 2, 2).Value = "{rng.choice(names.NOUNS)}: " & labels(i) & " total"')
+    return writer.render()
+
+
+def sql_query_macro(rng: random.Random) -> str:
+    """Benign data-import macro with long SQL strings and concatenation."""
+    proc = names.procedure_name(rng)
+    table = rng.choice(("Orders", "Customers", "Invoices", "Inventory", "Payroll"))
+    columns = ", ".join(rng.sample(
+        ("id", "name", "amount", "created_at", "status", "region", "owner"),
+        rng.randint(3, 5),
+    ))
+    writer = CodeWriter()
+    _maybe_comment(writer, rng)
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        writer.line("Dim conn As Object")
+        writer.line("Dim rs As Object")
+        writer.line("Dim sql As String")
+        writer.line('Set conn = CreateObject("ADODB.Connection")')
+        writer.line(f'sql = "SELECT {columns} " & _')
+        writer.line(f'      "FROM {table} " & _')
+        writer.line(f'      "WHERE created_at >= ''{rng.randint(2014, 2017)}-01-01'' " & _')
+        writer.line(f'      "ORDER BY {columns.split(", ")[0]}"')
+        writer.line('conn.Open "DSN=warehouse;UID=report;PWD=" & Environ("REPORT_PW")')
+        writer.line("Set rs = conn.Execute(sql)")
+        with writer.block("Do While Not rs.EOF", "Loop"):
+            writer.line('ActiveSheet.Cells(rs.AbsolutePosition, 1).Value = rs.Fields(0).Value')
+            writer.line("rs.MoveNext")
+        writer.line("conn.Close")
+    return writer.render()
+
+
+def status_message_macro(rng: random.Random) -> str:
+    """Benign macro assembling user-facing messages with many operators."""
+    proc = names.procedure_name(rng)
+    who = names.variable_name(rng)
+    writer = CodeWriter()
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        writer.line(f"Dim {who} As String")
+        writer.line(f'{who} = Environ("USERNAME")')
+        writer.line(
+            'MsgBox "Hello " & ' + who + ' & ", the ' +
+            rng.choice(names.NOUNS).lower() +
+            ' run finished at " & Format(Now, "hh:mm") & ' +
+            '" with " & ActiveSheet.UsedRange.Rows.Count & " rows."'
+        )
+        if rng.random() < 0.5:
+            writer.line(
+                'Application.StatusBar = "Saved to " & ThisWorkbook.Path & "\\out_" & '
+                'Format(Date, "yyyymmdd") & ".xlsx"'
+            )
+    return writer.render()
+
+
+#: Extended family table including the string-rich templates.
+BENIGN_FAMILIES = BENIGN_FAMILIES + (
+    ("excel", lookup_table_macro),
+    ("excel", sql_query_macro),
+    ("excel", status_message_macro),
+    ("word", status_message_macro),
+)
+
+
+def generate_benign_module(
+    rng: random.Random,
+    host: str | None = None,
+    target_length: int | None = None,
+) -> str:
+    """Generate one module holding one or more benign procedures.
+
+    Real benign modules often contain many procedures; drawing
+    ``target_length`` uniformly (the builder does, between ~150 and ~16,000
+    characters) reproduces the paper's Fig. 5(a): benign code lengths are
+    uniformly distributed with no clustering.
+    """
+    if target_length is None:
+        target_length = rng.randint(150, 16_000)
+    parts = [generate_benign_macro(rng, host)]
+    total = len(parts[0])
+    while total < target_length:
+        piece = generate_benign_macro(rng, host)
+        parts.append(piece)
+        total += len(piece) + 1
+    module = "\n".join(parts)
+    if rng.random() < 0.35:
+        module = compact_style(module, rng)
+    return module
+
+
+def data_fill_macro(rng: random.Random) -> str:
+    """A large-bodied benign macro: dozens of literal cell assignments.
+
+    Recorded macros and hand-built data-entry procedures routinely contain
+    very long procedure bodies, which keeps body-size features from being a
+    trivial obfuscation tell.
+    """
+    proc = names.procedure_name(rng)
+    rows = rng.randint(25, 80)
+    writer = CodeWriter()
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        writer.line(f'Worksheets("{rng.choice(names.SHEET_NAMES)}").Activate')
+        for row in range(2, rows + 2):
+            kind = rng.random()
+            if kind < 0.4:
+                writer.line(
+                    f'Cells({row}, 1).Value = "{rng.choice(names.NOUNS)} {row - 1}"'
+                )
+            elif kind < 0.8:
+                writer.line(
+                    f"Cells({row}, 2).Value = {rng.randint(1, 99_999) / 100}"
+                )
+            else:
+                writer.line(
+                    f'Cells({row}, 3).Formula = "=B{row}*{rng.randint(2, 9)}"'
+                )
+    return writer.render()
+
+
+BENIGN_FAMILIES = BENIGN_FAMILIES + (
+    ("excel", data_fill_macro),
+)
+
+_BLOCK_STARTERS = (
+    "if ", "for ", "do ", "do\n", "while ", "with ", "sub ", "function ",
+    "select ", "else", "elseif", "end ", "next", "loop", "wend", "private ",
+    "public ", "dim ", "const ", "'",
+)
+
+
+def _is_joinable(line: str) -> bool:
+    stripped = line.strip().lower()
+    if not stripped or stripped.endswith("_"):
+        return False
+    return not any(stripped.startswith(word) for word in _BLOCK_STARTERS)
+
+
+def compact_style(source: str, rng: random.Random, join_probability: float = 0.6) -> str:
+    """Rewrite a module in colon-joined 'compact' style.
+
+    VBA permits multiple statements per line separated by ``:``; recorded
+    macros and terse hand-written modules use this heavily, widening the
+    natural chars-per-line distribution of benign code.
+    """
+    lines = source.splitlines()
+    output: list[str] = []
+    for line in lines:
+        joinable = (
+            output
+            and _is_joinable(line)
+            and _is_joinable(output[-1])
+            and len(output[-1]) + len(line.strip()) < 140
+            and rng.random() < join_probability
+        )
+        if joinable:
+            output[-1] = output[-1] + ": " + line.strip()
+        else:
+            output.append(line)
+    return "\n".join(output) + ("\n" if source.endswith("\n") else "")
+
+
+def summary_formulas_macro(rng: random.Random) -> str:
+    """Benign reporting macro with long nested call arguments.
+
+    ``WorksheetFunction.SumIfs(...)`` chains give benign code the same long
+    parenthesized argument lists that encoded payloads have, keeping
+    argument-length features from trivially separating the classes.
+    """
+    proc = names.procedure_name(rng)
+    sheet = rng.choice(names.SHEET_NAMES)
+    last = rng.randint(200, 900)
+    writer = CodeWriter()
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        writer.line("Dim region As String")
+        writer.line(f'region = Range("B1").Value')
+        for out_row, column in enumerate("CDE", start=2):
+            writer.line(
+                f'Cells({out_row}, 7).Value = WorksheetFunction.SumIfs('
+                f'Worksheets("{sheet}").Range("{column}2:{column}{last}"), '
+                f'Worksheets("{sheet}").Range("A2:A{last}"), region, '
+                f'Worksheets("{sheet}").Range("B2:B{last}"), '
+                f'">=" & Range("B2").Value)'
+            )
+        if rng.random() < 0.5:
+            writer.line(
+                'Cells(1, 7).Value = WorksheetFunction.CountIfs('
+                f'Worksheets("{sheet}").Range("A2:A{last}"), "<>", '
+                f'Worksheets("{sheet}").Range("F2:F{last}"), '
+                f'"{rng.choice(names.NOUNS)}")'
+            )
+    return writer.render()
+
+
+BENIGN_FAMILIES = BENIGN_FAMILIES + (
+    ("excel", summary_formulas_macro),
+    ("excel", summary_formulas_macro),
+)
+
+
+def number_format_macro(rng: random.Random) -> str:
+    """Benign formatting macro full of short string literals.
+
+    Format codes, range refs and delimiters give legitimate code plenty of
+    2–4 character strings, so a collapsed mean string length is not by
+    itself an obfuscation tell.
+    """
+    proc = names.procedure_name(rng)
+    writer = CodeWriter()
+    formats = ("0.00", "#,##0", "0%", "@", "d-mmm", "h:mm", "0.0E+00", "$#,##0")
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        for column in rng.sample("ABCDEFGH", rng.randint(4, 8)):
+            writer.line(
+                f'Columns("{column}:{column}").NumberFormat = '
+                f'"{rng.choice(formats)}"'
+            )
+        writer.line(f'Range("A1").Value = "ID"')
+        writer.line(f'Range("B1").Value = "Qty"')
+        writer.line(f'Range("C1").Value = "Amt"')
+        if rng.random() < 0.5:
+            writer.line('Cells(1, 9).Value = "-"')
+            writer.line('Cells(2, 9).Value = "n/a"')
+    return writer.render()
+
+
+def import_paths_macro(rng: random.Random) -> str:
+    """Benign import macro with Windows path strings (backslash-rich)."""
+    proc = names.procedure_name(rng)
+    share = rng.choice(("\\\\fileserver\\shared", "C:\\Data", "C:\\Users\\Public\\Documents", "D:\\Exports"))
+    writer = CodeWriter()
+    _maybe_comment(writer, rng)
+    with writer.block(f"Sub {proc}()", "End Sub"):
+        writer.line("Dim basePath As String")
+        writer.line(f'basePath = "{share}\\{rng.choice(names.FILE_STEMS)}"')
+        writer.line(
+            'Workbooks.Open basePath & "\\" & Format(Date, "yyyy") & "\\" & '
+            f'"{rng.choice(names.FILE_STEMS)}.xlsx"'
+        )
+        writer.line(
+            f'ActiveWorkbook.SaveAs "{share}\\archive\\" & '
+            'Format(Now, "yyyymmdd_hhmm") & ".xlsx"'
+        )
+    return writer.render()
+
+
+BENIGN_FAMILIES = BENIGN_FAMILIES + (
+    ("excel", number_format_macro),
+    ("excel", import_paths_macro),
+    ("word", import_paths_macro),
+)

@@ -1,0 +1,381 @@
+"""CorpusBuilder: reproduce the paper's dataset population (Tables II & III).
+
+The full-scale profile matches the paper exactly in structure:
+
+* 773 benign files (75 Word / 698 Excel, collected as .docm/.xlsm via Google
+  keyword search) carrying 3,380 macros of which 58 (1.7%) are obfuscated;
+* 1,764 malicious files (1,410 Word / 354 Excel, mostly legacy .doc/.xls)
+  drawing from 832 *unique* macros of which 819 (98.4%) are obfuscated —
+  files heavily reuse macros, which is why the paper's dedup halves the
+  malicious macro count relative to files;
+* benign files are much larger (embedded media), malicious files small
+  (downloaders carry no payload).
+
+``scale`` shrinks the population proportionally for laptop-scale runs;
+``size_scale`` shrinks file padding (the paper's 1.1 MB benign average would
+make full corpora gigabytes).  Obfuscated malicious macros are produced by a
+small set of obfuscation-tool *profiles* with fixed size targets, which is
+exactly what creates the horizontal code-length clusters of Fig. 5(b).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.corpus.benign import generate_benign_macro, generate_benign_module
+from repro.corpus.documents import SyntheticDocument, make_document
+from repro.corpus.malicious import generate_malicious_macro
+from repro.corpus.style import apply_style
+from repro.obfuscation.base import make_context
+from repro.obfuscation.encode import STRATEGIES, StringEncoder
+from repro.obfuscation.pipeline import ObfuscationPipeline, build_profile
+from repro.obfuscation.rename import RandomRenamer
+from repro.obfuscation.split import StringSplitter
+
+
+@dataclass(frozen=True)
+class CorpusProfile:
+    """Population parameters; defaults are the paper's full-scale numbers."""
+
+    benign_word_files: int = 75
+    benign_excel_files: int = 698
+    malicious_word_files: int = 1410
+    malicious_excel_files: int = 354
+    benign_macros_total: int = 3380
+    benign_obfuscated_macros: int = 58
+    malicious_unique_macros: int = 832
+    malicious_obfuscated_macros: int = 819
+    #: Fraction of malicious files in legacy (.doc/.xls) formats; the paper
+    #: notes the majority of macro malware is non-OOXML.
+    malicious_legacy_fraction: float = 0.85
+    #: Obfuscation-tool size targets driving Fig. 5(b) clusters.
+    length_targets: tuple[int, ...] = (1500, 3000, 15000)
+    #: Average benign / malicious file sizes, scaled from the paper's
+    #: 1.1 MB / 0.06 MB by ``size_scale``.
+    benign_target_size: int = 1_100_000
+    size_scale: float = 0.1
+
+    def scaled(self, scale: float) -> "CorpusProfile":
+        """Shrink the population proportionally (structure preserved)."""
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+
+        def shrink(value: int, minimum: int = 1) -> int:
+            return max(minimum, round(value * scale))
+
+        benign_files = shrink(self.benign_word_files) + shrink(self.benign_excel_files)
+        return replace(
+            self,
+            benign_word_files=shrink(self.benign_word_files),
+            benign_excel_files=shrink(self.benign_excel_files),
+            malicious_word_files=shrink(self.malicious_word_files),
+            malicious_excel_files=shrink(self.malicious_excel_files),
+            benign_macros_total=max(
+                benign_files, shrink(self.benign_macros_total)
+            ),
+            benign_obfuscated_macros=shrink(self.benign_obfuscated_macros, 2),
+            malicious_unique_macros=shrink(self.malicious_unique_macros, 5),
+            malicious_obfuscated_macros=min(
+                shrink(self.malicious_unique_macros, 5),
+                shrink(self.malicious_obfuscated_macros, 4),
+            ),
+        )
+
+
+def paper_profile() -> CorpusProfile:
+    """The full Table II population."""
+    return CorpusProfile()
+
+
+def default_bench_profile() -> CorpusProfile:
+    """A laptop-scale population preserving every ratio (≈15%)."""
+    return CorpusProfile().scaled(0.15)
+
+
+@dataclass
+class Corpus:
+    """The generated corpus plus its per-macro ground truth."""
+
+    documents: list[SyntheticDocument]
+    profile: CorpusProfile
+    #: source text → True (obfuscated) / False, for every generated macro.
+    truth: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def benign_documents(self) -> list[SyntheticDocument]:
+        return [d for d in self.documents if not d.is_malicious]
+
+    @property
+    def malicious_documents(self) -> list[SyntheticDocument]:
+        return [d for d in self.documents if d.is_malicious]
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Table II rows: file counts by type and average size per group."""
+        rows: dict[str, dict[str, float]] = {}
+        for label, docs in (
+            ("benign", self.benign_documents),
+            ("malicious", self.malicious_documents),
+        ):
+            word = sum(1 for d in docs if d.host == "word")
+            excel = sum(1 for d in docs if d.host == "excel")
+            avg = sum(d.size for d in docs) / len(docs) if docs else 0.0
+            rows[label] = {
+                "files": len(docs),
+                "word": word,
+                "excel": excel,
+                "avg_size": avg,
+            }
+        return rows
+
+
+class CorpusBuilder:
+    """Deterministic synthetic corpus generation."""
+
+    def __init__(self, profile: CorpusProfile | None = None, seed: int = 2016) -> None:
+        self.profile = profile or default_bench_profile()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> Corpus:
+        rng = random.Random(self.seed)
+        truth: dict[str, bool] = {}
+        documents: list[SyntheticDocument] = []
+        documents.extend(self._build_benign(rng, truth))
+        documents.extend(self._build_malicious(rng, truth))
+        rng.shuffle(documents)
+        return Corpus(documents=documents, profile=self.profile, truth=truth)
+
+    # ------------------------------------------------------------------
+
+    def _build_benign(
+        self, rng: random.Random, truth: dict[str, bool]
+    ) -> list[SyntheticDocument]:
+        profile = self.profile
+        file_hosts = ["word"] * profile.benign_word_files + [
+            "excel"
+        ] * profile.benign_excel_files
+        n_files = len(file_hosts)
+
+        # Distribute macros: every file gets one, the rest land randomly.
+        counts = [1] * n_files
+        for _ in range(profile.benign_macros_total - n_files):
+            counts[rng.randrange(n_files)] += 1
+
+        # A light obfuscation profile for the rare benign obfuscated macros
+        # (intellectual-property protection, per the paper's discussion).
+        light_profiles = [
+            build_profile(
+                rng, use_split=True, use_encode=False, use_logic=False,
+                use_anti=False,
+            )
+            for _ in range(2)
+        ]
+        obfuscated_quota = profile.benign_obfuscated_macros
+
+        documents = []
+        macro_budget_used = 0
+        for index, host in enumerate(file_hosts):
+            sources: list[str] = []
+            flags: list[bool] = []
+            for _ in range(counts[index]):
+                # Uniform target lengths reproduce Fig. 5(a): benign macro
+                # code length shows no clustering.
+                target = rng.randint(150, 16_000)
+                source = apply_style(
+                    generate_benign_module(rng, host, target_length=target), rng
+                )
+                obfuscate = (
+                    obfuscated_quota > 0
+                    and rng.random()
+                    < obfuscated_quota
+                    / max(1, profile.benign_macros_total - macro_budget_used)
+                )
+                if obfuscate:
+                    pipeline = rng.choice(light_profiles)
+                    source = pipeline.run(source, seed=rng.randrange(2**31)).source
+                    obfuscated_quota -= 1
+                truth.setdefault(source, obfuscate)
+                sources.append(source)
+                flags.append(obfuscate)
+                macro_budget_used += 1
+            padding = self._benign_padding(rng)
+            file_format = "docm" if host == "word" else "xlsm"
+            documents.append(
+                make_document(
+                    rng, sources, flags,
+                    is_malicious=False,
+                    file_format=file_format,
+                    padding=padding,
+                )
+            )
+        return documents
+
+    def _benign_padding(self, rng: random.Random) -> int:
+        target = self.profile.benign_target_size * self.profile.size_scale
+        return max(0, int(rng.uniform(0.4, 1.6) * target))
+
+    # ------------------------------------------------------------------
+
+    def _build_malicious(
+        self, rng: random.Random, truth: dict[str, bool]
+    ) -> list[SyntheticDocument]:
+        profile = self.profile
+        pool = self._build_malicious_macro_pool(rng, truth)
+
+        file_hosts = ["word"] * profile.malicious_word_files + [
+            "excel"
+        ] * profile.malicious_excel_files
+        rng.shuffle(file_hosts)
+
+        # Skewed reuse: a handful of campaign macros appear in many files.
+        weights = [1.0 / (rank + 1) ** 0.7 for rank in range(len(pool))]
+
+        documents = []
+        for host in file_hosts:
+            entry = rng.choices(pool, weights=weights, k=1)[0]
+            source, obfuscated, docvars = entry
+            sources, flags = [source], [obfuscated]
+            if rng.random() < 0.1 and len(pool) > 1:
+                extra = rng.choices(pool, weights=weights, k=1)[0]
+                if extra[0] != source:
+                    sources.append(extra[0])
+                    flags.append(extra[1])
+                    docvars = {**docvars, **extra[2]}
+            legacy = rng.random() < profile.malicious_legacy_fraction
+            if host == "word":
+                file_format = "doc" if legacy else "docm"
+            else:
+                file_format = "xls" if legacy else "xlsm"
+            documents.append(
+                make_document(
+                    rng, sources, flags,
+                    is_malicious=True,
+                    file_format=file_format,
+                    document_variables=docvars,
+                )
+            )
+        return documents
+
+    def _build_malicious_macro_pool(
+        self, rng: random.Random, truth: dict[str, bool]
+    ) -> list[tuple[str, bool, dict[str, str]]]:
+        """Unique malicious macros: (source, obfuscated, document variables)."""
+        profile = self.profile
+        n_obfuscated = min(
+            profile.malicious_obfuscated_macros, profile.malicious_unique_macros
+        )
+        n_plain = profile.malicious_unique_macros - n_obfuscated
+
+        # Obfuscation strength tiers, mirroring what campaign kits do:
+        #
+        # * strings-only — split + Replace()/Chr() encoding over the whole
+        #   module, names untouched.  Signature keywords disappear (that is
+        #   the attacker's goal) and VBA-specific features (V5 operator
+        #   density, V8 text-function fraction) spike, but generic layout /
+        #   readability statistics barely move — the tier the J set misses.
+        # * rename-only — whole-module identifier randomization.
+        # * medium — rename + split + encode combined.
+        # * heavy — everything, with CrunchCode-style size padding to fixed
+        #   targets (the Fig. 5(b) clusters).
+        strings_only_profiles = [
+            ObfuscationPipeline(
+                [
+                    StringSplitter(
+                        min_length=rng.choice((5, 6)),
+                        chunk_min=2,
+                        chunk_max=rng.choice((3, 4)),
+                        hoist_const_probability=0.0,
+                    ),
+                    StringEncoder(
+                        min_length=rng.choice((6, 8)),
+                        strategies=("replace_marker", "chr_concat"),
+                        encode_probability=rng.uniform(0.5, 0.9),
+                    ),
+                ]
+            )
+            for _ in range(3)
+        ]
+        rename_profiles = [
+            ObfuscationPipeline(
+                [RandomRenamer(rename_fraction=rng.uniform(0.6, 1.0))]
+            )
+            for _ in range(2)
+        ]
+        medium_profiles = []
+        for _ in range(3):
+            transforms = [
+                StringSplitter(
+                    min_length=rng.choice((5, 6, 8)),
+                    chunk_min=2,
+                    chunk_max=rng.choice((4, 5)),
+                    hoist_const_probability=rng.uniform(0.0, 0.2),
+                ),
+                StringEncoder(
+                    min_length=rng.choice((6, 8, 10)),
+                    strategies=tuple(rng.sample(STRATEGIES, rng.randint(1, 3))),
+                    encode_probability=rng.uniform(0.3, 0.7),
+                ),
+                RandomRenamer(rename_fraction=rng.uniform(0.7, 1.0)),
+            ]
+            medium_profiles.append(ObfuscationPipeline(transforms))
+        heavy_profiles = [
+            build_profile(rng, use_anti=True, target_length=target)
+            for target in profile.length_targets
+        ]
+        heavy_profiles.append(build_profile(rng, use_anti=True, target_length=None))
+        tiers = (
+            (strings_only_profiles, 0.35),
+            (rename_profiles, 0.15),
+            (medium_profiles, 0.20),
+            (heavy_profiles, 0.30),
+        )
+
+        # Per-pipeline base-code size targets: variants produced by one
+        # campaign kit share their surrounding code, so they share a length —
+        # the horizontal clusters of Fig. 5(b).  The attacker's tool then
+        # obfuscates the *whole assembled module*.
+        base_targets: dict[int, int] = {}
+
+        def base_target_for(pipeline) -> int:
+            key = id(pipeline)
+            if key not in base_targets:
+                base_targets[key] = rng.choice(
+                    tuple(profile.length_targets[:2]) or (1500,)
+                )
+            return base_targets[key]
+
+        pool: list[tuple[str, bool, dict[str, str]]] = []
+        for _ in range(n_obfuscated):
+            host = rng.choice(("word", "excel"))
+            base = generate_malicious_macro(rng, host)
+            profiles = rng.choices(
+                [t[0] for t in tiers], weights=[t[1] for t in tiers], k=1
+            )[0]
+            pipeline = rng.choice(profiles)
+            if profiles is not heavy_profiles:
+                # Assemble the campaign module (payload + pasted helper
+                # code), then obfuscate all of it.
+                target = base_target_for(pipeline)
+                jitter = rng.uniform(0.85, 1.15)
+                parts = [base]
+                total = len(base)
+                while total < target * jitter:
+                    piece = generate_benign_macro(rng, host)
+                    parts.append(piece)
+                    total += len(piece) + 1
+                rng.shuffle(parts)
+                base = "\n".join(parts)
+            context = make_context(rng.randrange(2**31))
+            result = pipeline.run_with_context(base, context)
+            styled = apply_style(result.source, rng)
+            truth.setdefault(styled, True)
+            pool.append((styled, True, result.document_variables))
+        for _ in range(n_plain):
+            host = rng.choice(("word", "excel"))
+            source = apply_style(generate_malicious_macro(rng, host), rng)
+            truth.setdefault(source, False)
+            pool.append((source, False, {}))
+        rng.shuffle(pool)
+        return pool

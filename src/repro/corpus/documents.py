@@ -1,0 +1,125 @@
+"""Assemble macros into synthetic Office document files.
+
+Produces real container bytes — OOXML zip packages (``.docm``/``.xlsm``) or
+legacy compound files (``.doc``/``.xls``) — that round-trip through
+:mod:`repro.ole.extractor` exactly like the paper's collected samples round-
+tripped through olevba.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.corpus import names
+from repro.ole.cfb import CompoundFileWriter
+from repro.ole.docvars import encode_docvars
+from repro.ole.ooxml import DOCVARS_PART, build_docm, build_xlsm
+from repro.ole.vba_project import VBAModule, build_vba_storage_streams
+
+LEGACY_FORMATS = ("doc", "xls")
+OOXML_FORMATS = ("docm", "xlsm")
+WORD_FORMATS = ("doc", "docm")
+EXCEL_FORMATS = ("xls", "xlsm")
+
+
+@dataclass(slots=True)
+class SyntheticDocument:
+    """One generated document file plus its ground truth."""
+
+    file_name: str
+    file_format: str  # doc | xls | docm | xlsm
+    data: bytes
+    macro_sources: list[str]
+    obfuscated_flags: list[bool]
+    is_malicious: bool
+    document_variables: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def host(self) -> str:
+        return "word" if self.file_format in WORD_FORMATS else "excel"
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+def _wrap_modules(sources: list[str], host: str) -> list[VBAModule]:
+    """Name the modules the way Office does: the document/workbook class
+    module first, then ``Module1`` …"""
+    document_module = "ThisDocument" if host == "word" else "ThisWorkbook"
+    modules = [VBAModule(document_module, sources[0], "document")]
+    for index, source in enumerate(sources[1:], start=1):
+        modules.append(VBAModule(f"Module{index}", source))
+    return modules
+
+
+def build_document_bytes(
+    sources: list[str],
+    file_format: str,
+    document_variables: dict[str, str] | None = None,
+    padding: int = 0,
+) -> bytes:
+    """Build container bytes of the requested format around macro sources."""
+    if not sources:
+        raise ValueError("a macro-enabled document needs at least one macro")
+    host = "word" if file_format in WORD_FORMATS else "excel"
+    modules = _wrap_modules(sources, host)
+    vba_streams = build_vba_storage_streams(modules)
+
+    if file_format in OOXML_FORMATS:
+        vba_writer = CompoundFileWriter()
+        for path, data in vba_streams.items():
+            vba_writer.add_stream(path, data)
+        vba_bin = vba_writer.tobytes()
+        extra = {}
+        if document_variables:
+            extra[DOCVARS_PART] = encode_docvars(document_variables)
+        if file_format == "docm":
+            return build_docm(vba_bin, extra_parts=extra, padding=padding)
+        return build_xlsm(vba_bin, extra_parts=extra, padding=padding)
+
+    if file_format not in LEGACY_FORMATS:
+        raise ValueError(f"unknown format {file_format!r}")
+    writer = CompoundFileWriter()
+    if file_format == "doc":
+        writer.add_stream("WordDocument", b"\xec\xa5\xc1\x00" + b"\x00" * 128)
+        prefix = "Macros"
+    else:
+        writer.add_stream("Workbook", b"\x09\x08\x10\x00" + b"\x00" * 128)
+        prefix = "_VBA_PROJECT_CUR"
+    for path, data in vba_streams.items():
+        writer.add_stream(f"{prefix}/{path}", data)
+    if document_variables:
+        writer.add_stream("ReproDocVars", encode_docvars(document_variables))
+    if padding > 0:
+        # Embedded media / binary content that makes benign files large.
+        for index in range(0, padding, 200_000):
+            chunk = min(200_000, padding - index)
+            writer.add_stream(f"ObjectPool/media{index // 200_000}", b"\x00" * chunk)
+    return writer.tobytes()
+
+
+def make_document(
+    rng: random.Random,
+    sources: list[str],
+    obfuscated_flags: list[bool],
+    is_malicious: bool,
+    file_format: str,
+    document_variables: dict[str, str] | None = None,
+    padding: int = 0,
+) -> SyntheticDocument:
+    """Build a :class:`SyntheticDocument` with a plausible file name."""
+    if len(sources) != len(obfuscated_flags):
+        raise ValueError("sources and flags must align")
+    return SyntheticDocument(
+        file_name=names.file_name(rng, file_format),
+        file_format=file_format,
+        data=build_document_bytes(
+            sources, file_format, document_variables, padding
+        ),
+        macro_sources=list(sources),
+        obfuscated_flags=list(obfuscated_flags),
+        is_malicious=is_malicious,
+        document_variables=dict(document_variables or {}),
+    )

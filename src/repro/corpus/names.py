@@ -1,0 +1,123 @@
+"""Identifier and content pools for the synthetic corpus generators.
+
+Benign macros use *meaningful* names drawn from these pools (the paper's O1
+feature set keys on exactly this difference: human-chosen identifiers have
+lower entropy and less length variance than randomized ones).
+"""
+
+from __future__ import annotations
+
+import random
+
+VERBS = (
+    "Get", "Set", "Update", "Build", "Create", "Load", "Save", "Export",
+    "Import", "Format", "Clean", "Check", "Validate", "Process", "Apply",
+    "Refresh", "Copy", "Merge", "Sort", "Filter", "Print", "Send", "Make",
+    "Calc", "Sum", "Count", "Find", "Clear", "Init", "Prepare",
+)
+
+NOUNS = (
+    "Report", "Invoice", "Sheet", "Range", "Cell", "Row", "Column", "Table",
+    "Chart", "Data", "Record", "Budget", "Summary", "Header", "Footer",
+    "Total", "Price", "Customer", "Order", "Item", "Product", "Sales",
+    "Index", "Value", "Name", "Date", "Month", "Year", "File", "Folder",
+    "Backup", "Email", "List", "Entry", "Balance", "Account", "Payroll",
+)
+
+VARIABLE_WORDS = (
+    "count", "total", "index", "row", "col", "value", "name", "path",
+    "result", "temp", "item", "sheet", "range", "cell", "target", "source",
+    "output", "input", "buffer", "line", "text", "amount", "price", "rate",
+    "start", "last", "first", "current", "next", "found", "flag", "limit",
+    # Terse abbreviations real spreadsheet macros are full of — these have
+    # no vowels, which keeps naive "readability" features honest.
+    "rng", "ws", "wb", "cnt", "tbl", "qry", "src", "dst", "txt", "str",
+    "num", "pwd", "cfg", "hdr", "ftr", "idx", "tmp", "pct", "qty", "chk",
+)
+
+SHEET_NAMES = (
+    "Data", "Summary", "Report", "Input", "Output", "Budget", "Sales",
+    "Inventory", "Q1", "Q2", "Q3", "Q4", "Raw", "Clean", "Archive",
+)
+
+COMMENT_PHRASES = (
+    "Loop over all rows in the data range",
+    "Update the summary totals",
+    "Skip empty cells",
+    "Format the header row",
+    "Save a backup copy before changes",
+    "Validate user input first",
+    "Requires the Data sheet to be present",
+    "TODO: handle merged cells",
+    "Clear previous results",
+    "Written by the finance team",
+    "Do not modify below this line",
+    "Apply the corporate number format",
+)
+
+EMAIL_SUBJECTS = (
+    "Monthly report", "Invoice attached", "Budget update",
+    "Weekly summary", "Action required", "Meeting notes",
+)
+
+FILE_STEMS = (
+    "report", "invoice", "budget", "summary", "backup", "export",
+    "data", "archive", "statement", "payroll", "inventory", "orders",
+)
+
+MALICIOUS_URL_HOSTS = (
+    "update-cdn.example.net", "files.drop-zone.example", "dl.micro-soft-update.example",
+    "static.invoice-view.example", "cdn.docs-preview.example", "get.flash-renew.example",
+)
+
+MALICIOUS_FILE_NAMES = (
+    "svchost32.exe", "update.exe", "flashplayer.exe", "invoice_view.exe",
+    "winupd.exe", "msoffice_fix.exe", "reader_dc.exe", "defender_rt.exe",
+)
+
+
+def procedure_name(rng: random.Random) -> str:
+    """A plausible human-written procedure name, e.g. ``UpdateReportTotals``."""
+    parts = [rng.choice(VERBS), rng.choice(NOUNS)]
+    if rng.random() < 0.4:
+        parts.append(rng.choice(NOUNS))
+    return "".join(parts)
+
+
+HUNGARIAN_PREFIXES = (
+    "str", "lng", "int", "dbl", "rng", "ws", "obj", "bln", "cur", "var",
+)
+
+
+def variable_name(rng: random.Random) -> str:
+    """A plausible variable name: ``rowCount``, ``total``, or ``strTmp``."""
+    style = rng.random()
+    if style < 0.2:
+        # Hungarian notation, still common in office macros.
+        return rng.choice(HUNGARIAN_PREFIXES) + rng.choice(
+            VARIABLE_WORDS
+        ).capitalize()
+    base = rng.choice(VARIABLE_WORDS)
+    if style < 0.55:
+        return base + rng.choice(VARIABLE_WORDS).capitalize()
+    return base
+
+
+def file_name(rng: random.Random, extension: str) -> str:
+    stem = rng.choice(FILE_STEMS)
+    if rng.random() < 0.6:
+        stem = f"{stem}_{rng.randint(2014, 2017)}"
+    if rng.random() < 0.3:
+        stem = f"{stem}_{rng.choice(('final', 'v2', 'draft', 'copy'))}"
+    return f"{stem}.{extension}"
+
+
+def malicious_url(rng: random.Random) -> str:
+    host = rng.choice(MALICIOUS_URL_HOSTS)
+    token = "".join(rng.choice("abcdefghijklmnopqrstuvwxyz0123456789") for _ in range(8))
+    return f"http://{host}/{token}/{rng.choice(MALICIOUS_FILE_NAMES)}"
+
+
+def drop_path(rng: random.Random) -> str:
+    directory = rng.choice(("%TEMP%", "%APPDATA%", "C:\\Users\\Public", "%PROGRAMDATA%"))
+    return f"{directory}\\{rng.choice(MALICIOUS_FILE_NAMES)}"

@@ -1,0 +1,126 @@
+"""Surface-style augmentation for generated macros.
+
+Real-world VBA is stylistically heterogeneous: recorded macros, decade-old
+copy-paste code, tab indentation, banner comments, compact one-liners.  This
+module randomizes *token-preserving* style dimensions — indentation, blank
+lines, comments, case of keywords — so that generic layout statistics carry
+noise rather than class signal, the way they do in the paper's real corpus.
+
+The transforms never touch code tokens: string literals, identifiers and
+operators are unchanged, so the V features targeting obfuscation semantics
+(V5–V12, V14, V15) are unaffected while layout-sensitive features (chars per
+line, whitespace share, comment counts) gain benign variance.
+"""
+
+from __future__ import annotations
+
+import random
+
+_INDENT_UNITS = ("", "  ", "    ", "\t", "   ")
+
+_BANNER_TEMPLATES = (
+    "'====================================================\n"
+    "'  {title}\n"
+    "'  Last updated {month}/{year}\n"
+    "'====================================================\n",
+    "'---------------------------------------------\n"
+    "' {title}\n"
+    "'---------------------------------------------\n",
+    "' {title}\n' Author: {author}\n'\n",
+)
+
+_RECORDED_HEADER = (
+    "'\n"
+    "' {name} Macro\n"
+    "' Macro recorded {month}/{day}/{year} by {author}\n"
+    "'\n"
+    "'\n"
+)
+
+_AUTHORS = ("admin", "user", "jsmith", "mkim", "finance01", "Office User", "hr-team")
+_TITLES = (
+    "Module utilities", "Report helpers", "Data import routines",
+    "Formatting helpers", "Monthly batch", "Shared functions",
+)
+
+
+def _reindent(source: str, rng: random.Random) -> str:
+    """Replace the 4-space indent unit with a random unit (possibly none)."""
+    unit = rng.choice(_INDENT_UNITS)
+    if unit == "    ":
+        return source
+    lines = []
+    for line in source.splitlines():
+        stripped = line.lstrip(" ")
+        depth = (len(line) - len(stripped)) // 4
+        lines.append(unit * depth + stripped)
+    return "\n".join(lines) + ("\n" if source.endswith("\n") else "")
+
+
+def _blank_lines(source: str, rng: random.Random) -> str:
+    """Insert blank lines between statements with random density."""
+    probability = rng.choice((0.0, 0.0, 0.05, 0.15, 0.3))
+    if probability == 0.0:
+        return source
+    lines = []
+    for line in source.splitlines():
+        lines.append(line)
+        if line.strip() and rng.random() < probability:
+            lines.append("")
+    return "\n".join(lines) + ("\n" if source.endswith("\n") else "")
+
+
+def _banner(source: str, rng: random.Random) -> str:
+    template = rng.choice(_BANNER_TEMPLATES)
+    return (
+        template.format(
+            title=rng.choice(_TITLES),
+            author=rng.choice(_AUTHORS),
+            month=rng.randint(1, 12),
+            year=rng.randint(2003, 2017),
+        )
+        + source
+    )
+
+
+def _recorded_header(source: str, rng: random.Random) -> str:
+    return (
+        _RECORDED_HEADER.format(
+            name=f"Macro{rng.randint(1, 30)}",
+            author=rng.choice(_AUTHORS),
+            month=rng.randint(1, 12),
+            day=rng.randint(1, 28),
+            year=rng.randint(2005, 2017),
+        )
+        + source
+    )
+
+
+def _keyword_case(source: str, rng: random.Random) -> str:
+    """Lower-case a few structural keywords, as sloppy editors leave them."""
+    if rng.random() < 0.8:
+        return source
+    replacements = rng.sample(
+        [("End Sub", "end sub"), ("End If", "end if"), ("Then", "then")],
+        k=rng.randint(1, 2),
+    )
+    for old, new in replacements:
+        source = source.replace(old, new)
+    return source
+
+
+def apply_style(
+    source: str,
+    rng: random.Random,
+    banner_probability: float = 0.2,
+    recorded_probability: float = 0.15,
+) -> str:
+    """Apply a random surface style to a macro module."""
+    styled = _reindent(source, rng)
+    styled = _blank_lines(styled, rng)
+    if rng.random() < recorded_probability:
+        styled = _recorded_header(styled, rng)
+    elif rng.random() < banner_probability:
+        styled = _banner(styled, rng)
+    styled = _keyword_case(styled, rng)
+    return styled

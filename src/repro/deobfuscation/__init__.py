@@ -1,0 +1,15 @@
+"""Static de-obfuscation: constant folding + sandboxed decoder evaluation."""
+
+from repro.deobfuscation.engine import (
+    Deobfuscator,
+    DeobfuscationReport,
+    DeobfuscationResult,
+    deobfuscate,
+)
+
+__all__ = [
+    "DeobfuscationReport",
+    "DeobfuscationResult",
+    "Deobfuscator",
+    "deobfuscate",
+]

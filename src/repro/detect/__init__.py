@@ -1,0 +1,9 @@
+"""Rule-based detectors complementing the ML classifier (§VI.B techniques)."""
+
+from repro.detect.antianalysis import (
+    AntiAnalysisFinding,
+    AntiAnalysisReport,
+    scan_macro,
+)
+
+__all__ = ["AntiAnalysisFinding", "AntiAnalysisReport", "scan_macro"]

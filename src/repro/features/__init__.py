@@ -1,0 +1,29 @@
+"""Static feature engineering: the paper's V1–V15 set and the J1–J20 baseline."""
+
+from repro.features.entropy import max_entropy, shannon_entropy
+from repro.features.jfeatures import J_FEATURE_NAMES, extract_j_features
+from repro.features.matrix import (
+    FEATURE_SETS,
+    extract_both,
+    extract_features,
+    feature_names,
+)
+from repro.features.vfeatures import (
+    V_FEATURE_GROUPS,
+    V_FEATURE_NAMES,
+    extract_v_features,
+)
+
+__all__ = [
+    "FEATURE_SETS",
+    "J_FEATURE_NAMES",
+    "V_FEATURE_GROUPS",
+    "V_FEATURE_NAMES",
+    "extract_both",
+    "extract_features",
+    "extract_j_features",
+    "extract_v_features",
+    "feature_names",
+    "max_entropy",
+    "shannon_entropy",
+]

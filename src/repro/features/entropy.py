@@ -1,0 +1,30 @@
+"""Shannon entropy of text, feature V13 (and J15).
+
+H(X) = − Σ p_i · log₂ p_i over the character distribution of the macro code,
+exactly the formula in Section IV.C.1 of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+
+def shannon_entropy(text: str) -> float:
+    """Character-level Shannon entropy in bits; 0.0 for empty text."""
+    if not text:
+        return 0.0
+    counts = Counter(text)
+    total = len(text)
+    entropy = 0.0
+    for count in counts.values():
+        probability = count / total
+        entropy -= probability * math.log2(probability)
+    return entropy
+
+
+def max_entropy(alphabet_size: int) -> float:
+    """The upper bound log₂|Σ| for an alphabet of the given size."""
+    if alphabet_size < 1:
+        raise ValueError("alphabet size must be >= 1")
+    return math.log2(alphabet_size)

@@ -1,0 +1,54 @@
+"""Feature-matrix assembly over macro collections."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.features.jfeatures import J_FEATURE_NAMES, j_features_from_analysis
+from repro.features.vfeatures import V_FEATURE_NAMES, v_features_from_analysis
+from repro.vba.analyzer import analyze
+
+FEATURE_SETS = ("V", "J")
+
+
+def feature_names(feature_set: str) -> tuple[str, ...]:
+    if feature_set == "V":
+        return V_FEATURE_NAMES
+    if feature_set == "J":
+        return J_FEATURE_NAMES
+    raise ValueError(f"unknown feature set {feature_set!r}")
+
+
+def extract_features(sources: Iterable[str], feature_set: str = "V") -> np.ndarray:
+    """Build the (n_samples × n_features) matrix for one feature set.
+
+    Each macro is analyzed once; both extractors can share the analysis via
+    :func:`extract_both`.
+    """
+    if feature_set not in FEATURE_SETS:
+        raise ValueError(f"unknown feature set {feature_set!r}")
+    extractor = (
+        v_features_from_analysis if feature_set == "V" else j_features_from_analysis
+    )
+    rows = [extractor(analyze(source)) for source in sources]
+    if not rows:
+        return np.empty((0, len(feature_names(feature_set))))
+    return np.vstack(rows)
+
+
+def extract_both(sources: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+    """Extract V and J matrices sharing one analysis pass per macro."""
+    v_rows = []
+    j_rows = []
+    for source in sources:
+        analysis = analyze(source)
+        v_rows.append(v_features_from_analysis(analysis))
+        j_rows.append(j_features_from_analysis(analysis))
+    if not v_rows:
+        return (
+            np.empty((0, len(V_FEATURE_NAMES))),
+            np.empty((0, len(J_FEATURE_NAMES))),
+        )
+    return np.vstack(v_rows), np.vstack(j_rows)

@@ -1,0 +1,116 @@
+"""The paper's 15 discriminant static features (Table IV).
+
+| Feature | Description                                      | Targets |
+|---------|--------------------------------------------------|---------|
+| V1      | # of chars in code except comments               | O4      |
+| V2      | # of chars in comments                           | O4      |
+| V3      | avg. length of words                             | O4      |
+| V4      | var. length of words                             | O4      |
+| V5      | appearance frequency of string operators         | O2      |
+| V6      | % of chars belonging to strings                  | O2      |
+| V7      | avg. length of strings in code                   | O2      |
+| V8      | % of text functions called                       | O3      |
+| V9      | % of arithmetic functions called                 | O3      |
+| V10     | % of type conversion functions called            | O3      |
+| V11     | % of financial functions called                  | O3      |
+| V12     | % of functions with rich functionality called    | —       |
+| V13     | Shannon entropy of the file                      | O1      |
+| V14     | avg. length of identifiers                       | O1      |
+| V15     | var. length of identifiers                       | O1      |
+
+Normalization follows Section IV.C.4: instead of dividing count features by
+whole-script length (Aebersold et al.), V1 (comment-free code length) is the
+normalization unit — V5 is reported per V1 character.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.entropy import shannon_entropy
+from repro.vba.analyzer import MacroAnalysis, analyze
+from repro.vba.functions import (
+    ARITHMETIC_FUNCTIONS,
+    FINANCIAL_FUNCTIONS,
+    RICH_FUNCTIONS,
+    TEXT_FUNCTIONS,
+    TYPE_CONVERSION_FUNCTIONS,
+)
+from repro.vba.tokens import STRING_CONCAT_OPERATORS, TokenKind
+
+V_FEATURE_NAMES: tuple[str, ...] = (
+    "V1_code_chars",
+    "V2_comment_chars",
+    "V3_word_len_mean",
+    "V4_word_len_var",
+    "V5_string_op_freq",
+    "V6_string_char_pct",
+    "V7_string_len_mean",
+    "V8_text_fn_pct",
+    "V9_arith_fn_pct",
+    "V10_conv_fn_pct",
+    "V11_fin_fn_pct",
+    "V12_rich_fn_pct",
+    "V13_entropy",
+    "V14_ident_len_mean",
+    "V15_ident_len_var",
+)
+
+
+def _mean_and_variance(lengths: list[int]) -> tuple[float, float]:
+    if not lengths:
+        return 0.0, 0.0
+    array = np.asarray(lengths, dtype=np.float64)
+    return float(array.mean()), float(array.var())
+
+
+def extract_v_features(source: str) -> np.ndarray:
+    """Extract the 15-dimensional V vector from one macro's source text."""
+    return v_features_from_analysis(analyze(source))
+
+
+def v_features_from_analysis(analysis: MacroAnalysis) -> np.ndarray:
+    """Extract V1–V15 from a pre-computed structural analysis."""
+    code = analysis.code_without_comments
+    v1 = float(len(code))
+    v2 = float(len(analysis.comment_text))
+
+    v3, v4 = _mean_and_variance([len(word) for word in analysis.words])
+
+    # V5: string-operator occurrences, normalized by V1 (Section IV.C.4).
+    operator_count = analysis.operator_count(STRING_CONCAT_OPERATORS)
+    v5 = operator_count / v1 if v1 else 0.0
+
+    string_chars = sum(
+        len(token.text)
+        for token in analysis.tokens
+        if token.kind is TokenKind.STRING
+    )
+    v6 = string_chars / v1 if v1 else 0.0
+    v7, _ = _mean_and_variance([len(s) for s in analysis.string_literals])
+
+    v8 = analysis.called_builtin_fraction(TEXT_FUNCTIONS)
+    v9 = analysis.called_builtin_fraction(ARITHMETIC_FUNCTIONS)
+    v10 = analysis.called_builtin_fraction(TYPE_CONVERSION_FUNCTIONS)
+    v11 = analysis.called_builtin_fraction(FINANCIAL_FUNCTIONS)
+    v12 = analysis.called_builtin_fraction(RICH_FUNCTIONS)
+
+    v13 = shannon_entropy(analysis.source)
+    v14, v15 = _mean_and_variance(
+        [len(name) for name in analysis.declared_identifiers]
+    )
+
+    return np.array(
+        [v1, v2, v3, v4, v5, v6, v7, v8, v9, v10, v11, v12, v13, v14, v15],
+        dtype=np.float64,
+    )
+
+
+#: Feature-group slices for the ablation benchmarks (DESIGN.md §5): which
+#: V-vector indices target each obfuscation class.
+V_FEATURE_GROUPS: dict[str, tuple[int, ...]] = {
+    "O1_random": (12, 13, 14),  # V13, V14, V15
+    "O2_split": (4, 5, 6),  # V5, V6, V7
+    "O3_encoding": (7, 8, 9, 10, 11),  # V8–V12
+    "O4_logic": (0, 1, 2, 3),  # V1–V4
+}

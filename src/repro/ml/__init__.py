@@ -1,0 +1,66 @@
+"""A from-scratch scikit-learn substitute covering the paper's needs.
+
+Five classifiers (Section IV.D): :class:`SVC`, :class:`RandomForestClassifier`,
+:class:`MLPClassifier`, :class:`LinearDiscriminantAnalysis`,
+:class:`BernoulliNB`; plus preprocessing, stratified cross-validation, and
+the Section V metrics (accuracy / precision / recall / F_β / ROC / AUC).
+"""
+
+from repro.ml.base import ClassifierMixin, NotFittedError
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.lda import LinearDiscriminantAnalysis
+from repro.ml.metrics import (
+    accuracy_score,
+    auc,
+    classification_report,
+    confusion_matrix_binary,
+    f1_score,
+    f2_score,
+    fbeta_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+)
+from repro.ml.mlp import MLPClassifier
+from repro.ml.model_selection import (
+    CrossValidationResult,
+    StratifiedKFold,
+    cross_validate,
+    train_test_split,
+)
+from repro.ml.naive_bayes import BernoulliNB
+from repro.ml.preprocessing import Binarizer, MedianBinarizer, StandardScaler
+from repro.ml.svm import SVC, linear_kernel, rbf_kernel
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "SVC",
+    "BernoulliNB",
+    "Binarizer",
+    "ClassifierMixin",
+    "CrossValidationResult",
+    "DecisionTreeClassifier",
+    "LinearDiscriminantAnalysis",
+    "MLPClassifier",
+    "MedianBinarizer",
+    "NotFittedError",
+    "RandomForestClassifier",
+    "StandardScaler",
+    "StratifiedKFold",
+    "accuracy_score",
+    "auc",
+    "classification_report",
+    "confusion_matrix_binary",
+    "cross_validate",
+    "f1_score",
+    "f2_score",
+    "fbeta_score",
+    "linear_kernel",
+    "precision_score",
+    "rbf_kernel",
+    "recall_score",
+    "roc_auc_score",
+    "roc_curve",
+    "train_test_split",
+]

@@ -1,0 +1,85 @@
+"""Estimator protocol shared by every classifier in :mod:`repro.ml`.
+
+The interface mirrors the scikit-learn conventions the paper's experiments
+assume: ``fit(X, y)`` → ``self``, ``predict(X)`` → labels,
+``predict_proba(X)`` → class-probability matrix with columns ordered by
+``classes_``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``predict`` is called before ``fit``."""
+
+
+def check_X_y(X, y) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and convert a training pair to float64 / label arrays."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"X and y disagree on sample count: {X.shape[0]} vs {y.shape[0]}"
+        )
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    if not np.all(np.isfinite(X)):
+        raise ValueError("X contains NaN or infinity")
+    return X, y
+
+
+def check_array(X) -> np.ndarray:
+    """Validate and convert a prediction input to a 2-D float64 array."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if not np.all(np.isfinite(X)):
+        raise ValueError("X contains NaN or infinity")
+    return X
+
+
+class ClassifierMixin:
+    """Shared label-encoding plumbing for binary/multiclass classifiers.
+
+    Subclasses call :meth:`_encode_labels` in ``fit`` and
+    :meth:`_decode_labels` in ``predict``; ``classes_`` is the sorted label
+    vocabulary, matching scikit-learn.
+    """
+
+    classes_: np.ndarray
+
+    def _encode_labels(self, y: np.ndarray) -> np.ndarray:
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        return encoded
+
+    def _decode_labels(self, indices: np.ndarray) -> np.ndarray:
+        return self.classes_[indices]
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "classes_"):
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before predicting"
+            )
+
+    def predict_proba(self, X) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def predict(self, X) -> np.ndarray:
+        """Default predict: argmax over predict_proba columns."""
+        probabilities = self.predict_proba(X)
+        return self._decode_labels(np.argmax(probabilities, axis=1))
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on the given test data."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))
+
+    def decision_scores(self, X) -> np.ndarray:
+        """Continuous score for the positive (last) class, for ROC curves."""
+        return self.predict_proba(X)[:, -1]

@@ -1,0 +1,141 @@
+"""Cross-validation utilities: the paper evaluates with 10-fold stratified CV."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.metrics import classification_report, roc_auc_score
+
+
+class StratifiedKFold:
+    """K-fold splitter preserving per-class proportions in every fold."""
+
+    def __init__(
+        self, n_splits: int = 10, shuffle: bool = True, random_state: int | None = 0
+    ) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        y = np.asarray(y)
+        n_samples = y.shape[0]
+        rng = np.random.default_rng(self.random_state)
+
+        # Assign each sample a fold id, stratified per class.
+        fold_of = np.empty(n_samples, dtype=np.int64)
+        for label in np.unique(y):
+            indices = np.flatnonzero(y == label)
+            if indices.size < self.n_splits:
+                raise ValueError(
+                    f"class {label!r} has only {indices.size} samples for "
+                    f"{self.n_splits} folds"
+                )
+            if self.shuffle:
+                rng.shuffle(indices)
+            folds = np.arange(indices.size) % self.n_splits
+            fold_of[indices] = folds
+
+        all_indices = np.arange(n_samples)
+        for fold in range(self.n_splits):
+            test_mask = fold_of == fold
+            yield all_indices[~test_mask], all_indices[test_mask]
+
+
+def train_test_split(
+    X, y, test_size: float = 0.25, random_state: int | None = 0, stratify: bool = True
+):
+    """Split arrays into train and test subsets."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    rng = np.random.default_rng(random_state)
+    n_samples = y.shape[0]
+    test_mask = np.zeros(n_samples, dtype=bool)
+    if stratify:
+        for label in np.unique(y):
+            indices = np.flatnonzero(y == label)
+            rng.shuffle(indices)
+            n_test = max(1, int(round(indices.size * test_size)))
+            test_mask[indices[:n_test]] = True
+    else:
+        indices = rng.permutation(n_samples)
+        n_test = max(1, int(round(n_samples * test_size)))
+        test_mask[indices[:n_test]] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+@dataclass
+class CrossValidationResult:
+    """Aggregated 10-fold CV outcome for one classifier.
+
+    ``pooled_*`` concatenates all folds' test predictions, which is how the
+    experiment layer computes the single Table V row and the Fig. 7 ROC.
+    """
+
+    fold_reports: list[dict[str, float]] = field(default_factory=list)
+    pooled_true: np.ndarray = field(default_factory=lambda: np.empty(0))
+    pooled_pred: np.ndarray = field(default_factory=lambda: np.empty(0))
+    pooled_scores: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def mean_metric(self, name: str) -> float:
+        return float(np.mean([report[name] for report in self.fold_reports]))
+
+    @property
+    def pooled_report(self) -> dict[str, float]:
+        return classification_report(self.pooled_true, self.pooled_pred)
+
+    @property
+    def pooled_auc(self) -> float:
+        return roc_auc_score(self.pooled_true, self.pooled_scores)
+
+
+def cross_validate(
+    estimator_factory,
+    X,
+    y,
+    n_splits: int = 10,
+    random_state: int | None = 0,
+    preprocessor_factory=None,
+) -> CrossValidationResult:
+    """Run stratified K-fold CV, refitting a fresh estimator per fold.
+
+    Args:
+        estimator_factory: zero-argument callable building an unfitted
+            classifier (a fresh one per fold, so folds are independent).
+        preprocessor_factory: optional zero-argument callable building a
+            scaler with fit/transform, fitted on each fold's training split
+            only (no test leakage).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    splitter = StratifiedKFold(n_splits=n_splits, random_state=random_state)
+    result = CrossValidationResult()
+    pooled_true: list[np.ndarray] = []
+    pooled_pred: list[np.ndarray] = []
+    pooled_scores: list[np.ndarray] = []
+    for train_index, test_index in splitter.split(X, y):
+        X_train, X_test = X[train_index], X[test_index]
+        y_train, y_test = y[train_index], y[test_index]
+        if preprocessor_factory is not None:
+            preprocessor = preprocessor_factory()
+            X_train = preprocessor.fit_transform(X_train)
+            X_test = preprocessor.transform(X_test)
+        model = estimator_factory()
+        model.fit(X_train, y_train)
+        y_pred = model.predict(X_test)
+        scores = model.decision_scores(X_test)
+        result.fold_reports.append(classification_report(y_test, y_pred))
+        pooled_true.append(y_test)
+        pooled_pred.append(y_pred)
+        pooled_scores.append(np.asarray(scores, dtype=np.float64))
+    result.pooled_true = np.concatenate(pooled_true)
+    result.pooled_pred = np.concatenate(pooled_pred)
+    result.pooled_scores = np.concatenate(pooled_scores)
+    return result

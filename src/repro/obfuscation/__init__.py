@@ -1,0 +1,51 @@
+"""The paper's obfuscation taxonomy (Table I) as working VBA transforms.
+
+O1 random (:mod:`.rename`), O2 split (:mod:`.split`), O3 encoding
+(:mod:`.encode`), O4 logic (:mod:`.logic`), plus the §VI.B anti-analysis
+tricks (:mod:`.antianalysis`) and composition (:mod:`.pipeline`).
+"""
+
+from repro.obfuscation.antianalysis import (
+    BrokenCodeInserter,
+    FlowChanger,
+    StringHider,
+)
+from repro.obfuscation.base import ObfuscationContext, Obfuscator, make_context
+from repro.obfuscation.encode import STRATEGIES, StringEncoder
+from repro.obfuscation.logic import (
+    DummyCodeInserter,
+    ProcedureReorderer,
+    SizePadder,
+    generate_junk_procedure,
+)
+from repro.obfuscation.pipeline import (
+    ObfuscationPipeline,
+    ObfuscationResult,
+    build_profile,
+    default_pipeline,
+)
+from repro.obfuscation.rename import RandomRenamer, rename_identifiers
+from repro.obfuscation.split import DummyStringInserter, StringSplitter
+
+__all__ = [
+    "STRATEGIES",
+    "BrokenCodeInserter",
+    "DummyCodeInserter",
+    "DummyStringInserter",
+    "FlowChanger",
+    "ObfuscationContext",
+    "ObfuscationPipeline",
+    "ObfuscationResult",
+    "Obfuscator",
+    "ProcedureReorderer",
+    "RandomRenamer",
+    "SizePadder",
+    "StringEncoder",
+    "StringHider",
+    "StringSplitter",
+    "build_profile",
+    "default_pipeline",
+    "generate_junk_procedure",
+    "make_context",
+    "rename_identifiers",
+]

@@ -1,0 +1,107 @@
+"""Shared infrastructure for the obfuscation transforms.
+
+Each transform implements the :class:`Obfuscator` protocol: it receives VBA
+source plus an :class:`ObfuscationContext` (seeded RNG and accumulated
+side-band data) and returns transformed source.  Transforms are composable;
+:mod:`repro.obfuscation.pipeline` chains them per-family.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.vba.tokens import VBA_KEYWORDS
+
+#: Alphabet used for random identifier generation, mirroring the
+#: ``ueiwjfdjkfdsv`` style names the paper shows in Fig. 2.
+_RANDOM_NAME_ALPHABET = string.ascii_lowercase
+
+
+@dataclass
+class ObfuscationContext:
+    """Mutable state threaded through a chain of obfuscators.
+
+    Attributes:
+        rng: the seeded random source — all obfuscation randomness flows
+            through this so corpora are reproducible.
+        used_names: every identifier generated so far (collision avoidance).
+        document_variables: name → value pairs that the *document container*
+            must carry (the §VI.B "hiding string data" anti-analysis trick
+            stores payload strings in document variables / control captions).
+        helper_modules: extra source appended after the module body (decoder
+            functions emitted by encoding obfuscation).
+    """
+
+    rng: random.Random
+    used_names: set[str] = field(default_factory=set)
+    document_variables: dict[str, str] = field(default_factory=dict)
+    helper_modules: list[str] = field(default_factory=list)
+
+    def fresh_name(self, min_length: int = 6, max_length: int = 16) -> str:
+        """Generate a random identifier unused so far and not a VBA keyword.
+
+        Mixes three styles real obfuscators emit: uniform letter soup
+        (``ueiwjfdjkfdsv``), pronounceable consonant-vowel gibberish
+        (``bakoteruna`` — defeats naive readability heuristics), and
+        letter-digit mixes (``x7k2p9q4w``).
+        """
+        while True:
+            length = self.rng.randint(min_length, max_length)
+            style = self.rng.random()
+            if style < 0.45:
+                name = "".join(
+                    self.rng.choice(_RANDOM_NAME_ALPHABET) for _ in range(length)
+                )
+            elif style < 0.8:
+                name = self._pronounceable_name(length)
+            else:
+                first = self.rng.choice(_RANDOM_NAME_ALPHABET)
+                rest = "".join(
+                    self.rng.choice(_RANDOM_NAME_ALPHABET + string.digits)
+                    for _ in range(length - 1)
+                )
+                name = first + rest
+            lowered = name.lower()
+            if lowered in VBA_KEYWORDS or lowered in self.used_names:
+                continue
+            self.used_names.add(lowered)
+            return name
+
+    def _pronounceable_name(self, length: int) -> str:
+        vowels = "aeiou"
+        consonants = "bcdfghjklmnpqrstvwz"
+        chars = []
+        use_vowel = self.rng.random() < 0.3
+        while len(chars) < length:
+            chars.append(
+                self.rng.choice(vowels if use_vowel else consonants)
+            )
+            use_vowel = not use_vowel if self.rng.random() < 0.85 else use_vowel
+        return "".join(chars)
+
+    def fresh_camel_name(self) -> str:
+        """Generate a mixed-case random name (``mambaFRUTIsIn`` style)."""
+        base = self.fresh_name(10, 16)
+        chars = [
+            c.upper() if self.rng.random() < 0.3 else c for c in base
+        ]
+        return "".join(chars)
+
+
+class Obfuscator(Protocol):
+    """A source-to-source VBA transform."""
+
+    #: Which of the paper's categories (O1–O4, or "anti") this implements.
+    category: str
+
+    def apply(self, source: str, context: ObfuscationContext) -> str:
+        """Return the transformed source."""
+        ...
+
+
+def make_context(seed: int) -> ObfuscationContext:
+    """Create a fresh context from an integer seed."""
+    return ObfuscationContext(rng=random.Random(seed))

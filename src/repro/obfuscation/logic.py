@@ -1,0 +1,141 @@
+"""O4 — Logic obfuscation: insert and reorder code (Table I).
+
+Logic obfuscation "changes the execution flow of macro code … by declaring
+unused variables or using redundant function calls", and commonly inflates
+code size with dummy code (the paper cites CrunchCode-style tools which can
+grow code 100×).
+
+Three transforms:
+
+* :class:`DummyCodeInserter` — unused declarations, no-op loops and junk
+  procedures interleaved with the real code;
+* :class:`ProcedureReorderer` — shuffles top-level procedure order (a pure
+  reordering; VBA procedure order is semantically irrelevant);
+* :class:`SizePadder` — pads a module toward a *target code length*.  This is
+  what produces the horizontal code-length clusters of the paper's Fig. 5(b):
+  one obfuscator configuration (= one malware family variant run) always pads
+  to the same target, so variants share a code length.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obfuscation.base import ObfuscationContext
+from repro.vba.writer import CodeWriter
+
+_PROCEDURE_PATTERN = re.compile(
+    r"^(?:Public\s+|Private\s+)?(?:Sub|Function)\s+\w+.*?^End (?:Sub|Function)\s*?$",
+    re.MULTILINE | re.DOTALL | re.IGNORECASE,
+)
+
+
+class DummyCodeInserter:
+    """Insert unused variables, junk loops and redundant procedures."""
+
+    category = "O4"
+
+    def __init__(self, blocks_min: int = 1, blocks_max: int = 4) -> None:
+        if blocks_min < 0 or blocks_max < blocks_min:
+            raise ValueError("invalid block bounds")
+        self._blocks_min = blocks_min
+        self._blocks_max = blocks_max
+
+    def apply(self, source: str, context: ObfuscationContext) -> str:
+        rng = context.rng
+        count = rng.randint(self._blocks_min, self._blocks_max)
+        pieces = [source]
+        for _ in range(count):
+            pieces.append(generate_junk_procedure(context))
+        # Unused module-level declarations go first, junk procedures last.
+        declarations = [
+            f"Dim {context.fresh_name()} As {rng.choice(('Long', 'String', 'Variant', 'Double'))}\n"
+            for _ in range(rng.randint(1, 5))
+        ]
+        return "".join(declarations) + "\n".join(pieces)
+
+
+class ProcedureReorderer:
+    """Shuffle the order of top-level procedures in the module."""
+
+    category = "O4"
+
+    def apply(self, source: str, context: ObfuscationContext) -> str:
+        procedures = _PROCEDURE_PATTERN.findall(source)
+        if len(procedures) < 2:
+            return source
+        remainder = _PROCEDURE_PATTERN.sub("", source).strip("\n")
+        shuffled = procedures[:]
+        context.rng.shuffle(shuffled)
+        parts = [remainder] if remainder else []
+        parts.extend(shuffled)
+        return "\n\n".join(parts) + "\n"
+
+
+class SizePadder:
+    """Pad the module with junk procedures toward a target character count.
+
+    Padding stops once the source reaches ``target_length`` characters (it
+    may overshoot by at most one junk procedure), or after
+    ``max_procedures`` insertions for pathological targets.
+    """
+
+    category = "O4"
+
+    def __init__(self, target_length: int, max_procedures: int = 400) -> None:
+        if target_length < 0:
+            raise ValueError("target length must be non-negative")
+        self._target = target_length
+        self._max_procedures = max_procedures
+
+    def apply(self, source: str, context: ObfuscationContext) -> str:
+        pieces = [source]
+        total = len(source)
+        inserted = 0
+        while total < self._target and inserted < self._max_procedures:
+            junk = generate_junk_procedure(context)
+            pieces.append(junk)
+            total += len(junk) + 1
+            inserted += 1
+        return "\n".join(pieces)
+
+
+def generate_junk_procedure(context: ObfuscationContext) -> str:
+    """Emit one plausible-looking but inert procedure."""
+    rng = context.rng
+    name = context.fresh_name()
+    writer = CodeWriter()
+    kind = rng.choice(("counter_loop", "string_builder", "arith", "branchy"))
+    with writer.block(f"Private Sub {name}()", "End Sub"):
+        if kind == "counter_loop":
+            var = context.fresh_name(6, 10)
+            writer.line(f"Dim {var} As Integer")
+            writer.line(f"{var} = {rng.randint(1, 9)}")
+            with writer.block(
+                f"Do While {var} < {rng.randint(20, 90)}", "Loop"
+            ):
+                writer.line(f"DoEvents: {var} = {var} + 1")
+        elif kind == "string_builder":
+            var = context.fresh_name(6, 10)
+            writer.line(f"Dim {var} As String")
+            writer.line(f'{var} = ""')
+            loop_var = context.fresh_name(4, 7)
+            writer.line(f"Dim {loop_var} As Long")
+            with writer.block(
+                f"For {loop_var} = 1 To {rng.randint(5, 25)}", f"Next {loop_var}"
+            ):
+                writer.line(f"{var} = {var} & Chr(64 + {loop_var} Mod 26)")
+        elif kind == "arith":
+            var = context.fresh_name(6, 10)
+            writer.line(f"Dim {var} As Double")
+            writer.line(f"{var} = {rng.randint(2, 50)}")
+            writer.line(f"{var} = Sqr(Abs({var} * {rng.randint(3, 17)}))")
+            writer.line(f"{var} = Round({var} + {rng.randint(1, 99)} / 7, 3)")
+        else:  # branchy
+            var = context.fresh_name(6, 10)
+            writer.line(f"Dim {var} As Long")
+            writer.line(f"{var} = {rng.randint(0, 100)}")
+            with writer.block(f"If {var} > {rng.randint(101, 200)} Then", "End If"):
+                writer.line(f"{var} = {var} - 1")
+                writer.line('MsgBox "never shown"')
+    return writer.render()

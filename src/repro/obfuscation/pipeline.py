@@ -1,0 +1,138 @@
+"""Composition of obfuscation transforms into reusable profiles.
+
+An :class:`ObfuscationPipeline` chains transforms in a fixed order; a
+:class:`ObfuscationProfile` additionally fixes the transform parameters, so
+that repeated applications to different macros produce a *family* of
+variants — which is exactly what produces Fig. 5(b)'s code-length clusters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.obfuscation.antianalysis import (
+    BrokenCodeInserter,
+    FlowChanger,
+    StringHider,
+)
+from repro.obfuscation.base import ObfuscationContext, Obfuscator, make_context
+from repro.obfuscation.encode import StringEncoder
+from repro.obfuscation.logic import (
+    DummyCodeInserter,
+    ProcedureReorderer,
+    SizePadder,
+)
+from repro.obfuscation.rename import RandomRenamer
+from repro.obfuscation.split import DummyStringInserter, StringSplitter
+
+
+@dataclass
+class ObfuscationResult:
+    """Output of one pipeline run."""
+
+    source: str
+    document_variables: dict[str, str] = field(default_factory=dict)
+    applied: tuple[str, ...] = ()
+
+
+class ObfuscationPipeline:
+    """Apply a sequence of obfuscators with one shared seeded context."""
+
+    def __init__(self, obfuscators: list[Obfuscator]) -> None:
+        if not obfuscators:
+            raise ValueError("pipeline needs at least one obfuscator")
+        self._obfuscators = list(obfuscators)
+
+    @property
+    def categories(self) -> tuple[str, ...]:
+        return tuple(o.category for o in self._obfuscators)
+
+    def run(self, source: str, seed: int) -> ObfuscationResult:
+        context = make_context(seed)
+        return self.run_with_context(source, context)
+
+    def run_with_context(
+        self, source: str, context: ObfuscationContext
+    ) -> ObfuscationResult:
+        current = source
+        for obfuscator in self._obfuscators:
+            current = obfuscator.apply(current, context)
+        return ObfuscationResult(
+            source=current,
+            document_variables=dict(context.document_variables),
+            applied=self.categories,
+        )
+
+
+def build_profile(
+    rng: random.Random,
+    *,
+    use_rename: bool = True,
+    use_split: bool = True,
+    use_encode: bool = True,
+    use_logic: bool = True,
+    use_anti: bool = False,
+    target_length: int | None = None,
+) -> ObfuscationPipeline:
+    """Build a randomized-but-fixed obfuscation profile.
+
+    The ``rng`` draws the *profile parameters*; the pipeline later draws the
+    *per-macro randomness* from its run context.  Profiles with a
+    ``target_length`` emulate one obfuscation-tool configuration and yield
+    the length clustering of Fig. 5(b).
+    """
+    obfuscators: list[Obfuscator] = []
+    if use_anti and rng.random() < 0.5:
+        obfuscators.append(StringHider(hide_probability=rng.uniform(0.2, 0.5)))
+    if use_split:
+        obfuscators.append(
+            StringSplitter(
+                min_length=rng.choice((4, 5, 6)),
+                chunk_min=1,
+                chunk_max=rng.choice((3, 4, 5)),
+                hoist_const_probability=rng.uniform(0.0, 0.4),
+            )
+        )
+        if rng.random() < 0.6:
+            obfuscators.append(DummyStringInserter())
+    if use_encode:
+        strategy_count = rng.randint(2, 6)
+        from repro.obfuscation.encode import STRATEGIES
+
+        strategies = tuple(rng.sample(STRATEGIES, strategy_count))
+        obfuscators.append(
+            StringEncoder(
+                min_length=rng.choice((4, 6, 8)),
+                strategies=strategies,
+                encode_probability=rng.uniform(0.6, 1.0),
+            )
+        )
+    if use_rename:
+        obfuscators.append(RandomRenamer())
+    if use_logic:
+        obfuscators.append(DummyCodeInserter(blocks_min=1, blocks_max=3))
+        if rng.random() < 0.5:
+            obfuscators.append(ProcedureReorderer())
+        if target_length is not None:
+            obfuscators.append(SizePadder(target_length))
+    if use_anti:
+        if rng.random() < 0.5:
+            obfuscators.append(BrokenCodeInserter())
+        if rng.random() < 0.4:
+            obfuscators.append(FlowChanger())
+    if not obfuscators:
+        obfuscators.append(RandomRenamer())
+    return ObfuscationPipeline(obfuscators)
+
+
+def default_pipeline() -> ObfuscationPipeline:
+    """The all-four-categories pipeline with default parameters."""
+    return ObfuscationPipeline(
+        [
+            StringSplitter(),
+            StringEncoder(),
+            RandomRenamer(),
+            DummyCodeInserter(),
+        ]
+    )

@@ -1,0 +1,48 @@
+"""Document container substrate: the olevba-equivalent extraction stack.
+
+MS-OVBA compression (:mod:`.compression`), MS-CFB compound files
+(:mod:`.cfb`), the vbaProject.bin structure (:mod:`.vba_project`), OOXML zip
+packages (:mod:`.ooxml`), hidden document variables (:mod:`.docvars`) and the
+top-level extractor (:mod:`.extractor`).
+"""
+
+from repro.ole.cfb import CFBError, CompoundFileReader, CompoundFileWriter
+from repro.ole.compression import OVBACompressionError, compress, decompress
+from repro.ole.docvars import decode_docvars, encode_docvars
+from repro.ole.extractor import (
+    ExtractionError,
+    ExtractionResult,
+    extract_macros,
+    extract_macros_from_file,
+    sniff_format,
+)
+from repro.ole.ooxml import build_docm, build_xlsm, read_vba_part
+from repro.ole.vba_project import (
+    VBAModule,
+    VBAProjectError,
+    build_vba_storage_streams,
+    parse_dir_stream,
+)
+
+__all__ = [
+    "CFBError",
+    "CompoundFileReader",
+    "CompoundFileWriter",
+    "ExtractionError",
+    "ExtractionResult",
+    "OVBACompressionError",
+    "VBAModule",
+    "VBAProjectError",
+    "build_docm",
+    "build_vba_storage_streams",
+    "build_xlsm",
+    "compress",
+    "decode_docvars",
+    "decompress",
+    "encode_docvars",
+    "extract_macros",
+    "extract_macros_from_file",
+    "parse_dir_stream",
+    "read_vba_part",
+    "sniff_format",
+]

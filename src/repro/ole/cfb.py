@@ -1,0 +1,571 @@
+"""MS-CFB compound file binary format: reader and writer.
+
+A compound file is the FAT-like container underlying legacy Office documents
+(``.doc``, ``.xls``) and ``vbaProject.bin``.  This module implements version 3
+(512-byte sectors):
+
+* header with DIFAT (double-indirect FAT) — header array plus chained DIFAT
+  sectors on read; the writer keeps FATs small enough for the header array;
+* FAT sector chains for regular streams;
+* miniFAT + mini stream (64-byte mini sectors) for streams under 4096 bytes;
+* a directory of 128-byte entries forming a tree: storages (directories)
+  whose children hang off a binary tree of sibling links.
+
+The public API is path-based: ``writer.add_stream("Macros/VBA/dir", data)``,
+``reader.read_stream("macros/vba/dir")`` (CFB name comparison is
+case-insensitive, and so is path lookup here).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+SECTOR_SIZE = 512
+MINI_SECTOR_SIZE = 64
+MINI_STREAM_CUTOFF = 4096
+
+FREESECT = 0xFFFFFFFF
+ENDOFCHAIN = 0xFFFFFFFE
+FATSECT = 0xFFFFFFFD
+DIFSECT = 0xFFFFFFFC
+NOSTREAM = 0xFFFFFFFF
+
+MAGIC = b"\xd0\xcf\x11\xe0\xa1\xb1\x1a\xe1"
+
+TYPE_UNKNOWN = 0
+TYPE_STORAGE = 1
+TYPE_STREAM = 2
+TYPE_ROOT = 5
+
+_ENTRIES_PER_SECTOR = SECTOR_SIZE // 128
+_FAT_ENTRIES_PER_SECTOR = SECTOR_SIZE // 4
+
+
+class CFBError(ValueError):
+    """Raised on malformed compound files or invalid writer usage."""
+
+
+def _name_sort_key(name: str) -> tuple[int, str]:
+    """CFB sibling ordering: shorter names first, then case-insensitive."""
+    return (len(name), name.upper())
+
+
+# ----------------------------------------------------------------------
+# Writer
+
+
+@dataclass(eq=False)  # identity hashing: nodes are used as dict keys
+class _Node:
+    name: str
+    object_type: int
+    data: bytes = b""
+    children: dict[str, "_Node"] = field(default_factory=dict)
+    # Filled during serialization:
+    entry_id: int = -1
+    start_sector: int = ENDOFCHAIN
+    left: int = NOSTREAM
+    right: int = NOSTREAM
+    child: int = NOSTREAM
+
+    def child_key(self, name: str) -> str:
+        return name.upper()
+
+
+class CompoundFileWriter:
+    """Build a compound file from paths and byte strings."""
+
+    def __init__(self, root_name: str = "Root Entry") -> None:
+        self._root = _Node(root_name, TYPE_ROOT)
+        self._root_clsid = b"\x00" * 16
+
+    # ------------------------------------------------------------------
+
+    def add_storage(self, path: str) -> None:
+        """Create a storage (directory); intermediate storages are implied."""
+        self._walk_create(self._split(path))
+
+    def add_stream(self, path: str, data: bytes) -> None:
+        """Create a stream at ``path``, creating parent storages as needed."""
+        parts = self._split(path)
+        parent = self._walk_create(parts[:-1])
+        name = parts[-1]
+        key = parent.child_key(name)
+        if key in parent.children:
+            raise CFBError(f"entry already exists: {path!r}")
+        self._check_name(name)
+        parent.children[key] = _Node(name, TYPE_STREAM, data=bytes(data))
+
+    @staticmethod
+    def _split(path: str) -> list[str]:
+        parts = [part for part in path.split("/") if part]
+        if not parts:
+            raise CFBError("empty path")
+        return parts
+
+    @staticmethod
+    def _check_name(name: str) -> None:
+        if not name or len(name) > 31:
+            raise CFBError(f"invalid entry name: {name!r}")
+        if any(ch in name for ch in "/\\:!"):
+            raise CFBError(f"illegal character in entry name: {name!r}")
+
+    def _walk_create(self, parts: list[str]) -> _Node:
+        node = self._root
+        for part in parts:
+            self._check_name(part)
+            key = node.child_key(part)
+            existing = node.children.get(key)
+            if existing is None:
+                existing = _Node(part, TYPE_STORAGE)
+                node.children[key] = existing
+            elif existing.object_type == TYPE_STREAM:
+                raise CFBError(f"{part!r} is a stream, not a storage")
+            node = existing
+        return node
+
+    # ------------------------------------------------------------------
+
+    def tobytes(self) -> bytes:
+        """Serialize the tree to compound-file bytes."""
+        entries = self._flatten_entries()
+        mini_data, mini_fat, mini_chain_starts = self._pack_mini_streams(entries)
+
+        # Sector layout (after the header): directory, mini stream data,
+        # miniFAT, regular stream data, then the FAT itself at the end.
+        sectors: list[bytes] = []
+        fat: list[int] = []
+
+        def add_chain(data: bytes) -> int:
+            if not data:
+                return ENDOFCHAIN
+            first = len(sectors)
+            count = (len(data) + SECTOR_SIZE - 1) // SECTOR_SIZE
+            for i in range(count):
+                sectors.append(
+                    data[i * SECTOR_SIZE : (i + 1) * SECTOR_SIZE].ljust(
+                        SECTOR_SIZE, b"\x00"
+                    )
+                )
+                fat.append(first + i + 1 if i < count - 1 else ENDOFCHAIN)
+            return first
+
+        # Regular streams (>= cutoff; root's mini stream handled below).
+        for node in entries:
+            if node.object_type == TYPE_STREAM and len(node.data) >= MINI_STREAM_CUTOFF:
+                node.start_sector = add_chain(node.data)
+
+        root = entries[0]
+        root.start_sector = add_chain(mini_data)
+        root.data = mini_data  # root stream size = mini stream size
+
+        mini_fat_bytes = b"".join(entry.to_bytes(4, "little") for entry in mini_fat)
+        first_minifat_sector = add_chain(mini_fat_bytes)
+        n_minifat_sectors = (
+            (len(mini_fat_bytes) + SECTOR_SIZE - 1) // SECTOR_SIZE
+            if mini_fat_bytes
+            else 0
+        )
+
+        # Mini-stream chain starts for small streams.
+        for node, start in mini_chain_starts.items():
+            node.start_sector = start
+
+        directory_bytes = self._serialize_directory(entries)
+        first_directory_sector = add_chain(directory_bytes)
+
+        # FAT sectors: iterate because the FAT must also map itself.
+        n_fat_sectors = 1
+        while True:
+            total = len(fat) + n_fat_sectors
+            needed = (total + _FAT_ENTRIES_PER_SECTOR - 1) // _FAT_ENTRIES_PER_SECTOR
+            if needed <= n_fat_sectors:
+                break
+            n_fat_sectors = needed
+        if n_fat_sectors > 109:
+            raise CFBError("file too large: writer supports header-DIFAT only")
+
+        first_fat_sector = len(sectors)
+        full_fat = fat + [FATSECT] * n_fat_sectors
+        padding = (
+            n_fat_sectors * _FAT_ENTRIES_PER_SECTOR - len(full_fat)
+        )
+        full_fat.extend([FREESECT] * padding)
+        fat_bytes = b"".join(entry.to_bytes(4, "little") for entry in full_fat)
+        for i in range(n_fat_sectors):
+            sectors.append(fat_bytes[i * SECTOR_SIZE : (i + 1) * SECTOR_SIZE])
+
+        header = self._build_header(
+            n_fat_sectors=n_fat_sectors,
+            first_directory_sector=first_directory_sector,
+            first_minifat_sector=first_minifat_sector,
+            n_minifat_sectors=n_minifat_sectors,
+            fat_sector_ids=[first_fat_sector + i for i in range(n_fat_sectors)],
+            n_directory_sectors=len(directory_bytes) // SECTOR_SIZE,
+        )
+        return header + b"".join(sectors)
+
+    # ------------------------------------------------------------------
+
+    def _flatten_entries(self) -> list[_Node]:
+        """Assign entry ids and sibling-tree links; root is entry 0."""
+        entries: list[_Node] = [self._root]
+        self._root.entry_id = 0
+
+        def allocate(node: _Node) -> None:
+            children = sorted(
+                node.children.values(), key=lambda n: _name_sort_key(n.name)
+            )
+            for child in children:
+                child.entry_id = len(entries)
+                entries.append(child)
+            node.child = self._build_sibling_tree(children)
+            for child in children:
+                allocate(child)
+
+        allocate(self._root)
+        return entries
+
+    def _build_sibling_tree(self, siblings: list[_Node]) -> int:
+        """Balanced BST over name-sorted siblings; returns the subtree root id."""
+        if not siblings:
+            return NOSTREAM
+
+        def build(low: int, high: int) -> int:
+            if low > high:
+                return NOSTREAM
+            mid = (low + high) // 2
+            node = siblings[mid]
+            node.left = build(low, mid - 1)
+            node.right = build(mid + 1, high)
+            return node.entry_id
+
+        return build(0, len(siblings) - 1)
+
+    def _pack_mini_streams(self, entries: list[_Node]):
+        """Pack small streams into the mini stream; return its FAT chains."""
+        mini_data = bytearray()
+        mini_fat: list[int] = []
+        chain_starts: dict[_Node, int] = {}
+        for node in entries:
+            if node.object_type != TYPE_STREAM:
+                continue
+            if len(node.data) >= MINI_STREAM_CUTOFF or not node.data:
+                if not node.data:
+                    chain_starts[node] = ENDOFCHAIN
+                continue
+            first = len(mini_fat)
+            count = (len(node.data) + MINI_SECTOR_SIZE - 1) // MINI_SECTOR_SIZE
+            for i in range(count):
+                start = i * MINI_SECTOR_SIZE
+                mini_data.extend(
+                    node.data[start : start + MINI_SECTOR_SIZE].ljust(
+                        MINI_SECTOR_SIZE, b"\x00"
+                    )
+                )
+                mini_fat.append(first + i + 1 if i < count - 1 else ENDOFCHAIN)
+            chain_starts[node] = first
+        return bytes(mini_data), mini_fat, chain_starts
+
+    def _serialize_directory(self, entries: list[_Node]) -> bytes:
+        blob = bytearray()
+        for node in entries:
+            blob.extend(self._serialize_entry(node))
+        # Pad to a whole number of sectors with empty (unused) entries.
+        while len(blob) % SECTOR_SIZE:
+            blob.extend(self._empty_entry())
+        return bytes(blob)
+
+    def _serialize_entry(self, node: _Node) -> bytes:
+        name_utf16 = node.name.encode("utf-16-le")
+        if len(name_utf16) > 62:
+            raise CFBError(f"name too long: {node.name!r}")
+        name_field = name_utf16 + b"\x00\x00"
+        name_length = len(name_field)
+        name_field = name_field.ljust(64, b"\x00")
+        if node.object_type in (TYPE_STREAM, TYPE_ROOT):
+            stream_size = len(node.data)
+        else:
+            stream_size = 0
+        start = node.start_sector
+        if node.object_type == TYPE_STORAGE:
+            start = 0
+        return struct.pack(
+            "<64sHBBIII16sIQQIQ",
+            name_field,
+            name_length,
+            node.object_type,
+            1,  # black
+            node.left,
+            node.right,
+            node.child,
+            b"\x00" * 16,
+            0,  # state bits
+            0,  # creation time
+            0,  # modified time
+            start if start != ENDOFCHAIN else 0xFFFFFFFE,
+            stream_size,
+        )
+
+    @staticmethod
+    def _empty_entry() -> bytes:
+        return struct.pack(
+            "<64sHBBIII16sIQQIQ",
+            b"\x00" * 64, 0, TYPE_UNKNOWN, 0,
+            NOSTREAM, NOSTREAM, NOSTREAM,
+            b"\x00" * 16, 0, 0, 0, 0, 0,
+        )
+
+    def _build_header(
+        self,
+        n_fat_sectors: int,
+        first_directory_sector: int,
+        first_minifat_sector: int,
+        n_minifat_sectors: int,
+        fat_sector_ids: list[int],
+        n_directory_sectors: int,
+    ) -> bytes:
+        difat = fat_sector_ids + [FREESECT] * (109 - len(fat_sector_ids))
+        return struct.pack(
+            "<8s16sHHHHH6xIIIIIIIII109I",
+            MAGIC,
+            b"\x00" * 16,
+            0x003E,  # minor version
+            0x0003,  # major version 3
+            0xFFFE,  # little-endian byte order mark
+            9,  # sector shift: 512
+            6,  # mini sector shift: 64
+            0,  # number of directory sectors (v3: 0)
+            n_fat_sectors,
+            first_directory_sector,
+            0,  # transaction signature
+            MINI_STREAM_CUTOFF,
+            first_minifat_sector if n_minifat_sectors else ENDOFCHAIN,
+            n_minifat_sectors,
+            ENDOFCHAIN,  # first DIFAT sector (none beyond the header)
+            0,  # number of DIFAT sectors
+            *difat,
+        )
+
+
+# ----------------------------------------------------------------------
+# Reader
+
+
+@dataclass
+class DirectoryEntry:
+    """One parsed 128-byte directory entry."""
+
+    entry_id: int
+    name: str
+    object_type: int
+    left: int
+    right: int
+    child: int
+    start_sector: int
+    stream_size: int
+
+    @property
+    def is_stream(self) -> bool:
+        return self.object_type == TYPE_STREAM
+
+    @property
+    def is_storage(self) -> bool:
+        return self.object_type in (TYPE_STORAGE, TYPE_ROOT)
+
+
+class CompoundFileReader:
+    """Parse a compound file from bytes."""
+
+    def __init__(self, data: bytes) -> None:
+        if len(data) < SECTOR_SIZE:
+            raise CFBError("file shorter than one header sector")
+        if data[:8] != MAGIC:
+            raise CFBError("bad compound file signature")
+        self._data = data
+        self._parse_header()
+        self._load_fat()
+        self._load_directory()
+        self._load_minifat()
+
+    # ------------------------------------------------------------------
+
+    def _parse_header(self) -> None:
+        fields = struct.unpack("<8s16sHHHHH6xIIIIIIIII109I", self._data[:512])
+        (
+            _magic, _clsid, _minor, major, byte_order, sector_shift,
+            mini_shift, _n_dir, self._n_fat,
+            self._first_directory, _tx, self._mini_cutoff,
+            self._first_minifat, self._n_minifat,
+            self._first_difat, self._n_difat, *difat
+        ) = fields
+        if byte_order != 0xFFFE:
+            raise CFBError(f"unsupported byte order mark {byte_order:#06x}")
+        if major not in (3, 4):
+            raise CFBError(f"unsupported major version {major}")
+        if major == 3 and sector_shift != 9:
+            raise CFBError("v3 file must use 512-byte sectors")
+        if major == 4 and sector_shift != 12:
+            raise CFBError("v4 file must use 4096-byte sectors")
+        self._sector_size = 1 << sector_shift
+        self._mini_sector_size = 1 << mini_shift
+        self._header_difat = difat
+
+    def _sector(self, sector_id: int) -> bytes:
+        offset = SECTOR_SIZE + sector_id * self._sector_size
+        if self._sector_size != SECTOR_SIZE:
+            offset = self._sector_size + sector_id * self._sector_size
+        chunk = self._data[offset : offset + self._sector_size]
+        if len(chunk) < self._sector_size:
+            chunk = chunk.ljust(self._sector_size, b"\x00")
+        return chunk
+
+    def _load_fat(self) -> None:
+        fat_sector_ids = [s for s in self._header_difat if s != FREESECT]
+        # Follow chained DIFAT sectors if present.
+        difat_sector = self._first_difat
+        guard = 0
+        while difat_sector not in (ENDOFCHAIN, FREESECT) and guard < 1 << 16:
+            sector = self._sector(difat_sector)
+            ids = struct.unpack(f"<{self._sector_size // 4}I", sector)
+            fat_sector_ids.extend(s for s in ids[:-1] if s != FREESECT)
+            difat_sector = ids[-1]
+            guard += 1
+        fat: list[int] = []
+        for sector_id in fat_sector_ids[: self._n_fat]:
+            sector = self._sector(sector_id)
+            fat.extend(struct.unpack(f"<{self._sector_size // 4}I", sector))
+        self._fat = fat
+
+    def _chain(self, start: int, fat: list[int]) -> list[int]:
+        chain = []
+        current = start
+        seen = set()
+        while current not in (ENDOFCHAIN, FREESECT, NOSTREAM):
+            if current in seen or current >= len(fat):
+                raise CFBError(f"corrupt sector chain at {current}")
+            seen.add(current)
+            chain.append(current)
+            current = fat[current]
+        return chain
+
+    def _read_chain(self, start: int, size: int) -> bytes:
+        data = b"".join(self._sector(s) for s in self._chain(start, self._fat))
+        return data[:size]
+
+    def _load_directory(self) -> None:
+        raw = b"".join(
+            self._sector(s) for s in self._chain(self._first_directory, self._fat)
+        )
+        self.entries: list[DirectoryEntry] = []
+        for entry_id in range(len(raw) // 128):
+            blob = raw[entry_id * 128 : (entry_id + 1) * 128]
+            fields = struct.unpack("<64sHBBIII16sIQQIQ", blob)
+            (
+                name_raw, name_length, object_type, _color,
+                left, right, child, _clsid, _state,
+                _ctime, _mtime, start_sector, stream_size,
+            ) = fields
+            if object_type == TYPE_UNKNOWN:
+                continue
+            name = name_raw[: max(0, name_length - 2)].decode(
+                "utf-16-le", errors="replace"
+            )
+            self.entries.append(
+                DirectoryEntry(
+                    entry_id=entry_id,
+                    name=name,
+                    object_type=object_type,
+                    left=left,
+                    right=right,
+                    child=child,
+                    start_sector=start_sector,
+                    stream_size=stream_size,
+                )
+            )
+        self._by_id = {entry.entry_id: entry for entry in self.entries}
+        if 0 not in self._by_id or self._by_id[0].object_type != TYPE_ROOT:
+            raise CFBError("missing root directory entry")
+        self.root = self._by_id[0]
+
+    def _load_minifat(self) -> None:
+        if self._n_minifat == 0 or self._first_minifat in (ENDOFCHAIN, FREESECT):
+            self._minifat: list[int] = []
+            self._mini_stream = b""
+            return
+        raw = b"".join(
+            self._sector(s) for s in self._chain(self._first_minifat, self._fat)
+        )
+        self._minifat = list(struct.unpack(f"<{len(raw) // 4}I", raw))
+        self._mini_stream = self._read_chain(
+            self.root.start_sector, self.root.stream_size
+        )
+
+    # ------------------------------------------------------------------
+    # Public navigation API
+
+    def _children(self, entry: DirectoryEntry) -> list[DirectoryEntry]:
+        result: list[DirectoryEntry] = []
+        stack = [entry.child]
+        while stack:
+            current = stack.pop()
+            if current == NOSTREAM or current not in self._by_id:
+                continue
+            node = self._by_id[current]
+            result.append(node)
+            stack.append(node.left)
+            stack.append(node.right)
+        return result
+
+    def _resolve(self, path: str) -> DirectoryEntry | None:
+        node = self.root
+        for part in (p for p in path.split("/") if p):
+            match = None
+            for child in self._children(node):
+                if child.name.upper() == part.upper():
+                    match = child
+                    break
+            if match is None:
+                return None
+            node = match
+        return node
+
+    def exists(self, path: str) -> bool:
+        return self._resolve(path) is not None
+
+    def read_stream(self, path: str) -> bytes:
+        """Read a stream's bytes by path (case-insensitive)."""
+        entry = self._resolve(path)
+        if entry is None:
+            raise CFBError(f"no such entry: {path!r}")
+        if not entry.is_stream:
+            raise CFBError(f"not a stream: {path!r}")
+        if entry.stream_size == 0:
+            return b""
+        if entry.stream_size < self._mini_cutoff:
+            chain = self._chain(entry.start_sector, self._minifat)
+            data = b"".join(
+                self._mini_stream[
+                    s * self._mini_sector_size : (s + 1) * self._mini_sector_size
+                ]
+                for s in chain
+            )
+            return data[: entry.stream_size]
+        return self._read_chain(entry.start_sector, entry.stream_size)
+
+    def list_paths(self) -> list[str]:
+        """All entry paths, streams and storages, depth-first."""
+        result: list[str] = []
+
+        def walk(entry: DirectoryEntry, prefix: str) -> None:
+            for child in sorted(self._children(entry), key=lambda e: e.entry_id):
+                path = f"{prefix}{child.name}"
+                result.append(path + ("/" if child.is_storage else ""))
+                if child.is_storage:
+                    walk(child, path + "/")
+
+        walk(self.root, "")
+        return result
+
+    def list_streams(self) -> list[str]:
+        return [p for p in self.list_paths() if not p.endswith("/")]

@@ -1,0 +1,54 @@
+"""Serialization of hidden document variables (§VI.B string hiding).
+
+Word stores document variables deep inside the ``WordDocument`` stream's
+property tables; reproducing that byte layout adds nothing to the paper's
+pipeline, so this module defines a simple dedicated carrier: a UTF-8 XML-ish
+part/stream mapping storage *expressions* (the exact text the macro evaluates,
+e.g. ``ActiveDocument.Variables("x").Value()``) to their hidden values.
+
+Used by both containers: OOXML packages store it as
+``docProps/reproDocVars.xml``; legacy CFB documents as a root stream named
+``ReproDocVars``.
+"""
+
+from __future__ import annotations
+
+import base64
+
+HEADER = b"<reproDocVars v=\"1\">\n"
+FOOTER = b"</reproDocVars>\n"
+
+
+class DocVarsError(ValueError):
+    """Raised on malformed document-variable payloads."""
+
+
+def encode_docvars(variables: dict[str, str]) -> bytes:
+    """Serialize expression → value pairs (both base64, newline-framed)."""
+    lines = [HEADER]
+    for expression, value in sorted(variables.items()):
+        key_b64 = base64.b64encode(expression.encode("utf-8")).decode("ascii")
+        value_b64 = base64.b64encode(value.encode("utf-8")).decode("ascii")
+        lines.append(f"  <var k=\"{key_b64}\" v=\"{value_b64}\"/>\n".encode("ascii"))
+    lines.append(FOOTER)
+    return b"".join(lines)
+
+
+def decode_docvars(data: bytes) -> dict[str, str]:
+    """Parse bytes produced by :func:`encode_docvars`."""
+    if not data.startswith(HEADER.strip()[:13]):
+        raise DocVarsError("missing reproDocVars header")
+    variables: dict[str, str] = {}
+    for raw_line in data.splitlines():
+        line = raw_line.strip()
+        if not line.startswith(b"<var "):
+            continue
+        try:
+            key_part = line.split(b'k="', 1)[1].split(b'"', 1)[0]
+            value_part = line.split(b'v="', 1)[1].split(b'"', 1)[0]
+            expression = base64.b64decode(key_part).decode("utf-8")
+            value = base64.b64decode(value_part).decode("utf-8")
+        except (IndexError, ValueError) as error:
+            raise DocVarsError(f"malformed var line: {raw_line!r}") from error
+        variables[expression] = value
+    return variables

@@ -1,0 +1,275 @@
+"""vbaProject.bin structure: the VBA storage inside Office documents.
+
+Per [MS-OVBA], a VBA project storage contains:
+
+* ``VBA/`` storage with
+  * ``_VBA_PROJECT`` — performance cache (version-dependent, ignored by
+    robust extractors; we store the documented 7-byte header),
+  * ``dir`` — a *compressed* record stream describing the project and its
+    modules (names, stream names, text offsets),
+  * one stream per module: performance cache (``MODULEOFFSET`` bytes we
+    leave empty) followed by the *compressed* source text;
+* a ``PROJECT`` stream (plain text properties) at the project root.
+
+The parser is record-tolerant like olevba: unknown record ids are skipped by
+their declared size, so real-world ``dir`` streams with extra records would
+still parse.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.ole.compression import compress, decompress
+
+# dir-stream record ids (subset sufficient for extraction).
+PROJECTSYSKIND = 0x0001
+PROJECTLCID = 0x0002
+PROJECTCODEPAGE = 0x0003
+PROJECTNAME = 0x0004
+PROJECTDOCSTRING = 0x0005
+PROJECTHELPFILEPATH = 0x0006
+PROJECTHELPCONTEXT = 0x0007
+PROJECTLIBFLAGS = 0x0008
+PROJECTVERSION = 0x0009
+PROJECTCONSTANTS = 0x000C
+PROJECTMODULES = 0x000F
+DIR_TERMINATOR = 0x0010
+PROJECTCOOKIE = 0x0013
+PROJECTLCIDINVOKE = 0x0014
+MODULENAME = 0x0019
+MODULESTREAMNAME = 0x001A
+MODULEDOCSTRING = 0x001C
+MODULEHELPCONTEXT = 0x001E
+MODULETYPE_PROCEDURAL = 0x0021
+MODULETYPE_DOCCLASS = 0x0022
+MODULEREADONLY = 0x0025
+MODULEPRIVATE = 0x0028
+MODULE_TERMINATOR = 0x002B
+MODULECOOKIE = 0x002C
+MODULEOFFSET = 0x0031
+MODULENAMEUNICODE = 0x0047
+
+CODEPAGE = 1252
+_ENCODING = "cp1252"
+
+
+class VBAProjectError(ValueError):
+    """Raised on malformed VBA project structures."""
+
+
+@dataclass(frozen=True, slots=True)
+class VBAModule:
+    """One VBA code module: its name and source text."""
+
+    name: str
+    source: str
+    module_type: str = "procedural"  # or "document"
+
+
+# ----------------------------------------------------------------------
+# Building
+
+
+def build_vba_storage_streams(
+    modules: list[VBAModule], project_name: str = "VBAProject"
+) -> dict[str, bytes]:
+    """Return the stream map of a VBA project storage.
+
+    Keys are storage-relative paths (``VBA/dir``, ``VBA/Module1``,
+    ``PROJECT``); callers mount them wherever their container keeps VBA
+    (``Macros/`` in .doc, ``_VBA_PROJECT_CUR/`` in .xls, the root of
+    ``vbaProject.bin`` in OOXML).
+    """
+    if not modules:
+        raise VBAProjectError("a VBA project needs at least one module")
+    names = [module.name for module in modules]
+    if len(set(name.lower() for name in names)) != len(names):
+        raise VBAProjectError("duplicate module names")
+
+    streams: dict[str, bytes] = {}
+    streams["VBA/dir"] = compress(_build_dir_stream(modules, project_name))
+    streams["VBA/_VBA_PROJECT"] = _build_vba_project_stream()
+    for module in modules:
+        source_bytes = module.source.encode(_ENCODING, errors="replace")
+        # MODULEOFFSET is 0: the compressed source starts immediately.
+        streams[f"VBA/{module.name}"] = compress(source_bytes)
+    streams["PROJECT"] = _build_project_stream(modules, project_name)
+    return streams
+
+
+def _record(record_id: int, payload: bytes) -> bytes:
+    return struct.pack("<HI", record_id, len(payload)) + payload
+
+
+def _string_record(record_id: int, text: str) -> bytes:
+    return _record(record_id, text.encode(_ENCODING, errors="replace"))
+
+
+def _build_dir_stream(modules: list[VBAModule], project_name: str) -> bytes:
+    out = bytearray()
+    out += _record(PROJECTSYSKIND, struct.pack("<I", 1))  # Win32
+    out += _record(PROJECTLCID, struct.pack("<I", 0x409))
+    out += _record(PROJECTLCIDINVOKE, struct.pack("<I", 0x409))
+    out += _record(PROJECTCODEPAGE, struct.pack("<H", CODEPAGE))
+    out += _string_record(PROJECTNAME, project_name)
+    out += _string_record(PROJECTDOCSTRING, "")
+    out += _string_record(PROJECTHELPFILEPATH, "")
+    out += _record(PROJECTHELPCONTEXT, struct.pack("<I", 0))
+    out += _record(PROJECTLIBFLAGS, struct.pack("<I", 0))
+    out += _record(PROJECTVERSION, struct.pack("<IH", 0x0397, 0x0000))
+    out += _record(PROJECTMODULES, struct.pack("<H", len(modules)))
+    out += _record(PROJECTCOOKIE, struct.pack("<H", 0xFFFF))
+    for module in modules:
+        out += _string_record(MODULENAME, module.name)
+        out += _record(
+            MODULENAMEUNICODE, module.name.encode("utf-16-le")
+        )
+        stream_name = module.name.encode(_ENCODING, errors="replace")
+        unicode_name = module.name.encode("utf-16-le")
+        out += (
+            struct.pack("<HI", MODULESTREAMNAME, len(stream_name))
+            + stream_name
+            + struct.pack("<HI", 0x0032, len(unicode_name))
+            + unicode_name
+        )
+        out += _string_record(MODULEDOCSTRING, "")
+        out += _record(MODULEOFFSET, struct.pack("<I", 0))
+        out += _record(MODULEHELPCONTEXT, struct.pack("<I", 0))
+        out += _record(MODULECOOKIE, struct.pack("<H", 0xFFFF))
+        type_id = (
+            MODULETYPE_DOCCLASS
+            if module.module_type == "document"
+            else MODULETYPE_PROCEDURAL
+        )
+        out += _record(type_id, b"")
+        out += _record(MODULE_TERMINATOR, b"")
+    out += _record(DIR_TERMINATOR, b"")
+    return bytes(out)
+
+
+def _build_vba_project_stream() -> bytes:
+    # Reserved header; the performance cache that follows is
+    # implementation-specific and ignored by extractors.
+    return struct.pack("<HHBH", 0x61CC, 0xFFFF, 0x00, 0x0000)
+
+
+def _build_project_stream(modules: list[VBAModule], project_name: str) -> bytes:
+    lines = [f'ID="{{00000000-0000-0000-0000-000000000000}}"']
+    for module in modules:
+        if module.module_type == "document":
+            lines.append(f"Document={module.name}/&H00000000")
+        else:
+            lines.append(f"Module={module.name}")
+    lines += [
+        f'Name="{project_name}"',
+        'HelpContextID="0"',
+        'VersionCompatible32="393222000"',
+        "CMG=\"\"",
+        "DPB=\"\"",
+        "GC=\"\"",
+    ]
+    return ("\r\n".join(lines) + "\r\n").encode(_ENCODING)
+
+
+# ----------------------------------------------------------------------
+# Parsing
+
+
+@dataclass(frozen=True, slots=True)
+class _ModuleRef:
+    name: str
+    stream_name: str
+    offset: int
+    module_type: str
+
+
+def parse_dir_stream(compressed: bytes) -> tuple[str, list[_ModuleRef]]:
+    """Parse a compressed ``dir`` stream → (project name, module refs).
+
+    Unknown records are skipped by their declared size (olevba-style
+    tolerance).
+    """
+    data = decompress(compressed)
+    position = 0
+    project_name = "VBAProject"
+    modules: list[_ModuleRef] = []
+    current: dict | None = None
+
+    def flush() -> None:
+        nonlocal current
+        if current is not None:
+            modules.append(
+                _ModuleRef(
+                    name=current.get("name", ""),
+                    stream_name=current.get("stream_name", current.get("name", "")),
+                    offset=current.get("offset", 0),
+                    module_type=current.get("type", "procedural"),
+                )
+            )
+            current = None
+
+    while position + 6 <= len(data):
+        record_id, size = struct.unpack_from("<HI", data, position)
+        position += 6
+        if record_id == PROJECTVERSION:
+            # Quirk: the size field is fixed at 4 but 6 data bytes follow.
+            size = 6
+        payload = data[position : position + size]
+        position += size
+
+        if record_id == PROJECTNAME:
+            project_name = payload.decode(_ENCODING, errors="replace")
+        elif record_id == MODULENAME:
+            flush()
+            current = {"name": payload.decode(_ENCODING, errors="replace")}
+        elif record_id == MODULESTREAMNAME and current is not None:
+            current["stream_name"] = payload.decode(_ENCODING, errors="replace")
+        elif record_id == MODULEOFFSET and current is not None and size >= 4:
+            current["offset"] = struct.unpack("<I", payload[:4])[0]
+        elif record_id == MODULETYPE_PROCEDURAL and current is not None:
+            current["type"] = "procedural"
+        elif record_id == MODULETYPE_DOCCLASS and current is not None:
+            current["type"] = "document"
+        elif record_id == MODULE_TERMINATOR:
+            flush()
+        elif record_id == DIR_TERMINATOR:
+            flush()
+            break
+    flush()
+    return project_name, modules
+
+
+def extract_modules_from_streams(
+    read_stream, list_streams: list[str], vba_prefix: str
+) -> list[VBAModule]:
+    """Extract all modules given stream access to a VBA storage.
+
+    Args:
+        read_stream: callable path → bytes.
+        list_streams: all stream paths in the container.
+        vba_prefix: path of the VBA storage (e.g. ``"Macros/VBA"``).
+    """
+    dir_path = f"{vba_prefix}/dir"
+    if dir_path.lower() not in (s.lower() for s in list_streams):
+        raise VBAProjectError(f"no dir stream under {vba_prefix!r}")
+    _, refs = parse_dir_stream(read_stream(dir_path))
+    modules: list[VBAModule] = []
+    for ref in refs:
+        stream_path = f"{vba_prefix}/{ref.stream_name}"
+        try:
+            blob = read_stream(stream_path)
+        except Exception as error:
+            raise VBAProjectError(
+                f"module stream missing: {stream_path!r}"
+            ) from error
+        source_bytes = decompress(blob[ref.offset :])
+        modules.append(
+            VBAModule(
+                name=ref.name,
+                source=source_bytes.decode(_ENCODING, errors="replace"),
+                module_type=ref.module_type,
+            )
+        )
+    return modules

@@ -1,0 +1,51 @@
+"""End-to-end experiment layer: dataset building, classifiers, evaluation."""
+
+from repro.pipeline.classifiers import (
+    CLASSIFIER_ORDER,
+    make_classifier,
+    preprocessor_for,
+)
+from repro.pipeline.dataset import (
+    MIN_MACRO_BYTES,
+    DatasetBuilder,
+    MacroDataset,
+    MacroSample,
+)
+from repro.pipeline.experiment import (
+    CellResult,
+    ExperimentResult,
+    ExperimentRunner,
+)
+from repro.pipeline.reporting import (
+    PAPER_FIG6_MAX,
+    PAPER_FIG7_AUC,
+    PAPER_TABLE5,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_table2,
+    render_table3,
+    render_table5,
+)
+
+__all__ = [
+    "CLASSIFIER_ORDER",
+    "CellResult",
+    "DatasetBuilder",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "MIN_MACRO_BYTES",
+    "MacroDataset",
+    "MacroSample",
+    "PAPER_FIG6_MAX",
+    "PAPER_FIG7_AUC",
+    "PAPER_TABLE5",
+    "make_classifier",
+    "preprocessor_for",
+    "render_fig5",
+    "render_fig6",
+    "render_fig7",
+    "render_table2",
+    "render_table3",
+    "render_table5",
+]

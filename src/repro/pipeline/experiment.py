@@ -1,0 +1,153 @@
+"""ExperimentRunner: the Section V evaluation.
+
+Runs 10-fold stratified cross-validation for every (feature set, classifier)
+pair and aggregates the metrics behind Table V (accuracy / precision /
+recall), Fig. 6 (F₂ per classifier), and Fig. 7 (pooled ROC / AUC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.corpus.builder import Corpus, CorpusBuilder, CorpusProfile
+from repro.features.matrix import extract_both
+from repro.ml.metrics import roc_curve
+from repro.ml.model_selection import CrossValidationResult, cross_validate
+from repro.pipeline.classifiers import (
+    CLASSIFIER_ORDER,
+    make_classifier,
+    preprocessor_for,
+)
+from repro.pipeline.dataset import DatasetBuilder, MacroDataset
+
+
+@dataclass(slots=True)
+class CellResult:
+    """One (feature set, classifier) cell of Table V."""
+
+    feature_set: str
+    classifier: str
+    accuracy: float
+    precision: float
+    recall: float
+    f2: float
+    auc: float
+    cv: CrossValidationResult
+
+    def roc_points(self) -> tuple[np.ndarray, np.ndarray]:
+        fpr, tpr, _ = roc_curve(self.cv.pooled_true, self.cv.pooled_scores)
+        return fpr, tpr
+
+
+@dataclass
+class ExperimentResult:
+    """All Table V cells plus the dataset they were computed on."""
+
+    cells: dict[tuple[str, str], CellResult] = field(default_factory=dict)
+    dataset: MacroDataset | None = None
+
+    def cell(self, feature_set: str, classifier: str) -> CellResult:
+        return self.cells[(feature_set, classifier)]
+
+    def best_by_f2(self, feature_set: str) -> CellResult:
+        candidates = [
+            cell for (fs, _), cell in self.cells.items() if fs == feature_set
+        ]
+        return max(candidates, key=lambda cell: cell.f2)
+
+    @property
+    def f2_improvement(self) -> float:
+        """The paper's headline: best-V F₂ minus best-J F₂ (≈ +0.23)."""
+        return self.best_by_f2("V").f2 - self.best_by_f2("J").f2
+
+
+class ExperimentRunner:
+    """Build (or accept) a dataset, then evaluate every classifier."""
+
+    def __init__(
+        self,
+        n_splits: int = 10,
+        random_state: int = 0,
+        classifiers: tuple[str, ...] = CLASSIFIER_ORDER,
+        feature_sets: tuple[str, ...] = ("V", "J"),
+    ) -> None:
+        self.n_splits = n_splits
+        self.random_state = random_state
+        self.classifiers = classifiers
+        self.feature_sets = feature_sets
+
+    # ------------------------------------------------------------------
+
+    def dataset_from_profile(
+        self, profile: CorpusProfile, seed: int = 2016
+    ) -> MacroDataset:
+        corpus = CorpusBuilder(profile, seed=seed).build()
+        return self.dataset_from_corpus(corpus)
+
+    @staticmethod
+    def dataset_from_corpus(corpus: Corpus) -> MacroDataset:
+        return DatasetBuilder().build(corpus.documents, corpus.truth)
+
+    # ------------------------------------------------------------------
+
+    def run(self, dataset: MacroDataset) -> ExperimentResult:
+        """Evaluate all (feature set × classifier) cells on one dataset."""
+        labels = dataset.labels
+        if len(np.unique(labels)) < 2:
+            raise ValueError("dataset needs both obfuscated and normal macros")
+        v_matrix, j_matrix = extract_both(dataset.sources)
+        matrices = {"V": v_matrix, "J": j_matrix}
+
+        result = ExperimentResult(dataset=dataset)
+        for feature_set in self.feature_sets:
+            X = matrices[feature_set]
+            for name in self.classifiers:
+                cv = cross_validate(
+                    lambda name=name: make_classifier(name, self.random_state),
+                    X,
+                    labels,
+                    n_splits=self.n_splits,
+                    random_state=self.random_state,
+                    preprocessor_factory=preprocessor_for(name),
+                )
+                pooled = cv.pooled_report
+                result.cells[(feature_set, name)] = CellResult(
+                    feature_set=feature_set,
+                    classifier=name,
+                    accuracy=pooled["accuracy"],
+                    precision=pooled["precision"],
+                    recall=pooled["recall"],
+                    f2=pooled["f2"],
+                    auc=cv.pooled_auc,
+                    cv=cv,
+                )
+        return result
+
+    def run_feature_matrix(
+        self, X: np.ndarray, labels: np.ndarray, feature_set: str = "V"
+    ) -> dict[str, CellResult]:
+        """Evaluate all classifiers on a pre-built matrix (ablation entry)."""
+        cells: dict[str, CellResult] = {}
+        for name in self.classifiers:
+            cv = cross_validate(
+                lambda name=name: make_classifier(name, self.random_state),
+                X,
+                labels,
+                n_splits=self.n_splits,
+                random_state=self.random_state,
+                preprocessor_factory=preprocessor_for(name),
+            )
+            pooled = cv.pooled_report
+            cells[name] = CellResult(
+                feature_set=feature_set,
+                classifier=name,
+                accuracy=pooled["accuracy"],
+                precision=pooled["precision"],
+                recall=pooled["recall"],
+                f2=pooled["f2"],
+                auc=cv.pooled_auc,
+                cv=cv,
+            )
+        return cells

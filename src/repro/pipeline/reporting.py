@@ -1,0 +1,192 @@
+"""Text renderers that print the paper's tables and figures.
+
+Each function takes the corresponding result object and returns the table /
+figure as a string matching the paper's rows and series, so the benchmark
+harness can show paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pipeline.dataset import MacroDataset
+from repro.pipeline.experiment import ExperimentResult
+
+#: Table V as published (for side-by-side comparison).
+PAPER_TABLE5 = {
+    ("V", "SVM"): (0.955, 0.881, 0.906),
+    ("V", "RF"): (0.965, 0.982, 0.848),
+    ("V", "MLP"): (0.970, 0.938, 0.915),
+    ("V", "LDA"): (0.901, 0.842, 0.640),
+    ("V", "BNB"): (0.891, 0.750, 0.713),
+    ("J", "SVM"): (0.753, 0.445, 0.751),
+    ("J", "RF"): (0.903, 0.841, 0.657),
+    ("J", "MLP"): (0.834, 0.760, 0.316),
+    ("J", "LDA"): (0.826, 0.677, 0.318),
+    ("J", "BNB"): (0.701, 0.391, 0.775),
+}
+
+#: Fig. 6 as published: F₂ per classifier per feature set (approximate bar
+#: values; the paper states the maxima exactly: 0.92 for MLP-V, 0.69 RF-J).
+PAPER_FIG6_MAX = {"V": ("MLP", 0.92), "J": ("RF", 0.69)}
+
+#: Fig. 7 as published.
+PAPER_FIG7_AUC = {"V": 0.950, "J": 0.812}
+
+
+def render_table2(summary: dict[str, dict[str, float]]) -> str:
+    lines = [
+        "TABLE II: Summary of collected MS Office document files",
+        f"{'Group':<12} {'# Word':>8} {'# Excel':>8} {'Total':>8} {'Avg size':>12}",
+    ]
+    for group in ("benign", "malicious"):
+        row = summary[group]
+        lines.append(
+            f"{group:<12} {row['word']:>8.0f} {row['excel']:>8.0f} "
+            f"{row['files']:>8.0f} {row['avg_size'] / 1024:>10.1f}KB"
+        )
+    return "\n".join(lines)
+
+
+def render_table3(dataset: MacroDataset) -> str:
+    summary = dataset.table3_summary()
+    lines = [
+        "TABLE III: Summary of VBA macros extracted from MS Office files",
+        f"{'Group':<12} {'# files':>8} {'# macros':>9} {'# obfuscated':>14}",
+    ]
+    for group in ("benign", "malicious", "total"):
+        row = summary[group]
+        lines.append(
+            f"{group:<12} {row['files']:>8.0f} {row['macros']:>9.0f} "
+            f"{row['obfuscated']:>8.0f} ({row['obfuscated_pct']:.1f}%)"
+        )
+    return "\n".join(lines)
+
+
+def render_table5(result: ExperimentResult) -> str:
+    lines = [
+        "TABLE V: Evaluation results (measured vs paper)",
+        f"{'Set':<4} {'Clf':<4} "
+        f"{'Acc':>7} {'Prec':>7} {'Rec':>7}   "
+        f"{'Acc(p)':>7} {'Prec(p)':>8} {'Rec(p)':>7}",
+    ]
+    for feature_set in ("V", "J"):
+        for name in ("SVM", "RF", "MLP", "LDA", "BNB"):
+            if (feature_set, name) not in result.cells:
+                continue
+            cell = result.cell(feature_set, name)
+            paper = PAPER_TABLE5[(feature_set, name)]
+            lines.append(
+                f"{feature_set:<4} {name:<4} "
+                f"{cell.accuracy:>7.3f} {cell.precision:>7.3f} {cell.recall:>7.3f}   "
+                f"{paper[0]:>7.3f} {paper[1]:>8.3f} {paper[2]:>7.3f}"
+            )
+    return "\n".join(lines)
+
+
+def render_fig6(result: ExperimentResult) -> str:
+    lines = [
+        "FIGURE 6: F2 score per classifier per feature set",
+        f"{'Clf':<5} {'F2 (V)':>8} {'F2 (J)':>8}",
+    ]
+    for name in ("SVM", "RF", "MLP", "LDA", "BNB"):
+        if ("V", name) not in result.cells:
+            continue
+        v_cell = result.cell("V", name)
+        j_cell = result.cell("J", name)
+        bar_v = "#" * int(round(v_cell.f2 * 40))
+        lines.append(
+            f"{name:<5} {v_cell.f2:>8.3f} {j_cell.f2:>8.3f}   |{bar_v}"
+        )
+    best_v = result.best_by_f2("V")
+    best_j = result.best_by_f2("J")
+    lines.append(
+        f"max: V={best_v.classifier} {best_v.f2:.3f} (paper "
+        f"{PAPER_FIG6_MAX['V'][0]} {PAPER_FIG6_MAX['V'][1]:.2f}), "
+        f"J={best_j.classifier} {best_j.f2:.3f} (paper "
+        f"{PAPER_FIG6_MAX['J'][0]} {PAPER_FIG6_MAX['J'][1]:.2f})"
+    )
+    lines.append(f"F2 improvement (V over J): {result.f2_improvement:+.3f}")
+    return "\n".join(lines)
+
+
+def render_fig7(result: ExperimentResult) -> str:
+    """ASCII ROC curves of the best-V and best-J classifiers."""
+    best_v = result.best_by_f2("V")
+    best_j = result.best_by_f2("J")
+    lines = [
+        "FIGURE 7: ROC curves (pooled over CV folds)",
+        f"solid  = {best_v.classifier} on V features, AUC={best_v.auc:.3f} "
+        f"(paper {PAPER_FIG7_AUC['V']:.3f})",
+        f"dashed = {best_j.classifier} on J features, AUC={best_j.auc:.3f} "
+        f"(paper {PAPER_FIG7_AUC['J']:.3f})",
+    ]
+    lines.extend(_ascii_roc(best_v.roc_points(), best_j.roc_points()))
+    return "\n".join(lines)
+
+
+def _ascii_roc(
+    solid: tuple[np.ndarray, np.ndarray],
+    dashed: tuple[np.ndarray, np.ndarray],
+    width: int = 50,
+    height: int = 16,
+) -> list[str]:
+    grid = [[" "] * (width + 1) for _ in range(height + 1)]
+
+    def plot(points: tuple[np.ndarray, np.ndarray], symbol: str) -> None:
+        fpr, tpr = points
+        dense_fpr = np.linspace(0.0, 1.0, 200)
+        dense_tpr = np.interp(dense_fpr, fpr, tpr)
+        for x_value, y_value in zip(dense_fpr, dense_tpr):
+            col = int(round(x_value * width))
+            row = height - int(round(y_value * height))
+            if grid[row][col] == " ":
+                grid[row][col] = symbol
+
+    plot(dashed, ".")
+    plot(solid, "#")
+    lines = ["TPR"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * (width + 1) + "-> FPR")
+    return lines
+
+
+def render_roc_csv(result: ExperimentResult, feature_set: str, classifier: str) -> str:
+    """Machine-readable ROC points for external plotting."""
+    cell = result.cell(feature_set, classifier)
+    fpr, tpr = cell.roc_points()
+    lines = ["fpr,tpr"]
+    lines.extend(f"{x:.6f},{y:.6f}" for x, y in zip(fpr, tpr))
+    return "\n".join(lines)
+
+
+def render_fig5(lengths_normal: list[int], lengths_obfuscated: list[int]) -> str:
+    """Fig. 5: code-length distributions; clusters appear as spikes."""
+    lines = ["FIGURE 5: code length distribution"]
+    for label, lengths in (
+        ("(a) non-obfuscated", lengths_normal),
+        ("(b) obfuscated", lengths_obfuscated),
+    ):
+        lines.append(f"{label}: n={len(lengths)}")
+        if not lengths:
+            continue
+        array = np.asarray(lengths)
+        lines.append(
+            f"  min={array.min()}  median={int(np.median(array))}  "
+            f"max={array.max()}"
+        )
+        # Log-spaced histogram; cluster bins stand out for (b).
+        edges = np.unique(
+            np.logspace(
+                np.log10(max(1, array.min())),
+                np.log10(array.max() + 1),
+                18,
+            ).astype(int)
+        )
+        counts, _ = np.histogram(array, bins=edges)
+        peak = max(1, counts.max())
+        for low, high, count in zip(edges[:-1], edges[1:], counts):
+            bar = "#" * int(round(40 * count / peak))
+            lines.append(f"  [{low:>7}, {high:>7}) {count:>5} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,348 @@
+"""Structural analysis of VBA macro source code.
+
+:class:`MacroAnalysis` is the single shared substrate for feature extraction
+(:mod:`repro.features`) and for the obfuscation engine
+(:mod:`repro.obfuscation`).  From one lexer pass it derives:
+
+* declared identifiers — procedure names, parameters, ``Dim``/``Const``/
+  ``ReDim``/``For Each`` variables — which is exactly the set O1 random
+  obfuscation renames;
+* call sites — names invoked with ``(...)``, via ``Call``, or in statement
+  position — categorized against the built-in catalogs for V8–V12;
+* string literals, comments, and the paper's notion of "words" (units
+  delimited by whitespace and VBA symbols, following Likarish et al.).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.vba.functions import ALL_CATEGORIZED_FUNCTIONS
+from repro.vba.lexer import tokenize
+from repro.vba.tokens import Token, TokenKind
+
+# Keywords that introduce a procedure whose following identifier is the
+# procedure name.
+_PROCEDURE_KEYWORDS = frozenset({"sub", "function", "property"})
+
+# Keywords that introduce variable declarations whose following identifiers
+# (comma-separated, possibly with ``As Type`` clauses) are declared names.
+_DECLARATION_KEYWORDS = frozenset({"dim", "const", "redim", "static"})
+
+_WORD_PATTERN = re.compile(r"[A-Za-z0-9_$#@%!&]+")
+
+
+@dataclass(slots=True)
+class CallSite:
+    """A function / procedure invocation found in the source."""
+
+    name: str
+    line: int
+    is_member: bool  # invoked as ``object.Name(...)``
+
+
+@dataclass(slots=True)
+class MacroAnalysis:
+    """The result of analyzing one VBA module's source code."""
+
+    source: str
+    tokens: list[Token] = field(default_factory=list)
+    declared_identifiers: list[str] = field(default_factory=list)
+    identifier_uses: list[str] = field(default_factory=list)
+    call_sites: list[CallSite] = field(default_factory=list)
+    string_literals: list[str] = field(default_factory=list)
+    comments: list[str] = field(default_factory=list)
+    procedure_names: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Derived text measures used by the feature extractors.
+
+    @property
+    def code_without_comments(self) -> str:
+        """The source with comment token text removed (other text intact)."""
+        parts = [
+            token.text
+            for token in self.tokens
+            if token.kind is not TokenKind.COMMENT
+        ]
+        return "".join(parts)
+
+    @property
+    def comment_text(self) -> str:
+        """All comment text concatenated (markers included)."""
+        return "".join(
+            token.text for token in self.tokens if token.kind is TokenKind.COMMENT
+        )
+
+    @property
+    def words(self) -> list[str]:
+        """The paper's 'words': maximal runs delimited by whitespace/symbols."""
+        return _WORD_PATTERN.findall(self.source)
+
+    @property
+    def lines(self) -> list[str]:
+        return self.source.splitlines()
+
+    def operator_count(self, operators: frozenset[str]) -> int:
+        """Count OPERATOR tokens whose text is in ``operators``."""
+        return sum(
+            1
+            for token in self.tokens
+            if token.kind is TokenKind.OPERATOR and token.text in operators
+        )
+
+    def called_builtin_fraction(self, catalog: frozenset[str]) -> float:
+        """Fraction of call sites whose name is in ``catalog`` (lower-case)."""
+        if not self.call_sites:
+            return 0.0
+        hits = sum(1 for call in self.call_sites if call.name.lower() in catalog)
+        return hits / len(self.call_sites)
+
+
+def analyze(source: str) -> MacroAnalysis:
+    """Run the full structural analysis over one module's source code."""
+    analysis = MacroAnalysis(source=source)
+    analysis.tokens = tokenize(source)
+    _collect(analysis)
+    return analysis
+
+
+# ----------------------------------------------------------------------
+
+
+def _collect(analysis: MacroAnalysis) -> None:
+    tokens = [
+        token
+        for token in analysis.tokens
+        if token.kind
+        not in (
+            TokenKind.WHITESPACE,
+            TokenKind.LINE_CONTINUATION,
+            TokenKind.EOF,
+        )
+    ]
+    declared: list[str] = []
+    declared_seen: set[str] = set()
+    uses: list[str] = []
+    calls: list[CallSite] = []
+    strings: list[str] = []
+    comments: list[str] = []
+    procedures: list[str] = []
+
+    def declare(name: str) -> None:
+        lowered = name.lower()
+        if lowered not in declared_seen:
+            declared_seen.add(lowered)
+            declared.append(name)
+
+    index = 0
+    at_statement_start = True
+    while index < len(tokens):
+        token = tokens[index]
+
+        if token.kind is TokenKind.NEWLINE or (
+            token.kind is TokenKind.PUNCT and token.text == ":"
+        ):
+            at_statement_start = True
+            index += 1
+            continue
+
+        if token.kind is TokenKind.COMMENT:
+            comments.append(token.text)
+            index += 1
+            continue
+
+        if token.kind is TokenKind.STRING:
+            strings.append(token.string_value)
+            at_statement_start = False
+            index += 1
+            continue
+
+        if token.kind is TokenKind.KEYWORD:
+            keyword = token.text.lower()
+            if keyword in _PROCEDURE_KEYWORDS:
+                index = _scan_procedure(
+                    tokens, index, keyword, declare, procedures, strings
+                )
+                at_statement_start = False
+                continue
+            if keyword in _DECLARATION_KEYWORDS:
+                index = _scan_declaration(tokens, index, declare, strings)
+                at_statement_start = False
+                continue
+            if keyword == "for":
+                index = _scan_for(tokens, index, declare)
+                at_statement_start = False
+                continue
+            if keyword == "call" and _kind_at(tokens, index + 1) is TokenKind.IDENTIFIER:
+                callee = tokens[index + 1]
+                calls.append(CallSite(callee.text, callee.line, is_member=False))
+                uses.append(callee.text)
+                index += 2
+                at_statement_start = False
+                continue
+            if (
+                keyword in ALL_CATEGORIZED_FUNCTIONS
+                and _kind_at(tokens, index + 1) is TokenKind.PUNCT
+                and tokens[index + 1].text == "("
+            ):
+                # Callable builtins that lex as keywords: CStr(), CLng(), …
+                calls.append(
+                    CallSite(
+                        token.text, token.line, _is_member_access(tokens, index)
+                    )
+                )
+            at_statement_start = False
+            index += 1
+            continue
+
+        if token.kind is TokenKind.IDENTIFIER:
+            uses.append(token.text)
+            is_member = _is_member_access(tokens, index)
+            next_kind = _kind_at(tokens, index + 1)
+            next_text = tokens[index + 1].text if index + 1 < len(tokens) else ""
+            lowered = token.text.lower()
+            if next_kind is TokenKind.PUNCT and next_text == "(":
+                calls.append(CallSite(token.text, token.line, is_member))
+            elif (
+                at_statement_start
+                and not is_member
+                and lowered in ALL_CATEGORIZED_FUNCTIONS
+            ):
+                # Statement-style invocation: ``Shell program, 1``.
+                calls.append(CallSite(token.text, token.line, is_member=False))
+            at_statement_start = False
+            index += 1
+            continue
+
+        at_statement_start = False
+        index += 1
+
+    analysis.declared_identifiers = declared
+    analysis.identifier_uses = uses
+    analysis.call_sites = calls
+    analysis.string_literals = strings
+    analysis.comments = comments
+    analysis.procedure_names = procedures
+
+
+def _kind_at(tokens: list[Token], index: int) -> TokenKind | None:
+    if 0 <= index < len(tokens):
+        return tokens[index].kind
+    return None
+
+
+def _is_member_access(tokens: list[Token], index: int) -> bool:
+    if index == 0:
+        return False
+    prev = tokens[index - 1]
+    return prev.kind is TokenKind.PUNCT and prev.text == "."
+
+
+def _scan_procedure(
+    tokens: list[Token],
+    index: int,
+    keyword: str,
+    declare,
+    procedures: list[str],
+    strings: list[str],
+) -> int:
+    """Handle ``Sub name(params)`` / ``Function name(...)`` / ``Property Get name``.
+
+    Returns the index to resume scanning from.
+    """
+    cursor = index + 1
+    if keyword == "property" and _kind_at(tokens, cursor) in (
+        TokenKind.KEYWORD,
+        TokenKind.IDENTIFIER,
+    ):
+        accessor = tokens[cursor].text.lower()
+        if accessor in ("get", "let", "set"):
+            cursor += 1
+    if _kind_at(tokens, cursor) is not TokenKind.IDENTIFIER:
+        # ``End Sub`` / ``Exit Function`` — nothing declared here.
+        return index + 1
+    name_token = tokens[cursor]
+    declare(name_token.text)
+    procedures.append(name_token.text)
+    cursor += 1
+    # Parameters: ``(ByVal a As String, Optional b)``.
+    if (
+        _kind_at(tokens, cursor) is TokenKind.PUNCT
+        and tokens[cursor].text == "("
+    ):
+        depth = 0
+        expecting_name = True
+        while cursor < len(tokens):
+            token = tokens[cursor]
+            if token.kind is TokenKind.PUNCT and token.text == "(":
+                depth += 1
+            elif token.kind is TokenKind.PUNCT and token.text == ")":
+                depth -= 1
+                if depth == 0:
+                    cursor += 1
+                    break
+            elif token.kind is TokenKind.PUNCT and token.text == "," and depth == 1:
+                expecting_name = True
+            elif token.kind is TokenKind.KEYWORD:
+                lowered = token.text.lower()
+                if lowered == "as":
+                    expecting_name = False
+                # byval/byref/optional/paramarray keep us expecting a name.
+            elif token.kind is TokenKind.IDENTIFIER and expecting_name and depth == 1:
+                declare(token.text)
+                expecting_name = False
+            elif token.kind is TokenKind.STRING:
+                strings.append(token.string_value)
+            cursor += 1
+    return cursor
+
+
+def _scan_declaration(
+    tokens: list[Token], index: int, declare, strings: list[str]
+) -> int:
+    """Handle ``Dim a As X, b(10) As Y`` and friends on one logical line."""
+    cursor = index + 1
+    expecting_name = True
+    depth = 0
+    while cursor < len(tokens):
+        token = tokens[cursor]
+        if token.kind is TokenKind.NEWLINE:
+            break
+        if token.kind is TokenKind.PUNCT:
+            if token.text == "(":
+                depth += 1
+            elif token.text == ")":
+                depth = max(0, depth - 1)
+            elif token.text == "," and depth == 0:
+                expecting_name = True
+            elif token.text == ":":
+                break
+        elif token.kind is TokenKind.OPERATOR and token.text == "=" and depth == 0:
+            # ``Const x = 5``: the initializer is an expression, stop naming.
+            expecting_name = False
+        elif token.kind is TokenKind.KEYWORD:
+            if token.text.lower() == "as":
+                expecting_name = False
+        elif token.kind is TokenKind.IDENTIFIER and expecting_name and depth == 0:
+            declare(token.text)
+            expecting_name = False
+        elif token.kind is TokenKind.STRING:
+            strings.append(token.string_value)
+        cursor += 1
+    return cursor
+
+
+def _scan_for(tokens: list[Token], index: int, declare) -> int:
+    """Handle ``For i = ...`` and ``For Each cell In ...`` loop variables."""
+    cursor = index + 1
+    if (
+        _kind_at(tokens, cursor) is TokenKind.KEYWORD
+        and tokens[cursor].text.lower() == "each"
+    ):
+        cursor += 1
+    if _kind_at(tokens, cursor) is TokenKind.IDENTIFIER:
+        declare(tokens[cursor].text)
+        cursor += 1
+    return cursor

@@ -1,0 +1,110 @@
+"""Catalogs of VBA built-in functions, grouped as the paper's features need.
+
+Features V8–V12 (Table IV) measure the fraction of called functions that fall
+into five categories: text, arithmetic, type conversion, financial, and
+"rich functionality".  The catalogs below follow the VBA language
+specification [MS-VBAL] and the examples the paper lists for each feature.
+
+All names are stored lower-case; VBA is case-insensitive.
+"""
+
+from __future__ import annotations
+
+# V8 — text functions: string inspection and manipulation.
+TEXT_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "asc", "ascb", "ascw", "chr", "chrb", "chrw", "filter", "format",
+        "formatcurrency", "formatdatetime", "formatnumber", "formatpercent",
+        "instr", "instrb", "instrrev", "join", "lcase", "left", "leftb",
+        "len", "lenb", "ltrim", "mid", "midb", "monthname", "replace",
+        "right", "rightb", "rtrim", "space", "split", "str", "strcomp",
+        "strconv", "string", "strreverse", "trim", "ucase", "weekdayname",
+    }
+)
+
+# V9 — arithmetic functions.
+ARITHMETIC_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "abs", "atn", "cos", "exp", "fix", "int", "log", "randomize",
+        "rnd", "round", "sgn", "sin", "sqr", "tan",
+    }
+)
+
+# V10 — type conversion functions.
+TYPE_CONVERSION_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "cbool", "cbyte", "cchar", "ccur", "cdate", "cdbl", "cdec", "cint",
+        "clng", "clnglng", "clngptr", "cobj", "csng", "cshort", "cstr",
+        "cuint", "culng", "cushort", "cvar", "cverr", "hex", "oct", "val",
+    }
+)
+
+# V11 — financial functions (rare in benign macros, used by obfuscators to
+# diversify variants).
+FINANCIAL_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "ddb", "fv", "ipmt", "irr", "mirr", "nper", "npv", "pmt", "ppmt",
+        "pv", "rate", "sln", "syd",
+    }
+)
+
+# V12 — functions "with rich functionality": can write, download, or execute
+# files, or reach outside the macro sandbox.  Includes the paper's examples
+# Shell() and CallByName() plus the standard dangerous-capability set that
+# olevba flags as auto-exec / suspicious.
+RICH_FUNCTIONS: frozenset[str] = frozenset(
+    {
+        "callbyname", "createobject", "getobject", "shell", "environ",
+        "command", "dir", "filecopy", "filelen", "kill", "mkdir", "rmdir",
+        "open", "print", "write", "close", "savetofile", "sendkeys",
+        "setattr", "chdir", "chdrive", "dofile", "execute", "exec", "run",
+        "urldownloadtofile", "shellexecute", "regwrite", "regread",
+        "savesetting", "getsetting", "deletesetting", "loadlibrary",
+        "getprocaddress", "virtualalloc", "createthread", "winexec",
+        "createprocess", "createprocessa", "createprocessw",
+    }
+)
+
+#: Union of every categorized built-in, useful for "is this a known builtin"
+#: checks during call-site analysis.
+ALL_CATEGORIZED_FUNCTIONS: frozenset[str] = (
+    TEXT_FUNCTIONS
+    | ARITHMETIC_FUNCTIONS
+    | TYPE_CONVERSION_FUNCTIONS
+    | FINANCIAL_FUNCTIONS
+    | RICH_FUNCTIONS
+)
+
+#: Mapping from feature name to its function catalog, in Table IV order.
+FUNCTION_CATEGORIES: dict[str, frozenset[str]] = {
+    "text": TEXT_FUNCTIONS,
+    "arithmetic": ARITHMETIC_FUNCTIONS,
+    "type_conversion": TYPE_CONVERSION_FUNCTIONS,
+    "financial": FINANCIAL_FUNCTIONS,
+    "rich": RICH_FUNCTIONS,
+}
+
+# Event procedures that execute automatically when a document is opened or
+# closed.  The paper (Section III.A) notes attackers prefer these triggers;
+# the AV simulator and the malicious-corpus generator both use this list.
+AUTO_EXEC_PROCEDURES: frozenset[str] = frozenset(
+    {
+        "auto_open", "auto_close", "autoopen", "autoclose", "autoexec",
+        "autoexit", "autonew", "document_open", "document_close",
+        "document_new", "workbook_open", "workbook_close",
+        "workbook_beforeclose", "workbook_activate",
+    }
+)
+
+
+def categorize_function(name: str) -> str | None:
+    """Return the category of a built-in function name, or ``None``.
+
+    Lookup is case-insensitive.  When a name appears in multiple catalogs the
+    first category in Table IV order wins.
+    """
+    lowered = name.lower()
+    for category, catalog in FUNCTION_CATEGORIES.items():
+        if lowered in catalog:
+            return category
+    return None

@@ -1,0 +1,123 @@
+"""Helpers for emitting well-formed VBA source code.
+
+Used by the corpus generators and by the obfuscation transforms that need to
+synthesize new procedures (decoder stubs, junk code, padded declarations).
+"""
+
+from __future__ import annotations
+
+
+class CodeWriter:
+    """An indentation-aware line buffer for VBA code emission."""
+
+    INDENT = "    "
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._depth = 0
+
+    def line(self, text: str = "") -> "CodeWriter":
+        """Append one line at the current indentation depth."""
+        if text:
+            self._lines.append(self.INDENT * self._depth + text)
+        else:
+            self._lines.append("")
+        return self
+
+    def lines(self, *texts: str) -> "CodeWriter":
+        for text in texts:
+            self.line(text)
+        return self
+
+    def indent(self) -> "CodeWriter":
+        self._depth += 1
+        return self
+
+    def dedent(self) -> "CodeWriter":
+        if self._depth == 0:
+            raise ValueError("cannot dedent below zero")
+        self._depth -= 1
+        return self
+
+    def block(self, opener: str, closer: str) -> "_Block":
+        """Context manager emitting ``opener`` / ``closer`` around a body."""
+        return _Block(self, opener, closer)
+
+    def raw(self, text: str) -> "CodeWriter":
+        """Append pre-formatted multi-line text verbatim."""
+        self._lines.extend(text.splitlines())
+        return self
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+class _Block:
+    def __init__(self, writer: CodeWriter, opener: str, closer: str) -> None:
+        self._writer = writer
+        self._opener = opener
+        self._closer = closer
+
+    def __enter__(self) -> CodeWriter:
+        self._writer.line(self._opener)
+        self._writer.indent()
+        return self._writer
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._writer.dedent()
+        self._writer.line(self._closer)
+
+
+def quote_vba_string(value: str) -> str:
+    """Return ``value`` as a VBA string literal (doubling embedded quotes)."""
+    return '"' + value.replace('"', '""') + '"'
+
+
+def chunk_string(value: str, size: int) -> list[str]:
+    """Split ``value`` into chunks of at most ``size`` characters."""
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    return [value[i : i + size] for i in range(0, len(value), size)]
+
+
+def wrap_vba_expression(
+    expression: str, width: int = 44, indent: str = "      "
+) -> str:
+    """Wrap a long expression across lines with VBA ``_`` continuations.
+
+    Breaks only at safe points (after a comma or ``&`` outside string
+    literals), the way real macro code and obfuscator output wraps long
+    ``Array(...)`` literals and concatenation chains.
+    """
+    if len(expression) <= width:
+        return expression
+    lines: list[str] = []
+    current: list[str] = []
+    in_string = False
+    length = 0
+    index = 0
+    while index < len(expression):
+        char = expression[index]
+        current.append(char)
+        length += 1
+        if char == '"':
+            # Doubled quotes stay inside the string.
+            if in_string and index + 1 < len(expression) and expression[index + 1] == '"':
+                current.append('"')
+                index += 2
+                length += 1
+                continue
+            in_string = not in_string
+        breakable = (
+            not in_string
+            and length >= width
+            and char in ",&"
+            and index + 1 < len(expression)
+        )
+        if breakable:
+            lines.append("".join(current) + " _")
+            current = [indent]
+            length = len(indent)
+        index += 1
+    lines.append("".join(current))
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Tests for the synthetic corpus generators and builder."""
+
+import random
+
+import pytest
+
+from repro.corpus.benign import BENIGN_FAMILIES, generate_benign_macro
+from repro.corpus.builder import CorpusBuilder, CorpusProfile, paper_profile
+from repro.corpus.documents import build_document_bytes, make_document
+from repro.corpus.malicious import MALICIOUS_FAMILIES, generate_malicious_macro
+from repro.ole.extractor import extract_macros
+from repro.vba.analyzer import analyze
+from repro.vba.functions import AUTO_EXEC_PROCEDURES
+
+
+class TestBenignTemplates:
+    @pytest.mark.parametrize("index", range(len(BENIGN_FAMILIES)))
+    def test_every_family_lexes_and_has_declarations(self, index):
+        _, family = BENIGN_FAMILIES[index]
+        source = family(random.Random(3))
+        analysis = analyze(source)
+        assert analysis.procedure_names, source
+        assert len(source) >= 150  # above the paper's insignificance cutoff
+
+    def test_variation_across_seeds(self):
+        outputs = {generate_benign_macro(random.Random(seed)) for seed in range(30)}
+        assert len(outputs) >= 25  # near-unique across seeds
+
+    def test_host_filter(self):
+        rng = random.Random(0)
+        for _ in range(10):
+            source = generate_benign_macro(rng, host="word")
+            assert "Workbook" not in source.split("(")[0]
+
+    def test_benign_macros_use_meaningful_names(self):
+        source = generate_benign_macro(random.Random(5))
+        analysis = analyze(source)
+        # Meaningful identifiers contain vowels (random strings often don't).
+        vowelish = sum(
+            1
+            for name in analysis.declared_identifiers
+            if any(v in name.lower() for v in "aeiou")
+        )
+        assert vowelish >= len(analysis.declared_identifiers) * 0.8
+
+
+class TestMaliciousTemplates:
+    @pytest.mark.parametrize("family", MALICIOUS_FAMILIES)
+    @pytest.mark.parametrize("host", ["word", "excel"])
+    def test_every_family_lexes(self, family, host):
+        source = family(random.Random(4), host)
+        analysis = analyze(source)
+        assert analysis.procedure_names
+
+    @pytest.mark.parametrize("host", ["word", "excel"])
+    def test_auto_exec_entry_point(self, host):
+        rng = random.Random(1)
+        for _ in range(10):
+            source = generate_malicious_macro(rng, host)
+            analysis = analyze(source)
+            entry_points = {p.lower() for p in analysis.procedure_names}
+            assert entry_points & AUTO_EXEC_PROCEDURES
+
+    def test_urls_vary(self):
+        rng = random.Random(2)
+        sources = [generate_malicious_macro(rng, "word") for _ in range(20)]
+        assert len(set(sources)) == 20
+
+
+class TestDocumentAssembly:
+    def test_all_four_formats_round_trip(self):
+        source = generate_benign_macro(random.Random(0), host="excel")
+        for file_format in ("doc", "xls", "docm", "xlsm"):
+            blob = build_document_bytes([source], file_format)
+            result = extract_macros(blob)
+            assert result.sources == [source]
+
+    def test_document_variables_travel_with_file(self):
+        source = "Sub A()\n    x = 1\nEnd Sub\n"
+        hidden = {"UserForm1.Label1.Caption": "secret"}
+        for file_format in ("doc", "docm"):
+            blob = build_document_bytes([source], file_format, hidden)
+            assert extract_macros(blob).document_variables == hidden
+
+    def test_padding_grows_legacy_files(self):
+        source = "Sub A()\n    x = 1\nEnd Sub\n"
+        small = build_document_bytes([source], "doc")
+        large = build_document_bytes([source], "doc", padding=400_000)
+        assert len(large) > len(small) + 300_000
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(ValueError):
+            build_document_bytes([], "doc")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            build_document_bytes(["Sub A()\nEnd Sub\n"], "pdf")
+
+    def test_make_document_flag_mismatch(self):
+        with pytest.raises(ValueError):
+            make_document(
+                random.Random(0), ["Sub A()\nEnd Sub\n"], [True, False],
+                is_malicious=False, file_format="doc",
+            )
+
+
+class TestProfileScaling:
+    def test_paper_profile_matches_table2(self):
+        profile = paper_profile()
+        assert profile.benign_word_files == 75
+        assert profile.benign_excel_files == 698
+        assert profile.malicious_word_files == 1410
+        assert profile.malicious_excel_files == 354
+        assert profile.benign_macros_total == 3380
+        assert profile.malicious_unique_macros == 832
+        assert profile.malicious_obfuscated_macros == 819
+        assert profile.benign_obfuscated_macros == 58
+
+    def test_scaling_preserves_ratios(self):
+        scaled = paper_profile().scaled(0.2)
+        assert scaled.malicious_word_files == round(1410 * 0.2)
+        ratio = scaled.malicious_obfuscated_macros / scaled.malicious_unique_macros
+        assert ratio > 0.9  # 98.4% at full scale
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            paper_profile().scaled(0.0)
+        with pytest.raises(ValueError):
+            paper_profile().scaled(1.5)
+
+
+class TestCorpusBuilder:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return CorpusBuilder(paper_profile().scaled(0.05), seed=7).build()
+
+    def test_file_counts_match_profile(self, corpus):
+        profile = corpus.profile
+        assert len(corpus.benign_documents) == (
+            profile.benign_word_files + profile.benign_excel_files
+        )
+        assert len(corpus.malicious_documents) == (
+            profile.malicious_word_files + profile.malicious_excel_files
+        )
+
+    def test_benign_files_are_larger_on_average(self, corpus):
+        summary = corpus.summary()
+        assert summary["benign"]["avg_size"] > 3 * summary["malicious"]["avg_size"]
+
+    def test_obfuscation_rates_match_paper_shape(self, corpus):
+        malicious_sources = set()
+        for doc in corpus.malicious_documents:
+            malicious_sources.update(doc.macro_sources)
+        obfuscated = sum(1 for s in malicious_sources if corpus.truth[s])
+        rate = obfuscated / len(malicious_sources)
+        assert rate > 0.85  # paper: 98.4%
+
+        benign_sources = set()
+        for doc in corpus.benign_documents:
+            benign_sources.update(doc.macro_sources)
+        benign_rate = sum(1 for s in benign_sources if corpus.truth[s]) / len(
+            benign_sources
+        )
+        assert benign_rate < 0.1  # paper: 1.7%
+
+    def test_malicious_macros_are_reused_across_files(self, corpus):
+        sources = [
+            source
+            for doc in corpus.malicious_documents
+            for source in doc.macro_sources
+        ]
+        assert len(set(sources)) < len(sources) * 0.8
+
+    def test_every_document_extractable(self, corpus):
+        for doc in corpus.documents[:40]:
+            result = extract_macros(doc.data)
+            assert result.sources == doc.macro_sources
+
+    def test_deterministic_given_seed(self):
+        profile = paper_profile().scaled(0.02)
+        a = CorpusBuilder(profile, seed=9).build()
+        b = CorpusBuilder(profile, seed=9).build()
+        assert [d.data for d in a.documents] == [d.data for d in b.documents]
+
+    def test_different_seeds_differ(self):
+        profile = paper_profile().scaled(0.02)
+        a = CorpusBuilder(profile, seed=1).build()
+        b = CorpusBuilder(profile, seed=2).build()
+        assert [d.data for d in a.documents] != [d.data for d in b.documents]

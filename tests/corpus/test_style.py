@@ -1,0 +1,155 @@
+"""Tests for style augmentation, compact style, and the expression wrapper."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.benign import compact_style, generate_benign_macro
+from repro.corpus.style import apply_style
+from repro.vba.lexer import significant_tokens
+from repro.vba.tokens import TokenKind
+from repro.vba.writer import CodeWriter, chunk_string, wrap_vba_expression
+
+SAMPLE = (
+    "Sub Report()\n"
+    "    Dim total As Double\n"
+    "    total = 0\n"
+    "    total = total + 1\n"
+    "    MsgBox total\n"
+    "End Sub\n"
+)
+
+
+def token_texts(source: str) -> list[str]:
+    """Significant non-layout tokens — the style-invariant content."""
+    return [
+        t.text
+        for t in significant_tokens(source)
+        if t.kind is not TokenKind.COMMENT
+    ]
+
+
+class TestApplyStyle:
+    def test_tokens_preserved(self):
+        for seed in range(10):
+            styled = apply_style(SAMPLE, random.Random(seed))
+            assert token_texts(styled) == token_texts(SAMPLE) or (
+                # keyword-case shuffling changes text case only
+                [t.lower() for t in token_texts(styled)]
+                == [t.lower() for t in token_texts(SAMPLE)]
+            )
+
+    def test_styles_vary_across_seeds(self):
+        outputs = {apply_style(SAMPLE, random.Random(seed)) for seed in range(20)}
+        assert len(outputs) > 5
+
+    def test_banner_and_recorded_headers_are_comments(self):
+        for seed in range(30):
+            styled = apply_style(
+                SAMPLE, random.Random(seed),
+                banner_probability=1.0, recorded_probability=1.0,
+            )
+            first_line = styled.splitlines()[0]
+            assert first_line.startswith("'")
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_styled_generated_macros_still_lex(self, seed):
+        rng = random.Random(seed)
+        styled = apply_style(generate_benign_macro(rng), rng)
+        tokens = significant_tokens(styled)
+        assert tokens  # lexes without error and is non-empty
+
+
+class TestCompactStyle:
+    def test_joins_simple_statements(self):
+        out = compact_style(SAMPLE, random.Random(0), join_probability=1.0)
+        assert ": " in out
+        assert len(out.splitlines()) < len(SAMPLE.splitlines())
+
+    def test_never_joins_block_boundaries(self):
+        source = (
+            "Sub A()\n"
+            "    If x Then\n"
+            "        y = 1\n"
+            "    End If\n"
+            "End Sub\n"
+        )
+        out = compact_style(source, random.Random(0), join_probability=1.0)
+        assert "Then: " not in out
+        assert ": End If" not in out
+
+    def test_tokens_preserved(self):
+        out = compact_style(SAMPLE, random.Random(1), join_probability=1.0)
+        # Colon separators are layout; all other tokens survive in order.
+        kept = [t for t in token_texts(out) if t != ":"]
+        assert kept == [t for t in token_texts(SAMPLE) if t != ":"]
+
+
+class TestWrapExpression:
+    def test_short_expression_unchanged(self):
+        assert wrap_vba_expression("1 + 2") == "1 + 2"
+
+    def test_long_expression_gets_continuations(self):
+        expression = " & ".join(f'"{i:03d}"' for i in range(40))
+        wrapped = wrap_vba_expression(expression)
+        assert " _\n" in wrapped
+
+    def test_wrapping_preserves_tokens(self):
+        expression = "F(" + ", ".join(str(i) for i in range(60)) + ")"
+        wrapped = wrap_vba_expression(expression)
+        original = significant_tokens(expression)
+        rewrapped = significant_tokens(wrapped)
+        assert [t.text for t in original] == [t.text for t in rewrapped]
+
+    def test_never_breaks_inside_strings(self):
+        expression = '"' + ", ".join("x" * 5 for _ in range(30)) + '" & "tail"'
+        wrapped = wrap_vba_expression(expression)
+        for line in wrapped.splitlines():
+            # Quotes balance on every physical line.
+            assert line.count('"') % 2 == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(
+                    min_codepoint=32, max_codepoint=126, exclude_characters='"'
+                ),
+                max_size=12,
+            ),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    def test_property_token_preservation(self, chunks):
+        expression = " & ".join(f'"{chunk}"' for chunk in chunks)
+        wrapped = wrap_vba_expression(expression, width=30)
+        assert [t.text for t in significant_tokens(expression)] == [
+            t.text for t in significant_tokens(wrapped)
+        ]
+
+
+class TestCodeWriterHelpers:
+    def test_block_context_manager(self):
+        writer = CodeWriter()
+        with writer.block("Sub A()", "End Sub"):
+            writer.line("x = 1")
+        assert writer.render() == "Sub A()\n    x = 1\nEnd Sub\n"
+
+    def test_dedent_below_zero_raises(self):
+        with pytest.raises(ValueError):
+            CodeWriter().dedent()
+
+    def test_chunk_string(self):
+        assert chunk_string("abcdef", 2) == ["ab", "cd", "ef"]
+        assert chunk_string("abc", 5) == ["abc"]
+        with pytest.raises(ValueError):
+            chunk_string("abc", 0)
+
+    def test_raw_multiline(self):
+        writer = CodeWriter()
+        writer.raw("a\nb")
+        assert writer.render() == "a\nb\n"

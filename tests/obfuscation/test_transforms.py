@@ -1,0 +1,282 @@
+"""Tests for the O1–O4 obfuscation transforms.
+
+The strongest checks run the original and the obfuscated macro in the VBA
+interpreter and compare results — proving each transform is
+semantics-preserving, the defining property of obfuscation.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obfuscation.base import make_context
+from repro.obfuscation.encode import STRATEGIES, StringEncoder
+from repro.obfuscation.logic import (
+    DummyCodeInserter,
+    ProcedureReorderer,
+    SizePadder,
+    generate_junk_procedure,
+)
+from repro.obfuscation.rename import RandomRenamer, rename_identifiers
+from repro.obfuscation.split import DummyStringInserter, StringSplitter
+from repro.vba.analyzer import analyze
+from repro.vba.interpreter import Interpreter, run_function
+from repro.vba.parser import parse_module
+
+GREETING_MODULE = (
+    "Function MakeGreeting(who As String) As String\n"
+    "    Dim prefix As String\n"
+    '    prefix = "Hello, "\n'
+    '    MakeGreeting = prefix & who & "! savetofile please"\n'
+    "End Function\n"
+)
+
+URL_MODULE = (
+    "Function BuildTarget() As String\n"
+    "    Dim url As String\n"
+    "    Dim path As String\n"
+    '    url = "http://example.com/payload.exe"\n'
+    '    path = "C:\\\\temp\\\\update.exe"\n'
+    '    BuildTarget = url & "|" & path\n'
+    "End Function\n"
+)
+
+
+def obfuscate(transform, source: str, seed: int = 7) -> str:
+    return transform.apply(source, make_context(seed))
+
+
+class TestRandomRenamer:
+    def test_declared_identifiers_are_renamed(self):
+        out = obfuscate(RandomRenamer(), GREETING_MODULE)
+        assert "MakeGreeting" not in out
+        assert "prefix" not in out
+        assert "who" not in out
+
+    def test_strings_and_comments_untouched(self):
+        source = GREETING_MODULE + "' prefix is a comment word\n"
+        out = obfuscate(RandomRenamer(), source)
+        assert '"Hello, "' in out
+        assert "' prefix is a comment word" in out
+
+    def test_member_access_not_renamed(self):
+        source = (
+            "Sub T()\n"
+            "    Dim Value As Long\n"
+            "    Value = 1\n"
+            "    x = doc.Value\n"
+            "End Sub\n"
+        )
+        out = obfuscate(RandomRenamer(), source)
+        assert ".Value" in out  # member survived
+        assert "Dim Value" not in out  # declaration renamed
+
+    def test_semantics_preserved(self):
+        out = obfuscate(RandomRenamer(), GREETING_MODULE)
+        interp = Interpreter.from_source(out)
+        name = next(iter(interp.module.procedures.values())).name
+        assert interp.call(name, "World") == run_function(
+            GREETING_MODULE, "MakeGreeting", "World"
+        )
+
+    def test_partial_rename_fraction(self):
+        renamer = RandomRenamer(rename_fraction=0.5)
+        source = "Sub A()\nEnd Sub\nSub B()\nEnd Sub\nSub C()\nEnd Sub\nSub D()\nEnd Sub\n"
+        out = obfuscate(renamer, source)
+        survivors = sum(1 for n in "ABCD" if f"Sub {n}(" in out)
+        assert 0 < survivors < 4
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            RandomRenamer(rename_fraction=1.5)
+
+    def test_rename_is_case_insensitive(self):
+        out = rename_identifiers("Sub Foo()\n    FOO = 1\nEnd Sub\n", {"foo": "bar"})
+        assert "Foo" not in out and "FOO" not in out
+        assert out.count("bar") == 2
+
+    def test_no_declarations_is_identity(self):
+        source = "x = doc.Value\n"
+        assert obfuscate(RandomRenamer(), source) == source
+
+
+class TestStringSplitter:
+    def test_long_strings_are_split(self):
+        out = obfuscate(StringSplitter(min_length=4, hoist_const_probability=0.0), GREETING_MODULE)
+        assert '"Hello, "' not in out
+        assert "&" in out or "+" in out
+
+    def test_short_strings_left_alone(self):
+        source = 'Sub T()\n    x = "ab"\nEnd Sub\n'
+        out = obfuscate(StringSplitter(min_length=4), source)
+        assert '"ab"' in out
+
+    def test_semantics_preserved(self):
+        out = obfuscate(StringSplitter(), GREETING_MODULE)
+        assert run_function(out, "MakeGreeting", "Bob") == run_function(
+            GREETING_MODULE, "MakeGreeting", "Bob"
+        )
+
+    def test_const_hoisting_still_preserves_semantics(self):
+        splitter = StringSplitter(hoist_const_probability=1.0, chunk_min=1, chunk_max=2)
+        out = obfuscate(splitter, URL_MODULE)
+        assert "Public Const" in out
+        assert run_function(out, "BuildTarget") == run_function(URL_MODULE, "BuildTarget")
+
+    def test_invalid_chunk_bounds(self):
+        with pytest.raises(ValueError):
+            StringSplitter(chunk_min=3, chunk_max=2)
+        with pytest.raises(ValueError):
+            StringSplitter(chunk_min=0, chunk_max=2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        value=st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126, exclude_characters='"'),
+            min_size=4,
+            max_size=60,
+        ),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_any_string_round_trips(self, value, seed):
+        source = f'Function F() As String\n    F = "{value}"\nEnd Function\n'
+        out = StringSplitter(hoist_const_probability=0.3).apply(source, make_context(seed))
+        assert run_function(out, "F") == value
+
+    def test_dummy_string_inserter_adds_unused_strings(self):
+        out = obfuscate(DummyStringInserter(), GREETING_MODULE)
+        before = len(analyze(GREETING_MODULE).string_literals)
+        after = len(analyze(out).string_literals)
+        assert after > before
+        assert run_function(out, "MakeGreeting", "x") == run_function(
+            GREETING_MODULE, "MakeGreeting", "x"
+        )
+
+
+class TestStringEncoder:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_each_strategy_round_trips(self, strategy):
+        encoder = StringEncoder(strategies=(strategy,))
+        out = obfuscate(encoder, URL_MODULE)
+        assert run_function(out, "BuildTarget") == run_function(URL_MODULE, "BuildTarget")
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_plaintext_literal_disappears(self, strategy):
+        encoder = StringEncoder(strategies=(strategy,))
+        out = obfuscate(encoder, URL_MODULE)
+        # The original literal never survives verbatim; strategies other than
+        # the single-character Replace() marker erase the keyword entirely.
+        assert '"http://example.com/payload.exe"' not in out
+        if strategy != "replace_marker":
+            assert "payload.exe" not in out
+
+    def test_mixed_strategies(self):
+        encoder = StringEncoder(strategies=STRATEGIES)
+        for seed in range(5):
+            out = encoder.apply(URL_MODULE, make_context(seed))
+            assert run_function(out, "BuildTarget") == run_function(
+                URL_MODULE, "BuildTarget"
+            )
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            StringEncoder(strategies=("rot13",))
+        with pytest.raises(ValueError):
+            StringEncoder(strategies=())
+
+    def test_helper_functions_are_deduplicated(self):
+        source = (
+            "Function F() As String\n"
+            '    F = "aaaaaaaa" & "bbbbbbbb" & "cccccccc"\n'
+            "End Function\n"
+        )
+        out = obfuscate(StringEncoder(strategies=("base64",)), source)
+        # One decoder serves all three literals.
+        module = parse_module(out)
+        assert len(module.procedures) == 2  # F + one decoder
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        value=st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=255, exclude_characters='"'),
+            min_size=4,
+            max_size=50,
+        ),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_any_byte_range_string_round_trips(self, value, seed):
+        escaped = value.replace('"', '""')
+        source = f'Function F() As String\n    F = "{escaped}"\nEnd Function\n'
+        out = StringEncoder().apply(source, make_context(seed))
+        assert run_function(out, "F") == value
+
+
+class TestLogicObfuscation:
+    def test_dummy_code_grows_the_module(self):
+        out = obfuscate(DummyCodeInserter(blocks_min=2, blocks_max=2), GREETING_MODULE)
+        assert len(out) > len(GREETING_MODULE)
+        assert run_function(out, "MakeGreeting", "x") == run_function(
+            GREETING_MODULE, "MakeGreeting", "x"
+        )
+
+    def test_junk_procedures_are_parseable_and_runnable(self):
+        for seed in range(20):
+            junk = generate_junk_procedure(make_context(seed))
+            module = parse_module(junk)
+            assert len(module.procedures) == 1
+            interp = Interpreter(module, max_steps=100_000)
+            interp.call(next(iter(module.procedures.values())).name)
+
+    def test_size_padder_reaches_target(self):
+        padder = SizePadder(target_length=5000)
+        out = obfuscate(padder, GREETING_MODULE)
+        assert len(out) >= 5000
+
+    def test_size_padder_clusters_lengths(self):
+        """Variants padded to one target land within a narrow band (Fig. 5b)."""
+        lengths = []
+        for seed in range(8):
+            out = SizePadder(target_length=3000).apply(
+                GREETING_MODULE, make_context(seed)
+            )
+            lengths.append(len(out))
+        spread = max(lengths) - min(lengths)
+        assert spread < 800  # all cluster near the 3000-char target
+
+    def test_size_padder_noop_when_already_long(self):
+        padder = SizePadder(target_length=10)
+        out = obfuscate(padder, GREETING_MODULE)
+        assert out == GREETING_MODULE
+
+    def test_size_padder_rejects_negative_target(self):
+        with pytest.raises(ValueError):
+            SizePadder(target_length=-1)
+
+    def test_reorderer_keeps_all_procedures(self):
+        source = (
+            "Sub Alpha()\nEnd Sub\n\n"
+            "Sub Beta()\nEnd Sub\n\n"
+            "Sub Gamma()\nEnd Sub\n"
+        )
+        out = obfuscate(ProcedureReorderer(), source, seed=3)
+        module = parse_module(out)
+        assert set(module.procedures) == {"alpha", "beta", "gamma"}
+
+    def test_reorderer_actually_reorders(self):
+        source = "".join(f"Sub P{i}()\nEnd Sub\n\n" for i in range(6))
+        rng = random.Random(0)
+        reordered_any = False
+        for seed in range(10):
+            out = ProcedureReorderer().apply(source, make_context(seed))
+            order = [line for line in out.splitlines() if line.startswith("Sub")]
+            if order != [f"Sub P{i}()" for i in range(6)]:
+                reordered_any = True
+                break
+        assert reordered_any
+        del rng
+
+    def test_single_procedure_not_reordered(self):
+        out = obfuscate(ProcedureReorderer(), GREETING_MODULE)
+        assert out == GREETING_MODULE

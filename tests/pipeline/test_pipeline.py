@@ -1,0 +1,200 @@
+"""Tests for the end-to-end pipeline layer."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.builder import CorpusBuilder, paper_profile
+from repro.pipeline.classifiers import (
+    CLASSIFIER_ORDER,
+    make_classifier,
+    preprocessor_for,
+)
+from repro.pipeline.dataset import DatasetBuilder, MacroDataset, MacroSample
+from repro.pipeline.experiment import ExperimentRunner
+from repro.pipeline.reporting import (
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_table2,
+    render_table3,
+    render_table5,
+)
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return CorpusBuilder(paper_profile().scaled(0.04), seed=5).build()
+
+
+@pytest.fixture(scope="module")
+def dataset(small_corpus):
+    return DatasetBuilder().build(small_corpus.documents, small_corpus.truth)
+
+
+class TestDatasetBuilder:
+    def test_dedup_keeps_unique_sources(self, dataset):
+        sources = dataset.sources
+        assert len(sources) == len(set(sources))
+
+    def test_duplicates_counted(self, dataset):
+        # Malicious campaign macros are reused across files.
+        assert dataset.dropped_duplicates > 0
+        reused = [s for s in dataset.samples if s.occurrences > 1]
+        assert reused
+
+    def test_minimum_length_filter(self, dataset):
+        for sample in dataset.samples:
+            assert len(sample.source.encode("utf-8")) >= 150
+
+    def test_short_filter_configurable(self, small_corpus):
+        permissive = DatasetBuilder(min_macro_bytes=0).build(
+            small_corpus.documents, small_corpus.truth
+        )
+        strict = DatasetBuilder(min_macro_bytes=150).build(
+            small_corpus.documents, small_corpus.truth
+        )
+        assert len(permissive.samples) >= len(strict.samples)
+
+    def test_invalid_min_bytes(self):
+        with pytest.raises(ValueError):
+            DatasetBuilder(min_macro_bytes=-1)
+
+    def test_labels_match_truth(self, small_corpus, dataset):
+        for sample in dataset.samples:
+            assert sample.obfuscated == small_corpus.truth[sample.source]
+
+    def test_labels_vector(self, dataset):
+        labels = dataset.labels
+        assert labels.shape == (len(dataset.samples),)
+        assert set(np.unique(labels)) <= {0, 1}
+
+    def test_table3_shape(self, dataset):
+        summary = dataset.table3_summary()
+        assert summary["malicious"]["obfuscated_pct"] > 90.0
+        assert summary["benign"]["obfuscated_pct"] < 10.0
+        assert (
+            summary["total"]["macros"]
+            == summary["benign"]["macros"] + summary["malicious"]["macros"]
+        )
+
+    def test_file_counts(self, small_corpus, dataset):
+        assert dataset.files_benign == len(small_corpus.benign_documents)
+        assert dataset.files_malicious == len(small_corpus.malicious_documents)
+
+
+class TestClassifierFactories:
+    @pytest.mark.parametrize("name", CLASSIFIER_ORDER)
+    def test_factory_builds_unfitted(self, name):
+        model = make_classifier(name)
+        assert not hasattr(model, "classes_")
+
+    def test_svm_uses_paper_parameters(self):
+        model = make_classifier("SVM")
+        assert model.C == 150.0
+        assert model.gamma == 0.03
+
+    def test_unknown_classifier(self):
+        with pytest.raises(ValueError):
+            make_classifier("XGB")
+        with pytest.raises(ValueError):
+            preprocessor_for("XGB")
+
+    @pytest.mark.parametrize("name", CLASSIFIER_ORDER)
+    def test_preprocessor_contract(self, name):
+        factory = preprocessor_for(name)
+        if factory is None:
+            return
+        preprocessor = factory()
+        X = np.random.default_rng(0).random((10, 4))
+        transformed = preprocessor.fit_transform(X)
+        assert transformed.shape == X.shape
+
+
+class TestExperimentRunner:
+    @pytest.fixture(scope="class")
+    def result(self, dataset):
+        runner = ExperimentRunner(
+            n_splits=4, classifiers=("RF", "BNB"), feature_sets=("V", "J")
+        )
+        return runner.run(dataset)
+
+    def test_all_cells_present(self, result):
+        assert set(result.cells) == {
+            ("V", "RF"), ("V", "BNB"), ("J", "RF"), ("J", "BNB"),
+        }
+
+    def test_metrics_in_range(self, result):
+        for cell in result.cells.values():
+            for value in (cell.accuracy, cell.precision, cell.recall, cell.f2):
+                assert 0.0 <= value <= 1.0
+            assert 0.0 <= cell.auc <= 1.0
+
+    def test_rf_learns_something(self, result):
+        assert result.cell("V", "RF").f2 > 0.5
+        assert result.cell("V", "RF").auc > 0.8
+
+    def test_best_by_f2(self, result):
+        best = result.best_by_f2("V")
+        assert best.f2 == max(
+            cell.f2 for (fs, _), cell in result.cells.items() if fs == "V"
+        )
+
+    def test_f2_improvement_is_difference(self, result):
+        expected = result.best_by_f2("V").f2 - result.best_by_f2("J").f2
+        assert result.f2_improvement == expected
+
+    def test_roc_points_valid(self, result):
+        fpr, tpr = result.cell("V", "RF").roc_points()
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_single_class_dataset_rejected(self):
+        bad = MacroDataset(
+            samples=[
+                MacroSample("Sub A()\nEnd Sub\n" * (i + 1), False, False)
+                for i in range(12)
+            ]
+        )
+        with pytest.raises(ValueError):
+            ExperimentRunner(n_splits=2).run(bad)
+
+
+class TestReporting:
+    @pytest.fixture(scope="class")
+    def result(self, dataset):
+        runner = ExperimentRunner(n_splits=4)
+        return runner.run(dataset)
+
+    def test_table2(self, small_corpus):
+        text = render_table2(small_corpus.summary())
+        assert "TABLE II" in text
+        assert "benign" in text and "malicious" in text
+
+    def test_table3(self, dataset):
+        text = render_table3(dataset)
+        assert "TABLE III" in text
+        assert "%" in text
+
+    def test_table5_contains_all_rows(self, result):
+        text = render_table5(result)
+        for name in ("SVM", "RF", "MLP", "LDA", "BNB"):
+            assert text.count(name) == 2  # one V row, one J row
+
+    def test_fig6_reports_improvement(self, result):
+        text = render_fig6(result)
+        assert "F2 improvement" in text
+
+    def test_fig7_draws_curves(self, result):
+        text = render_fig7(result)
+        assert "AUC" in text
+        assert "#" in text  # solid curve plotted
+
+    def test_fig5_histogram(self):
+        import random
+
+        rng = random.Random(0)
+        normal = [rng.randint(150, 16000) for _ in range(100)]
+        clustered = [rng.choice((1500, 3000, 15000)) + rng.randint(-50, 50) for _ in range(100)]
+        text = render_fig5(normal, clustered)
+        assert "FIGURE 5" in text
+        assert "median" in text

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def demo_document(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "sample.docm"
+    assert main(["demo", str(path), "--seed", "7"]) == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_scan_classifier_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scan", "x", "--classifier", "XGB"])
+
+
+class TestDemo:
+    def test_demo_writes_extractable_document(self, demo_document):
+        from repro.ole.extractor import extract_macros_from_file
+
+        result = extract_macros_from_file(demo_document)
+        assert result.has_macros
+
+    def test_demo_is_deterministic(self, tmp_path):
+        a = tmp_path / "a.docm"
+        b = tmp_path / "b.docm"
+        main(["demo", str(a), "--seed", "3"])
+        main(["demo", str(b), "--seed", "3"])
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestExtract:
+    def test_extract_prints_sources(self, demo_document, capsys):
+        assert main(["extract", str(demo_document)]) == 0
+        out = capsys.readouterr().out
+        assert "modules" in out
+        assert "Sub " in out or "Function " in out
+
+    def test_extract_missing_file(self, capsys):
+        assert main(["extract", "/nonexistent/file.docm"]) == 1
+        assert "file.docm" in capsys.readouterr().err
+
+    def test_extract_non_document(self, tmp_path, capsys):
+        path = tmp_path / "notes.txt"
+        path.write_text("hello")
+        assert main(["extract", str(path)]) == 1
+
+
+class TestDeobfuscate:
+    def test_deobfuscate_recovers_keywords(self, demo_document, capsys):
+        assert main(["deobfuscate", str(demo_document)]) == 0
+        out = capsys.readouterr().out
+        assert "deobfuscation:" in out
+        # The demo payload hides a download/execute command.
+        assert "powershell" in out.lower() or "http" in out.lower()
+
+
+class TestScan:
+    def test_scan_flags_demo_document(self, demo_document, capsys):
+        # Exit status 2 = at least one obfuscated macro found.
+        status = main(
+            ["scan", str(demo_document), "--classifier", "RF", "--train-seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert status == 2
+        assert "OBFUSCATED" in out
+        assert "AV aggregate" in out

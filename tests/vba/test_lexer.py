@@ -1,0 +1,197 @@
+"""Unit and property tests for the VBA lexer."""
+
+import string
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vba.lexer import significant_tokens, tokenize
+from repro.vba.tokens import Token, TokenKind
+
+
+def kinds(source: str) -> list[TokenKind]:
+    return [t.kind for t in significant_tokens(source)]
+
+
+def texts_of_kind(source: str, kind: TokenKind) -> list[str]:
+    return [t.text for t in significant_tokens(source) if t.kind is kind]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier_and_keyword(self):
+        tokens = significant_tokens("Dim counter As Integer")
+        assert [t.kind for t in tokens] == [
+            TokenKind.KEYWORD,
+            TokenKind.IDENTIFIER,
+            TokenKind.KEYWORD,
+            TokenKind.KEYWORD,
+        ]
+        assert tokens[1].text == "counter"
+
+    def test_keywords_are_case_insensitive(self):
+        for variant in ("dim", "DIM", "Dim", "dIm"):
+            assert kinds(variant) == [TokenKind.KEYWORD]
+
+    def test_identifier_with_type_suffix(self):
+        tokens = significant_tokens("name$ = 5")
+        assert tokens[0].kind is TokenKind.IDENTIFIER
+        assert tokens[0].text == "name$"
+
+    def test_operators(self):
+        source = "a <= b >= c <> d := e & f"
+        ops = texts_of_kind(source, TokenKind.OPERATOR)
+        assert ops == ["<=", ">=", "<>", ":=", "&"]
+
+    def test_punctuation(self):
+        source = "Foo(a, b).Bar"
+        punct = texts_of_kind(source, TokenKind.PUNCT)
+        assert punct == ["(", ",", ")", "."]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        tokens = significant_tokens('x = "hello"')
+        strings = [t for t in tokens if t.kind is TokenKind.STRING]
+        assert len(strings) == 1
+        assert strings[0].string_value == "hello"
+
+    def test_escaped_quote(self):
+        tokens = significant_tokens('x = "say ""hi"" now"')
+        strings = [t for t in tokens if t.kind is TokenKind.STRING]
+        assert strings[0].string_value == 'say "hi" now'
+
+    def test_unterminated_string_is_tolerated(self):
+        tokens = significant_tokens('x = "oops')
+        strings = [t for t in tokens if t.kind is TokenKind.STRING]
+        assert len(strings) == 1
+
+    def test_string_does_not_span_lines(self):
+        tokens = significant_tokens('x = "abc\ny = 1')
+        strings = [t for t in tokens if t.kind is TokenKind.STRING]
+        assert len(strings) == 1
+        assert "\n" not in strings[0].text
+
+    def test_string_value_raises_on_non_string(self):
+        token = Token(TokenKind.IDENTIFIER, "foo", 1, 1)
+        with pytest.raises(ValueError):
+            _ = token.string_value
+
+
+class TestComments:
+    def test_apostrophe_comment(self):
+        tokens = significant_tokens("x = 1 ' trailing comment")
+        comments = [t for t in tokens if t.kind is TokenKind.COMMENT]
+        assert len(comments) == 1
+        assert comments[0].comment_value == " trailing comment"
+
+    def test_rem_comment(self):
+        tokens = significant_tokens("Rem whole line comment\nx = 1")
+        comments = [t for t in tokens if t.kind is TokenKind.COMMENT]
+        assert len(comments) == 1
+        assert "whole line comment" in comments[0].text
+
+    def test_rem_requires_word_boundary(self):
+        # ``Remote`` is an identifier, not a Rem comment.
+        tokens = significant_tokens("Remote = 1")
+        assert tokens[0].kind is TokenKind.IDENTIFIER
+
+    def test_apostrophe_inside_string_is_not_comment(self):
+        tokens = significant_tokens('x = "don\'t panic"')
+        assert not [t for t in tokens if t.kind is TokenKind.COMMENT]
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "literal",
+        ["42", "3.14", "1e10", "2.5E-3", "7&", "9%", "0.5#", ".25"],
+    )
+    def test_decimal_forms(self, literal):
+        tokens = significant_tokens(f"x = {literal}")
+        numbers = [t for t in tokens if t.kind is TokenKind.NUMBER]
+        assert len(numbers) == 1
+        assert numbers[0].text == literal
+
+    def test_hex_literal(self):
+        tokens = significant_tokens("x = &HFF")
+        numbers = [t for t in tokens if t.kind is TokenKind.NUMBER]
+        assert numbers[0].text == "&HFF"
+
+    def test_octal_literal(self):
+        tokens = significant_tokens("x = &O777")
+        numbers = [t for t in tokens if t.kind is TokenKind.NUMBER]
+        assert numbers[0].text == "&O777"
+
+    def test_ampersand_alone_is_operator(self):
+        tokens = significant_tokens('"a" & "b"')
+        assert texts_of_kind('"a" & "b"', TokenKind.OPERATOR) == ["&"]
+
+
+class TestDatesAndContinuations:
+    def test_date_literal(self):
+        tokens = significant_tokens("d = #1/15/2016#")
+        dates = [t for t in tokens if t.kind is TokenKind.DATE]
+        assert len(dates) == 1
+        assert dates[0].text == "#1/15/2016#"
+
+    def test_lone_hash_is_punct(self):
+        tokens = significant_tokens("Open f For Output As #1")
+        assert not [t for t in tokens if t.kind is TokenKind.DATE]
+
+    def test_line_continuation(self):
+        source = 'x = "a" & _\n    "b"'
+        tokens = tokenize(source)
+        assert any(t.kind is TokenKind.LINE_CONTINUATION for t in tokens)
+        # Continuation means no NEWLINE token between the two strings.
+        assert not any(t.kind is TokenKind.NEWLINE for t in tokens)
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = significant_tokens("a = 1\nbb = 2")
+        by_text = {t.text: t for t in tokens if t.kind is TokenKind.IDENTIFIER}
+        assert by_text["a"].line == 1
+        assert by_text["a"].column == 1
+        assert by_text["bb"].line == 2
+        assert by_text["bb"].column == 1
+
+
+class TestLosslessness:
+    REALISTIC = (
+        "Sub StartCalculator()\n"
+        "    Dim Program As String\n"
+        "    Dim TaskID As Double\n"
+        "    On Error Resume Next\n"
+        '    Program = "calc.exe"\n'
+        "\n"
+        "    'Run calculator program using Shell()\n"
+        "    TaskID = Shell(Program, 1)\n"
+        "    If Err <> 0 Then\n"
+        '        MsgBox "Can\'t start " & Program\n'
+        "    End If\n"
+        "End Sub\n"
+    )
+
+    def test_round_trip_realistic_macro(self):
+        tokens = tokenize(self.REALISTIC)
+        assert "".join(t.text for t in tokens) == self.REALISTIC
+
+    @given(
+        st.text(
+            alphabet=string.ascii_letters + string.digits + " \t\n\"'&+=()<>.,_:#",
+            max_size=400,
+        )
+    )
+    def test_round_trip_arbitrary_text(self, source):
+        tokens = tokenize(source)
+        assert "".join(t.text for t in tokens) == source
+
+    @given(st.text(max_size=200))
+    def test_round_trip_fully_arbitrary_unicode(self, source):
+        tokens = tokenize(source)
+        assert "".join(t.text for t in tokens) == source
