@@ -5,10 +5,10 @@ arrives, and the gateway must decide without executing anything:
 
 1. build a realistic malicious .docm (obfuscated downloader) and a benign
    .xlsm, byte-for-byte real containers;
-2. extract every VBA macro statically (the olevba-equivalent stack:
-   zip → CFB → dir stream → MS-OVBA decompression);
-3. score each macro with a trained obfuscation detector;
-4. cross-check with the simulated multi-vendor AV aggregate.
+2. run both through the staged :class:`AnalysisEngine` — the same
+   parse-once pipeline (extract → analyze → featurize → classify) behind
+   ``python -m repro scan`` — in one batch;
+3. cross-check with the simulated multi-vendor AV aggregate.
 
 Run with::
 
@@ -24,8 +24,8 @@ from repro.avsim.virustotal import VirusTotalSim
 from repro.corpus.benign import generate_benign_module
 from repro.corpus.documents import build_document_bytes
 from repro.corpus.malicious import generate_malicious_macro
+from repro.engine import AnalysisEngine
 from repro.obfuscation.pipeline import default_pipeline
-from repro.ole.extractor import extract_macros
 
 from quickstart import build_training_data
 
@@ -50,20 +50,18 @@ def make_legitimate_workbook(rng: random.Random) -> bytes:
     return build_document_bytes(macros, "xlsm")
 
 
-def triage(name: str, blob: bytes, detector: ObfuscationDetector, av: VirusTotalSim) -> None:
-    print(f"\n=== {name} ({len(blob):,} bytes) ===")
-    result = extract_macros(blob)
-    print(f"container: {result.container}, macros: {len(result.modules)}")
-    if result.document_variables:
-        print(f"hidden document variables: {len(result.document_variables)}")
-    for module in result.modules:
-        probability = detector.predict_proba([module.source])[0][1]
-        flag = "OBFUSCATED" if probability >= 0.5 else "normal"
+def triage(record, av: VirusTotalSim) -> None:
+    print(f"\n=== {record.source_id} ===")
+    print(f"container: {record.container}, macros: {len(record.macros)}")
+    if record.document_variables:
+        print(f"hidden document variables: {len(record.document_variables)}")
+    for macro in record.macros:
+        flag = "OBFUSCATED" if macro.is_obfuscated else "normal"
         print(
-            f"  module {module.name!r}: {len(module.source):,} chars "
-            f"-> {flag} (P = {probability:.3f})"
+            f"  module {macro.module_name!r}: {len(macro.source):,} chars "
+            f"-> {flag} (P = {macro.score:.3f})"
         )
-    report = av.scan(result.sources)
+    report = av.scan(record.sources)
     print(
         f"AV aggregate: {report.detections}/{report.total_vendors} vendors "
         f"flagged -> {report.verdict.value}"
@@ -74,10 +72,17 @@ def main() -> None:
     rng = random.Random(2016)
     print("Training detector...")
     detector = ObfuscationDetector("RF").fit(*build_training_data())
+    engine = AnalysisEngine.for_scan(detector)
     av = VirusTotalSim()
 
-    triage("invoice_overdue.docm (phishing)", make_suspicious_attachment(rng), detector, av)
-    triage("budget_2016.xlsm (legitimate)", make_legitimate_workbook(rng), detector, av)
+    records = engine.run_batch(
+        [
+            ("invoice_overdue.docm (phishing)", make_suspicious_attachment(rng)),
+            ("budget_2016.xlsm (legitimate)", make_legitimate_workbook(rng)),
+        ]
+    )
+    for record in records:
+        triage(record, av)
 
     print(
         "\nNote how the obfuscated attachment evades most signature vendors "

@@ -75,6 +75,21 @@ class ObfuscationDetector:
         """Return per-source [P(normal), P(obfuscated)]."""
         return self._model.predict_proba(self._features(sources))
 
+    def proba_from_features(self, X):
+        """Score pre-extracted raw V-feature rows (parse-once entry point).
+
+        ``X`` is the untransformed (n × 15) matrix as produced by
+        :func:`~repro.features.vfeatures.extract_v_features`; the fitted
+        preprocessor is applied here, so callers that already hold a
+        :class:`~repro.vba.analyzer.MacroAnalysis` never re-lex the source.
+        """
+        import numpy as np
+
+        X = np.asarray(X, dtype=np.float64)
+        if self._preprocessor is not None:
+            X = self._preprocessor.transform(X)
+        return self._model.predict_proba(X)
+
 
 def detect_obfuscation(source: str, detector: ObfuscationDetector) -> bool:
     """Classify one macro source with a fitted detector."""

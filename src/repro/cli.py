@@ -10,11 +10,20 @@ Commands:
 * ``demo <out.docm>``     — write a synthetic obfuscated-downloader document
   (for trying the other commands);
 * ``reproduce``           — run the paper's Section V evaluation.
+
+``extract`` and ``scan`` accept files *and directories* (scanned
+non-recursively), run through the shared staged
+:class:`~repro.engine.AnalysisEngine` (``--jobs N`` fans the batch out
+over a process pool), and support ``--format json`` emitting one JSON
+record per input file — including structured error records, so a corrupt
+document never aborts the batch (exit code stays 0 for partial success).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import random
 import sys
 
@@ -26,8 +35,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def add_batch_options(subparser) -> None:
+        subparser.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for batch analysis (default 1)",
+        )
+        subparser.add_argument(
+            "--format", default="text", choices=("text", "json"),
+            help="text report or one JSON record per input file",
+        )
+
     extract = commands.add_parser("extract", help="dump macro sources")
     extract.add_argument("files", nargs="+")
+    add_batch_options(extract)
 
     scan = commands.add_parser("scan", help="classify macros in documents")
     scan.add_argument("files", nargs="+")
@@ -38,6 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--train-seed", type=int, default=42,
         help="seed for the on-the-fly training corpus",
     )
+    add_batch_options(scan)
 
     deob = commands.add_parser("deobfuscate", help="statically simplify macros")
     deob.add_argument("file")
@@ -49,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce = commands.add_parser("reproduce", help="run the paper evaluation")
     reproduce.add_argument("--scale", type=float, default=0.12)
     reproduce.add_argument("--folds", type=int, default=10)
+    reproduce.add_argument("--jobs", type=int, default=1)
 
     return parser
 
@@ -68,28 +90,51 @@ def main(argv: list[str] | None = None) -> int:
 # ----------------------------------------------------------------------
 
 
-def _load_macros(path: str):
-    from repro.ole.extractor import ExtractionError, extract_macros_from_file
+def _expand_inputs(paths: list[str]) -> list[str]:
+    """Expand directory arguments to the (sorted) files they contain."""
+    expanded: list[str] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            expanded.extend(
+                str(child) for child in sorted(path.iterdir()) if child.is_file()
+            )
+        else:
+            expanded.append(raw)
+    return expanded
 
-    try:
-        return extract_macros_from_file(path)
-    except (ExtractionError, OSError) as error:
-        print(f"{path}: {error}", file=sys.stderr)
-        return None
+
+def _emit_json(records, extra=None) -> None:
+    """One JSON object per line per input file (JSONL)."""
+    for index, record in enumerate(records):
+        payload = record.to_dict()
+        if extra is not None:
+            payload.update(extra[index])
+        print(json.dumps(payload, sort_keys=True))
 
 
 def _cmd_extract(args) -> int:
+    from repro.engine import AnalysisEngine
+
+    engine = AnalysisEngine.for_extraction()
+    records = engine.run_batch(_expand_inputs(args.files), jobs=args.jobs)
+    if args.format == "json":
+        _emit_json(records)
+        return 0
     status = 0
-    for path in args.files:
-        result = _load_macros(path)
-        if result is None:
+    for record in records:
+        if not record.ok:
+            print(f"{record.source_id}: {record.error}", file=sys.stderr)
             status = 1
             continue
-        print(f"=== {path} ({result.container}, {len(result.modules)} modules) ===")
-        for module in result.modules:
-            print(f"--- {module.name} ({module.module_type}) ---")
-            print(module.source)
-        for expression, value in result.document_variables.items():
+        print(
+            f"=== {record.source_id} "
+            f"({record.container}, {len(record.macros)} modules) ==="
+        )
+        for macro in record.macros:
+            print(f"--- {macro.module_name} ({macro.module_type}) ---")
+            print(macro.source)
+        for expression, value in record.document_variables.items():
             print(f"[hidden] {expression} = {value!r}")
     return status
 
@@ -115,51 +160,95 @@ def _train_detector(classifier: str, seed: int):
     return ObfuscationDetector(classifier).fit(sources, labels)
 
 
-def _cmd_scan(args) -> int:
+def _scan_extras(records):
+    """Per-record anti-analysis findings + AV aggregate (the non-ML checks)."""
     from repro.avsim.virustotal import VirusTotalSim
     from repro.detect import scan_macro
 
-    print(f"training {args.classifier} detector on synthetic corpus...")
-    detector = _train_detector(args.classifier, args.train_seed)
     av = VirusTotalSim()
+    extras = []
+    for record in records:
+        anti = {
+            macro.module_name: scan_macro(macro.source).findings
+            for macro in record.macros
+        }
+        report = av.scan(record.sources) if record.ok else None
+        extras.append({"anti": anti, "av": report})
+    return extras
+
+
+def _cmd_scan(args) -> int:
+    from repro.engine import AnalysisEngine
+
+    json_mode = args.format == "json"
+    log = sys.stderr if json_mode else sys.stdout
+    print(
+        f"training {args.classifier} detector on synthetic corpus...", file=log
+    )
+    detector = _train_detector(args.classifier, args.train_seed)
+    engine = AnalysisEngine.for_scan(detector)
+    records = engine.run_batch(_expand_inputs(args.files), jobs=args.jobs)
+    extras = _scan_extras(records)
+
+    if json_mode:
+        payload_extras = []
+        for extra in extras:
+            report = extra["av"]
+            payload_extras.append(
+                {
+                    "anti_analysis": {
+                        name: [f.technique for f in findings]
+                        for name, findings in extra["anti"].items()
+                    },
+                    "av": None
+                    if report is None
+                    else {
+                        "detections": report.detections,
+                        "total_vendors": report.total_vendors,
+                        "verdict": report.verdict.value,
+                    },
+                }
+            )
+        _emit_json(records, payload_extras)
+        return 0
+
     status = 0
-    for path in args.files:
-        result = _load_macros(path)
-        if result is None:
+    for record, extra in zip(records, extras):
+        if not record.ok:
+            print(f"{record.source_id}: {record.error}", file=sys.stderr)
             status = 1
             continue
-        print(f"\n=== {path} ===")
-        any_obfuscated = False
-        for module in result.modules:
-            probability = float(detector.predict_proba([module.source])[0][1])
-            verdict = "OBFUSCATED" if probability >= 0.5 else "normal"
-            any_obfuscated |= probability >= 0.5
+        print(f"\n=== {record.source_id} ===")
+        for macro in record.macros:
+            score = "n/a" if macro.score is None else f"{macro.score:.3f}"
             print(
-                f"  {module.name}: {len(module.source):,} chars -> "
-                f"{verdict} (P={probability:.3f})"
+                f"  {macro.module_name}: {len(macro.source):,} chars -> "
+                f"{'OBFUSCATED' if macro.is_obfuscated else 'normal'} "
+                f"(P={score})"
             )
-            anti = scan_macro(module.source)
-            for finding in anti.findings[:5]:
+            for finding in extra["anti"][macro.module_name][:5]:
                 print(f"    [anti-analysis] {finding.technique}: {finding.detail}")
-        report = av.scan(result.sources)
+        report = extra["av"]
         print(
             f"  AV aggregate: {report.detections}/{report.total_vendors} "
             f"vendors -> {report.verdict.value}"
         )
-        if any_obfuscated:
+        if record.any_obfuscated:
             status = max(status, 2)
     return status
 
 
 def _cmd_deobfuscate(args) -> int:
     from repro.deobfuscation import deobfuscate
+    from repro.engine import AnalysisEngine
 
-    result = _load_macros(args.file)
-    if result is None:
+    record = AnalysisEngine.for_extraction().run(args.file)
+    if not record.ok:
+        print(f"{record.source_id}: {record.error}", file=sys.stderr)
         return 1
-    for module in result.modules:
-        outcome = deobfuscate(module.source)
-        print(f"--- {module.name} ---")
+    for macro in record.macros:
+        outcome = deobfuscate(macro.source)
+        print(f"--- {macro.module_name} ---")
         print(outcome.source)
         report = outcome.report
         print(
@@ -198,9 +287,9 @@ def _cmd_reproduce(args) -> int:
         paper_profile().scaled(args.scale) if args.scale < 1.0 else paper_profile()
     )
     corpus = CorpusBuilder(profile, seed=2016).build()
-    dataset = DatasetBuilder().build(corpus.documents, corpus.truth)
+    dataset = DatasetBuilder().build(corpus.documents, corpus.truth, jobs=args.jobs)
     print(render_table3(dataset))
-    result = ExperimentRunner(n_splits=args.folds).run(dataset)
+    result = ExperimentRunner(n_splits=args.folds).run(dataset, jobs=args.jobs)
     print(render_table5(result))
     print(render_fig6(result))
     print(render_fig7(result))

@@ -1,0 +1,45 @@
+"""Staged analysis engine: document bytes → modules → analysis → features →
+verdict, shared by every entry point (CLI, dataset builder, experiments).
+
+Quickstart::
+
+    from repro import ObfuscationDetector
+    from repro.engine import AnalysisEngine
+
+    engine = AnalysisEngine.for_scan(ObfuscationDetector("RF").fit(X, y))
+    for record in engine.run_batch(paths, jobs=4):
+        print(record.source_id, record.ok, [m.verdict for m in record.macros])
+"""
+
+from repro.engine.core import AnalysisEngine, default_stages
+from repro.engine.records import (
+    Diagnostic,
+    DocumentRecord,
+    MacroRecord,
+    sha256_hex,
+)
+from repro.engine.stages import (
+    AnalyzeStage,
+    ClassifyStage,
+    ExtractStage,
+    FeaturizeStage,
+    FilterShortStage,
+    MacroStage,
+    Stage,
+)
+
+__all__ = [
+    "AnalysisEngine",
+    "AnalyzeStage",
+    "ClassifyStage",
+    "Diagnostic",
+    "DocumentRecord",
+    "ExtractStage",
+    "FeaturizeStage",
+    "FilterShortStage",
+    "MacroRecord",
+    "MacroStage",
+    "Stage",
+    "default_stages",
+    "sha256_hex",
+]

@@ -1,0 +1,361 @@
+"""The staged :class:`AnalysisEngine`: one parse-once pipeline from document
+bytes to verdict.
+
+Every entry point of the repo — CLI commands, the dataset builder, the
+experiment runner, the examples — drives this engine instead of gluing
+extraction / analysis / featurization together privately.  The engine:
+
+* threads a :class:`~repro.engine.records.DocumentRecord` through the
+  configured stages (extract → filter → analyze → featurize → classify);
+* is **total**: per-file failures become error diagnostics on the record,
+  never exceptions (N inputs in, N records out);
+* memoizes whole-document results in a content-hash (SHA-256) cache, so
+  duplicate attachments are analyzed once;
+* fans batches out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+  with ``run_batch(inputs, jobs=N)``.
+
+Records served from the cache share their macro list with the original
+record; treat records as read-only after a run.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.engine.records import DocumentRecord, MacroRecord, sha256_hex
+from repro.engine.stages import (
+    AnalyzeStage,
+    ClassifyStage,
+    ExtractStage,
+    FeaturizeStage,
+    FilterShortStage,
+    MacroStage,
+    Stage,
+)
+from repro.features.registry import get_feature_set
+
+#: chunks per worker when fanning a batch out, to amortize pool overhead
+#: while keeping the workers load-balanced.
+_CHUNKS_PER_JOB = 4
+
+
+def default_stages(
+    *,
+    detector=None,
+    feature_sets: tuple[str, ...] = ("V",),
+    min_macro_bytes: int = 0,
+    threshold: float = 0.5,
+) -> list[Stage]:
+    """The canonical stage chain for the given options."""
+    stages: list[Stage] = [ExtractStage()]
+    if min_macro_bytes > 0:
+        stages.append(FilterShortStage(min_macro_bytes))
+    if feature_sets:
+        stages.append(AnalyzeStage())
+        stages.append(FeaturizeStage(feature_sets))
+    if detector is not None:
+        if not feature_sets:
+            raise ValueError("a detector needs at least one feature set")
+        stages.append(ClassifyStage(detector, feature_sets[0], threshold))
+    return stages
+
+
+class AnalysisEngine:
+    """Run documents (or bare macro sources) through the staged pipeline."""
+
+    def __init__(
+        self,
+        stages: Sequence[Stage] | None = None,
+        *,
+        detector=None,
+        feature_sets: tuple[str, ...] = ("V",),
+        min_macro_bytes: int = 0,
+        threshold: float = 0.5,
+        cache_size: int = 1024,
+        keep_analysis: bool = False,
+    ) -> None:
+        if stages is None:
+            stages = default_stages(
+                detector=detector,
+                feature_sets=tuple(feature_sets),
+                min_macro_bytes=min_macro_bytes,
+                threshold=threshold,
+            )
+        self.stages = list(stages)
+        self.feature_sets = tuple(feature_sets)
+        self.keep_analysis = keep_analysis
+        self._cache: dict[str, DocumentRecord] | None = (
+            {} if cache_size > 0 else None
+        )
+        self._cache_size = cache_size
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- convenience constructors --------------------------------------
+
+    @classmethod
+    def for_extraction(cls, min_macro_bytes: int = 0) -> "AnalysisEngine":
+        """Extraction (and optional length filter) only — no featurization."""
+        return cls(feature_sets=(), min_macro_bytes=min_macro_bytes)
+
+    @classmethod
+    def for_features(
+        cls, feature_sets: tuple[str, ...] = ("V", "J")
+    ) -> "AnalysisEngine":
+        """Analyze + featurize, no classifier (training / experiments)."""
+        return cls(feature_sets=feature_sets)
+
+    @classmethod
+    def for_scan(
+        cls,
+        detector,
+        feature_sets: tuple[str, ...] = ("V",),
+        threshold: float = 0.5,
+    ) -> "AnalysisEngine":
+        """The full chain ending in a verdict (deployment / CLI scan)."""
+        return cls(
+            detector=detector, feature_sets=feature_sets, threshold=threshold
+        )
+
+    # -- pickling (worker processes get an empty cache) ----------------
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_cache"] = {} if self._cache is not None else None
+        state["cache_hits"] = 0
+        state["cache_misses"] = 0
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+    # -- cache ---------------------------------------------------------
+
+    def cache_info(self) -> dict[str, int]:
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "size": len(self._cache) if self._cache is not None else 0,
+        }
+
+    def _cache_get(self, digest: str) -> DocumentRecord | None:
+        if self._cache is None:
+            return None
+        record = self._cache.get(digest)
+        if record is not None:
+            self.cache_hits += 1
+        return record
+
+    def _cache_put(self, digest: str, record: DocumentRecord) -> None:
+        if self._cache is None:
+            return
+        self.cache_misses += 1
+        if digest in self._cache:
+            return
+        while len(self._cache) >= self._cache_size:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[digest] = record
+
+    @staticmethod
+    def _cached_copy(record: DocumentRecord, source_id: str) -> DocumentRecord:
+        copy = DocumentRecord(
+            source_id=source_id,
+            data=None,
+            sha256=record.sha256,
+            container=record.container,
+            macros=record.macros,
+            document_variables=record.document_variables,
+            diagnostics=list(record.diagnostics),
+        )
+        copy.diag("cache", "info", "served from content-hash cache")
+        return copy
+
+    # -- single inputs -------------------------------------------------
+
+    def run(self, source, source_id: str | None = None) -> DocumentRecord:
+        """Analyze one document (path, bytes, or (id, bytes) pair)."""
+        sid, data, error = _coerce_input(source)
+        if source_id is not None:
+            sid = source_id
+        if error is not None:
+            record = DocumentRecord(source_id=sid)
+            record.diag("read", "error", error)
+            return record
+        digest = sha256_hex(data)
+        cached = self._cache_get(digest)
+        if cached is not None:
+            return self._cached_copy(cached, sid)
+        record = self._process(sid, data, digest)
+        self._cache_put(digest, record)
+        return record
+
+    def _process(self, source_id: str, data: bytes, digest: str) -> DocumentRecord:
+        record = DocumentRecord(source_id=source_id, data=data, sha256=digest)
+        for stage in self.stages:
+            stage.process(record)
+        record.data = None  # bytes are consumed; keep records IPC-light
+        if not self.keep_analysis:
+            for macro in record.macros:
+                macro.analysis = None
+        return record
+
+    def run_source(self, source: str, name: str = "Macro1") -> MacroRecord:
+        """Run one bare VBA source through the macro-level stages."""
+        macro = MacroRecord(module_name=name, source=source)
+        for stage in self.stages:
+            if isinstance(stage, MacroStage) and macro.kept:
+                stage.process_macro(macro)
+        if not self.keep_analysis:
+            macro.analysis = None
+        return macro
+
+    # -- batches -------------------------------------------------------
+
+    def run_batch(self, inputs: Iterable, jobs: int = 1) -> list[DocumentRecord]:
+        """Analyze many documents; returns one record per input, in order.
+
+        Inputs may mix paths, raw bytes, ``(source_id, bytes)`` pairs, and
+        objects with ``file_name``/``data`` attributes.  Identical content
+        (by SHA-256) is analyzed once and served from the cache for every
+        other occurrence.  With ``jobs > 1`` the unique documents are
+        chunked across a process pool.
+        """
+        prepared = [_coerce_input(item) for item in inputs]
+        records: list[DocumentRecord | None] = [None] * len(prepared)
+
+        # Positions that need processing, grouped by content hash.
+        pending: dict[str, list[int]] = {}
+        digests: dict[int, str] = {}
+        for index, (sid, data, error) in enumerate(prepared):
+            if error is not None:
+                record = DocumentRecord(source_id=sid)
+                record.diag("read", "error", error)
+                records[index] = record
+                continue
+            digest = sha256_hex(data)
+            digests[index] = digest
+            cached = self._cache_get(digest)
+            if cached is not None:
+                records[index] = self._cached_copy(cached, sid)
+                continue
+            pending.setdefault(digest, []).append(index)
+
+        unique = [
+            (digest, prepared[positions[0]][0], prepared[positions[0]][1])
+            for digest, positions in pending.items()
+        ]
+        if jobs > 1 and len(unique) > 1:
+            processed = self._process_parallel(unique, jobs)
+        else:
+            processed = {
+                digest: self._process(sid, data, digest)
+                for digest, sid, data in unique
+            }
+
+        for digest, positions in pending.items():
+            record = processed[digest]
+            self._cache_put(digest, record)
+            first, *rest = positions  # record was processed under first's id
+            records[first] = record
+            for index in rest:
+                self.cache_hits += 1
+                records[index] = self._cached_copy(record, prepared[index][0])
+        return records  # type: ignore[return-value]
+
+    def _process_parallel(
+        self, unique: list[tuple[str, str, bytes]], jobs: int
+    ) -> dict[str, DocumentRecord]:
+        chunks = _chunked(unique, jobs)
+        processed: dict[str, DocumentRecord] = {}
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for chunk_result in pool.map(
+                _process_document_chunk, [(self, chunk) for chunk in chunks]
+            ):
+                processed.update(chunk_result)
+        return processed
+
+    def feature_matrices(
+        self,
+        sources: Sequence[str],
+        feature_sets: tuple[str, ...] | None = None,
+        jobs: int = 1,
+    ) -> dict[str, np.ndarray]:
+        """Per-set (n_samples × n_features) matrices over bare macro sources.
+
+        The registry-backed replacement for hand-rolled featurization: each
+        source is analyzed once and every requested set extracts from the
+        shared analysis — the same code path documents take through
+        :meth:`run_batch`.
+        """
+        names = tuple(feature_sets) if feature_sets else self.feature_sets
+        if not names:
+            raise ValueError("no feature sets requested")
+        widths = {name: get_feature_set(name).width for name in names}
+        sources = list(sources)
+        if jobs > 1 and len(sources) > 1:
+            rows: list[dict[str, np.ndarray]] = []
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for chunk_rows in pool.map(
+                    _featurize_source_chunk,
+                    [(names, chunk) for chunk in _chunked(sources, jobs)],
+                ):
+                    rows.extend(chunk_rows)
+        else:
+            rows = [_featurize_source(names, source) for source in sources]
+        return {
+            name: np.vstack([row[name] for row in rows])
+            if rows
+            else np.empty((0, widths[name]))
+            for name in names
+        }
+
+
+# ----------------------------------------------------------------------
+# Module-level helpers (picklable for the process pool).
+
+
+def _coerce_input(item) -> tuple[str, bytes | None, str | None]:
+    """Normalize one batch input to ``(source_id, bytes|None, error|None)``."""
+    if isinstance(item, tuple) and len(item) == 2:
+        source_id, data = item
+        return str(source_id), bytes(data), None
+    if isinstance(item, (bytes, bytearray, memoryview)):
+        data = bytes(item)
+        return f"<bytes:{sha256_hex(data)[:12]}>", data, None
+    if hasattr(item, "data") and hasattr(item, "file_name"):
+        return str(item.file_name), bytes(item.data), None
+    path = os.fspath(item)
+    try:
+        with open(path, "rb") as handle:
+            return str(path), handle.read(), None
+    except OSError as error:
+        return str(path), None, str(error)
+
+
+def _chunked(items: list, jobs: int) -> list[list]:
+    size = max(1, math.ceil(len(items) / (jobs * _CHUNKS_PER_JOB)))
+    return [items[start : start + size] for start in range(0, len(items), size)]
+
+
+def _process_document_chunk(payload) -> dict[str, DocumentRecord]:
+    engine, chunk = payload
+    return {
+        digest: engine._process(sid, data, digest) for digest, sid, data in chunk
+    }
+
+
+def _featurize_source(names, source) -> dict[str, np.ndarray]:
+    from repro.vba.analyzer import analyze
+
+    analysis = analyze(source)
+    return {name: get_feature_set(name).extract(analysis) for name in names}
+
+
+def _featurize_source_chunk(payload) -> list[dict[str, np.ndarray]]:
+    names, sources = payload
+    return [_featurize_source(names, source) for source in sources]

@@ -1,0 +1,131 @@
+"""The context objects threaded through the staged analysis pipeline.
+
+One :class:`DocumentRecord` accompanies each input document from raw bytes
+to verdict.  Stages never raise on bad input — every failure becomes a
+:class:`Diagnostic` on the record, so a batch run is total: N inputs in,
+N records out, errors carried in-band.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vba.analyzer import MacroAnalysis
+
+#: Diagnostic severities, mildest first.
+LEVELS = ("info", "warning", "error")
+
+
+def sha256_hex(data: bytes | str) -> str:
+    if isinstance(data, str):
+        data = data.encode("utf-8", "replace")
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One per-stage observation: provenance for the final record."""
+
+    stage: str
+    level: str
+    message: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {"stage": self.stage, "level": self.level, "message": self.message}
+
+
+@dataclass(slots=True)
+class MacroRecord:
+    """One extracted VBA module flowing through the macro-level stages."""
+
+    module_name: str
+    source: str
+    sha256: str = ""
+    module_type: str = "standard"
+    filtered: str | None = None  # "short" | "analysis-error" | None (kept)
+    analysis: "MacroAnalysis | None" = None
+    features: dict[str, np.ndarray] = field(default_factory=dict)
+    score: float | None = None
+    verdict: str | None = None  # "obfuscated" | "normal"
+
+    def __post_init__(self) -> None:
+        if not self.sha256:
+            self.sha256 = sha256_hex(self.source)
+
+    @property
+    def kept(self) -> bool:
+        return self.filtered is None
+
+    @property
+    def is_obfuscated(self) -> bool:
+        return self.verdict == "obfuscated"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.module_name,
+            "type": self.module_type,
+            "sha256": self.sha256,
+            "chars": len(self.source),
+            "filtered": self.filtered,
+            "score": self.score,
+            "verdict": self.verdict,
+        }
+
+
+@dataclass(slots=True)
+class DocumentRecord:
+    """Everything the pipeline learned about one input document."""
+
+    source_id: str
+    data: bytes | None = None  # consumed by ExtractStage, then dropped
+    sha256: str | None = None
+    container: str | None = None
+    macros: list[MacroRecord] = field(default_factory=list)
+    document_variables: dict[str, str] = field(default_factory=dict)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def diag(self, stage: str, level: str, message: str) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown diagnostic level {level!r}")
+        self.diagnostics.append(Diagnostic(stage, level, message))
+
+    @property
+    def ok(self) -> bool:
+        return not any(d.level == "error" for d in self.diagnostics)
+
+    @property
+    def error(self) -> str | None:
+        for diagnostic in self.diagnostics:
+            if diagnostic.level == "error":
+                return f"{diagnostic.stage}: {diagnostic.message}"
+        return None
+
+    @property
+    def kept_macros(self) -> list[MacroRecord]:
+        return [macro for macro in self.macros if macro.kept]
+
+    @property
+    def sources(self) -> list[str]:
+        return [macro.source for macro in self.macros]
+
+    @property
+    def any_obfuscated(self) -> bool:
+        return any(macro.is_obfuscated for macro in self.macros)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable per-file record (the ``--format json`` shape)."""
+        return {
+            "path": self.source_id,
+            "sha256": self.sha256,
+            "ok": self.ok,
+            "error": self.error,
+            "container": self.container,
+            "macros": [macro.to_dict() for macro in self.macros],
+            "document_variables": dict(self.document_variables),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }

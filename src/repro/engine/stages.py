@@ -1,0 +1,168 @@
+"""Composable pipeline stages: bytes → modules → analysis → features → verdict.
+
+Each stage mutates the :class:`~repro.engine.records.DocumentRecord` in
+place and records what it did as diagnostics.  Document-level stages
+implement :meth:`Stage.process`; macro-level stages additionally expose
+:meth:`MacroStage.process_macro` so the engine can run a bare VBA source
+(no container) through the same code path.
+"""
+
+from __future__ import annotations
+
+from repro.engine.records import DocumentRecord, MacroRecord
+from repro.features.registry import get_feature_set
+
+
+class Stage:
+    """Base class: one named step of the analysis pipeline."""
+
+    name = "stage"
+
+    def process(self, document: DocumentRecord) -> None:
+        raise NotImplementedError
+
+
+class MacroStage(Stage):
+    """A stage that works per-macro; skips macros filtered upstream."""
+
+    def process(self, document: DocumentRecord) -> None:
+        for macro in document.macros:
+            if macro.kept:
+                self.process_macro(macro, document)
+
+    def process_macro(
+        self, macro: MacroRecord, document: DocumentRecord | None = None
+    ) -> None:
+        raise NotImplementedError
+
+
+class ExtractStage(Stage):
+    """Document bytes → VBA modules + hidden document variables."""
+
+    name = "extract"
+
+    def process(self, document: DocumentRecord) -> None:
+        from repro.ole.extractor import ExtractionError, extract_macros
+
+        if document.data is None:
+            document.diag(self.name, "error", "no document bytes to extract from")
+            return
+        try:
+            result = extract_macros(document.data)
+        except ExtractionError as error:
+            document.diag(self.name, "error", str(error))
+            return
+        document.container = result.container
+        document.document_variables = dict(result.document_variables)
+        document.macros = [
+            MacroRecord(
+                module_name=module.name,
+                source=module.source,
+                module_type=module.module_type,
+            )
+            for module in result.modules
+        ]
+        document.diag(
+            self.name,
+            "info",
+            f"{len(document.macros)} modules ({result.container})",
+        )
+
+
+class FilterShortStage(Stage):
+    """Drop *insignificant* macros below the paper's 150-byte cutoff."""
+
+    name = "filter"
+
+    def __init__(self, min_macro_bytes: int) -> None:
+        if min_macro_bytes < 0:
+            raise ValueError("min_macro_bytes must be non-negative")
+        self.min_macro_bytes = min_macro_bytes
+
+    def process(self, document: DocumentRecord) -> None:
+        if self.min_macro_bytes == 0:
+            return
+        dropped = 0
+        for macro in document.macros:
+            if not macro.kept:
+                continue
+            size = len(macro.source.encode("utf-8", "replace"))
+            if size < self.min_macro_bytes:
+                macro.filtered = "short"
+                dropped += 1
+        if dropped:
+            document.diag(
+                self.name,
+                "info",
+                f"dropped {dropped} macros < {self.min_macro_bytes} bytes",
+            )
+
+
+class AnalyzeStage(MacroStage):
+    """Lex each module once into the shared :class:`MacroAnalysis`."""
+
+    name = "analyze"
+
+    def process_macro(
+        self, macro: MacroRecord, document: DocumentRecord | None = None
+    ) -> None:
+        from repro.vba.analyzer import analyze
+
+        try:
+            macro.analysis = analyze(macro.source)
+        except Exception as error:  # analyzer bug — keep the batch alive
+            macro.filtered = "analysis-error"
+            if document is not None:
+                document.diag(
+                    self.name, "error", f"{macro.module_name}: {error}"
+                )
+
+
+class FeaturizeStage(MacroStage):
+    """Vectorize the analysis through the registered feature sets."""
+
+    name = "featurize"
+
+    def __init__(self, feature_sets: tuple[str, ...] = ("V",)) -> None:
+        self.feature_sets = tuple(feature_sets)
+        for name in self.feature_sets:  # fail fast on unknown names
+            get_feature_set(name)
+
+    def process_macro(
+        self, macro: MacroRecord, document: DocumentRecord | None = None
+    ) -> None:
+        if macro.analysis is None:
+            return
+        for name in self.feature_sets:
+            macro.features[name] = get_feature_set(name).extract(macro.analysis)
+
+
+class ClassifyStage(MacroStage):
+    """Score feature rows with a fitted detector and attach the verdict."""
+
+    name = "classify"
+
+    def __init__(
+        self,
+        detector,
+        feature_set: str = "V",
+        threshold: float = 0.5,
+    ) -> None:
+        self.detector = detector
+        self.feature_set = feature_set
+        self.threshold = threshold
+
+    def process_macro(
+        self, macro: MacroRecord, document: DocumentRecord | None = None
+    ) -> None:
+        row = macro.features.get(self.feature_set)
+        if row is None:
+            return
+        if hasattr(self.detector, "proba_from_features"):
+            proba = self.detector.proba_from_features(row.reshape(1, -1))
+        else:  # any sklearn-style estimator over raw feature rows
+            proba = self.detector.predict_proba(row.reshape(1, -1))
+        macro.score = float(proba[0][1])
+        macro.verdict = (
+            "obfuscated" if macro.score >= self.threshold else "normal"
+        )

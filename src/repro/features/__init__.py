@@ -1,4 +1,7 @@
-"""Static feature engineering: the paper's V1–V15 set and the J1–J20 baseline."""
+"""Static feature engineering: the paper's V1–V15 set and the J1–J20 baseline.
+
+Feature sets are pluggable: see :mod:`repro.features.registry`.
+"""
 
 from repro.features.entropy import max_entropy, shannon_entropy
 from repro.features.jfeatures import J_FEATURE_NAMES, extract_j_features
@@ -6,7 +9,15 @@ from repro.features.matrix import (
     FEATURE_SETS,
     extract_both,
     extract_features,
+    extract_matrices,
     feature_names,
+)
+from repro.features.registry import (
+    FeatureSet,
+    get_feature_set,
+    register_feature_set,
+    registered_feature_sets,
+    unregister_feature_set,
 )
 from repro.features.vfeatures import (
     V_FEATURE_GROUPS,
@@ -16,14 +27,20 @@ from repro.features.vfeatures import (
 
 __all__ = [
     "FEATURE_SETS",
+    "FeatureSet",
     "J_FEATURE_NAMES",
     "V_FEATURE_GROUPS",
     "V_FEATURE_NAMES",
     "extract_both",
     "extract_features",
     "extract_j_features",
+    "extract_matrices",
     "extract_v_features",
     "feature_names",
+    "get_feature_set",
     "max_entropy",
+    "register_feature_set",
+    "registered_feature_sets",
     "shannon_entropy",
+    "unregister_feature_set",
 ]

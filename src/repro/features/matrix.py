@@ -1,4 +1,9 @@
-"""Feature-matrix assembly over macro collections."""
+"""Feature-matrix assembly over macro collections.
+
+Thin wrappers over the feature-set registry (:mod:`repro.features.registry`):
+every matrix is built by analyzing each macro once and handing the shared
+:class:`~repro.vba.analyzer.MacroAnalysis` to each requested extractor.
+"""
 
 from __future__ import annotations
 
@@ -6,49 +11,44 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
-from repro.features.jfeatures import J_FEATURE_NAMES, j_features_from_analysis
-from repro.features.vfeatures import V_FEATURE_NAMES, v_features_from_analysis
+from repro.features.registry import get_feature_set
 from repro.vba.analyzer import analyze
 
+#: The paper's built-in pair; the registry may hold more.
 FEATURE_SETS = ("V", "J")
 
 
 def feature_names(feature_set: str) -> tuple[str, ...]:
-    if feature_set == "V":
-        return V_FEATURE_NAMES
-    if feature_set == "J":
-        return J_FEATURE_NAMES
-    raise ValueError(f"unknown feature set {feature_set!r}")
+    return get_feature_set(feature_set).names
+
+
+def extract_matrices(
+    sources: Iterable[str], feature_sets: Sequence[str]
+) -> dict[str, np.ndarray]:
+    """Build one (n_samples × n_features) matrix per requested feature set.
+
+    Each macro is analyzed exactly once; all extractors share the analysis.
+    """
+    sets = [get_feature_set(name) for name in feature_sets]
+    rows: dict[str, list[np.ndarray]] = {fs.name: [] for fs in sets}
+    for source in sources:
+        analysis = analyze(source)
+        for fs in sets:
+            rows[fs.name].append(fs.extract(analysis))
+    return {
+        fs.name: np.vstack(rows[fs.name])
+        if rows[fs.name]
+        else np.empty((0, fs.width))
+        for fs in sets
+    }
 
 
 def extract_features(sources: Iterable[str], feature_set: str = "V") -> np.ndarray:
-    """Build the (n_samples × n_features) matrix for one feature set.
-
-    Each macro is analyzed once; both extractors can share the analysis via
-    :func:`extract_both`.
-    """
-    if feature_set not in FEATURE_SETS:
-        raise ValueError(f"unknown feature set {feature_set!r}")
-    extractor = (
-        v_features_from_analysis if feature_set == "V" else j_features_from_analysis
-    )
-    rows = [extractor(analyze(source)) for source in sources]
-    if not rows:
-        return np.empty((0, len(feature_names(feature_set))))
-    return np.vstack(rows)
+    """Build the (n_samples × n_features) matrix for one feature set."""
+    return extract_matrices(sources, (feature_set,))[feature_set]
 
 
 def extract_both(sources: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
     """Extract V and J matrices sharing one analysis pass per macro."""
-    v_rows = []
-    j_rows = []
-    for source in sources:
-        analysis = analyze(source)
-        v_rows.append(v_features_from_analysis(analysis))
-        j_rows.append(j_features_from_analysis(analysis))
-    if not v_rows:
-        return (
-            np.empty((0, len(V_FEATURE_NAMES))),
-            np.empty((0, len(J_FEATURE_NAMES))),
-        )
-    return np.vstack(v_rows), np.vstack(j_rows)
+    matrices = extract_matrices(sources, ("V", "J"))
+    return matrices["V"], matrices["J"]

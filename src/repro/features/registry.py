@@ -1,0 +1,117 @@
+"""Pluggable feature-set registry.
+
+The paper evaluates two fixed vectorizations of a macro's structural
+analysis — the discriminant V set (Table IV) and the Likarish-style J
+baseline (Table VI).  Everything downstream (feature matrices, the
+analysis engine, ablation benches) only needs three things from a
+feature set: a *name*, an *extractor* mapping one
+:class:`~repro.vba.analyzer.MacroAnalysis` to a 1-D float vector, and
+the tuple of per-column *names*.  This module makes that triple a
+first-class, registrable object so new feature sets (ablations, future
+papers) plug in without touching any call site:
+
+    >>> register_feature_set("V-entropy-only",
+    ...                      lambda a: extract_v_features_subset(a),
+    ...                      ("V13_entropy",))
+
+The built-in "V" and "J" sets register themselves on import.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.jfeatures import J_FEATURE_NAMES, j_features_from_analysis
+from repro.features.vfeatures import V_FEATURE_NAMES, v_features_from_analysis
+from repro.vba.analyzer import MacroAnalysis
+
+
+@dataclass(frozen=True, slots=True)
+class FeatureSet:
+    """One registered vectorization of a macro analysis."""
+
+    name: str
+    extractor: Callable[[MacroAnalysis], np.ndarray]
+    names: tuple[str, ...]
+    description: str = ""
+
+    @property
+    def width(self) -> int:
+        return len(self.names)
+
+    def extract(self, analysis: MacroAnalysis) -> np.ndarray:
+        row = np.asarray(self.extractor(analysis), dtype=np.float64)
+        if row.shape != (self.width,):
+            raise ValueError(
+                f"feature set {self.name!r} produced shape {row.shape}, "
+                f"expected ({self.width},)"
+            )
+        return row
+
+
+_REGISTRY: dict[str, FeatureSet] = {}
+
+
+def register_feature_set(
+    name: str,
+    extractor: Callable[[MacroAnalysis], np.ndarray],
+    names: tuple[str, ...] | list[str],
+    *,
+    description: str = "",
+    replace: bool = False,
+) -> FeatureSet:
+    """Register a feature set under ``name`` and return its descriptor."""
+    if not name:
+        raise ValueError("feature set name must be non-empty")
+    if not names:
+        raise ValueError(f"feature set {name!r} must name at least one feature")
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"feature set {name!r} already registered")
+    feature_set = FeatureSet(
+        name=name,
+        extractor=extractor,
+        names=tuple(names),
+        description=description,
+    )
+    _REGISTRY[name] = feature_set
+    return feature_set
+
+
+def unregister_feature_set(name: str) -> None:
+    """Remove a registered set (primarily for tests and ablation teardown)."""
+    if name not in _REGISTRY:
+        raise ValueError(f"unknown feature set {name!r}")
+    del _REGISTRY[name]
+
+
+def get_feature_set(name: str) -> FeatureSet:
+    """Look up a registered set; raises ``ValueError`` on unknown names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown feature set {name!r}") from None
+
+
+def registered_feature_sets() -> tuple[str, ...]:
+    """All registered names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# The paper's two built-in sets.
+
+register_feature_set(
+    "V",
+    v_features_from_analysis,
+    V_FEATURE_NAMES,
+    description="Table IV discriminant features V1-V15",
+)
+register_feature_set(
+    "J",
+    j_features_from_analysis,
+    J_FEATURE_NAMES,
+    description="Likarish-style JavaScript baseline J1-J20 (Table VI)",
+)

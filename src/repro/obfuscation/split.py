@@ -15,7 +15,7 @@ from __future__ import annotations
 from repro.obfuscation.base import ObfuscationContext
 from repro.vba.analyzer import analyze
 from repro.vba.tokens import TokenKind
-from repro.vba.writer import chunk_string, quote_vba_string, wrap_vba_expression
+from repro.vba.writer import quote_vba_string, wrap_vba_expression
 
 
 class StringSplitter:

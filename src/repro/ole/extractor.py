@@ -77,7 +77,10 @@ def _extract_from_ooxml(data: bytes) -> ExtractionResult:
         raise ExtractionError(str(error)) from error
     inner = _extract_from_cfb(vba_bin)
     result = ExtractionResult(container="ooxml", modules=inner.modules)
-    raw_docvars = ooxml.read_part(data, ooxml.DOCVARS_PART)
+    try:
+        raw_docvars = ooxml.read_part(data, ooxml.DOCVARS_PART)
+    except ooxml.OOXMLError as error:
+        raise ExtractionError(str(error)) from error
     if raw_docvars is not None:
         result.document_variables = docvars.decode_docvars(raw_docvars)
     return result

@@ -15,6 +15,19 @@ from __future__ import annotations
 
 import io
 import zipfile
+import zlib
+
+#: Exceptions the zip layer raises while reading member data from hostile
+#: archives: CRC/structure errors, deflate garbage, truncated streams,
+#: unsupported compression methods, encrypted members.
+_ZIP_READ_ERRORS = (
+    zipfile.BadZipFile,
+    zipfile.LargeZipFile,
+    zlib.error,
+    EOFError,
+    NotImplementedError,
+    RuntimeError,
+)
 
 #: Fixed archive timestamp so identical content yields identical bytes.
 _FIXED_ZIP_DATE = (2016, 1, 1, 0, 0, 0)
@@ -67,6 +80,20 @@ _XL_WORKBOOK_XML = """<?xml version="1.0" encoding="UTF-8" standalone="yes"?>
 
 class OOXMLError(ValueError):
     """Raised on malformed OOXML packages."""
+
+
+def _open_archive(data: bytes) -> zipfile.ZipFile:
+    """Open package bytes, normalizing zip-layer failures to OOXMLError.
+
+    ``is_zip`` only sniffs the magic — truncated or garbage archives (e.g. a
+    bare ``PK\\x07\\x08`` data-descriptor prefix) still raise ``BadZipFile``
+    inside ``zipfile``, which must not leak to callers handling
+    attacker-controlled bytes.
+    """
+    try:
+        return zipfile.ZipFile(io.BytesIO(data))
+    except (zipfile.BadZipFile, zipfile.LargeZipFile) as error:
+        raise OOXMLError(f"malformed zip package: {error}") from error
 
 
 def _build_package(
@@ -163,7 +190,7 @@ def read_vba_part(data: bytes) -> bytes:
     """Locate and return the vbaProject.bin part of an OOXML package."""
     if not is_zip(data):
         raise OOXMLError("not a zip package")
-    with zipfile.ZipFile(io.BytesIO(data)) as archive:
+    with _open_archive(data) as archive:
         candidates = [
             name
             for name in archive.namelist()
@@ -171,18 +198,23 @@ def read_vba_part(data: bytes) -> bytes:
         ]
         if not candidates:
             raise OOXMLError("package has no vbaProject.bin part")
-        return archive.read(candidates[0])
+        try:
+            return archive.read(candidates[0])
+        except _ZIP_READ_ERRORS as error:
+            raise OOXMLError(f"unreadable vbaProject.bin part: {error}") from error
 
 
 def read_part(data: bytes, part_name: str) -> bytes | None:
     """Read one named part, or None when absent."""
-    with zipfile.ZipFile(io.BytesIO(data)) as archive:
+    with _open_archive(data) as archive:
         try:
             return archive.read(part_name)
         except KeyError:
             return None
+        except _ZIP_READ_ERRORS as error:
+            raise OOXMLError(f"unreadable part {part_name!r}: {error}") from error
 
 
 def list_parts(data: bytes) -> list[str]:
-    with zipfile.ZipFile(io.BytesIO(data)) as archive:
+    with _open_archive(data) as archive:
         return archive.namelist()

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.corpus.documents import SyntheticDocument
-from repro.ole.extractor import ExtractionError, extract_macros
+from repro.engine import AnalysisEngine, DocumentRecord
 
 MIN_MACRO_BYTES = 150  # the paper's insignificance cutoff
 
@@ -91,7 +91,13 @@ class MacroDataset:
 
 
 class DatasetBuilder:
-    """Run the preprocessing pipeline over synthetic documents."""
+    """Run the preprocessing pipeline over synthetic documents.
+
+    Extraction and the insignificance filter run through the shared
+    :class:`~repro.engine.AnalysisEngine` (parallelizable with ``jobs``);
+    the cross-document dedup/label merge is sequential by construction,
+    so sample order is independent of ``jobs``.
+    """
 
     def __init__(self, min_macro_bytes: int = MIN_MACRO_BYTES) -> None:
         if min_macro_bytes < 0:
@@ -102,22 +108,34 @@ class DatasetBuilder:
         self,
         documents: list[SyntheticDocument],
         truth: dict[str, bool],
+        jobs: int = 1,
     ) -> MacroDataset:
         """Extract, filter, deduplicate and label (via ``truth``) macros."""
+        engine = AnalysisEngine.for_extraction(
+            min_macro_bytes=self.min_macro_bytes
+        )
+        records = engine.run_batch(documents, jobs=jobs)
+        return self.build_from_records(records, documents, truth)
+
+    @staticmethod
+    def build_from_records(
+        records: list[DocumentRecord],
+        documents: list[SyntheticDocument],
+        truth: dict[str, bool],
+    ) -> MacroDataset:
+        """Merge per-document engine records into the deduplicated dataset."""
         dataset = MacroDataset()
         seen: dict[str, MacroSample] = {}
-        for document in documents:
+        for document, record in zip(documents, records):
             if document.is_malicious:
                 dataset.files_malicious += 1
             else:
                 dataset.files_benign += 1
-            try:
-                result = extract_macros(document.data)
-            except ExtractionError:
+            if not record.ok:
                 continue
-            for module in result.modules:
-                source = module.source
-                if len(source.encode("utf-8", "replace")) < self.min_macro_bytes:
+            for macro in record.macros:
+                source = macro.source
+                if macro.filtered == "short":
                     dataset.dropped_short += 1
                     continue
                 existing = seen.get(source)

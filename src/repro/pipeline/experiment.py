@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.corpus.builder import Corpus, CorpusBuilder, CorpusProfile
-from repro.features.matrix import extract_both
+from repro.engine import AnalysisEngine
 from repro.ml.metrics import roc_curve
 from repro.ml.model_selection import CrossValidationResult, cross_validate
 from repro.pipeline.classifiers import (
@@ -39,6 +39,23 @@ class CellResult:
     def roc_points(self) -> tuple[np.ndarray, np.ndarray]:
         fpr, tpr, _ = roc_curve(self.cv.pooled_true, self.cv.pooled_scores)
         return fpr, tpr
+
+    @classmethod
+    def from_cv(
+        cls, feature_set: str, classifier: str, cv: CrossValidationResult
+    ) -> "CellResult":
+        """Fold one cross-validation run into a Table V cell."""
+        pooled = cv.pooled_report
+        return cls(
+            feature_set=feature_set,
+            classifier=classifier,
+            accuracy=pooled["accuracy"],
+            precision=pooled["precision"],
+            recall=pooled["recall"],
+            f2=pooled["f2"],
+            auc=cv.pooled_auc,
+            cv=cv,
+        )
 
 
 @dataclass
@@ -92,36 +109,38 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
 
-    def run(self, dataset: MacroDataset) -> ExperimentResult:
+    def evaluate_cell(
+        self, X: np.ndarray, labels: np.ndarray, feature_set: str, name: str
+    ) -> CellResult:
+        """Cross-validate one classifier on one matrix → one Table V cell.
+
+        The single evaluation path shared by :meth:`run`,
+        :meth:`run_feature_matrix`, and the engine's ablation helpers.
+        """
+        cv = cross_validate(
+            lambda: make_classifier(name, self.random_state),
+            X,
+            labels,
+            n_splits=self.n_splits,
+            random_state=self.random_state,
+            preprocessor_factory=preprocessor_for(name),
+        )
+        return CellResult.from_cv(feature_set, name, cv)
+
+    def run(self, dataset: MacroDataset, jobs: int = 1) -> ExperimentResult:
         """Evaluate all (feature set × classifier) cells on one dataset."""
         labels = dataset.labels
         if len(np.unique(labels)) < 2:
             raise ValueError("dataset needs both obfuscated and normal macros")
-        v_matrix, j_matrix = extract_both(dataset.sources)
-        matrices = {"V": v_matrix, "J": j_matrix}
+        engine = AnalysisEngine.for_features(self.feature_sets)
+        matrices = engine.feature_matrices(dataset.sources, jobs=jobs)
 
         result = ExperimentResult(dataset=dataset)
         for feature_set in self.feature_sets:
             X = matrices[feature_set]
             for name in self.classifiers:
-                cv = cross_validate(
-                    lambda name=name: make_classifier(name, self.random_state),
-                    X,
-                    labels,
-                    n_splits=self.n_splits,
-                    random_state=self.random_state,
-                    preprocessor_factory=preprocessor_for(name),
-                )
-                pooled = cv.pooled_report
-                result.cells[(feature_set, name)] = CellResult(
-                    feature_set=feature_set,
-                    classifier=name,
-                    accuracy=pooled["accuracy"],
-                    precision=pooled["precision"],
-                    recall=pooled["recall"],
-                    f2=pooled["f2"],
-                    auc=cv.pooled_auc,
-                    cv=cv,
+                result.cells[(feature_set, name)] = self.evaluate_cell(
+                    X, labels, feature_set, name
                 )
         return result
 
@@ -129,25 +148,7 @@ class ExperimentRunner:
         self, X: np.ndarray, labels: np.ndarray, feature_set: str = "V"
     ) -> dict[str, CellResult]:
         """Evaluate all classifiers on a pre-built matrix (ablation entry)."""
-        cells: dict[str, CellResult] = {}
-        for name in self.classifiers:
-            cv = cross_validate(
-                lambda name=name: make_classifier(name, self.random_state),
-                X,
-                labels,
-                n_splits=self.n_splits,
-                random_state=self.random_state,
-                preprocessor_factory=preprocessor_for(name),
-            )
-            pooled = cv.pooled_report
-            cells[name] = CellResult(
-                feature_set=feature_set,
-                classifier=name,
-                accuracy=pooled["accuracy"],
-                precision=pooled["precision"],
-                recall=pooled["recall"],
-                f2=pooled["f2"],
-                auc=cv.pooled_auc,
-                cv=cv,
-            )
-        return cells
+        return {
+            name: self.evaluate_cell(X, labels, feature_set, name)
+            for name in self.classifiers
+        }

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.avsim.signatures import MASTER_SIGNATURES, match_signatures
+from repro.avsim.signatures import match_signatures
 from repro.avsim.vendor import build_vendor_fleet
 from repro.avsim.virustotal import (
     BENIGN_THRESHOLD,

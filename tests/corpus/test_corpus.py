@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.corpus.benign import BENIGN_FAMILIES, generate_benign_macro
-from repro.corpus.builder import CorpusBuilder, CorpusProfile, paper_profile
+from repro.corpus.builder import CorpusBuilder, paper_profile
 from repro.corpus.documents import build_document_bytes, make_document
 from repro.corpus.malicious import MALICIOUS_FAMILIES, generate_malicious_macro
 from repro.ole.extractor import extract_macros

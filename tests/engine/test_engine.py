@@ -1,0 +1,182 @@
+"""Tests for the staged AnalysisEngine.
+
+The load-bearing guarantees:
+
+* **parity** — feature matrices and verdicts out of ``run_batch`` are
+  bitwise-identical to the direct ``extract_both`` + detector path, for
+  ``jobs=1`` and ``jobs=2``;
+* **totality** — bad paths and garbage bytes yield error records, never
+  exceptions;
+* **caching** — duplicate content is analyzed once.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import ObfuscationDetector
+from repro.corpus.benign import generate_benign_module
+from repro.corpus.documents import build_document_bytes
+from repro.corpus.malicious import generate_malicious_macro
+from repro.engine import AnalysisEngine
+from repro.features.matrix import extract_both
+from repro.obfuscation.pipeline import default_pipeline
+
+
+@pytest.fixture(scope="module")
+def macro_sources():
+    rng = random.Random(11)
+    benign = [
+        generate_benign_module(rng, target_length=rng.randint(300, 2500))
+        for _ in range(6)
+    ]
+    pipeline = default_pipeline()
+    obfuscated = [
+        pipeline.run(generate_malicious_macro(rng, "word"), seed=index).source
+        for index in range(3)
+    ]
+    return benign, obfuscated
+
+
+@pytest.fixture(scope="module")
+def documents(macro_sources):
+    benign, obfuscated = macro_sources
+    return [build_document_bytes([source], "docm") for source in benign + obfuscated]
+
+
+@pytest.fixture(scope="module")
+def detector(macro_sources):
+    benign, obfuscated = macro_sources
+    return ObfuscationDetector("RF").fit(
+        benign + obfuscated, [0] * len(benign) + [1] * len(obfuscated)
+    )
+
+
+class TestParity:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_run_batch_matches_direct_path(self, documents, detector, jobs):
+        engine = AnalysisEngine.for_scan(detector, feature_sets=("V", "J"))
+        records = engine.run_batch(documents, jobs=jobs)
+        assert len(records) == len(documents)
+        assert all(record.ok for record in records)
+
+        sources = [record.macros[0].source for record in records]
+        v_direct, j_direct = extract_both(sources)
+        v_engine = np.vstack([r.macros[0].features["V"] for r in records])
+        j_engine = np.vstack([r.macros[0].features["J"] for r in records])
+        assert np.array_equal(v_direct, v_engine)
+        assert np.array_equal(j_direct, j_engine)
+
+        for record, source in zip(records, sources):
+            direct_proba = float(detector.predict_proba([source])[0][1])
+            assert record.macros[0].score == direct_proba
+            assert record.macros[0].verdict == (
+                "obfuscated" if direct_proba >= 0.5 else "normal"
+            )
+
+    def test_jobs_do_not_change_results(self, documents, detector):
+        serial = AnalysisEngine.for_scan(detector).run_batch(documents, jobs=1)
+        parallel = AnalysisEngine.for_scan(detector).run_batch(documents, jobs=2)
+        for a, b in zip(serial, parallel):
+            assert a.sha256 == b.sha256
+            assert [m.score for m in a.macros] == [m.score for m in b.macros]
+            assert [m.verdict for m in a.macros] == [m.verdict for m in b.macros]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_feature_matrices_match_extract_both(self, macro_sources, jobs):
+        benign, obfuscated = macro_sources
+        sources = benign + obfuscated
+        engine = AnalysisEngine.for_features(("V", "J"))
+        matrices = engine.feature_matrices(sources, jobs=jobs)
+        v_direct, j_direct = extract_both(sources)
+        assert np.array_equal(matrices["V"], v_direct)
+        assert np.array_equal(matrices["J"], j_direct)
+
+    def test_feature_matrices_empty(self):
+        matrices = AnalysisEngine.for_features(("V",)).feature_matrices([])
+        assert matrices["V"].shape == (0, 15)
+
+
+class TestTotality:
+    def test_missing_file_is_error_record(self):
+        record = AnalysisEngine.for_extraction().run("/nonexistent/ghost.docm")
+        assert not record.ok
+        assert "ghost.docm" in record.error
+
+    def test_garbage_bytes_is_error_record(self):
+        for blob in (b"", b"PK\x07\x08", b"\x00" * 64, b"hello world"):
+            record = AnalysisEngine.for_extraction().run(blob)
+            assert not record.ok
+            assert record.error is not None
+
+    def test_batch_mixes_good_and_bad(self, documents):
+        engine = AnalysisEngine.for_extraction()
+        inputs = [documents[0], b"garbage", "/nonexistent/x.docm", documents[1]]
+        records = engine.run_batch(inputs, jobs=1)
+        assert [record.ok for record in records] == [True, False, False, True]
+
+    def test_records_are_json_serializable(self, documents, detector):
+        import json
+
+        engine = AnalysisEngine.for_scan(detector)
+        for record in engine.run_batch([documents[0], b"junk"]):
+            parsed = json.loads(json.dumps(record.to_dict()))
+            assert parsed["path"]
+            assert isinstance(parsed["ok"], bool)
+
+
+class TestCache:
+    def test_duplicate_sources_hit_cache(self, documents):
+        engine = AnalysisEngine.for_extraction()
+        records = engine.run_batch([documents[0], documents[0], documents[1]])
+        info = engine.cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 2
+        # The duplicate still gets a full record under its own identity.
+        assert records[1].sha256 == records[0].sha256
+        assert records[1].macros == records[0].macros
+
+    def test_cache_persists_across_calls(self, documents):
+        engine = AnalysisEngine.for_extraction()
+        engine.run(documents[0])
+        engine.run(documents[0])
+        assert engine.cache_info()["hits"] == 1
+
+    def test_parallel_batches_populate_parent_cache(self, documents):
+        engine = AnalysisEngine.for_extraction()
+        engine.run_batch(documents, jobs=2)
+        engine.run(documents[0])
+        assert engine.cache_info()["hits"] == 1
+
+    def test_cache_can_be_disabled(self, documents):
+        engine = AnalysisEngine(feature_sets=(), cache_size=0)
+        engine.run(documents[0])
+        engine.run(documents[0])
+        assert engine.cache_info() == {"hits": 0, "misses": 0, "size": 0}
+
+
+class TestFilterStage:
+    def test_short_macros_marked_not_dropped(self):
+        blob = build_document_bytes(["Sub T()\nEnd Sub\n"], "docm")
+        engine = AnalysisEngine.for_extraction(min_macro_bytes=150)
+        record = engine.run(blob)
+        assert record.ok
+        assert [macro.filtered for macro in record.macros] == ["short"]
+        assert record.kept_macros == []
+
+    def test_filter_disabled_by_default(self):
+        blob = build_document_bytes(["Sub T()\nEnd Sub\n"], "docm")
+        record = AnalysisEngine.for_extraction().run(blob)
+        assert record.kept_macros != []
+
+
+class TestRunSource:
+    def test_bare_source_gets_scored(self, macro_sources, detector):
+        benign, obfuscated = macro_sources
+        engine = AnalysisEngine.for_scan(detector)
+        normal = engine.run_source(benign[0])
+        hot = engine.run_source(obfuscated[0])
+        assert normal.verdict == "normal"
+        assert hot.verdict == "obfuscated"
+        assert hot.features["V"].shape == (15,)

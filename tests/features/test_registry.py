@@ -1,0 +1,89 @@
+"""Tests for the pluggable feature-set registry."""
+
+import numpy as np
+import pytest
+
+from repro.features.jfeatures import J_FEATURE_NAMES
+from repro.features.matrix import extract_features, feature_names
+from repro.features.registry import (
+    get_feature_set,
+    register_feature_set,
+    registered_feature_sets,
+    unregister_feature_set,
+)
+from repro.features.vfeatures import V_FEATURE_NAMES
+
+SIMPLE = 'Sub Hello()\n    MsgBox "hi"\nEnd Sub\n'
+
+
+class TestBuiltins:
+    def test_v_round_trip(self):
+        fs = get_feature_set("V")
+        assert fs.name == "V"
+        assert fs.names == V_FEATURE_NAMES
+        assert fs.width == 15
+
+    def test_j_round_trip(self):
+        fs = get_feature_set("J")
+        assert fs.names == J_FEATURE_NAMES
+        assert fs.width == 20
+
+    def test_builtins_registered_first(self):
+        assert registered_feature_sets()[:2] == ("V", "J")
+
+    def test_matrix_wrappers_use_registry(self):
+        assert feature_names("V") == V_FEATURE_NAMES
+        assert extract_features([SIMPLE], "J").shape == (1, 20)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            get_feature_set("K")
+        with pytest.raises(ValueError):
+            unregister_feature_set("K")
+
+
+class TestCustomSets:
+    def test_register_extract_unregister(self):
+        register_feature_set(
+            "len-only",
+            lambda analysis: np.array([float(len(analysis.source))]),
+            ("source_len",),
+        )
+        try:
+            assert "len-only" in registered_feature_sets()
+            matrix = extract_features([SIMPLE, SIMPLE * 2], "len-only")
+            assert matrix.shape == (2, 1)
+            assert matrix[0, 0] == len(SIMPLE)
+            assert matrix[1, 0] == 2 * len(SIMPLE)
+        finally:
+            unregister_feature_set("len-only")
+        with pytest.raises(ValueError):
+            get_feature_set("len-only")
+
+    def test_duplicate_name_rejected_unless_replace(self):
+        register_feature_set("dupe", lambda a: np.zeros(1), ("x",))
+        try:
+            with pytest.raises(ValueError):
+                register_feature_set("dupe", lambda a: np.zeros(1), ("x",))
+            replaced = register_feature_set(
+                "dupe", lambda a: np.zeros(2), ("x", "y"), replace=True
+            )
+            assert replaced.width == 2
+        finally:
+            unregister_feature_set("dupe")
+
+    def test_invalid_registrations(self):
+        with pytest.raises(ValueError):
+            register_feature_set("", lambda a: np.zeros(1), ("x",))
+        with pytest.raises(ValueError):
+            register_feature_set("empty-names", lambda a: np.zeros(0), ())
+
+    def test_width_mismatch_detected_at_extract(self):
+        register_feature_set(
+            "liar", lambda analysis: np.zeros(3), ("a", "b")
+        )
+        try:
+            with pytest.raises(ValueError):
+                extract_features([SIMPLE], "liar")
+        finally:
+            unregister_feature_set("liar")

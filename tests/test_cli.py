@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -77,3 +79,77 @@ class TestScan:
         assert status == 2
         assert "OBFUSCATED" in out
         assert "AV aggregate" in out
+
+
+@pytest.fixture(scope="module")
+def scan_directory(tmp_path_factory, demo_document):
+    """A directory mixing a real macro document with a corrupt one."""
+    directory = tmp_path_factory.mktemp("scan_dir")
+    (directory / "good.docm").write_bytes(demo_document.read_bytes())
+    (directory / "corrupt.docm").write_bytes(b"PK\x07\x08 not a zip")
+    return directory
+
+
+def _scan_json(capsys, target, jobs):
+    status = main(
+        [
+            "scan", str(target),
+            "--classifier", "RF", "--train-seed", "1",
+            "--format", "json", "--jobs", str(jobs),
+        ]
+    )
+    out = capsys.readouterr().out
+    records = [json.loads(line) for line in out.splitlines() if line.strip()]
+    return status, records
+
+
+class TestScanJson:
+    def test_one_record_per_file_and_partial_success(self, scan_directory, capsys):
+        status, records = _scan_json(capsys, scan_directory, jobs=1)
+        # Partial success (one corrupt file) still exits 0 in JSON mode.
+        assert status == 0
+        assert len(records) == 2
+        by_name = {record["path"].rsplit("/", 1)[-1]: record for record in records}
+
+        corrupt = by_name["corrupt.docm"]
+        assert corrupt["ok"] is False
+        assert "zip" in corrupt["error"]
+        assert corrupt["macros"] == []
+
+        good = by_name["good.docm"]
+        assert good["ok"] is True
+        assert good["error"] is None
+        assert good["macros"][0]["verdict"] == "obfuscated"
+        assert 0.0 <= good["macros"][0]["score"] <= 1.0
+        assert good["av"]["total_vendors"] > 0
+
+    def test_jobs_parity(self, scan_directory, capsys):
+        _, serial = _scan_json(capsys, scan_directory, jobs=1)
+        _, parallel = _scan_json(capsys, scan_directory, jobs=2)
+        assert serial == parallel
+
+    def test_json_mode_keeps_stdout_clean(self, scan_directory, capsys):
+        main(
+            [
+                "scan", str(scan_directory / "good.docm"),
+                "--classifier", "RF", "--train-seed", "1", "--format", "json",
+            ]
+        )
+        captured = capsys.readouterr()
+        for line in captured.out.splitlines():
+            json.loads(line)  # every stdout line is valid JSON
+        assert "training" in captured.err
+
+
+class TestExtractJson:
+    def test_extract_json_records(self, demo_document, tmp_path, capsys):
+        bogus = tmp_path / "bogus.docm"
+        bogus.write_bytes(b"\x00\x01\x02")
+        status = main(
+            ["extract", str(demo_document), str(bogus), "--format", "json"]
+        )
+        out = capsys.readouterr().out
+        records = [json.loads(line) for line in out.splitlines() if line.strip()]
+        assert status == 0
+        assert [record["ok"] for record in records] == [True, False]
+        assert records[0]["macros"][0]["chars"] > 0

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.corpus.benign import generate_benign_macro
 from repro.corpus.malicious import generate_malicious_macro
-from repro.vba.interpreter import Interpreter, run_function
+from repro.vba.interpreter import run_function
 from repro.vba.parser import parse_module
 from repro.vba.unparser import unparse_expression, unparse_module
 
