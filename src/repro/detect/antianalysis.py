@@ -11,35 +11,26 @@ detection research":
 3. **changing the flow** — sandbox-evasion guards (recent-file counts,
    user-name checks) wrapping the payload.
 
-This module implements rule-based detectors for all three, operating on the
-lexer/analyzer substrate so they work even on macros the strict parser
-rejects (which is the very point of trick 2).
+The detectors themselves live in :mod:`repro.lint.rules.antianalysis` as
+registered lint rules (o_class ``AA``), so anti-analysis findings flow
+through the same engine stage, cache, and CLI surfaces as the O1–O4
+rules.  This module keeps the original standalone API as a thin shim over
+that registry: :func:`scan_macro` runs the AA rules and repackages their
+findings under the historical technique names.
 """
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass, field
 
-from repro.vba.lexer import significant_tokens
-from repro.vba.parser import VBAParseError, parse_module
-from repro.vba.tokens import TokenKind
+from repro.lint.registry import lint_source, rules_for_class
 
-#: Host storage reads used to hide strings (Fig. 8(a) and [MS-OFORMS]).
-_STORAGE_READ_PATTERNS = (
-    re.compile(r"\.Variables\s*\(", re.IGNORECASE),
-    re.compile(r"\.CustomDocumentProperties\s*\(", re.IGNORECASE),
-    re.compile(r"\.(Caption|ControlTipText|Tag)\b", re.IGNORECASE),
-    re.compile(r"UserForm\d*\.\w+", re.IGNORECASE),
-)
-
-#: Sandbox-evasion conditions (§VI.B.3 and [45]).
-_EVASION_PATTERNS = (
-    re.compile(r"RecentFiles\s*\.\s*Count", re.IGNORECASE),
-    re.compile(r'Environ\s*\(\s*"(USERNAME|COMPUTERNAME)"\s*\)', re.IGNORECASE),
-    re.compile(r"Application\s*\.\s*Windows\s*\.\s*Count", re.IGNORECASE),
-    re.compile(r"\.MousePointer|GetTickCount|Timer\b", re.IGNORECASE),
-)
+#: Lint rule id → historical technique name.
+_TECHNIQUES = {
+    "aa-hidden-strings": "hidden_strings",
+    "aa-broken-code": "broken_code",
+    "aa-flow-evasion": "flow_evasion",
+}
 
 
 @dataclass(slots=True)
@@ -67,81 +58,12 @@ class AntiAnalysisReport:
 def scan_macro(source: str) -> AntiAnalysisReport:
     """Scan one macro's source for all three anti-analysis techniques."""
     report = AntiAnalysisReport()
-    _find_hidden_strings(source, report)
-    _find_broken_code(source, report)
-    _find_flow_evasion(source, report)
-    return report
-
-
-# ----------------------------------------------------------------------
-
-
-def _line_of(source: str, offset: int) -> int:
-    return source.count("\n", 0, offset) + 1
-
-
-def _find_hidden_strings(source: str, report: AntiAnalysisReport) -> None:
-    for pattern in _STORAGE_READ_PATTERNS:
-        for match in pattern.finditer(source):
-            report.findings.append(
-                AntiAnalysisFinding(
-                    technique="hidden_strings",
-                    detail=f"document-storage read: {match.group(0)!r}",
-                    line=_line_of(source, match.start()),
-                )
+    for finding in lint_source(source, rules_for_class("AA")):
+        report.findings.append(
+            AntiAnalysisFinding(
+                technique=_TECHNIQUES[finding.rule_id],
+                detail=finding.message,
+                line=finding.line,
             )
-
-
-def _find_broken_code(source: str, report: AntiAnalysisReport) -> None:
-    """Fig. 8(b): code after ``Exit Sub`` that fails to parse.
-
-    The signature is an ``Exit Sub``/``Exit Function`` followed by
-    statements (before ``End Sub``) that the strict parser rejects while the
-    prefix up to the exit parses fine.
-    """
-    tokens = significant_tokens(source)
-    exit_lines: list[int] = []
-    for index, token in enumerate(tokens[:-1]):
-        if (
-            token.kind is TokenKind.KEYWORD
-            and token.text.lower() == "exit"
-            and tokens[index + 1].text.lower() in ("sub", "function")
-        ):
-            exit_lines.append(token.line)
-    if not exit_lines:
-        return
-    try:
-        parse_module(source)
-        return  # everything parses: nothing broken after the exit
-    except VBAParseError as error:
-        for exit_line in exit_lines:
-            if error.line > exit_line:
-                report.findings.append(
-                    AntiAnalysisFinding(
-                        technique="broken_code",
-                        detail=(
-                            f"unparseable statement at line {error.line} is "
-                            f"shadowed by Exit at line {exit_line}: {error}"
-                        ),
-                        line=error.line,
-                    )
-                )
-                return
-
-
-def _find_flow_evasion(source: str, report: AntiAnalysisReport) -> None:
-    for pattern in _EVASION_PATTERNS:
-        for match in pattern.finditer(source):
-            # Only meaningful as a *condition*: require an If/Do/While on
-            # the same line.
-            line_start = source.rfind("\n", 0, match.start()) + 1
-            line_end = source.find("\n", match.start())
-            line_text = source[line_start : line_end if line_end != -1 else None]
-            if re.search(r"\b(If|ElseIf|Do While|Do Until|While|Until)\b", line_text, re.IGNORECASE):
-                report.findings.append(
-                    AntiAnalysisFinding(
-                        technique="flow_evasion",
-                        detail=f"environment-check guard: {line_text.strip()!r}",
-                        line=_line_of(source, match.start()),
-                    )
-                )
+        )
+    return report

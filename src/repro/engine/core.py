@@ -34,6 +34,7 @@ from repro.engine.stages import (
     ExtractStage,
     FeaturizeStage,
     FilterShortStage,
+    LintStage,
     MacroStage,
     Stage,
 )
@@ -50,14 +51,19 @@ def default_stages(
     feature_sets: tuple[str, ...] = ("V",),
     min_macro_bytes: int = 0,
     threshold: float = 0.5,
+    lint: bool = False,
+    lint_rules: tuple[str, ...] | None = None,
 ) -> list[Stage]:
     """The canonical stage chain for the given options."""
     stages: list[Stage] = [ExtractStage()]
     if min_macro_bytes > 0:
         stages.append(FilterShortStage(min_macro_bytes))
-    if feature_sets:
+    if feature_sets or lint:
         stages.append(AnalyzeStage())
+    if feature_sets:
         stages.append(FeaturizeStage(feature_sets))
+    if lint:
+        stages.append(LintStage(lint_rules))
     if detector is not None:
         if not feature_sets:
             raise ValueError("a detector needs at least one feature set")
@@ -76,6 +82,8 @@ class AnalysisEngine:
         feature_sets: tuple[str, ...] = ("V",),
         min_macro_bytes: int = 0,
         threshold: float = 0.5,
+        lint: bool = False,
+        lint_rules: tuple[str, ...] | None = None,
         cache_size: int = 1024,
         keep_analysis: bool = False,
     ) -> None:
@@ -85,6 +93,8 @@ class AnalysisEngine:
                 feature_sets=tuple(feature_sets),
                 min_macro_bytes=min_macro_bytes,
                 threshold=threshold,
+                lint=lint,
+                lint_rules=lint_rules,
             )
         self.stages = list(stages)
         self.feature_sets = tuple(feature_sets)
@@ -116,11 +126,22 @@ class AnalysisEngine:
         detector,
         feature_sets: tuple[str, ...] = ("V",),
         threshold: float = 0.5,
+        lint: bool = False,
     ) -> "AnalysisEngine":
         """The full chain ending in a verdict (deployment / CLI scan)."""
         return cls(
-            detector=detector, feature_sets=feature_sets, threshold=threshold
+            detector=detector,
+            feature_sets=feature_sets,
+            threshold=threshold,
+            lint=lint,
         )
+
+    @classmethod
+    def for_lint(
+        cls, rules: tuple[str, ...] | None = None
+    ) -> "AnalysisEngine":
+        """Extract + analyze + lint only — explainable findings, no verdict."""
+        return cls(feature_sets=(), lint=True, lint_rules=rules)
 
     # -- pickling (worker processes get an empty cache) ----------------
 

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.findings import Finding
     from repro.vba.analyzer import MacroAnalysis
 
 #: Diagnostic severities, mildest first.
@@ -50,6 +51,7 @@ class MacroRecord:
     filtered: str | None = None  # "short" | "analysis-error" | None (kept)
     analysis: "MacroAnalysis | None" = None
     features: dict[str, np.ndarray] = field(default_factory=dict)
+    findings: "list[Finding]" = field(default_factory=list)
     score: float | None = None
     verdict: str | None = None  # "obfuscated" | "normal"
 
@@ -74,6 +76,7 @@ class MacroRecord:
             "filtered": self.filtered,
             "score": self.score,
             "verdict": self.verdict,
+            "findings": [finding.to_dict() for finding in self.findings],
         }
 
 

@@ -137,6 +137,35 @@ class FeaturizeStage(MacroStage):
             macro.features[name] = get_feature_set(name).extract(macro.analysis)
 
 
+class LintStage(MacroStage):
+    """Run the registered obfuscation lint rules over each analysis.
+
+    Findings land on :attr:`MacroRecord.findings` and travel with the
+    record through caching and JSON output.  The stage needs the
+    :class:`AnalyzeStage` substrate, so it must run after it (and before
+    ``keep_analysis`` cleanup drops the analysis).
+    """
+
+    name = "lint"
+
+    def __init__(self, rules: tuple[str, ...] | None = None) -> None:
+        from repro.lint.registry import get_rule
+
+        self.rules = tuple(rules) if rules is not None else None
+        if self.rules is not None:
+            for rule_id in self.rules:  # fail fast on unknown rule ids
+                get_rule(rule_id)
+
+    def process_macro(
+        self, macro: MacroRecord, document: DocumentRecord | None = None
+    ) -> None:
+        from repro.lint.registry import lint_analysis
+
+        if macro.analysis is None:
+            return
+        macro.findings = lint_analysis(macro.analysis, self.rules)
+
+
 class ClassifyStage(MacroStage):
     """Score feature rows with a fitted detector and attach the verdict."""
 

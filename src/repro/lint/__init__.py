@@ -1,0 +1,53 @@
+"""Rule-based obfuscation lint engine.
+
+Static-analysis rules over the :mod:`repro.vba` substrate that explain
+*why* a macro looks obfuscated: each registered rule yields line-level
+:class:`~repro.lint.findings.Finding` records tagged with the paper's
+O1–O4 obfuscation classes (plus ``AA`` for §VI.B anti-analysis tricks).
+
+    >>> from repro.lint import lint_source
+    >>> findings = lint_source('s = "pow" & "ers" & "hell"\n')
+    >>> findings[0].rule_id
+    'o2-literal-concat'
+
+Rules live in :mod:`repro.lint.rules` and self-register on import; add
+new ones with :func:`register_rule`.
+"""
+
+from repro.lint.context import LintContext
+from repro.lint.findings import (
+    O_CLASSES,
+    SEVERITIES,
+    Finding,
+    count_by_class,
+    sort_findings,
+)
+from repro.lint.registry import (
+    Rule,
+    all_rules,
+    get_rule,
+    lint_analysis,
+    lint_source,
+    register_rule,
+    rule_ids,
+    rules_for_class,
+)
+
+from repro.lint import rules as _rules  # noqa: F401  (registers built-ins)
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "O_CLASSES",
+    "Rule",
+    "SEVERITIES",
+    "all_rules",
+    "count_by_class",
+    "get_rule",
+    "lint_analysis",
+    "lint_source",
+    "register_rule",
+    "rule_ids",
+    "rules_for_class",
+    "sort_findings",
+]

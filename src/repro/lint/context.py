@@ -1,0 +1,140 @@
+"""Shared per-module scan state handed to every lint rule.
+
+Rules all walk the same :class:`~repro.vba.analyzer.MacroAnalysis`
+substrate; the :class:`LintContext` memoizes the derived views they keep
+needing — the significant token stream, logical statements, identifier
+use counts — so a full rule sweep stays one lex pass plus cheap token
+walks, never a re-tokenization per rule.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro.vba.analyzer import MacroAnalysis
+from repro.vba.tokens import Token, TokenKind
+
+_NAME_KINDS = (TokenKind.IDENTIFIER, TokenKind.KEYWORD)
+
+
+def is_name(token: Token, *names: str) -> bool:
+    """True when the token is an identifier/keyword matching one of ``names``.
+
+    Matching is case-insensitive and ignores a VBA type suffix
+    (``Mid$`` matches ``mid``).
+    """
+    if token.kind not in _NAME_KINDS:
+        return False
+    text = token.text.lower()
+    if text and text[-1] in "%&!#@$":
+        text = text[:-1]
+    return text in names
+
+
+def is_keyword(token: Token, *words: str) -> bool:
+    return token.kind is TokenKind.KEYWORD and token.text.lower() in words
+
+
+def is_punct(token: Token, text: str) -> bool:
+    return token.kind is TokenKind.PUNCT and token.text == text
+
+
+def is_operator(token: Token, *texts: str) -> bool:
+    return token.kind is TokenKind.OPERATOR and token.text in texts
+
+
+def token_span(token: Token) -> tuple[int, int]:
+    """The 1-based ``[start, end)`` column span of a token on its line."""
+    return (token.column, token.column + len(token.text))
+
+
+class LintContext:
+    """Cached views over one macro's analysis, shared across all rules."""
+
+    def __init__(self, analysis: MacroAnalysis) -> None:
+        self.analysis = analysis
+
+    @cached_property
+    def significant(self) -> list[Token]:
+        """Tokens with whitespace, continuations, comments and EOF dropped."""
+        unwanted = (
+            TokenKind.WHITESPACE,
+            TokenKind.NEWLINE,
+            TokenKind.LINE_CONTINUATION,
+            TokenKind.COMMENT,
+            TokenKind.EOF,
+        )
+        return [
+            token
+            for token in self.analysis.tokens
+            if token.kind not in unwanted
+        ]
+
+    @cached_property
+    def statements(self) -> list[list[Token]]:
+        """Significant tokens grouped into logical statements.
+
+        Statements break on newlines and on ``:`` separators outside
+        parentheses (``DoEvents: i = i + 1`` is two statements).  Line
+        continuations were already spliced by the lexer, so a continued
+        statement arrives as one group.
+        """
+        groups: list[list[Token]] = []
+        current: list[Token] = []
+        depth = 0
+        unwanted = (
+            TokenKind.WHITESPACE,
+            TokenKind.LINE_CONTINUATION,
+            TokenKind.COMMENT,
+            TokenKind.EOF,
+        )
+        for token in self.analysis.tokens:
+            if token.kind in unwanted:
+                continue
+            if token.kind is TokenKind.NEWLINE or (
+                depth == 0 and is_punct(token, ":")
+            ):
+                if current:
+                    groups.append(current)
+                    current = []
+                continue
+            if is_punct(token, "("):
+                depth += 1
+            elif is_punct(token, ")"):
+                depth = max(0, depth - 1)
+            current.append(token)
+        if current:
+            groups.append(current)
+        return groups
+
+    @cached_property
+    def use_counts(self) -> dict[str, int]:
+        """Lower-cased identifier-use counts (declaration sites excluded)."""
+        counts: dict[str, int] = {}
+        for name in self.analysis.identifier_uses:
+            key = name.lower()
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    @cached_property
+    def first_name_token(self) -> dict[str, Token]:
+        """First identifier token per lower-cased name, for locating declarations."""
+        first: dict[str, Token] = {}
+        for token in self.significant:
+            if token.kind is TokenKind.IDENTIFIER:
+                first.setdefault(token.text.lower(), token)
+        return first
+
+    def line_text(self, line: int) -> str:
+        """The trimmed source text of a 1-based physical line."""
+        lines = self.analysis.lines
+        if 1 <= line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
+
+    def evidence(self, token: Token, limit: int = 120) -> str:
+        """Trimmed source line of ``token``, capped to ``limit`` characters."""
+        text = self.line_text(token.line)
+        if len(text) > limit:
+            text = text[: limit - 1] + "…"
+        return text

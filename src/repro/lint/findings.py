@@ -1,0 +1,70 @@
+"""The findings data model shared by every lint rule.
+
+A :class:`Finding` is one explainable observation tied to a source
+location: *which rule* fired, *which obfuscation class* (O1–O4, or ``AA``
+for the §VI.B anti-analysis techniques) it evidences, *where* (line and
+column span), and *why* (message plus the offending source excerpt).
+The classifier's verdict stays a float; findings are the analyst-facing
+explanation next to it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import Any
+
+#: Obfuscation classes a rule may evidence.  ``O1``–``O4`` follow the
+#: paper's Table I taxonomy; ``AA`` covers the §VI.B anti-analysis tricks.
+O_CLASSES = ("O1", "O2", "O3", "O4", "AA")
+
+#: Finding severities, mildest first.
+SEVERITIES = ("info", "low", "medium", "high")
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule hit at one source location."""
+
+    rule_id: str
+    o_class: str  # one of O_CLASSES
+    severity: str  # one of SEVERITIES
+    line: int  # 1-based physical line of the first offending token
+    span: tuple[int, int]  # 1-based [start, end) column range on that line
+    message: str  # human-readable explanation of what fired
+    evidence: str  # offending source excerpt (trimmed)
+
+    def __post_init__(self) -> None:
+        if self.o_class not in O_CLASSES:
+            raise ValueError(f"unknown obfuscation class {self.o_class!r}")
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def location(self) -> str:
+        return f"{self.line}:{self.span[0]}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule_id": self.rule_id,
+            "o_class": self.o_class,
+            "severity": self.severity,
+            "line": self.line,
+            "span": list(self.span),
+            "message": self.message,
+            "evidence": self.evidence,
+        }
+
+
+def sort_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Deterministic report order: by location, then rule id."""
+    return sorted(
+        findings, key=lambda f: (f.line, f.span[0], f.rule_id, f.message)
+    )
+
+
+def count_by_class(findings: Iterable[Finding]) -> dict[str, int]:
+    """Per-class finding counts over all of ``O_CLASSES`` (zeros included)."""
+    counts = Counter(finding.o_class for finding in findings)
+    return {o_class: counts.get(o_class, 0) for o_class in O_CLASSES}

@@ -1,0 +1,14 @@
+"""Built-in lint rules.
+
+Importing this package registers every built-in rule with
+:mod:`repro.lint.registry` as an import side effect — one module per
+obfuscation class plus the anti-analysis catalog.
+"""
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    antianalysis,
+    o1_random,
+    o2_split,
+    o3_encoding,
+    o4_logic,
+)

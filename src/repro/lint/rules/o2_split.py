@@ -1,0 +1,198 @@
+"""O2 — string-splitting obfuscation rules.
+
+Split obfuscation carves string data into fragments reassembled at
+runtime: back-to-back literal concatenation (``"pow" & "ers" & "hell"``),
+one- and two-character fragments hoisted into module constants, unused
+dummy string declarations, and ``Mid``/``Left``/``Right``/``StrReverse``
+carving over literals.  Benign code has no reason to write any of these —
+a constant expression is always written as one literal.
+"""
+
+from __future__ import annotations
+
+from repro.lint.context import (
+    LintContext,
+    is_keyword,
+    is_name,
+    is_operator,
+    is_punct,
+)
+from repro.lint.registry import Rule, register_rule
+from repro.vba.tokens import Token, TokenKind
+
+_CONCAT = ("&", "+")
+
+
+def iter_const_declarations(ctx: LintContext):
+    """Yield ``(name_token, value_token)`` for single-literal Const items.
+
+    Handles ``[Public|Private|Global] Const name [As Type] = "literal"``
+    with multiple comma-separated items per statement.
+    """
+    for statement in ctx.statements:
+        index = 0
+        if index < len(statement) and is_keyword(
+            statement[index], "public", "private", "global"
+        ):
+            index += 1
+        if index >= len(statement) or not is_keyword(statement[index], "const"):
+            continue
+        index += 1
+        while index < len(statement):
+            if statement[index].kind is not TokenKind.IDENTIFIER:
+                break
+            name_token = statement[index]
+            index += 1
+            if index < len(statement) and is_keyword(statement[index], "as"):
+                index += 2  # skip the type name
+            if index >= len(statement) or not is_operator(statement[index], "="):
+                break
+            index += 1
+            value_token: Token | None = None
+            if (
+                index < len(statement)
+                and statement[index].kind is TokenKind.STRING
+                and (
+                    index + 1 >= len(statement)
+                    or is_punct(statement[index + 1], ",")
+                )
+            ):
+                value_token = statement[index]
+            # Skip the initializer expression up to the next item separator.
+            while index < len(statement) and not is_punct(statement[index], ","):
+                index += 1
+            index += 1
+            if value_token is not None:
+                yield name_token, value_token
+
+
+@register_rule
+class LiteralConcatenation(Rule):
+    """Adjacent *short* string literals joined with ``&``/``+``.
+
+    Benign code concatenates literals too — multi-line SQL, path joining
+    (``basePath & "\\" & "data.xlsx"``) — but those fragments are readable
+    words.  Split obfuscators carve strings into 1–4 character chunks, so
+    the rule demands at least one adjacent pair where *both* literals are
+    that short: ``"pow" & "ers" & "hell"`` fires, readable joins do not.
+    """
+
+    rule_id = "o2-literal-concat"
+    o_class = "O2"
+    severity = "medium"
+    description = "short string fragments concatenated back-to-back"
+
+    _MAX_FRAGMENT = 4
+
+    def scan(self, ctx: LintContext):
+        for statement in ctx.statements:
+            index = 0
+            while index + 2 < len(statement):
+                if not (
+                    statement[index].kind is TokenKind.STRING
+                    and is_operator(statement[index + 1], *_CONCAT)
+                    and statement[index + 2].kind is TokenKind.STRING
+                ):
+                    index += 1
+                    continue
+                literals = [statement[index], statement[index + 2]]
+                end = index + 2
+                while (
+                    end + 2 < len(statement)
+                    and is_operator(statement[end + 1], *_CONCAT)
+                    and statement[end + 2].kind is TokenKind.STRING
+                ):
+                    literals.append(statement[end + 2])
+                    end += 2
+                short_pair = any(
+                    len(a.string_value) <= self._MAX_FRAGMENT
+                    and len(b.string_value) <= self._MAX_FRAGMENT
+                    for a, b in zip(literals, literals[1:])
+                )
+                if short_pair:
+                    yield self.finding(
+                        ctx,
+                        statement[index],
+                        f"{len(literals)} string literals concatenated "
+                        "back-to-back from short fragments (split-string "
+                        "reassembly)",
+                    )
+                index = end + 1
+
+
+@register_rule
+class FragmentConstant(Rule):
+    """A module constant holding a one- or two-character string fragment."""
+
+    rule_id = "o2-fragment-const"
+    o_class = "O2"
+    severity = "medium"
+    description = "Const holds a tiny string fragment of a split literal"
+
+    def scan(self, ctx: LintContext):
+        for name_token, value_token in iter_const_declarations(ctx):
+            value = value_token.string_value
+            if 0 < len(value) <= 2:
+                yield self.finding(
+                    ctx,
+                    name_token,
+                    f"constant {name_token.text!r} holds the "
+                    f"{len(value)}-char fragment {value!r}",
+                )
+
+
+@register_rule
+class DummyStringConstant(Rule):
+    """A string constant that nothing in the module ever reads.
+
+    The paper notes split-obfuscated macros 'contain many unused dummy
+    strings'; obfuscators pad modules with them to skew string statistics.
+    """
+
+    rule_id = "o2-dummy-string"
+    o_class = "O2"
+    severity = "low"
+    description = "unused dummy string constant"
+
+    def scan(self, ctx: LintContext):
+        for name_token, value_token in iter_const_declarations(ctx):
+            if len(value_token.string_value) < 3:
+                continue  # fragments are the other rule's business
+            if ctx.use_counts.get(name_token.text.lower(), 0) == 0:
+                yield self.finding(
+                    ctx,
+                    name_token,
+                    f"string constant {name_token.text!r} is never read "
+                    "(dummy string)",
+                )
+
+
+@register_rule
+class CarvedLiteral(Rule):
+    """``Mid``/``Left``/``Right``/``StrReverse`` applied to a string literal.
+
+    Carving characters out of a literal at runtime (or reversing one) is
+    a split idiom: the value being hidden exists only after the call.
+    """
+
+    rule_id = "o2-carved-literal"
+    o_class = "O2"
+    severity = "medium"
+    description = "substring/reverse call carves data out of a string literal"
+
+    _CARVERS = ("mid", "left", "right", "strreverse")
+
+    def scan(self, ctx: LintContext):
+        tokens = ctx.significant
+        for index, token in enumerate(tokens[: len(tokens) - 2]):
+            if (
+                is_name(token, *self._CARVERS)
+                and is_punct(tokens[index + 1], "(")
+                and tokens[index + 2].kind is TokenKind.STRING
+            ):
+                yield self.finding(
+                    ctx,
+                    token,
+                    f"{token.text}() carves data out of a string literal "
+                    "at runtime",
+                )

@@ -1,0 +1,251 @@
+"""O3 — encoding obfuscation rules.
+
+Encoding obfuscation transforms string parameters so the payload only
+exists after a runtime decode: ``Chr()`` concatenation chains, numeric
+``Array(...)`` blobs fed to user-defined decoders, character-decode
+loops, hex- and Base64-packed literals, and constant ``Replace()``
+marker removal.  Each emitted decoder family from the corpus obfuscator
+(and from olevba-class real samples) trips at least one rule here.
+"""
+
+from __future__ import annotations
+
+from repro.lint.context import (
+    LintContext,
+    is_keyword,
+    is_name,
+    is_punct,
+)
+from repro.lint.registry import Rule, register_rule
+from repro.vba.tokens import Token, TokenKind
+
+_CHR_NAMES = ("chr", "chrw", "chrb")
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+_B64_ALPHABET = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+)
+
+
+def _balanced_argument(tokens: list[Token], open_index: int) -> list[Token]:
+    """Tokens inside the parenthesis opened at ``open_index`` (exclusive)."""
+    depth = 0
+    body: list[Token] = []
+    for token in tokens[open_index:]:
+        if is_punct(token, "("):
+            depth += 1
+            if depth == 1:
+                continue
+        elif is_punct(token, ")"):
+            depth -= 1
+            if depth == 0:
+                break
+        if depth >= 1:
+            body.append(token)
+    return body
+
+
+@register_rule
+class ChrChain(Rule):
+    """Three or more ``Chr(<number>)`` calls in one statement."""
+
+    rule_id = "o3-chr-chain"
+    o_class = "O3"
+    severity = "high"
+    description = "string assembled from a chain of Chr() character codes"
+
+    def scan(self, ctx: LintContext):
+        for statement in ctx.statements:
+            first: Token | None = None
+            count = 0
+            for index, token in enumerate(statement[: len(statement) - 2]):
+                if (
+                    is_name(token, *_CHR_NAMES)
+                    and is_punct(statement[index + 1], "(")
+                    and statement[index + 2].kind is TokenKind.NUMBER
+                ):
+                    count += 1
+                    first = first or token
+            if count >= 3 and first is not None:
+                yield self.finding(
+                    ctx,
+                    first,
+                    f"chain of {count} Chr(<code>) calls assembles a hidden "
+                    "string",
+                )
+
+
+@register_rule
+class NumericArray(Rule):
+    """``Array(...)`` holding a run of plain numbers — encoded byte data."""
+
+    rule_id = "o3-numeric-array"
+    o_class = "O3"
+    severity = "medium"
+    description = "long all-numeric Array() literal (encoded payload bytes)"
+
+    def scan(self, ctx: LintContext):
+        tokens = ctx.significant
+        for index, token in enumerate(tokens[: len(tokens) - 1]):
+            if not (is_name(token, "array") and is_punct(tokens[index + 1], "(")):
+                continue
+            body = _balanced_argument(tokens, index + 1)
+            if not body:
+                continue
+            numbers = sum(1 for t in body if t.kind is TokenKind.NUMBER)
+            separators = sum(1 for t in body if is_punct(t, ","))
+            if numbers >= 4 and numbers == separators + 1 and len(body) == (
+                numbers + separators
+            ):
+                yield self.finding(
+                    ctx,
+                    token,
+                    f"Array() of {numbers} plain numbers looks like encoded "
+                    "payload bytes",
+                )
+
+
+@register_rule
+class DecodeLoop(Rule):
+    """A loop body computing characters with ``Chr(<expression>)``.
+
+    ``acc = acc & Chr(src(i) - 105)`` / ``Chr(b Xor key)`` inside a
+    For/Do/While loop is the canonical shape of a user-defined decoder.
+    Only non-trivial arguments count — ``Chr(65)`` alone is not a decode.
+    """
+
+    rule_id = "o3-decode-loop"
+    o_class = "O3"
+    severity = "high"
+    description = "character-decode expression inside a loop"
+
+    def scan(self, ctx: LintContext):
+        depth = 0
+        for statement in ctx.statements:
+            head = statement[0]
+            if is_keyword(head, "for", "do", "while"):
+                depth += 1
+                continue
+            if is_keyword(head, "next", "loop", "wend"):
+                depth = max(0, depth - 1)
+                continue
+            if depth == 0:
+                continue
+            for index, token in enumerate(statement[: len(statement) - 1]):
+                if not (
+                    is_name(token, *_CHR_NAMES)
+                    and is_punct(statement[index + 1], "(")
+                ):
+                    continue
+                argument = _balanced_argument(statement, index + 1)
+                if self._is_computed(argument):
+                    yield self.finding(
+                        ctx,
+                        token,
+                        "Chr() over a computed value inside a loop — "
+                        "runtime string decoder",
+                    )
+                    break
+
+    @staticmethod
+    def _is_computed(argument: list[Token]) -> bool:
+        if len(argument) <= 1:
+            return False  # bare number / bare name is not a decode
+        return any(
+            token.kind is TokenKind.OPERATOR
+            or is_keyword(token, "xor", "and", "or", "not", "mod")
+            or is_punct(token, "(")
+            for token in argument
+        )
+
+
+@register_rule
+class HexPackedLiteral(Rule):
+    """A string literal that is one long run of hex digit pairs."""
+
+    rule_id = "o3-hex-literal"
+    o_class = "O3"
+    severity = "medium"
+    description = "string literal packed as hexadecimal byte pairs"
+
+    def scan(self, ctx: LintContext):
+        for token in ctx.significant:
+            if token.kind is not TokenKind.STRING:
+                continue
+            value = token.string_value
+            if (
+                len(value) >= 8
+                and len(value) % 2 == 0
+                and all(ch in _HEX_DIGITS for ch in value)
+            ):
+                yield self.finding(
+                    ctx,
+                    token,
+                    f"{len(value)}-char literal is a pure hex-digit run "
+                    f"({len(value) // 2} packed bytes)",
+                )
+
+
+@register_rule
+class Base64ShapedLiteral(Rule):
+    """A string literal shaped like Base64-encoded data."""
+
+    rule_id = "o3-base64-literal"
+    o_class = "O3"
+    severity = "medium"
+    description = "string literal shaped like Base64 data"
+
+    def scan(self, ctx: LintContext):
+        for token in ctx.significant:
+            if token.kind is not TokenKind.STRING:
+                continue
+            value = token.string_value
+            stripped = value.rstrip("=")
+            if len(value) - len(stripped) > 2:
+                continue
+            if (
+                len(stripped) >= 16
+                and len(value) % 4 == 0
+                and all(ch in _B64_ALPHABET for ch in stripped)
+                and any(ch.islower() for ch in stripped)
+                and any(ch.isupper() for ch in stripped)
+            ):
+                yield self.finding(
+                    ctx,
+                    token,
+                    f"{len(value)}-char literal matches the Base64 shape",
+                )
+
+
+@register_rule
+class ReplaceMarkerDecode(Rule):
+    """``Replace()`` over three literals — compile-time-constant decoding.
+
+    ``Replace("savteRKtofilteRK", "teRK", "e")`` only makes sense when the
+    first literal was deliberately salted; benign code replaces within
+    *variables*, not within constants.
+    """
+
+    rule_id = "o3-replace-marker"
+    o_class = "O3"
+    severity = "high"
+    description = "Replace() with all-literal arguments strips an inserted marker"
+
+    def scan(self, ctx: LintContext):
+        tokens = ctx.significant
+        for index, token in enumerate(tokens[: len(tokens) - 6]):
+            if not (is_name(token, "replace") and is_punct(tokens[index + 1], "(")):
+                continue
+            window = tokens[index + 2 : index + 7]
+            if (
+                window[0].kind is TokenKind.STRING
+                and is_punct(window[1], ",")
+                and window[2].kind is TokenKind.STRING
+                and is_punct(window[3], ",")
+                and window[4].kind is TokenKind.STRING
+            ):
+                yield self.finding(
+                    ctx,
+                    token,
+                    "Replace() over three string literals — marker-decode of "
+                    "a constant",
+                )

@@ -1,0 +1,245 @@
+"""O4 — logic/dummy-code obfuscation rules.
+
+Logic obfuscation inflates modules with code that never contributes to
+execution: junk procedures nothing calls, module-level declarations
+nothing reads, statements parked behind an unconditional ``Exit Sub``,
+and no-op arithmetic.  All four shapes are detectable from the token
+stream without running anything.
+"""
+
+from __future__ import annotations
+
+from repro.lint.context import LintContext, is_keyword, is_operator
+from repro.lint.registry import Rule, register_rule
+from repro.vba.tokens import Token, TokenKind
+
+#: Entry points the Office host invokes directly — never dead code.
+_HOST_ENTRY_POINTS = frozenset(
+    {
+        "auto_open",
+        "auto_close",
+        "auto_exec",
+        "autoopen",
+        "autoclose",
+        "autoexec",
+        "document_open",
+        "document_close",
+        "document_new",
+        "workbook_open",
+        "workbook_close",
+    }
+)
+
+
+def procedure_header(statement: list[Token]) -> tuple[str, Token] | None:
+    """Parse ``[visibility] [Static] Sub|Function name`` statement heads.
+
+    Returns ``(visibility, name_token)`` or ``None``.  ``Property``
+    procedures are skipped: accessors are invoked implicitly by reads and
+    writes, so a use count says nothing about their liveness.
+    """
+    index = 0
+    visibility = "public"
+    if index < len(statement) and is_keyword(
+        statement[index], "public", "private", "friend"
+    ):
+        visibility = statement[index].text.lower()
+        index += 1
+    if index < len(statement) and is_keyword(statement[index], "static"):
+        index += 1
+    if index >= len(statement) or not is_keyword(
+        statement[index], "sub", "function"
+    ):
+        return None
+    index += 1
+    if index >= len(statement) or statement[index].kind is not TokenKind.IDENTIFIER:
+        return None
+    return visibility, statement[index]
+
+
+def iter_dim_names(statement: list[Token]):
+    """Yield the name tokens declared by a ``Dim``/``Static`` statement."""
+    index = 0
+    if index < len(statement) and is_keyword(
+        statement[index], "public", "private", "global"
+    ):
+        index += 1
+    if index >= len(statement) or not is_keyword(statement[index], "dim", "static"):
+        return
+    index += 1
+    depth = 0
+    expecting_name = True
+    while index < len(statement):
+        token = statement[index]
+        if token.kind is TokenKind.PUNCT:
+            if token.text == "(":
+                depth += 1
+            elif token.text == ")":
+                depth = max(0, depth - 1)
+            elif token.text == "," and depth == 0:
+                expecting_name = True
+        elif is_keyword(token, "as"):
+            expecting_name = False
+        elif (
+            token.kind is TokenKind.IDENTIFIER and expecting_name and depth == 0
+        ):
+            yield token
+            expecting_name = False
+        index += 1
+
+
+@register_rule
+class DeadProcedure(Rule):
+    """A ``Private`` procedure that no code in the module ever invokes.
+
+    Private procedures are invisible to the host's macro UI, so an
+    uncalled one is unreachable by construction — the signature of
+    inserted junk procedures.  Public procedures and host entry points
+    are exempt (the host calls them).
+    """
+
+    rule_id = "o4-dead-procedure"
+    o_class = "O4"
+    severity = "medium"
+    description = "private procedure is never invoked (dead junk code)"
+
+    def scan(self, ctx: LintContext):
+        for statement in ctx.statements:
+            header = procedure_header(statement)
+            if header is None:
+                continue
+            visibility, name_token = header
+            name = name_token.text.lower()
+            if visibility != "private" or name in _HOST_ENTRY_POINTS:
+                continue
+            if ctx.use_counts.get(name, 0) == 0:
+                yield self.finding(
+                    ctx,
+                    name_token,
+                    f"private procedure {name_token.text!r} is never called",
+                )
+
+
+@register_rule
+class UnusedVariable(Rule):
+    """A ``Dim``'d variable that never appears again in the module."""
+
+    rule_id = "o4-unused-variable"
+    o_class = "O4"
+    severity = "low"
+    description = "declared variable is never used (dummy declaration)"
+
+    def scan(self, ctx: LintContext):
+        for statement in ctx.statements:
+            for name_token in iter_dim_names(statement):
+                if ctx.use_counts.get(name_token.text.lower(), 0) == 0:
+                    yield self.finding(
+                        ctx,
+                        name_token,
+                        f"variable {name_token.text!r} is declared but never "
+                        "used",
+                    )
+
+
+@register_rule
+class UnreachableCode(Rule):
+    """Statements after an unconditional top-level ``Exit Sub``/``Function``.
+
+    An ``Exit`` at procedure-body depth (not inside any block) makes every
+    following statement before ``End Sub`` unreachable — where obfuscators
+    park dummy or deliberately broken code.
+    """
+
+    rule_id = "o4-unreachable-code"
+    o_class = "O4"
+    severity = "medium"
+    description = "code after an unconditional Exit Sub/Function is unreachable"
+
+    _OPENERS = ("for", "do", "while", "with", "select")
+    _CLOSERS = ("next", "loop", "wend")
+
+    def scan(self, ctx: LintContext):
+        statements = ctx.statements
+        in_procedure = False
+        depth = 0
+        pending_exit = False
+        for statement in statements:
+            head = statement[0]
+            if procedure_header(statement) is not None:
+                in_procedure = True
+                depth = 0
+                pending_exit = False
+                continue
+            if is_keyword(head, "end") and len(statement) > 1 and is_keyword(
+                statement[1], "sub", "function"
+            ):
+                in_procedure = False
+                pending_exit = False
+                continue
+            if not in_procedure:
+                continue
+            if pending_exit:
+                yield self.finding(
+                    ctx,
+                    head,
+                    "statement is unreachable: an unconditional Exit "
+                    "precedes it",
+                )
+                pending_exit = False
+                continue
+            if is_keyword(head, *self._OPENERS):
+                depth += 1
+            elif is_keyword(head, *self._CLOSERS):
+                depth = max(0, depth - 1)
+            elif is_keyword(head, "if") and is_keyword(statement[-1], "then"):
+                depth += 1  # block If ... Then
+            elif is_keyword(head, "end") and len(statement) > 1 and is_keyword(
+                statement[1], "if", "select", "with"
+            ):
+                depth = max(0, depth - 1)
+            elif (
+                depth == 0
+                and is_keyword(head, "exit")
+                and len(statement) > 1
+                and is_keyword(statement[1], "sub", "function")
+            ):
+                pending_exit = True
+
+
+@register_rule
+class NoOpArithmetic(Rule):
+    """Arithmetic that provably does nothing (``x + 0``, ``y * 1``, ``a = a``)."""
+
+    rule_id = "o4-noop-arithmetic"
+    o_class = "O4"
+    severity = "info"
+    description = "no-op arithmetic padding"
+
+    def scan(self, ctx: LintContext):
+        for statement in ctx.statements:
+            if (
+                len(statement) == 3
+                and statement[0].kind is TokenKind.IDENTIFIER
+                and is_operator(statement[1], "=")
+                and statement[2].kind is TokenKind.IDENTIFIER
+                and statement[0].text.lower() == statement[2].text.lower()
+            ):
+                yield self.finding(
+                    ctx,
+                    statement[0],
+                    f"self-assignment {statement[0].text!r} = "
+                    f"{statement[2].text!r} has no effect",
+                )
+                continue
+            for index, token in enumerate(statement[: len(statement) - 1]):
+                follower = statement[index + 1]
+                if follower.kind is not TokenKind.NUMBER:
+                    continue
+                if is_operator(token, "+", "-") and follower.text == "0":
+                    yield self.finding(
+                        ctx, token, f"'{token.text} 0' is a no-op"
+                    )
+                elif is_operator(token, "*", "/", "\\", "^") and follower.text == "1":
+                    yield self.finding(
+                        ctx, token, f"'{token.text} 1' is a no-op"
+                    )

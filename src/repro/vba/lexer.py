@@ -72,7 +72,9 @@ class Lexer:
                 return
             char = self._source[self._pos]
             self._pos += 1
-            if char == "\n":
+            if char == "\n" or (
+                char == "\r" and self._peek() != "\n"
+            ):  # LF, or a lone CR (classic-Mac line ending)
                 self._line += 1
                 self._column = 1
             else:

@@ -1,0 +1,60 @@
+"""Tests for the findings data model."""
+
+import pytest
+
+from repro.lint import Finding, O_CLASSES, count_by_class, sort_findings
+
+
+def make(rule_id="o1-x", o_class="O1", line=1, col=1, message="m"):
+    return Finding(
+        rule_id=rule_id,
+        o_class=o_class,
+        severity="medium",
+        line=line,
+        span=(col, col + 3),
+        message=message,
+        evidence="x = 1",
+    )
+
+
+class TestFinding:
+    def test_location_is_line_colon_column(self):
+        assert make(line=12, col=5).location == "12:5"
+
+    def test_to_dict_round_trips_span_as_list(self):
+        payload = make().to_dict()
+        assert payload["span"] == [1, 4]
+        assert payload["rule_id"] == "o1-x"
+        assert payload["o_class"] == "O1"
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            make(o_class="O9")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Finding(
+                rule_id="r",
+                o_class="O1",
+                severity="catastrophic",
+                line=1,
+                span=(1, 2),
+                message="m",
+                evidence="",
+            )
+
+
+class TestHelpers:
+    def test_sort_orders_by_line_then_column_then_rule(self):
+        findings = [
+            make(rule_id="o2-b", line=2, col=1, o_class="O2"),
+            make(rule_id="o1-a", line=1, col=9),
+            make(rule_id="o1-a", line=1, col=2),
+        ]
+        ordered = sort_findings(findings)
+        assert [(f.line, f.span[0]) for f in ordered] == [(1, 2), (1, 9), (2, 1)]
+
+    def test_count_by_class_includes_zero_classes(self):
+        counts = count_by_class([make(), make(o_class="O3")])
+        assert counts == {"O1": 1, "O2": 0, "O3": 1, "O4": 0, "AA": 0}
+        assert tuple(counts) == O_CLASSES

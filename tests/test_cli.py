@@ -141,6 +141,113 @@ class TestScanJson:
         assert "training" in captured.err
 
 
+@pytest.fixture(scope="module")
+def lint_directory(tmp_path_factory, demo_document):
+    """Obfuscated document + clean .bas source + an unrelated text file."""
+    directory = tmp_path_factory.mktemp("lint_dir")
+    (directory / "evil.docm").write_bytes(demo_document.read_bytes())
+    (directory / "clean.bas").write_text(
+        "Sub FormatHeader()\n"
+        "    Dim rowCount As Long\n"
+        "    rowCount = 3\n"
+        "    Rows(rowCount).Font.Bold = True\n"
+        "End Sub\n"
+    )
+    (directory / "readme.txt").write_text("not VBA at all\n")
+    return directory
+
+
+class TestLint:
+    def test_lint_reports_findings_with_locations(self, lint_directory, capsys):
+        status = main(["lint", str(lint_directory / "evil.docm")])
+        out = capsys.readouterr().out
+        assert status == 2  # findings present
+        assert "findings" in out
+        # Per-finding lines carry line:col, rule id, class and severity.
+        assert "[o1-gibberish-identifier/O1 medium]" in out
+
+    def test_lint_clean_source_exits_zero(self, lint_directory, capsys):
+        status = main(["lint", str(lint_directory / "clean.bas")])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "0 findings" in out
+
+    def test_lint_directory_skips_non_macro_files(self, lint_directory, capsys):
+        status = main(["lint", str(lint_directory), "--format", "json"])
+        out = capsys.readouterr().out
+        records = [json.loads(line) for line in out.splitlines() if line.strip()]
+        assert status == 0
+        by_name = {r["path"].rsplit("/", 1)[-1]: r for r in records}
+        assert by_name["readme.txt"]["macros"] == []
+        assert by_name["clean.bas"]["container"] == "text"
+        assert by_name["clean.bas"]["macros"][0]["findings"] == []
+        evil = by_name["evil.docm"]["macros"][0]["findings"]
+        assert evil and {"rule_id", "line", "span", "message"} <= set(evil[0])
+
+    def test_lint_rule_subset_and_unknown_rule(self, lint_directory, capsys):
+        status = main(
+            [
+                "lint", str(lint_directory / "evil.docm"),
+                "--rules", "o3-chr-chain,o3-decode-loop", "--format", "json",
+            ]
+        )
+        out = capsys.readouterr().out
+        record = json.loads(out.splitlines()[0])
+        kinds = {
+            f["rule_id"]
+            for macro in record["macros"]
+            for f in macro["findings"]
+        }
+        assert status == 0
+        assert kinds <= {"o3-chr-chain", "o3-decode-loop"}
+        assert main(["lint", "x.bas", "--rules", "bogus-rule"]) == 1
+
+    def test_lint_jobs_parity(self, lint_directory, capsys):
+        def run(jobs):
+            main(["lint", str(lint_directory), "--format", "json",
+                  "--jobs", str(jobs)])
+            out = capsys.readouterr().out
+            return [json.loads(line) for line in out.splitlines() if line.strip()]
+
+        assert run(1) == run(2)
+
+
+class TestScanExplain:
+    def test_explain_adds_per_class_counts(self, demo_document, capsys):
+        status = main(
+            [
+                "scan", str(demo_document), "--explain",
+                "--classifier", "RF", "--train-seed", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 2
+        assert "[lint]" in out
+        assert "O1" in out  # per-class summary next to the verdict
+
+    def test_explain_findings_reach_json(self, demo_document, capsys):
+        main(
+            [
+                "scan", str(demo_document), "--explain",
+                "--classifier", "RF", "--train-seed", "1", "--format", "json",
+            ]
+        )
+        out = capsys.readouterr().out
+        record = json.loads(out.splitlines()[0])
+        assert record["macros"][0]["findings"]
+
+    def test_without_explain_no_findings_collected(self, demo_document, capsys):
+        main(
+            [
+                "scan", str(demo_document),
+                "--classifier", "RF", "--train-seed", "1", "--format", "json",
+            ]
+        )
+        out = capsys.readouterr().out
+        record = json.loads(out.splitlines()[0])
+        assert record["macros"][0]["findings"] == []
+
+
 class TestExtractJson:
     def test_extract_json_records(self, demo_document, tmp_path, capsys):
         bogus = tmp_path / "bogus.docm"

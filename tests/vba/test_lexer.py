@@ -160,6 +160,40 @@ class TestPositions:
         assert by_text["bb"].line == 2
         assert by_text["bb"].column == 1
 
+    def test_positions_across_line_continuation(self):
+        # The continued statement spans three physical lines; every token
+        # must report the physical line/column it actually sits on.
+        source = 'x = "a" & _\n    "b" & _\n    "c"\ny = 1'
+        tokens = significant_tokens(source)
+        strings = [t for t in tokens if t.kind is TokenKind.STRING]
+        assert [(t.text, t.line, t.column) for t in strings] == [
+            ('"a"', 1, 5),
+            ('"b"', 2, 5),
+            ('"c"', 3, 5),
+        ]
+        y = next(t for t in tokens if t.text == "y")
+        assert (y.line, y.column) == (4, 1)
+
+    def test_positions_with_crlf_line_endings(self):
+        tokens = significant_tokens("a = 1\r\nbb = 2\r\nccc = 3")
+        by_text = {t.text: t for t in tokens if t.kind is TokenKind.IDENTIFIER}
+        assert (by_text["bb"].line, by_text["bb"].column) == (2, 1)
+        assert (by_text["ccc"].line, by_text["ccc"].column) == (3, 1)
+
+    def test_positions_with_lone_cr_line_endings(self):
+        # Classic-Mac line endings: a lone CR terminates the line too.
+        tokens = significant_tokens("a = 1\rbb = 2\rccc = 3")
+        by_text = {t.text: t for t in tokens if t.kind is TokenKind.IDENTIFIER}
+        assert (by_text["bb"].line, by_text["bb"].column) == (2, 1)
+        assert (by_text["ccc"].line, by_text["ccc"].column) == (3, 1)
+
+    def test_column_resumes_after_string_and_comment(self):
+        tokens = significant_tokens('s = "hi"  \' note\nt = 2')
+        comment = next(t for t in tokens if t.kind is TokenKind.COMMENT)
+        assert (comment.line, comment.column) == (1, 11)
+        t = next(tok for tok in tokens if tok.text == "t")
+        assert (t.line, t.column) == (2, 1)
+
 
 class TestLosslessness:
     REALISTIC = (
