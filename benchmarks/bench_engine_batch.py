@@ -7,16 +7,22 @@ ROADMAP targets) and drives ``AnalysisEngine.run_batch`` end to end
 * the two runs must produce identical verdicts and scores (parity);
 * on a multi-core host, ``jobs=4`` must beat ``jobs=1`` wall-clock.
 
+All timing comes from the engine's own :class:`~repro.obs.MetricsRegistry`
+(the ``span.batch`` histogram and the per-stage spans) — no ad-hoc
+``time.perf_counter()`` bookkeeping, so the bench artifact and runtime
+telemetry can never disagree.  Per-stage p50/p95 land in
+``benchmarks/results/engine_stats.json``, the perf-trajectory baseline.
+
 Environment knobs: ``REPRO_BENCH_DOCS`` (default 210 documents).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import random
-import time
 
-from conftest import save_artifact
+from conftest import registry_stage_stats, save_artifact
 
 from repro import ObfuscationDetector
 from repro.corpus.benign import generate_benign_module
@@ -24,6 +30,7 @@ from repro.corpus.documents import build_document_bytes
 from repro.corpus.malicious import generate_malicious_macro
 from repro.engine import AnalysisEngine
 from repro.obfuscation.pipeline import default_pipeline
+from repro.obs import MetricsRegistry
 
 N_DOCS = int(os.environ.get("REPRO_BENCH_DOCS", "210"))
 PARALLEL_JOBS = 4
@@ -64,10 +71,12 @@ def build_fleet(n_docs: int) -> tuple[list[tuple[str, bytes]], list[str], list[i
 
 
 def _timed_batch(detector, documents, jobs: int):
-    engine = AnalysisEngine.for_scan(detector)
-    start = time.perf_counter()
+    registry = MetricsRegistry()
+    engine = AnalysisEngine.for_scan(detector, metrics=registry)
     records = engine.run_batch(documents, jobs=jobs)
-    return time.perf_counter() - start, records
+    # Wall-clock straight from the telemetry layer: the batch span.
+    elapsed = registry.histogram("span.batch").sum
+    return elapsed, records, registry, engine.cache_info()
 
 
 def test_engine_batch_parallel_beats_serial(benchmark):
@@ -80,10 +89,18 @@ def test_engine_batch_parallel_beats_serial(benchmark):
     assert len(set(train_labels)) == 2
     detector = ObfuscationDetector("RF").fit(train_sources, train_labels)
 
-    serial_time, serial_records = _timed_batch(detector, documents, jobs=1)
-    parallel_time, parallel_records = _timed_batch(
-        detector, documents, jobs=PARALLEL_JOBS
+    serial_time, serial_records, serial_registry, serial_cache = _timed_batch(
+        detector, documents, jobs=1
     )
+    parallel_time, parallel_records, parallel_registry, parallel_cache = (
+        _timed_batch(detector, documents, jobs=PARALLEL_JOBS)
+    )
+
+    # Worker merge: the parallel registry must still see every document,
+    # and cache accounting must agree between jobs=1 and jobs=N.
+    for registry in (serial_registry, parallel_registry):
+        assert registry.histogram("span.document").count == len(documents)
+    assert serial_cache == parallel_cache
 
     # Parity: fan-out must not change a single score or verdict.
     assert all(record.ok for record in serial_records)
@@ -110,6 +127,30 @@ def test_engine_batch_parallel_beats_serial(benchmark):
     )
     print("\n" + text)
     save_artifact("engine_batch.txt", text)
+    save_artifact(
+        "engine_stats.json",
+        json.dumps(
+            {
+                "documents": len(documents),
+                "available_cpus": cpus,
+                "throughput_docs_per_s": {
+                    "jobs1": round(len(documents) / serial_time, 1),
+                    f"jobs{PARALLEL_JOBS}": round(
+                        len(documents) / parallel_time, 1
+                    ),
+                },
+                "cache": serial_cache,
+                "stages": {
+                    "jobs1": registry_stage_stats(serial_registry),
+                    f"jobs{PARALLEL_JOBS}": registry_stage_stats(
+                        parallel_registry
+                    ),
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        ),
+    )
 
     if cpus >= 2:
         # The whole point of the batch layer: fan-out wins wall-clock.

@@ -8,6 +8,10 @@ drives ``AnalysisEngine.for_lint().run_batch`` at ``jobs=1`` and
 * the artifact records macros/s, findings volume, and the per-class
   split, so rule additions that tank throughput show up in review.
 
+Wall-clock and per-stage splits come from the engine's own
+:class:`~repro.obs.MetricsRegistry` (``span.batch`` / ``span.lint``),
+not ad-hoc ``time.perf_counter()`` bookkeeping.
+
 Environment knobs: ``REPRO_BENCH_LINT_MACROS`` (default 500).
 """
 
@@ -15,9 +19,8 @@ from __future__ import annotations
 
 import os
 import random
-import time
 
-from conftest import save_artifact
+from conftest import registry_stage_stats, save_artifact
 
 from repro.corpus.benign import generate_benign_module
 from repro.corpus.documents import build_document_bytes
@@ -25,6 +28,7 @@ from repro.corpus.malicious import generate_malicious_macro
 from repro.engine import AnalysisEngine
 from repro.lint import count_by_class
 from repro.obfuscation.pipeline import default_pipeline
+from repro.obs import MetricsRegistry
 
 N_MACROS = int(os.environ.get("REPRO_BENCH_LINT_MACROS", "500"))
 PARALLEL_JOBS = 4
@@ -59,10 +63,10 @@ def build_batch(n_macros: int) -> list[tuple[str, bytes]]:
 
 
 def _timed_lint(documents, jobs: int):
-    engine = AnalysisEngine.for_lint()
-    start = time.perf_counter()
+    registry = MetricsRegistry()
+    engine = AnalysisEngine.for_lint(metrics=registry)
     records = engine.run_batch(documents, jobs=jobs)
-    return time.perf_counter() - start, records
+    return registry.histogram("span.batch").sum, records, registry
 
 
 def _all_findings(records):
@@ -75,8 +79,17 @@ def test_lint_batch_parallel_matches_serial(benchmark):
     documents = build_batch(N_MACROS)
     assert len(documents) >= 500 or N_MACROS < 500
 
-    serial_time, serial_records = _timed_lint(documents, jobs=1)
-    parallel_time, parallel_records = _timed_lint(documents, jobs=PARALLEL_JOBS)
+    serial_time, serial_records, serial_registry = _timed_lint(documents, jobs=1)
+    parallel_time, parallel_records, parallel_registry = _timed_lint(
+        documents, jobs=PARALLEL_JOBS
+    )
+
+    # Worker registries merged back: the parallel run still accounts for
+    # every document's lint span.
+    assert (
+        parallel_registry.histogram("span.lint").count
+        == serial_registry.histogram("span.lint").count
+    )
 
     # Parity: fan-out must not change a single finding.
     assert all(record.ok for record in serial_records)
@@ -110,6 +123,12 @@ def test_lint_batch_parallel_matches_serial(benchmark):
         f"  ({len(documents) / parallel_time:.1f} macros/s)\n"
         f"speedup              : {speedup:.2f}x\n"
     )
+    lint_stats = registry_stage_stats(serial_registry).get("lint")
+    if lint_stats:
+        text += (
+            f"lint stage p50/p95   : "
+            f"{lint_stats['p50_ms']:.2f}ms / {lint_stats['p95_ms']:.2f}ms\n"
+        )
     print("\n" + text)
     save_artifact("lint_batch.txt", text)
 

@@ -1,0 +1,111 @@
+"""Telemetry overhead — off must be free, on must be cheap.
+
+The engine promises an explicit no-op mode: with the default
+:data:`~repro.obs.NULL_REGISTRY` the only telemetry cost on the
+``run_source`` hot path is one ``metrics.enabled`` attribute check per
+stage.  This bench holds that promise to a number:
+
+* **off vs. baseline** — ``run_source`` with telemetry off must stay
+  within 5% of the pre-telemetry stage loop (the PR 2 ``run_source``
+  body, reconstructed inline), asserted on best-of-N rounds;
+* **on vs. off** — a live registry's cost is measured and recorded for
+  the artifact, not asserted (spans are allowed to cost something).
+
+Environment knobs: ``REPRO_BENCH_OBS_SOURCES`` (default 120 macros),
+``REPRO_BENCH_OBS_ROUNDS`` (default 5).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from conftest import save_artifact
+
+from repro.engine import AnalysisEngine, MacroRecord, MacroStage
+from repro.corpus.benign import generate_benign_module
+from repro.obs import MetricsRegistry
+
+N_SOURCES = int(os.environ.get("REPRO_BENCH_OBS_SOURCES", "120"))
+N_ROUNDS = int(os.environ.get("REPRO_BENCH_OBS_ROUNDS", "5"))
+MAX_OFF_OVERHEAD = 1.05  # telemetry off: < 5% over the PR 2 baseline
+
+
+def build_sources(n_sources: int) -> list[str]:
+    rng = random.Random(777)
+    return [
+        generate_benign_module(rng, target_length=rng.randint(400, 2500))
+        for _ in range(n_sources)
+    ]
+
+
+def _baseline_run_source(stages, source: str) -> MacroRecord:
+    """The pre-telemetry ``run_source`` body: the bare stage loop."""
+    macro = MacroRecord(module_name="Macro1", source=source)
+    for stage in stages:
+        if isinstance(stage, MacroStage) and macro.kept:
+            stage.process_macro(macro)
+    macro.analysis = None
+    return macro
+
+
+def _best_of(rounds: int, run) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_run_source_telemetry_off_is_free(benchmark):
+    sources = build_sources(N_SOURCES)
+    engine_off = AnalysisEngine.for_features(("V",))
+    registry = MetricsRegistry()
+    engine_on = AnalysisEngine.for_features(("V",), metrics=registry)
+    stages = engine_off.stages
+
+    # Warm every lazy import before the first timed round.
+    _baseline_run_source(stages, sources[0])
+    engine_off.run_source(sources[0])
+    engine_on.run_source(sources[0])
+
+    baseline = _best_of(
+        N_ROUNDS,
+        lambda: [_baseline_run_source(stages, source) for source in sources],
+    )
+    off = _best_of(
+        N_ROUNDS, lambda: [engine_off.run_source(source) for source in sources]
+    )
+    on = _best_of(
+        N_ROUNDS, lambda: [engine_on.run_source(source) for source in sources]
+    )
+
+    off_overhead = off / baseline
+    on_overhead = on / baseline
+    text = (
+        "OBS OVERHEAD — run_source hot path, best of "
+        f"{N_ROUNDS} rounds x {len(sources)} macros\n"
+        f"PR 2 baseline loop : {baseline:.3f} s"
+        f"  ({len(sources) / baseline:.1f} macros/s)\n"
+        f"telemetry off      : {off:.3f} s  ({off_overhead:.3f}x baseline)\n"
+        f"telemetry on       : {on:.3f} s  ({on_overhead:.3f}x baseline)\n"
+        f"spans recorded     : {registry.histogram('span.analyze').count}\n"
+    )
+    print("\n" + text)
+    save_artifact("obs_overhead.txt", text)
+
+    # Parity: telemetry must never change what the engine computes.
+    base_macro = _baseline_run_source(stages, sources[0])
+    for engine in (engine_off, engine_on):
+        macro = engine.run_source(sources[0])
+        assert (macro.features["V"] == base_macro.features["V"]).all()
+
+    assert off_overhead < MAX_OFF_OVERHEAD, text
+
+    benchmark.pedantic(
+        lambda: [engine_off.run_source(source) for source in sources[:30]],
+        iterations=1,
+        rounds=3,
+    )

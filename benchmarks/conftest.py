@@ -39,6 +39,29 @@ def save_artifact(name: str, text: str) -> None:
     (RESULTS_DIR / name).write_text(text + "\n")
 
 
+def registry_stage_stats(registry) -> dict:
+    """Per-span p50/p95/total out of a metrics registry, JSON-ready.
+
+    The shared shape for bench artifacts (``engine_stats.json``) — read
+    from the same histograms the ``--stats`` CLI summary renders, so the
+    two can never disagree.
+    """
+    from repro.obs import Histogram
+
+    stats = {}
+    for name, payload in registry.to_dict()["histograms"].items():
+        if not name.startswith("span.") or not payload["count"]:
+            continue
+        histogram = Histogram.from_dict(payload)
+        stats[name.removeprefix("span.")] = {
+            "count": histogram.count,
+            "p50_ms": round(histogram.percentile(0.5) * 1000, 3),
+            "p95_ms": round(histogram.percentile(0.95) * 1000, 3),
+            "total_s": round(histogram.sum, 4),
+        }
+    return stats
+
+
 @pytest.fixture(scope="session")
 def bench_profile():
     return paper_profile().scaled(BENCH_SCALE)

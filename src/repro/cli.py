@@ -12,14 +12,20 @@ Commands:
   recovered source;
 * ``demo <out.docm>``     — write a synthetic obfuscated-downloader document
   (for trying the other commands);
+* ``stats <events.jsonl>`` — aggregate a saved ``--trace-out`` trace into
+  per-stage p50/p95 latencies and throughput;
 * ``reproduce``           — run the paper's Section V evaluation.
 
-``extract`` and ``scan`` accept files *and directories* (scanned
-non-recursively), run through the shared staged
-:class:`~repro.engine.AnalysisEngine` (``--jobs N`` fans the batch out
-over a process pool), and support ``--format json`` emitting one JSON
-record per input file — including structured error records, so a corrupt
-document never aborts the batch (exit code stays 0 for partial success).
+``extract``, ``scan``, and ``lint`` accept files *and directories*
+(``--recursive`` walks subdirectories with a ``--max-depth`` guard), run
+through the shared staged :class:`~repro.engine.AnalysisEngine`
+(``--jobs N`` fans the batch out over a process pool), and support
+``--format json`` emitting one JSON record per input file — including
+structured error records, so a corrupt document never aborts the batch
+(exit code stays 0 for partial success).  ``--stats`` prints a post-run
+telemetry summary (per-stage p50/p95, throughput, cache hit rate — merged
+across worker processes) to stderr and ``--trace-out FILE`` saves one
+JSON-lines event per pipeline span for offline analysis.
 """
 
 from __future__ import annotations
@@ -46,6 +52,25 @@ def build_parser() -> argparse.ArgumentParser:
         subparser.add_argument(
             "--format", default="text", choices=("text", "json"),
             help="text report or one JSON record per input file",
+        )
+        subparser.add_argument(
+            "--recursive", "-r", action="store_true",
+            help="walk directory arguments recursively",
+        )
+        subparser.add_argument(
+            "--max-depth", type=int, default=8,
+            help="recursion depth guard for --recursive (default 8); "
+            "deeper subtrees are skipped and counted",
+        )
+        subparser.add_argument(
+            "--stats", action="store_true",
+            help="print a post-run telemetry summary (per-stage p50/p95, "
+            "throughput, cache hit rate) to stderr",
+        )
+        subparser.add_argument(
+            "--trace-out", metavar="FILE", default=None,
+            help="write one JSON-lines event per pipeline span to FILE "
+            "(aggregate later with `repro stats FILE`)",
         )
 
     extract = commands.add_parser("extract", help="dump macro sources")
@@ -85,6 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("output")
     demo.add_argument("--seed", type=int, default=1337)
 
+    stats = commands.add_parser(
+        "stats", help="aggregate a saved --trace-out JSON-lines trace"
+    )
+    stats.add_argument("trace", help="events.jsonl written by --trace-out")
+    stats.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="human table or one JSON object of per-span aggregates",
+    )
+
     reproduce = commands.add_parser("reproduce", help="run the paper evaluation")
     reproduce.add_argument("--scale", type=float, default=0.12)
     reproduce.add_argument("--folds", type=int, default=10)
@@ -101,6 +135,7 @@ def main(argv: list[str] | None = None) -> int:
         "lint": _cmd_lint,
         "deobfuscate": _cmd_deobfuscate,
         "demo": _cmd_demo,
+        "stats": _cmd_stats,
         "reproduce": _cmd_reproduce,
     }[args.command]
     return handler(args)
@@ -109,18 +144,72 @@ def main(argv: list[str] | None = None) -> int:
 # ----------------------------------------------------------------------
 
 
-def _expand_inputs(paths: list[str]) -> list[str]:
-    """Expand directory arguments to the (sorted) files they contain."""
+def _expand_inputs(
+    paths: list[str],
+    *,
+    recursive: bool = False,
+    max_depth: int = 8,
+    metrics=None,
+) -> list[str]:
+    """Expand directory arguments to the (sorted) files they contain.
+
+    With ``recursive`` the walk descends into subdirectories up to
+    ``max_depth`` levels below each named directory; anything skipped —
+    subtrees beyond the guard, subdirectories without ``recursive``,
+    non-regular entries like broken symlinks or sockets — bumps the
+    ``walk.skipped`` counter so the ``--stats`` summary reports it.
+    """
+    from repro.obs import NULL_REGISTRY
+
+    registry = metrics if metrics is not None else NULL_REGISTRY
     expanded: list[str] = []
+    skipped = 0
+
+    def walk(directory: pathlib.Path, depth: int) -> None:
+        nonlocal skipped
+        for child in sorted(directory.iterdir()):
+            if child.is_dir() and not child.is_symlink():
+                if not recursive or depth >= max_depth:
+                    skipped += 1
+                else:
+                    walk(child, depth + 1)
+            elif child.is_file():
+                expanded.append(str(child))
+            else:
+                skipped += 1
+
     for raw in paths:
         path = pathlib.Path(raw)
         if path.is_dir():
-            expanded.extend(
-                str(child) for child in sorted(path.iterdir()) if child.is_file()
-            )
+            walk(path, 0)
         else:
             expanded.append(raw)
+    if skipped:
+        registry.counter("walk.skipped").inc(skipped)
+    registry.counter("walk.files").inc(len(expanded))
     return expanded
+
+
+def _make_registry(args):
+    """A live registry when ``--stats``/``--trace-out`` asked for one."""
+    from repro.obs import NULL_REGISTRY, MetricsRegistry
+
+    if args.stats or args.trace_out:
+        return MetricsRegistry(trace=bool(args.trace_out))
+    return NULL_REGISTRY
+
+
+def _finish_telemetry(args, registry, cache_info=None) -> None:
+    """Write the trace and/or print the stats summary (both to stderr)."""
+    if args.trace_out:
+        from repro.obs import write_events
+
+        count = write_events(args.trace_out, registry.events)
+        print(f"wrote {count} events to {args.trace_out}", file=sys.stderr)
+    if args.stats:
+        from repro.obs import summarize
+
+        print(summarize(registry, cache_info), file=sys.stderr)
 
 
 def _emit_json(records, extra=None) -> None:
@@ -135,8 +224,16 @@ def _emit_json(records, extra=None) -> None:
 def _cmd_extract(args) -> int:
     from repro.engine import AnalysisEngine
 
-    engine = AnalysisEngine.for_extraction()
-    records = engine.run_batch(_expand_inputs(args.files), jobs=args.jobs)
+    registry = _make_registry(args)
+    engine = AnalysisEngine.for_extraction(metrics=registry)
+    inputs = _expand_inputs(
+        args.files,
+        recursive=args.recursive,
+        max_depth=args.max_depth,
+        metrics=registry,
+    )
+    records = engine.run_batch(inputs, jobs=args.jobs)
+    _finish_telemetry(args, registry, engine.cache_info())
     if args.format == "json":
         _emit_json(records)
         return 0
@@ -205,9 +302,17 @@ def _cmd_scan(args) -> int:
         f"training {args.classifier} detector on synthetic corpus...", file=log
     )
     detector = _train_detector(args.classifier, args.train_seed)
-    engine = AnalysisEngine.for_scan(detector, lint=args.explain)
-    records = engine.run_batch(_expand_inputs(args.files), jobs=args.jobs)
+    registry = _make_registry(args)
+    engine = AnalysisEngine.for_scan(detector, lint=args.explain, metrics=registry)
+    inputs = _expand_inputs(
+        args.files,
+        recursive=args.recursive,
+        max_depth=args.max_depth,
+        metrics=registry,
+    )
+    records = engine.run_batch(inputs, jobs=args.jobs)
     extras = _scan_extras(records)
+    _finish_telemetry(args, registry, engine.cache_info())
 
     if json_mode:
         payload_extras = []
@@ -302,8 +407,9 @@ def _cmd_lint(args) -> int:
         if args.rules
         else None
     )
+    registry = _make_registry(args)
     try:
-        engine = AnalysisEngine.for_lint(rules)
+        engine = AnalysisEngine.for_lint(rules, metrics=registry)
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 1
@@ -311,7 +417,12 @@ def _cmd_lint(args) -> int:
     # Partition inputs: Office containers batch through the document
     # pipeline; bare .bas/.vba sources run the macro-level stages directly;
     # anything else (e.g. the .py files next to a sample macro) is skipped.
-    paths = _expand_inputs(args.files)
+    paths = _expand_inputs(
+        args.files,
+        recursive=args.recursive,
+        max_depth=args.max_depth,
+        metrics=registry,
+    )
     records: list = [None] * len(paths)
     documents: list[tuple[int, str]] = []
     for index, path in enumerate(paths):
@@ -341,6 +452,7 @@ def _cmd_lint(args) -> int:
         batch = engine.run_batch([path for _, path in documents], jobs=args.jobs)
         for (index, _), record in zip(documents, batch):
             records[index] = record
+    _finish_telemetry(args, registry, engine.cache_info())
 
     if args.format == "json":
         _emit_json(records)
@@ -409,6 +521,24 @@ def _cmd_demo(args) -> int:
     with open(args.output, "wb") as handle:
         handle.write(blob)
     print(f"wrote {args.output} ({len(blob):,} bytes, 1 obfuscated macro)")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs import aggregate_events, read_events, render_events_report
+
+    try:
+        events = read_events(args.trace)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        print(f"error: {args.trace}: {error}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps(aggregate_events(events), sort_keys=True))
+    else:
+        print(render_events_report(events))
     return 0
 
 

@@ -12,6 +12,7 @@ Quickstart::
 """
 
 from repro.engine.core import AnalysisEngine, default_stages
+from repro.obs.metrics import MetricsRegistry
 from repro.engine.records import (
     Diagnostic,
     DocumentRecord,
@@ -39,6 +40,7 @@ __all__ = [
     "FilterShortStage",
     "MacroRecord",
     "MacroStage",
+    "MetricsRegistry",
     "Stage",
     "default_stages",
     "sha256_hex",

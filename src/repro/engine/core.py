@@ -39,6 +39,7 @@ from repro.engine.stages import (
     Stage,
 )
 from repro.features.registry import get_feature_set
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 
 #: chunks per worker when fanning a batch out, to amortize pool overhead
 #: while keeping the workers load-balanced.
@@ -86,6 +87,7 @@ class AnalysisEngine:
         lint_rules: tuple[str, ...] | None = None,
         cache_size: int = 1024,
         keep_analysis: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if stages is None:
             stages = default_stages(
@@ -99,26 +101,36 @@ class AnalysisEngine:
         self.stages = list(stages)
         self.feature_sets = tuple(feature_sets)
         self.keep_analysis = keep_analysis
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._cache: dict[str, DocumentRecord] | None = (
             {} if cache_size > 0 else None
         )
         self._cache_size = cache_size
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
 
     # -- convenience constructors --------------------------------------
 
     @classmethod
-    def for_extraction(cls, min_macro_bytes: int = 0) -> "AnalysisEngine":
+    def for_extraction(
+        cls,
+        min_macro_bytes: int = 0,
+        metrics: MetricsRegistry | None = None,
+    ) -> "AnalysisEngine":
         """Extraction (and optional length filter) only — no featurization."""
-        return cls(feature_sets=(), min_macro_bytes=min_macro_bytes)
+        return cls(
+            feature_sets=(), min_macro_bytes=min_macro_bytes, metrics=metrics
+        )
 
     @classmethod
     def for_features(
-        cls, feature_sets: tuple[str, ...] = ("V", "J")
+        cls,
+        feature_sets: tuple[str, ...] = ("V", "J"),
+        metrics: MetricsRegistry | None = None,
     ) -> "AnalysisEngine":
         """Analyze + featurize, no classifier (training / experiments)."""
-        return cls(feature_sets=feature_sets)
+        return cls(feature_sets=feature_sets, metrics=metrics)
 
     @classmethod
     def for_scan(
@@ -127,6 +139,7 @@ class AnalysisEngine:
         feature_sets: tuple[str, ...] = ("V",),
         threshold: float = 0.5,
         lint: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> "AnalysisEngine":
         """The full chain ending in a verdict (deployment / CLI scan)."""
         return cls(
@@ -134,22 +147,29 @@ class AnalysisEngine:
             feature_sets=feature_sets,
             threshold=threshold,
             lint=lint,
+            metrics=metrics,
         )
 
     @classmethod
     def for_lint(
-        cls, rules: tuple[str, ...] | None = None
+        cls,
+        rules: tuple[str, ...] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> "AnalysisEngine":
         """Extract + analyze + lint only — explainable findings, no verdict."""
-        return cls(feature_sets=(), lint=True, lint_rules=rules)
+        return cls(feature_sets=(), lint=True, lint_rules=rules, metrics=metrics)
 
-    # -- pickling (worker processes get an empty cache) ----------------
+    # -- pickling (workers get an empty cache and a private registry) --
 
     def __getstate__(self):
         state = dict(self.__dict__)
         state["_cache"] = {} if self._cache is not None else None
         state["cache_hits"] = 0
         state["cache_misses"] = 0
+        state["cache_evictions"] = 0
+        # Workers fill a same-configuration empty registry; the parent
+        # folds the snapshots back in after the pool drains.
+        state["metrics"] = self.metrics.spawn()
         return state
 
     def __setstate__(self, state):
@@ -158,9 +178,16 @@ class AnalysisEngine:
     # -- cache ---------------------------------------------------------
 
     def cache_info(self) -> dict[str, int]:
+        """Cache traffic so far — merged parent + worker numbers.
+
+        Worker-process counts are folded in as each ``run_batch(jobs=N)``
+        pool drains, so the totals agree between ``jobs=1`` and
+        ``jobs=N`` runs of the same inputs.
+        """
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
+            "evictions": self.cache_evictions,
             "size": len(self._cache) if self._cache is not None else 0,
         }
 
@@ -180,6 +207,7 @@ class AnalysisEngine:
             return
         while len(self._cache) >= self._cache_size:
             self._cache.pop(next(iter(self._cache)))
+            self.cache_evictions += 1
         self._cache[digest] = record
 
     @staticmethod
@@ -217,8 +245,18 @@ class AnalysisEngine:
 
     def _process(self, source_id: str, data: bytes, digest: str) -> DocumentRecord:
         record = DocumentRecord(source_id=source_id, data=data, sha256=digest)
-        for stage in self.stages:
-            stage.process(record)
+        metrics = self.metrics
+        if not metrics.enabled:
+            for stage in self.stages:
+                stage.process(record)
+        else:
+            span = metrics.span("document", doc=digest).start()
+            try:
+                for stage in self.stages:
+                    stage.run(record, metrics)
+            finally:
+                span.finish(outcome="ok" if record.ok else "error")
+                record.timings["document"] = span.duration
         record.data = None  # bytes are consumed; keep records IPC-light
         if not self.keep_analysis:
             for macro in record.macros:
@@ -228,9 +266,15 @@ class AnalysisEngine:
     def run_source(self, source: str, name: str = "Macro1") -> MacroRecord:
         """Run one bare VBA source through the macro-level stages."""
         macro = MacroRecord(module_name=name, source=source)
-        for stage in self.stages:
-            if isinstance(stage, MacroStage) and macro.kept:
-                stage.process_macro(macro)
+        metrics = self.metrics
+        if not metrics.enabled:  # the hot single-shot path stays bare
+            for stage in self.stages:
+                if isinstance(stage, MacroStage) and macro.kept:
+                    stage.process_macro(macro)
+        else:
+            for stage in self.stages:
+                if isinstance(stage, MacroStage) and macro.kept:
+                    stage.run_macro(macro, metrics)
         if not self.keep_analysis:
             macro.analysis = None
         return macro
@@ -244,8 +288,19 @@ class AnalysisEngine:
         objects with ``file_name``/``data`` attributes.  Identical content
         (by SHA-256) is analyzed once and served from the cache for every
         other occurrence.  With ``jobs > 1`` the unique documents are
-        chunked across a process pool.
+        chunked across a process pool; each worker fills a private metrics
+        registry that is merged back into :attr:`metrics` (and the cache
+        counters) before this method returns.
         """
+        if not self.metrics.enabled:
+            return self._run_batch(inputs, jobs)
+        span = self.metrics.span("batch").start()
+        try:
+            return self._run_batch(inputs, jobs)
+        finally:
+            span.finish()
+
+    def _run_batch(self, inputs: Iterable, jobs: int) -> list[DocumentRecord]:
         prepared = [_coerce_input(item) for item in inputs]
         records: list[DocumentRecord | None] = [None] * len(prepared)
 
@@ -294,11 +349,21 @@ class AnalysisEngine:
         chunks = _chunked(unique, jobs)
         processed: dict[str, DocumentRecord] = {}
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for chunk_result in pool.map(
+            for chunk_result, telemetry in pool.map(
                 _process_document_chunk, [(self, chunk) for chunk in chunks]
             ):
                 processed.update(chunk_result)
+                self._merge_worker_telemetry(telemetry)
         return processed
+
+    def _merge_worker_telemetry(self, telemetry: dict) -> None:
+        """Fold one worker's registry snapshot + cache counts into ours."""
+        if telemetry["metrics"] is not None:
+            self.metrics.merge(telemetry["metrics"])
+        cache = telemetry["cache"]
+        self.cache_hits += cache["hits"]
+        self.cache_misses += cache["misses"]
+        self.cache_evictions += cache["evictions"]
 
     def feature_matrices(
         self,
@@ -363,11 +428,22 @@ def _chunked(items: list, jobs: int) -> list[list]:
     return [items[start : start + size] for start in range(0, len(items), size)]
 
 
-def _process_document_chunk(payload) -> dict[str, DocumentRecord]:
+def _process_document_chunk(payload) -> tuple[dict[str, DocumentRecord], dict]:
+    """Worker entry point: records + the worker's telemetry snapshot.
+
+    The engine arrives pickled with an empty cache and a private, empty
+    registry (see ``AnalysisEngine.__getstate__``); everything the chunk
+    recorded travels back alongside the records so the parent can merge.
+    """
     engine, chunk = payload
-    return {
+    processed = {
         digest: engine._process(sid, data, digest) for digest, sid, data in chunk
     }
+    telemetry = {
+        "metrics": engine.metrics.to_dict() if engine.metrics.enabled else None,
+        "cache": engine.cache_info(),
+    }
+    return processed, telemetry
 
 
 def _featurize_source(names, source) -> dict[str, np.ndarray]:

@@ -91,6 +91,9 @@ class DocumentRecord:
     macros: list[MacroRecord] = field(default_factory=list)
     document_variables: dict[str, str] = field(default_factory=dict)
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: per-stage wall-clock seconds, filled when the engine runs with a
+    #: live metrics registry (empty when telemetry is off or cache-served)
+    timings: dict[str, float] = field(default_factory=dict)
 
     def diag(self, stage: str, level: str, message: str) -> None:
         if level not in LEVELS:
@@ -131,4 +134,5 @@ class DocumentRecord:
             "macros": [macro.to_dict() for macro in self.macros],
             "document_variables": dict(self.document_variables),
             "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "timings": dict(self.timings),
         }

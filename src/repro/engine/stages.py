@@ -21,6 +21,31 @@ class Stage:
     def process(self, document: DocumentRecord) -> None:
         raise NotImplementedError
 
+    def run(self, document: DocumentRecord, metrics) -> None:
+        """:meth:`process` inside a telemetry span.
+
+        With a live registry the stage's wall time lands in the
+        ``span.<name>`` histogram and on ``document.timings``, and every
+        error diagnostic the stage adds bumps the ``errors.<name>``
+        counter.  With the null registry this is a plain :meth:`process`
+        call — one attribute check of overhead.
+        """
+        if not metrics.enabled:
+            self.process(document)
+            return
+        before = len(document.diagnostics)
+        span = metrics.span(self.name, doc=document.sha256).start()
+        try:
+            self.process(document)
+        finally:
+            errors = sum(
+                1 for d in document.diagnostics[before:] if d.level == "error"
+            )
+            if errors:
+                metrics.counter(f"errors.{self.name}").inc(errors)
+            span.finish(outcome="error" if errors else "ok")
+            document.timings[self.name] = span.duration
+
 
 class MacroStage(Stage):
     """A stage that works per-macro; skips macros filtered upstream."""
@@ -34,6 +59,20 @@ class MacroStage(Stage):
         self, macro: MacroRecord, document: DocumentRecord | None = None
     ) -> None:
         raise NotImplementedError
+
+    def run_macro(self, macro: MacroRecord, metrics) -> None:
+        """:meth:`process_macro` inside a span (the bare-source path)."""
+        if not metrics.enabled:
+            self.process_macro(macro)
+            return
+        span = metrics.span(self.name, doc=macro.sha256).start()
+        try:
+            self.process_macro(macro)
+        finally:
+            failed = macro.filtered == "analysis-error"
+            if failed:
+                metrics.counter(f"errors.{self.name}").inc()
+            span.finish(outcome="error" if failed else "ok")
 
 
 class ExtractStage(Stage):

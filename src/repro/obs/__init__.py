@@ -1,0 +1,64 @@
+"""``repro.obs`` — the dependency-free observability subsystem.
+
+One :class:`MetricsRegistry` per engine collects counters, gauges, and
+fixed-bucket histograms; :meth:`MetricsRegistry.span` traces named
+wall-clock sections; ``trace=True`` buffers one JSON-ready event per span
+for :func:`write_events` / ``repro stats``.  Worker processes fill
+private registries that :meth:`MetricsRegistry.merge` folds back into the
+parent.  :data:`NULL_REGISTRY` is the always-on default that makes the
+whole layer free when telemetry is off.
+
+Quickstart::
+
+    from repro.engine import AnalysisEngine
+    from repro.obs import MetricsRegistry, summarize, write_events
+
+    registry = MetricsRegistry(trace=True)
+    engine = AnalysisEngine.for_lint(metrics=registry)
+    engine.run_batch(paths, jobs=4)          # workers merge back in
+    print(summarize(registry, engine.cache_info()))
+    write_events("events.jsonl", registry.events)
+"""
+
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    read_events,
+    validate_event,
+    write_events,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from repro.obs.report import (
+    aggregate_events,
+    format_duration,
+    render_events_report,
+    summarize,
+)
+from repro.obs.tracing import NULL_SPAN, Span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "EVENT_SCHEMA",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NullRegistry",
+    "Span",
+    "aggregate_events",
+    "format_duration",
+    "read_events",
+    "render_events_report",
+    "summarize",
+    "validate_event",
+    "write_events",
+]

@@ -1,0 +1,99 @@
+"""The JSON-lines trace format: one span event per line, plus a validator.
+
+``--trace-out events.jsonl`` persists every span the registry buffered —
+the offline complement to the in-process metrics, suitable for
+flame/waterfall reconstruction and for ``repro stats`` re-aggregation.
+The schema is deliberately flat and stdlib-checkable:
+
+========  ==============  ====================================================
+field     type            meaning
+========  ==============  ====================================================
+type      str             always ``"span"`` (room for future event kinds)
+name      str             span name (``extract``, ``analyze``, ``document``...)
+ts        number          ``time.perf_counter()`` at span start (per-process)
+dur       number >= 0     wall-clock seconds inside the span
+doc       str | null      SHA-256 of the document the span worked on
+outcome   str             ``"ok"`` or ``"error"``
+pid       int             producing process (workers emit their own events)
+depth     int >= 0        span nesting level inside its process
+========  ==============  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable
+
+from repro.obs.tracing import OUTCOMES
+
+#: field → allowed types (None in the tuple means JSON null is allowed).
+EVENT_SCHEMA: dict[str, tuple] = {
+    "type": (str,),
+    "name": (str,),
+    "ts": (int, float),
+    "dur": (int, float),
+    "doc": (str, type(None)),
+    "outcome": (str,),
+    "pid": (int,),
+    "depth": (int,),
+}
+
+EVENT_TYPES = ("span",)
+
+
+def validate_event(event: Any) -> dict[str, Any]:
+    """Check one decoded event against the schema; raises ``ValueError``."""
+    if not isinstance(event, dict):
+        raise ValueError(f"event must be an object, got {type(event).__name__}")
+    unknown = set(event) - set(EVENT_SCHEMA)
+    if unknown:
+        raise ValueError(f"unknown event fields: {sorted(unknown)}")
+    for field, allowed in EVENT_SCHEMA.items():
+        if field not in event:
+            raise ValueError(f"event missing field {field!r}")
+        value = event[field]
+        # bool is an int subclass; never a valid numeric field value here.
+        if isinstance(value, bool) or not isinstance(value, allowed):
+            raise ValueError(
+                f"event field {field!r} has type {type(value).__name__}"
+            )
+    if event["type"] not in EVENT_TYPES:
+        raise ValueError(f"unknown event type {event['type']!r}")
+    if event["outcome"] not in OUTCOMES:
+        raise ValueError(f"unknown event outcome {event['outcome']!r}")
+    if event["dur"] < 0:
+        raise ValueError("event dur must be non-negative")
+    if event["depth"] < 0:
+        raise ValueError("event depth must be non-negative")
+    return event
+
+
+def write_events(path: str | os.PathLike, events: Iterable[dict[str, Any]]) -> int:
+    """Write events as JSON lines; returns the number written."""
+    written = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(validate_event(event), sort_keys=True))
+            handle.write("\n")
+            written += 1
+    return written
+
+
+def read_events(path: str | os.PathLike) -> list[dict[str, Any]]:
+    """Load and validate a JSON-lines trace; raises ``ValueError`` on bad lines."""
+    events: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"line {line_number}: not JSON ({error})") from None
+            try:
+                events.append(validate_event(event))
+            except ValueError as error:
+                raise ValueError(f"line {line_number}: {error}") from None
+    return events

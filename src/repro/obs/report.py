@@ -1,0 +1,178 @@
+"""Human-readable rollups of registry metrics and saved trace events.
+
+Two consumers:
+
+* ``--stats`` on the batch CLI commands renders :func:`summarize` over the
+  live registry right after a run (per-stage p50/p95, throughput, cache
+  hit rate, error and skip counters);
+* ``repro stats events.jsonl`` re-aggregates a saved trace with
+  :func:`aggregate_events` — there the percentiles are exact (computed
+  from the raw durations) rather than histogram-interpolated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+#: Pipeline-order ranking for stage rows; unknown names sort after, A–Z.
+_STAGE_ORDER = (
+    "extract", "filter", "analyze", "featurize", "lint", "classify",
+    "document", "batch",
+)
+
+
+def _stage_key(name: str) -> tuple[int, str]:
+    try:
+        return (_STAGE_ORDER.index(name), name)
+    except ValueError:
+        return (len(_STAGE_ORDER), name)
+
+
+def format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 0.001:
+        return f"{seconds * 1000:.1f}ms"
+    return f"{seconds * 1_000_000:.0f}us"
+
+
+def _render_rows(rows: list[tuple[str, int, float, float, float]]) -> list[str]:
+    lines = [
+        f"  {'stage':<12} {'count':>7} {'p50':>9} {'p95':>9} {'total':>9}"
+    ]
+    for name, count, p50, p95, total in rows:
+        lines.append(
+            f"  {name:<12} {count:>7} {format_duration(p50):>9} "
+            f"{format_duration(p95):>9} {format_duration(total):>9}"
+        )
+    return lines
+
+
+def summarize(registry, cache_info: dict[str, int] | None = None) -> str:
+    """Render the post-run ``--stats`` summary from a live registry."""
+    snapshot = registry.to_dict()
+    histograms = snapshot["histograms"]
+    counters = snapshot["counters"]
+
+    from repro.obs.metrics import Histogram
+
+    spans = {
+        name.removeprefix("span."): Histogram.from_dict(payload)
+        for name, payload in histograms.items()
+        if name.startswith("span.") and payload["count"]
+    }
+    lines = ["TELEMETRY"]
+
+    documents = spans.get("document")
+    wall = None
+    if "batch" in spans:
+        wall = spans["batch"].sum
+    elif documents is not None:
+        wall = documents.sum
+    if documents is not None and wall:
+        lines[0] = (
+            f"TELEMETRY — {documents.count} documents in "
+            f"{format_duration(wall)} ({documents.count / wall:.1f} docs/s)"
+        )
+
+    rows = [
+        (name, spans[name].count, spans[name].percentile(0.5),
+         spans[name].percentile(0.95), spans[name].sum)
+        for name in sorted(spans, key=_stage_key)
+    ]
+    if rows:
+        lines.extend(_render_rows(rows))
+
+    if cache_info is not None:
+        lookups = cache_info["hits"] + cache_info["misses"]
+        rate = cache_info["hits"] / lookups if lookups else 0.0
+        lines.append(
+            f"  cache: {cache_info['hits']} hits / {cache_info['misses']} misses"
+            f" / {cache_info.get('evictions', 0)} evictions"
+            f" ({rate:.1%} hit rate)"
+        )
+
+    errors = {
+        name.removeprefix("errors."): value
+        for name, value in counters.items()
+        if name.startswith("errors.") and value
+    }
+    if errors:
+        lines.append(
+            "  errors: "
+            + ", ".join(
+                f"{stage} {count}"
+                for stage, count in sorted(errors.items(), key=lambda kv: _stage_key(kv[0]))
+            )
+        )
+    if counters.get("walk.skipped"):
+        lines.append(
+            f"  walk: {counters['walk.skipped']} inputs skipped "
+            f"(beyond --max-depth or not regular files)"
+        )
+    return "\n".join(lines)
+
+
+def aggregate_events(events: Iterable[dict[str, Any]]) -> dict[str, dict[str, Any]]:
+    """Exact per-span-name stats from raw trace events.
+
+    Returns ``{name: {count, errors, p50, p95, total, mean}}`` with
+    durations in seconds and percentiles computed from the sorted raw
+    values (nearest-rank).
+    """
+    durations: dict[str, list[float]] = {}
+    errors: dict[str, int] = {}
+    for event in events:
+        durations.setdefault(event["name"], []).append(float(event["dur"]))
+        if event["outcome"] == "error":
+            errors[event["name"]] = errors.get(event["name"], 0) + 1
+    aggregated: dict[str, dict[str, Any]] = {}
+    for name, values in durations.items():
+        values.sort()
+        aggregated[name] = {
+            "count": len(values),
+            "errors": errors.get(name, 0),
+            "p50": _nearest_rank(values, 0.5),
+            "p95": _nearest_rank(values, 0.95),
+            "total": sum(values),
+            "mean": sum(values) / len(values),
+        }
+    return aggregated
+
+
+def _nearest_rank(sorted_values: list[float], q: float) -> float:
+    index = max(0, min(len(sorted_values) - 1, round(q * len(sorted_values)) - 1))
+    return sorted_values[index]
+
+
+def render_events_report(events: list[dict[str, Any]]) -> str:
+    """The ``repro stats`` table over a saved JSON-lines trace."""
+    if not events:
+        return "no events"
+    aggregated = aggregate_events(events)
+    pids = {event["pid"] for event in events}
+    lines = [
+        f"TRACE — {len(events)} spans across {len(pids)} process"
+        f"{'es' if len(pids) != 1 else ''}"
+    ]
+    rows = [
+        (name, stats["count"], stats["p50"], stats["p95"], stats["total"])
+        for name, stats in sorted(aggregated.items(), key=lambda kv: _stage_key(kv[0]))
+    ]
+    lines.extend(_render_rows(rows))
+    error_rows = [
+        f"{name} {stats['errors']}"
+        for name, stats in sorted(aggregated.items(), key=lambda kv: _stage_key(kv[0]))
+        if stats["errors"]
+    ]
+    if error_rows:
+        lines.append("  errors: " + ", ".join(error_rows))
+    documents = aggregated.get("document")
+    if documents:
+        wall = aggregated.get("batch", documents)["total"]
+        if wall:
+            lines.append(
+                f"  throughput: {documents['count'] / wall:.1f} docs/s "
+                f"({documents['count']} documents in {format_duration(wall)})"
+            )
+    return "\n".join(lines)

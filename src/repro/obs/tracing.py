@@ -1,0 +1,114 @@
+"""Span tracing: named wall-clock sections recorded into the registry.
+
+A span measures one section of work with a monotonic clock and, on
+finish, observes the duration into the registry histogram
+``span.<name>`` (so p50/p95 per stage fall out of the metrics alone).
+With ``MetricsRegistry(trace=True)`` each finished span additionally
+buffers one JSON-ready event::
+
+    {"type": "span", "name": "analyze", "ts": 12.034, "dur": 0.0041,
+     "doc": "<sha256-or-null>", "outcome": "ok", "pid": 4242, "depth": 1}
+
+``ts`` is ``time.perf_counter()`` at span start — monotonic and
+comparable *within* one process (events carry ``pid`` so offline tooling
+can group before ordering).  ``depth`` is the live nesting level, enough
+to reconstruct waterfalls from a per-process event stream.
+
+Spans are both context managers and manually driven (``start``/
+``finish``) for call sites that need the duration or want to set the
+outcome after the fact::
+
+    with registry.span("extract", doc=digest):
+        ...                                   # outcome from the exception
+
+    span = registry.span("classify", doc=digest).start()
+    try:
+        ...
+    finally:
+        span.finish(outcome="error" if failed else "ok")
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+OUTCOMES = ("ok", "error")
+
+
+class Span:
+    """One timed section; records itself into its registry on finish."""
+
+    __slots__ = ("registry", "name", "doc", "outcome", "started_at", "duration", "_depth")
+
+    def __init__(self, registry, name: str, doc: str | None = None) -> None:
+        self.registry = registry
+        self.name = name
+        self.doc = doc
+        self.outcome = "ok"
+        self.started_at: float | None = None
+        self.duration: float | None = None
+        self._depth = 0
+
+    def start(self) -> "Span":
+        self._depth = self.registry._span_depth
+        self.registry._span_depth += 1
+        self.started_at = time.perf_counter()
+        return self
+
+    def finish(self, outcome: str | None = None) -> "Span":
+        duration = time.perf_counter() - self.started_at
+        self.registry._span_depth -= 1
+        if outcome is not None:
+            if outcome not in OUTCOMES:
+                raise ValueError(f"unknown span outcome {outcome!r}")
+            self.outcome = outcome
+        self.duration = duration
+        registry = self.registry
+        registry.histogram(f"span.{self.name}").observe(duration)
+        if registry.trace:
+            registry.events.append(self.to_event())
+        return self
+
+    def to_event(self) -> dict[str, Any]:
+        return {
+            "type": "span",
+            "name": self.name,
+            "ts": self.started_at,
+            "dur": self.duration,
+            "doc": self.doc,
+            "outcome": self.outcome,
+            "pid": os.getpid(),
+            "depth": self._depth,
+        }
+
+    def __enter__(self) -> "Span":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish(outcome="error" if exc_type is not None else None)
+
+
+class _NullSpan:
+    """Reusable no-op span handed out by the null registry."""
+
+    __slots__ = ()
+
+    duration = None
+    outcome = "ok"
+
+    def start(self) -> "_NullSpan":
+        return self
+
+    def finish(self, outcome: str | None = None) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()

@@ -153,7 +153,9 @@ class TestCache:
         engine = AnalysisEngine(feature_sets=(), cache_size=0)
         engine.run(documents[0])
         engine.run(documents[0])
-        assert engine.cache_info() == {"hits": 0, "misses": 0, "size": 0}
+        assert engine.cache_info() == {
+            "hits": 0, "misses": 0, "evictions": 0, "size": 0,
+        }
 
 
 class TestFilterStage:

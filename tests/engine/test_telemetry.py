@@ -1,0 +1,151 @@
+"""Engine ↔ telemetry integration: spans, counters, and the worker merge.
+
+The load-bearing guarantees:
+
+* every stage of every processed document lands in the registry — at
+  ``jobs=1`` and ``jobs=N`` alike (worker registries merge back);
+* ``cache_info()`` reports merged parent+worker numbers, so serial and
+  parallel runs of the same inputs agree;
+* telemetry off is the default and records nothing.
+"""
+
+import random
+
+import pytest
+
+from repro.corpus.benign import generate_benign_module
+from repro.corpus.documents import build_document_bytes
+from repro.engine import AnalysisEngine, MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def documents():
+    rng = random.Random(23)
+    return [
+        build_document_bytes(
+            [generate_benign_module(rng, target_length=rng.randint(300, 1200))],
+            "docm",
+        )
+        for _ in range(6)
+    ]
+
+
+def _lint_run(documents, jobs, trace=False):
+    registry = MetricsRegistry(trace=trace)
+    engine = AnalysisEngine.for_lint(metrics=registry)
+    records = engine.run_batch(documents, jobs=jobs)
+    return records, registry, engine
+
+
+class TestStageSpans:
+    def test_every_stage_of_every_document_is_timed(self, documents):
+        records, registry, _ = _lint_run(documents, jobs=1)
+        snapshot = registry.to_dict()["histograms"]
+        for stage in ("extract", "analyze", "lint", "document"):
+            assert snapshot[f"span.{stage}"]["count"] == len(documents)
+        assert snapshot["span.batch"]["count"] == 1
+        for record in records:
+            assert set(record.timings) == {
+                "extract", "analyze", "lint", "document",
+            }
+            assert record.timings["document"] >= record.timings["extract"]
+
+    def test_single_run_records_document_span(self, documents):
+        registry = MetricsRegistry()
+        engine = AnalysisEngine.for_extraction(metrics=registry)
+        record = engine.run(documents[0])
+        assert record.ok
+        assert registry.histogram("span.document").count == 1
+        assert registry.histogram("span.batch").count == 0
+
+    def test_extract_errors_become_counters_and_error_spans(self):
+        registry = MetricsRegistry(trace=True)
+        engine = AnalysisEngine.for_extraction(metrics=registry)
+        record = engine.run(b"not a document")
+        assert not record.ok
+        assert registry.to_dict()["counters"]["errors.extract"] == 1
+        assert any(
+            event["name"] == "extract" and event["outcome"] == "error"
+            for event in registry.events
+        )
+
+    def test_run_source_records_macro_stage_spans(self):
+        registry = MetricsRegistry()
+        engine = AnalysisEngine.for_features(("V",), metrics=registry)
+        macro = engine.run_source("Sub T()\n  Dim a\n  a = 1\nEnd Sub\n")
+        assert macro.features["V"].shape == (15,)
+        assert registry.histogram("span.analyze").count == 1
+        assert registry.histogram("span.featurize").count == 1
+
+
+class TestWorkerMerge:
+    def test_parallel_batch_merges_worker_registries(self, documents):
+        serial_records, serial_registry, _ = _lint_run(documents, jobs=1)
+        parallel_records, parallel_registry, _ = _lint_run(documents, jobs=4)
+        serial = serial_registry.to_dict()
+        parallel = parallel_registry.to_dict()
+        # Same documents, same spans — regardless of which process ran them.
+        for stage in ("extract", "analyze", "lint", "document"):
+            key = f"span.{stage}"
+            assert (
+                parallel["histograms"][key]["count"]
+                == serial["histograms"][key]["count"]
+            )
+        assert [r.sha256 for r in serial_records] == [
+            r.sha256 for r in parallel_records
+        ]
+
+    def test_parallel_trace_includes_worker_events(self, documents):
+        _, registry, _ = _lint_run(documents, jobs=4, trace=True)
+        pids = {event["pid"] for event in registry.events}
+        assert len(pids) > 1  # parent (batch span) + at least one worker
+        documents_seen = {
+            event["doc"]
+            for event in registry.events
+            if event["name"] == "document"
+        }
+        assert len(documents_seen) == len(documents)
+
+    def test_cache_info_agrees_between_serial_and_parallel(self, documents):
+        """Regression: jobs=N must not under-report cache traffic."""
+        inputs = documents + documents[:2]  # two duplicates -> two hits
+        _, _, serial_engine = _lint_run(inputs, jobs=1)
+        _, _, parallel_engine = _lint_run(inputs, jobs=4)
+        serial_info = serial_engine.cache_info()
+        parallel_info = parallel_engine.cache_info()
+        assert serial_info == parallel_info
+        assert serial_info["hits"] == 2
+        assert serial_info["misses"] == len(documents)
+
+    def test_engine_pickles_with_private_registry(self, documents):
+        import pickle
+
+        registry = MetricsRegistry(trace=True)
+        engine = AnalysisEngine.for_lint(metrics=registry)
+        engine.run(documents[0])
+        clone = pickle.loads(pickle.dumps(engine))
+        # The worker copy starts empty but records with the same config.
+        assert clone.metrics is not registry
+        assert clone.metrics.trace is True
+        assert clone.metrics.to_dict()["counters"] == {}
+        assert clone.metrics.events == []
+        assert clone.cache_info()["misses"] == 0
+
+
+class TestTelemetryOff:
+    def test_default_engine_records_nothing(self, documents):
+        engine = AnalysisEngine.for_lint()
+        records = engine.run_batch(documents, jobs=1)
+        assert all(record.ok for record in records)
+        assert all(record.timings == {} for record in records)
+        assert engine.metrics.enabled is False
+        assert engine.metrics.to_dict()["events"] == []
+
+    def test_off_and_on_produce_identical_results(self, documents):
+        plain = AnalysisEngine.for_lint().run_batch(documents)
+        traced, _, _ = _lint_run(documents, jobs=1, trace=True)
+        for a, b in zip(plain, traced):
+            assert a.sha256 == b.sha256
+            assert [
+                [f.to_dict() for f in m.findings] for m in a.macros
+            ] == [[f.to_dict() for f in m.findings] for m in b.macros]

@@ -1,0 +1,53 @@
+"""An independent stdlib validator for the ``--trace-out`` event schema.
+
+Deliberately *not* imported from :mod:`repro.obs.events`: this copy is the
+test suite's (and CI's) second opinion, so a schema regression in the
+library cannot validate itself.  Keep the two in sync by hand — the
+``test_validators_agree`` test fails when they drift.
+"""
+
+from __future__ import annotations
+
+FIELDS = {
+    "type": (str,),
+    "name": (str,),
+    "ts": (int, float),
+    "dur": (int, float),
+    "doc": (str, type(None)),
+    "outcome": (str,),
+    "pid": (int,),
+    "depth": (int,),
+}
+
+
+def validate_event(event) -> dict:
+    assert isinstance(event, dict), f"event is {type(event).__name__}, not object"
+    assert set(event) == set(FIELDS), (
+        f"fields {sorted(event)} != {sorted(FIELDS)}"
+    )
+    for field, allowed in FIELDS.items():
+        value = event[field]
+        assert not isinstance(value, bool) and isinstance(value, allowed), (
+            f"{field}={value!r} has type {type(value).__name__}"
+        )
+    assert event["type"] == "span", event["type"]
+    assert event["outcome"] in ("ok", "error"), event["outcome"]
+    assert event["dur"] >= 0, event["dur"]
+    assert event["depth"] >= 0, event["depth"]
+    return event
+
+
+def validate_lines(text: str) -> int:
+    """Validate a whole JSON-lines trace; returns the event count."""
+    import json
+
+    count = 0
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            validate_event(json.loads(line))
+        except AssertionError as error:
+            raise AssertionError(f"line {line_number}: {error}") from None
+        count += 1
+    return count

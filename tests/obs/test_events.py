@@ -1,0 +1,118 @@
+"""Tests for the JSON-lines trace format and its validators."""
+
+import json
+
+import pytest
+
+from repro.corpus.documents import build_document_bytes
+from repro.engine import AnalysisEngine, MetricsRegistry
+from repro.obs import read_events, validate_event, write_events
+
+from tests.obs import schema_validator
+
+
+def _valid_event(**overrides) -> dict:
+    event = {
+        "type": "span",
+        "name": "extract",
+        "ts": 1.5,
+        "dur": 0.002,
+        "doc": "ab" * 32,
+        "outcome": "ok",
+        "pid": 4242,
+        "depth": 0,
+    }
+    event.update(overrides)
+    return event
+
+
+class TestValidator:
+    def test_accepts_valid_event(self):
+        assert validate_event(_valid_event()) == _valid_event()
+
+    def test_doc_may_be_null(self):
+        validate_event(_valid_event(doc=None))
+
+    @pytest.mark.parametrize("field", ["type", "name", "ts", "dur", "doc",
+                                       "outcome", "pid", "depth"])
+    def test_missing_field_rejected(self, field):
+        event = _valid_event()
+        del event[field]
+        with pytest.raises(ValueError, match=field):
+            validate_event(event)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"dur": "fast"},        # wrong type
+            {"dur": -0.1},          # negative duration
+            {"depth": -1},          # negative depth
+            {"pid": 1.5},           # float pid
+            {"pid": True},          # bool is not an int here
+            {"outcome": "maybe"},   # unknown outcome
+            {"type": "log"},        # unknown event type
+            {"extra": 1},           # unknown field
+        ],
+    )
+    def test_bad_events_rejected(self, overrides):
+        event = _valid_event(**overrides)
+        with pytest.raises(ValueError):
+            validate_event(event)
+        with pytest.raises(AssertionError):
+            schema_validator.validate_event(event)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError):
+            validate_event([1, 2, 3])
+
+
+class TestRoundTrip:
+    def test_write_then_read_round_trips(self, tmp_path):
+        events = [_valid_event(), _valid_event(name="analyze", depth=1)]
+        path = tmp_path / "events.jsonl"
+        assert write_events(path, events) == 2
+        assert read_events(path) == events
+
+    def test_read_rejects_invalid_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(json.dumps(_valid_event(outcome="maybe")) + "\n")
+        with pytest.raises(ValueError, match="line 1"):
+            read_events(path)
+
+    def test_read_rejects_non_json(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="line 1"):
+            read_events(path)
+
+    def test_write_refuses_invalid_events(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_events(tmp_path / "x.jsonl", [{"nope": 1}])
+
+
+class TestEngineEvents:
+    def test_engine_trace_validates_under_both_validators(self, tmp_path):
+        registry = MetricsRegistry(trace=True)
+        engine = AnalysisEngine.for_lint(metrics=registry)
+        blob = build_document_bytes(["Sub T()\n  Dim a\n  a = 1\nEnd Sub\n"], "docm")
+        record = engine.run_batch([blob, b"garbage"])
+        assert record[0].ok and not record[1].ok
+
+        path = tmp_path / "events.jsonl"
+        write_events(path, registry.events)
+        text = path.read_text()
+        assert schema_validator.validate_lines(text) == len(registry.events)
+        events = read_events(path)
+
+        names = {event["name"] for event in events}
+        assert {"batch", "document", "extract"} <= names
+        # The good document's spans carry its digest; the garbage one
+        # finishes with an error outcome.
+        assert any(event["doc"] == record[0].sha256 for event in events)
+        assert any(event["outcome"] == "error" for event in events)
+
+    def test_validators_agree(self):
+        """The library schema and the test suite's independent copy match."""
+        from repro.obs import EVENT_SCHEMA
+
+        assert EVENT_SCHEMA == schema_validator.FIELDS

@@ -1,0 +1,249 @@
+"""Tests for the metrics registry: instruments, merge algebra, spans."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+
+
+def _counts(registry: MetricsRegistry) -> dict:
+    """The merge-relevant view: everything except event ordering."""
+    snapshot = registry.to_dict()
+    snapshot["events"] = sorted(
+        snapshot["events"], key=lambda e: (e["pid"], e["ts"])
+    )
+    return snapshot
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc()
+        registry.counter("cache.hits").inc(4)
+        assert registry.to_dict()["counters"]["cache.hits"] == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_gauge_holds_last_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("queue.depth").set(7)
+        registry.gauge("queue.depth").set(3)
+        assert registry.to_dict()["gauges"]["queue.depth"] == 3
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        histogram = Histogram((1.0, 2.0, 5.0))
+        histogram.observe(1.0)   # exactly on an edge -> that bucket
+        histogram.observe(1.001)  # just past it -> next bucket
+        histogram.observe(5.0)   # last explicit bucket
+        histogram.observe(5.1)   # overflow
+        histogram.observe(0.0)   # below everything -> first bucket
+        assert histogram.counts == [2, 1, 1, 1]
+        assert histogram.count == 5
+        assert histogram.min == 0.0
+        assert histogram.max == 5.1
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_percentiles_bracket_the_data(self):
+        histogram = Histogram(DEFAULT_LATENCY_BUCKETS)
+        values = [0.001, 0.002, 0.004, 0.008, 0.02, 0.04, 0.08, 0.2, 0.4, 0.9]
+        for value in values:
+            histogram.observe(value)
+        p50 = histogram.percentile(0.5)
+        p95 = histogram.percentile(0.95)
+        assert histogram.min <= p50 <= p95 <= histogram.max
+        assert histogram.percentile(0.0) <= histogram.percentile(1.0)
+
+    def test_percentile_of_overflow_returns_observed_max(self):
+        histogram = Histogram((0.001,))
+        histogram.observe(42.0)
+        assert histogram.percentile(0.5) == 42.0
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram((1.0,)).percentile(0.95) == 0.0
+
+    def test_merge_requires_matching_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0,)).merge(Histogram((2.0,)))
+
+    def test_round_trip(self):
+        histogram = Histogram((0.01, 0.1))
+        histogram.observe(0.005)
+        histogram.observe(0.5)
+        clone = Histogram.from_dict(histogram.to_dict())
+        assert clone.to_dict() == histogram.to_dict()
+
+
+def _sample_registries() -> tuple[MetricsRegistry, MetricsRegistry, MetricsRegistry]:
+    a = MetricsRegistry()
+    a.counter("cache.hits").inc(3)
+    a.counter("errors.extract").inc()
+    a.gauge("pool.size").set(2)
+    a.histogram("span.extract").observe(0.002)
+    a.histogram("span.extract").observe(0.04)
+
+    b = MetricsRegistry()
+    b.counter("cache.hits").inc(5)
+    b.counter("cache.misses").inc(2)
+    b.gauge("pool.size").set(4)
+    b.histogram("span.extract").observe(0.01)
+    b.histogram("span.analyze").observe(0.1)
+
+    c = MetricsRegistry()
+    c.counter("cache.misses").inc(1)
+    c.histogram("span.analyze").observe(0.3)
+    return a, b, c
+
+
+def _clone(registry: MetricsRegistry) -> MetricsRegistry:
+    return MetricsRegistry.from_dict(registry.to_dict())
+
+
+class TestMerge:
+    def test_merge_is_commutative_over_counts(self):
+        a, b, _ = _sample_registries()
+        ab = _clone(a).merge(b)
+        ba = _clone(b).merge(a)
+        assert _counts(ab) == _counts(ba)
+
+    def test_merge_is_associative_over_counts(self):
+        a, b, c = _sample_registries()
+        left = _clone(a).merge(b).merge(c)
+        right = _clone(a).merge(_clone(b).merge(c))
+        assert _counts(left) == _counts(right)
+
+    def test_merge_adds_counters_and_buckets(self):
+        a, b, _ = _sample_registries()
+        merged = _clone(a).merge(b)
+        snapshot = merged.to_dict()
+        assert snapshot["counters"]["cache.hits"] == 8
+        assert snapshot["histograms"]["span.extract"]["count"] == 3
+        # Gauges merge by max: a point-in-time high-water mark.
+        assert snapshot["gauges"]["pool.size"] == 4
+
+    def test_merge_accepts_raw_snapshots(self):
+        a, b, _ = _sample_registries()
+        merged = _clone(a).merge(b.to_dict())
+        assert merged.to_dict()["counters"]["cache.hits"] == 8
+
+    def test_registry_round_trips_through_pickle(self):
+        a, _, _ = _sample_registries()
+        clone = pickle.loads(pickle.dumps(a))
+        assert _counts(clone) == _counts(a)
+
+    def test_spawn_is_empty_with_same_config(self):
+        registry = MetricsRegistry(trace=True)
+        registry.counter("x").inc()
+        child = registry.spawn()
+        assert child.trace is True
+        assert child.to_dict()["counters"] == {}
+
+
+class TestSpans:
+    def test_span_records_duration_histogram(self):
+        registry = MetricsRegistry()
+        with registry.span("extract"):
+            time.sleep(0.001)
+        histogram = registry.histogram("span.extract")
+        assert histogram.count == 1
+        assert histogram.sum >= 0.001
+
+    def test_span_nesting_depths(self):
+        registry = MetricsRegistry(trace=True)
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+            with registry.span("inner"):
+                pass
+        events = {
+            (event["name"], event["depth"]) for event in registry.events
+        }
+        assert events == {("outer", 0), ("inner", 1)}
+        inner, outer = (
+            registry.histogram("span.inner"),
+            registry.histogram("span.outer"),
+        )
+        assert inner.count == 2
+        assert outer.count == 1
+        assert outer.sum >= inner.sum  # inner time is inside outer time
+
+    def test_span_exception_marks_error_outcome(self):
+        registry = MetricsRegistry(trace=True)
+        with pytest.raises(RuntimeError):
+            with registry.span("extract"):
+                raise RuntimeError("boom")
+        (event,) = registry.events
+        assert event["outcome"] == "error"
+        # Depth bookkeeping survives the exception.
+        assert registry._span_depth == 0
+
+    def test_manual_span_outcome(self):
+        registry = MetricsRegistry(trace=True)
+        span = registry.span("classify", doc="ab" * 32).start()
+        span.finish(outcome="error")
+        (event,) = registry.events
+        assert event["outcome"] == "error"
+        assert event["doc"] == "ab" * 32
+        assert span.duration is not None
+
+    def test_metrics_only_mode_buffers_no_events(self):
+        registry = MetricsRegistry(trace=False)
+        with registry.span("extract"):
+            pass
+        assert registry.events == []
+        assert registry.histogram("span.extract").count == 1
+
+
+class TestNullRegistry:
+    def test_noop_mode_records_nothing(self):
+        before = NULL_REGISTRY.to_dict()
+        NULL_REGISTRY.counter("cache.hits").inc(10)
+        NULL_REGISTRY.gauge("pool.size").set(9)
+        NULL_REGISTRY.histogram("span.extract").observe(1.0)
+        with NULL_REGISTRY.span("extract"):
+            pass
+        after = NULL_REGISTRY.to_dict()
+        assert before == after
+        assert after == {
+            "counters": {}, "gauges": {}, "histograms": {}, "events": [],
+        }
+        assert NULL_REGISTRY.events == []
+
+    def test_noop_span_supports_both_protocols(self):
+        span = NULL_REGISTRY.span("extract", doc="x")
+        assert span.start().finish() is span
+        with span:
+            pass
+
+    def test_disabled_flag_guards_hot_paths(self):
+        assert NULL_REGISTRY.enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_merge_into_null_is_noop(self):
+        a, _, _ = _sample_registries()
+        assert NULL_REGISTRY.merge(a).to_dict()["counters"] == {}
+
+    def test_spawn_returns_itself(self):
+        assert NULL_REGISTRY.spawn() is NULL_REGISTRY

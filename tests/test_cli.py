@@ -260,3 +260,150 @@ class TestExtractJson:
         assert status == 0
         assert [record["ok"] for record in records] == [True, False]
         assert records[0]["macros"][0]["chars"] > 0
+
+
+class TestTelemetryCli:
+    def test_lint_stats_prints_summary_to_stderr(self, lint_directory, capsys):
+        main(["lint", str(lint_directory), "--stats"])
+        captured = capsys.readouterr()
+        assert "TELEMETRY" in captured.err
+        for token in ("p50", "p95", "docs/s", "hit rate", "extract"):
+            assert token in captured.err
+        assert "TELEMETRY" not in captured.out
+
+    def test_scan_stats_includes_cache_and_throughput(
+        self, scan_directory, capsys
+    ):
+        main(
+            [
+                "scan", str(scan_directory), "--stats",
+                "--classifier", "RF", "--train-seed", "1", "--jobs", "2",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert "docs/s" in err
+        assert "hit rate" in err
+        assert "classify" in err
+
+    def test_trace_out_writes_schema_valid_events(
+        self, lint_directory, tmp_path, capsys
+    ):
+        from tests.obs import schema_validator
+
+        trace = tmp_path / "events.jsonl"
+        main(["lint", str(lint_directory), "--trace-out", str(trace)])
+        capsys.readouterr()
+        count = schema_validator.validate_lines(trace.read_text())
+        assert count > 0
+
+    def test_trace_out_jobs_parity_of_span_counts(
+        self, lint_directory, tmp_path, capsys
+    ):
+        from repro.obs import read_events
+
+        def span_counts(jobs):
+            trace = tmp_path / f"events_{jobs}.jsonl"
+            main(
+                ["lint", str(lint_directory), "--trace-out", str(trace),
+                 "--jobs", str(jobs)]
+            )
+            capsys.readouterr()
+            counts = {}
+            for event in read_events(trace):
+                counts[event["name"]] = counts.get(event["name"], 0) + 1
+            return counts
+
+        assert span_counts(1) == span_counts(2)
+
+    def test_telemetry_off_by_default(self, lint_directory, capsys):
+        main(["lint", str(lint_directory)])
+        captured = capsys.readouterr()
+        assert "TELEMETRY" not in captured.err
+
+
+class TestStatsCommand:
+    @pytest.fixture()
+    def trace_file(self, lint_directory, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        main(["lint", str(lint_directory), "--trace-out", str(trace)])
+        capsys.readouterr()
+        return trace
+
+    def test_stats_renders_table(self, trace_file, capsys):
+        assert main(["stats", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "TRACE" in out
+        assert "p95" in out
+        assert "extract" in out
+
+    def test_stats_json_aggregates(self, trace_file, capsys):
+        assert main(["stats", str(trace_file), "--format", "json"]) == 0
+        aggregated = json.loads(capsys.readouterr().out)
+        assert "extract" in aggregated
+        stats = aggregated["extract"]
+        assert stats["count"] >= 1
+        assert 0 <= stats["p50"] <= stats["p95"]
+
+    def test_stats_missing_file_fails(self, capsys):
+        assert main(["stats", "/nonexistent/events.jsonl"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_stats_rejects_corrupt_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span"}\n')
+        assert main(["stats", str(bad)]) == 1
+        assert "line 1" in capsys.readouterr().err
+
+
+class TestRecursiveWalk:
+    @pytest.fixture()
+    def nested_tree(self, tmp_path):
+        root = tmp_path / "tree"
+        deep = root / "a" / "b"
+        deep.mkdir(parents=True)
+        (root / "top.bas").write_text("Sub Top()\nEnd Sub\n")
+        (root / "a" / "mid.bas").write_text("Sub Mid()\nEnd Sub\n")
+        (deep / "deep.bas").write_text("Sub Deep()\nEnd Sub\n")
+        return root
+
+    def _linted_paths(self, capsys, argv):
+        main(argv + ["--format", "json"])
+        out = capsys.readouterr().out
+        return {
+            json.loads(line)["path"].rsplit("/", 1)[-1]
+            for line in out.splitlines()
+            if line.strip()
+        }
+
+    def test_default_walk_stays_flat(self, nested_tree, capsys):
+        paths = self._linted_paths(capsys, ["lint", str(nested_tree)])
+        assert paths == {"top.bas"}
+
+    def test_recursive_walk_finds_nested_files(self, nested_tree, capsys):
+        paths = self._linted_paths(
+            capsys, ["lint", str(nested_tree), "--recursive"]
+        )
+        assert paths == {"top.bas", "mid.bas", "deep.bas"}
+
+    def test_max_depth_guard_skips_deep_subtrees(self, nested_tree, capsys):
+        paths = self._linted_paths(
+            capsys,
+            ["lint", str(nested_tree), "--recursive", "--max-depth", "1"],
+        )
+        assert paths == {"top.bas", "mid.bas"}
+
+    def test_skipped_inputs_reported_in_stats(self, nested_tree, capsys):
+        main(
+            ["lint", str(nested_tree), "--recursive", "--max-depth", "1",
+             "--stats"]
+        )
+        err = capsys.readouterr().err
+        assert "1 inputs skipped" in err
+
+    def test_recursive_extract_matches_lint_walk(self, nested_tree, capsys):
+        status = main(
+            ["extract", str(nested_tree), "--recursive", "--format", "json"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert len(out.splitlines()) == 3
