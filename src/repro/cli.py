@@ -26,6 +26,16 @@ structured error records, so a corrupt document never aborts the batch
 telemetry summary (per-stage p50/p95, throughput, cache hit rate — merged
 across worker processes) to stderr and ``--trace-out FILE`` saves one
 JSON-lines event per pipeline span for offline analysis.
+
+The batch commands are *resilient* (see :mod:`repro.resilience`): every
+document runs under a budget (``--timeout`` wall clock per document,
+``--stage-timeout`` hard per-stage watchdog, input-size and macro-volume
+caps at library defaults), worker crashes are recovered by bisection +
+capped retries with the poison document quarantined
+(``--quarantine-out FILE`` saves the report), and plain zip archives in
+the input expand into their member documents behind zip-bomb guards
+(``--no-archives`` disables expansion).  A hidden ``--chaos`` flag
+injects faults for drills: ``--chaos hang:doc_007,exit:doc_013``.
 """
 
 from __future__ import annotations
@@ -71,6 +81,30 @@ def build_parser() -> argparse.ArgumentParser:
             "--trace-out", metavar="FILE", default=None,
             help="write one JSON-lines event per pipeline span to FILE "
             "(aggregate later with `repro stats FILE`)",
+        )
+        subparser.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="per-document wall-clock budget (default 30; 0 disables)",
+        )
+        subparser.add_argument(
+            "--stage-timeout", type=float, default=None, metavar="SECONDS",
+            help="hard per-stage watchdog timeout for hostile inputs "
+            "(default off; a hanging stage is abandoned and the record "
+            "marked degraded)",
+        )
+        subparser.add_argument(
+            "--quarantine-out", metavar="FILE", default=None,
+            help="write a JSON report of quarantined and degraded records",
+        )
+        subparser.add_argument(
+            "--no-archives", action="store_true",
+            help="do not expand plain zip archives into their member "
+            "documents (expansion is guarded against zip bombs)",
+        )
+        # Fault injection for resilience drills; deliberately undocumented.
+        subparser.add_argument(
+            "--chaos", metavar="SPEC", default=None, help=argparse.SUPPRESS,
+            type=_chaos_spec,
         )
 
     extract = commands.add_parser("extract", help="dump macro sources")
@@ -199,6 +233,118 @@ def _make_registry(args):
     return NULL_REGISTRY
 
 
+def _make_budget(args):
+    """The per-document budget: library defaults adjusted by the flags."""
+    import dataclasses
+
+    from repro.resilience import DEFAULT_BUDGET
+
+    budget = DEFAULT_BUDGET
+    if args.timeout is not None:
+        budget = dataclasses.replace(
+            budget, wall_clock_s=args.timeout if args.timeout > 0 else None
+        )
+    if args.stage_timeout is not None:
+        budget = dataclasses.replace(
+            budget,
+            stage_timeout_s=args.stage_timeout if args.stage_timeout > 0 else None,
+        )
+    return budget
+
+
+def _chaos_spec(spec: str):
+    """Parse ``--chaos kind:pattern[,...]`` at argparse time, so a bad spec
+    is a usage error rather than a traceback mid-batch."""
+    from repro.resilience import FaultPlan
+
+    try:
+        return FaultPlan.parse(spec)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _make_chaos(args):
+    """The hidden fault-injection plan, or None."""
+    return args.chaos or None
+
+
+#: Zip local/central/empty magics — enough to decide "read the whole file".
+_ZIP_MAGICS = (b"PK\x03\x04", b"PK\x05\x06", b"PK\x07\x08")
+
+
+def _prepare_entries(args, registry) -> list[tuple[str, object]]:
+    """Expand directories and archives into tagged batch entries.
+
+    Returns ``("input", item)`` entries the engine should analyze (paths
+    or ``(source_id, bytes)`` pairs — archive members arrive as pairs with
+    ``archive!member`` ids) and ``("record", DocumentRecord)`` entries that
+    already failed (an archive a zip-bomb guard refused).
+    """
+    paths = _expand_inputs(
+        args.files,
+        recursive=args.recursive,
+        max_depth=args.max_depth,
+        metrics=registry,
+    )
+    entries: list[tuple[str, object]] = []
+    for path in paths:
+        try:
+            with open(path, "rb") as handle:
+                magic = handle.read(4)
+        except OSError:
+            entries.append(("input", path))  # the engine records the error
+            continue
+        if args.no_archives or magic not in _ZIP_MAGICS:
+            entries.append(("input", path))
+            continue
+        from repro.resilience import ArchiveBombError, expand_archive, is_plain_archive
+
+        with open(path, "rb") as handle:
+            data = handle.read()
+        if not is_plain_archive(data):
+            entries.append(("input", (path, data)))  # an Office zip: analyze as-is
+            continue
+        try:
+            members = expand_archive(path, data, metrics=registry)
+        except ArchiveBombError as error:
+            from repro.engine.records import DocumentRecord, sha256_hex
+
+            record = DocumentRecord(source_id=path, sha256=sha256_hex(data))
+            record.degrade("archive", f"archive refused: {error}")
+            if registry.enabled:
+                registry.counter("archive.rejected").inc()
+            entries.append(("record", record))
+            continue
+        entries.extend(("input", member) for member in members)
+    return entries
+
+
+def _splice_records(entries, batch) -> list:
+    """Merge engine records back into entry order (pre-failed ones kept)."""
+    batch_iter = iter(batch)
+    records = []
+    for kind, payload in entries:
+        records.append(payload if kind == "record" else next(batch_iter))
+    return records
+
+
+def _write_quarantine(args, records) -> None:
+    """Save the ``--quarantine-out`` report of quarantined/degraded records."""
+    if not args.quarantine_out:
+        return
+    from repro.resilience import quarantine_report
+
+    report = quarantine_report(records)
+    with open(args.quarantine_out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    print(
+        f"quarantine report: {report['quarantined_count']} quarantined, "
+        f"{report['degraded_count']} degraded -> {args.quarantine_out}",
+        file=sys.stderr,
+    )
+
+
 def _finish_telemetry(args, registry, cache_info=None) -> None:
     """Write the trace and/or print the stats summary (both to stderr)."""
     if args.trace_out:
@@ -225,14 +371,15 @@ def _cmd_extract(args) -> int:
     from repro.engine import AnalysisEngine
 
     registry = _make_registry(args)
-    engine = AnalysisEngine.for_extraction(metrics=registry)
-    inputs = _expand_inputs(
-        args.files,
-        recursive=args.recursive,
-        max_depth=args.max_depth,
-        metrics=registry,
+    engine = AnalysisEngine.for_extraction(
+        metrics=registry, budget=_make_budget(args), chaos=_make_chaos(args)
     )
-    records = engine.run_batch(inputs, jobs=args.jobs)
+    entries = _prepare_entries(args, registry)
+    batch = engine.run_batch(
+        [payload for kind, payload in entries if kind == "input"], jobs=args.jobs
+    )
+    records = _splice_records(entries, batch)
+    _write_quarantine(args, records)
     _finish_telemetry(args, registry, engine.cache_info())
     if args.format == "json":
         _emit_json(records)
@@ -303,15 +450,20 @@ def _cmd_scan(args) -> int:
     )
     detector = _train_detector(args.classifier, args.train_seed)
     registry = _make_registry(args)
-    engine = AnalysisEngine.for_scan(detector, lint=args.explain, metrics=registry)
-    inputs = _expand_inputs(
-        args.files,
-        recursive=args.recursive,
-        max_depth=args.max_depth,
+    engine = AnalysisEngine.for_scan(
+        detector,
+        lint=args.explain,
         metrics=registry,
+        budget=_make_budget(args),
+        chaos=_make_chaos(args),
     )
-    records = engine.run_batch(inputs, jobs=args.jobs)
+    entries = _prepare_entries(args, registry)
+    batch = engine.run_batch(
+        [payload for kind, payload in entries if kind == "input"], jobs=args.jobs
+    )
+    records = _splice_records(entries, batch)
     extras = _scan_extras(records)
+    _write_quarantine(args, records)
     _finish_telemetry(args, registry, engine.cache_info())
 
     if json_mode:
@@ -409,7 +561,9 @@ def _cmd_lint(args) -> int:
     )
     registry = _make_registry(args)
     try:
-        engine = AnalysisEngine.for_lint(rules, metrics=registry)
+        engine = AnalysisEngine.for_lint(
+            rules, metrics=registry, budget=_make_budget(args), chaos=_make_chaos(args)
+        )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 1
@@ -417,41 +571,45 @@ def _cmd_lint(args) -> int:
     # Partition inputs: Office containers batch through the document
     # pipeline; bare .bas/.vba sources run the macro-level stages directly;
     # anything else (e.g. the .py files next to a sample macro) is skipped.
-    paths = _expand_inputs(
-        args.files,
-        recursive=args.recursive,
-        max_depth=args.max_depth,
-        metrics=registry,
-    )
-    records: list = [None] * len(paths)
-    documents: list[tuple[int, str]] = []
-    for index, path in enumerate(paths):
-        try:
-            with open(path, "rb") as handle:
-                data = handle.read()
-        except OSError as error:
-            from repro.engine.records import DocumentRecord
-
-            record = DocumentRecord(source_id=path)
-            record.diag("read", "error", str(error))
-            records[index] = record
+    # Archive members arrive pre-read as (id, bytes) pairs.
+    entries = _prepare_entries(args, registry)
+    records: list = [None] * len(entries)
+    documents: list[tuple[int, object]] = []
+    for index, (kind, payload) in enumerate(entries):
+        if kind == "record":
+            records[index] = payload
             continue
+        if isinstance(payload, tuple):
+            source_id, data = payload
+        else:
+            source_id = payload
+            try:
+                with open(payload, "rb") as handle:
+                    data = handle.read()
+            except OSError as error:
+                from repro.engine.records import DocumentRecord
+
+                record = DocumentRecord(source_id=source_id)
+                record.diag("read", "error", str(error))
+                records[index] = record
+                continue
         if sniff_format(data) != "unknown":
-            documents.append((index, path))
-        elif path.lower().endswith(_VBA_SOURCE_SUFFIXES):
-            records[index] = _lint_text_file(engine, path, data)
+            documents.append((index, (source_id, data)))
+        elif source_id.lower().endswith(_VBA_SOURCE_SUFFIXES):
+            records[index] = _lint_text_file(engine, source_id, data)
         else:
             from repro.engine.records import DocumentRecord, sha256_hex
 
-            record = DocumentRecord(source_id=path, sha256=sha256_hex(data))
+            record = DocumentRecord(source_id=source_id, sha256=sha256_hex(data))
             record.diag(
                 "lint", "info", "skipped: neither a macro container nor VBA source"
             )
             records[index] = record
     if documents:
-        batch = engine.run_batch([path for _, path in documents], jobs=args.jobs)
+        batch = engine.run_batch([item for _, item in documents], jobs=args.jobs)
         for (index, _), record in zip(documents, batch):
             records[index] = record
+    _write_quarantine(args, records)
     _finish_telemetry(args, registry, engine.cache_info())
 
     if args.format == "json":
@@ -525,20 +683,31 @@ def _cmd_demo(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    from repro.obs import aggregate_events, read_events, render_events_report
+    from repro.obs import aggregate_events, read_events_tolerant, render_events_report
 
     try:
-        events = read_events(args.trace)
+        events, lines_skipped = read_events_tolerant(args.trace)
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    except ValueError as error:
-        print(f"error: {args.trace}: {error}", file=sys.stderr)
-        return 1
+    # A crashed or chaos-killed producer leaves truncated/corrupt lines;
+    # aggregation skips and reports them instead of dying mid-file.
+    if lines_skipped:
+        print(
+            f"warning: {args.trace}: skipped {lines_skipped} corrupt "
+            f"line{'s' if lines_skipped != 1 else ''}",
+            file=sys.stderr,
+        )
     if args.format == "json":
-        print(json.dumps(aggregate_events(events), sort_keys=True))
+        payload = dict(aggregate_events(events))
+        if lines_skipped:
+            payload["lines_skipped"] = lines_skipped
+        print(json.dumps(payload, sort_keys=True))
     else:
-        print(render_events_report(events))
+        report = render_events_report(events)
+        if lines_skipped:
+            report += f"\n  lines skipped: {lines_skipped} (truncated or corrupt)"
+        print(report)
     return 0
 
 

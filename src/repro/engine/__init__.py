@@ -13,6 +13,7 @@ Quickstart::
 
 from repro.engine.core import AnalysisEngine, default_stages
 from repro.obs.metrics import MetricsRegistry
+from repro.resilience.budgets import DEFAULT_BUDGET, Budget
 from repro.engine.records import (
     Diagnostic,
     DocumentRecord,
@@ -32,6 +33,8 @@ from repro.engine.stages import (
 __all__ = [
     "AnalysisEngine",
     "AnalyzeStage",
+    "Budget",
+    "DEFAULT_BUDGET",
     "ClassifyStage",
     "Diagnostic",
     "DocumentRecord",

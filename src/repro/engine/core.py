@@ -16,6 +16,15 @@ extraction / analysis / featurization together privately.  The engine:
 
 Records served from the cache share their macro list with the original
 record; treat records as read-only after a run.
+
+The engine is **resilient** as well as total (see :mod:`repro.resilience`):
+every document runs under a :class:`~repro.resilience.budgets.Budget`
+(input size, wall clock, optional hard per-stage watchdog, macro
+count/volume caps), a stage that crashes mid-pipeline degrades the record
+instead of losing it (later stages still run over what exists), and
+``run_batch(jobs=N)`` survives worker death — the failed chunk is
+bisected, singles are retried with capped backoff, and a poison document
+becomes a quarantine record rather than a lost batch.
 """
 
 from __future__ import annotations
@@ -40,6 +49,12 @@ from repro.engine.stages import (
 )
 from repro.features.registry import get_feature_set
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.resilience.budgets import (
+    DEFAULT_BUDGET,
+    Budget,
+    StageTimeout,
+    call_with_timeout,
+)
 
 #: chunks per worker when fanning a batch out, to amortize pool overhead
 #: while keeping the workers load-balanced.
@@ -88,6 +103,9 @@ class AnalysisEngine:
         cache_size: int = 1024,
         keep_analysis: bool = False,
         metrics: MetricsRegistry | None = None,
+        budget: Budget | None = DEFAULT_BUDGET,
+        retry=None,
+        chaos=None,
     ) -> None:
         if stages is None:
             stages = default_stages(
@@ -99,6 +117,20 @@ class AnalysisEngine:
                 lint_rules=lint_rules,
             )
         self.stages = list(stages)
+        self.budget = budget
+        self.retry = retry  # RetryPolicy | None (None = DEFAULT_RETRY)
+        if chaos is not None:  # FaultPlan: splice the saboteur in
+            from repro.resilience.chaos import ChaosStage
+
+            position = next(
+                (
+                    index + 1
+                    for index, stage in enumerate(self.stages)
+                    if isinstance(stage, ExtractStage)
+                ),
+                0,
+            )
+            self.stages.insert(position, ChaosStage(chaos))
         self.feature_sets = tuple(feature_sets)
         self.keep_analysis = keep_analysis
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
@@ -117,10 +149,16 @@ class AnalysisEngine:
         cls,
         min_macro_bytes: int = 0,
         metrics: MetricsRegistry | None = None,
+        budget: Budget | None = DEFAULT_BUDGET,
+        chaos=None,
     ) -> "AnalysisEngine":
         """Extraction (and optional length filter) only — no featurization."""
         return cls(
-            feature_sets=(), min_macro_bytes=min_macro_bytes, metrics=metrics
+            feature_sets=(),
+            min_macro_bytes=min_macro_bytes,
+            metrics=metrics,
+            budget=budget,
+            chaos=chaos,
         )
 
     @classmethod
@@ -140,6 +178,8 @@ class AnalysisEngine:
         threshold: float = 0.5,
         lint: bool = False,
         metrics: MetricsRegistry | None = None,
+        budget: Budget | None = DEFAULT_BUDGET,
+        chaos=None,
     ) -> "AnalysisEngine":
         """The full chain ending in a verdict (deployment / CLI scan)."""
         return cls(
@@ -148,6 +188,8 @@ class AnalysisEngine:
             threshold=threshold,
             lint=lint,
             metrics=metrics,
+            budget=budget,
+            chaos=chaos,
         )
 
     @classmethod
@@ -155,9 +197,18 @@ class AnalysisEngine:
         cls,
         rules: tuple[str, ...] | None = None,
         metrics: MetricsRegistry | None = None,
+        budget: Budget | None = DEFAULT_BUDGET,
+        chaos=None,
     ) -> "AnalysisEngine":
         """Extract + analyze + lint only — explainable findings, no verdict."""
-        return cls(feature_sets=(), lint=True, lint_rules=rules, metrics=metrics)
+        return cls(
+            feature_sets=(),
+            lint=True,
+            lint_rules=rules,
+            metrics=metrics,
+            budget=budget,
+            chaos=chaos,
+        )
 
     # -- pickling (workers get an empty cache and a private registry) --
 
@@ -205,6 +256,10 @@ class AnalysisEngine:
         self.cache_misses += 1
         if digest in self._cache:
             return
+        if record.quarantine is not None:
+            # Quarantine is an infrastructure observation about this run,
+            # not a property of the content — never serve it from cache.
+            return
         while len(self._cache) >= self._cache_size:
             self._cache.pop(next(iter(self._cache)))
             self.cache_evictions += 1
@@ -220,6 +275,11 @@ class AnalysisEngine:
             macros=record.macros,
             document_variables=record.document_variables,
             diagnostics=list(record.diagnostics),
+            degraded=record.degraded,
+            completed_stages=list(record.completed_stages),
+            quarantine=dict(record.quarantine)
+            if record.quarantine is not None
+            else None,
         )
         copy.diag("cache", "info", "served from content-hash cache")
         return copy
@@ -246,14 +306,31 @@ class AnalysisEngine:
     def _process(self, source_id: str, data: bytes, digest: str) -> DocumentRecord:
         record = DocumentRecord(source_id=source_id, data=data, sha256=digest)
         metrics = self.metrics
-        if not metrics.enabled:
-            for stage in self.stages:
+        budget = self.budget
+        if (
+            budget is not None
+            and budget.max_input_bytes is not None
+            and len(data) > budget.max_input_bytes
+        ):
+            record.degrade(
+                "budget",
+                f"input is {len(data):,} bytes; budget allows "
+                f"{budget.max_input_bytes:,} — refused before extraction",
+            )
+            if metrics.enabled:
+                metrics.counter("budget.input_rejected").inc()
+            record.data = None
+            return record
+        clock = budget.clock() if budget is not None else None
+        if not metrics.enabled and clock is None:
+            for stage in self.stages:  # the bare pre-resilience fast path
                 stage.process(record)
+        elif not metrics.enabled:
+            self._run_stages(record, clock, metrics)
         else:
             span = metrics.span("document", doc=digest).start()
             try:
-                for stage in self.stages:
-                    stage.run(record, metrics)
+                self._run_stages(record, clock, metrics)
             finally:
                 span.finish(outcome="ok" if record.ok else "error")
                 record.timings["document"] = span.duration
@@ -263,17 +340,133 @@ class AnalysisEngine:
                 macro.analysis = None
         return record
 
+    def _run_stages(self, record: DocumentRecord, clock, metrics) -> None:
+        """The budgeted stage loop: degrade on crash, stop on timeout."""
+        budget = clock.budget if clock is not None else None
+        for stage in self.stages:
+            if clock is not None and clock.expired():
+                record.degrade(
+                    "budget",
+                    f"wall-clock budget {budget.wall_clock_s:g}s exhausted "
+                    f"before stage {stage.name!r}",
+                )
+                if metrics.enabled:
+                    metrics.counter("budget.timeouts").inc()
+                break
+            timeout = clock.stage_timeout() if clock is not None else None
+            try:
+                if timeout is not None:
+                    self._run_stage_watchdog(stage, record, timeout, metrics)
+                elif metrics.enabled:
+                    stage.run(record, metrics)
+                else:
+                    stage.process(record)
+            except StageTimeout:
+                record.degrade(
+                    "budget",
+                    f"stage {stage.name!r} exceeded its {timeout:g}s hard "
+                    f"timeout and was abandoned",
+                )
+                if metrics.enabled:
+                    metrics.counter("budget.timeouts").inc()
+                # The abandoned watchdog thread may still mutate the record;
+                # running further stages over racing state helps nobody.
+                break
+            except Exception as error:
+                record.degrade(
+                    stage.name,
+                    f"stage crashed: {type(error).__name__}: {error}",
+                )
+                if metrics.enabled:
+                    metrics.counter("resilience.stage_crashes").inc()
+                    metrics.counter(f"errors.{stage.name}").inc()
+                continue  # graceful degradation: later stages use what exists
+            record.completed_stages.append(stage.name)
+            if budget is not None:
+                self._enforce_output_budget(record, budget, metrics)
+
+    def _run_stage_watchdog(
+        self, stage: Stage, record: DocumentRecord, timeout: float, metrics
+    ) -> None:
+        """One stage under the hard watchdog, with the span kept on the
+        calling thread so trace depth stays consistent."""
+        if not metrics.enabled:
+            call_with_timeout(lambda: stage.process(record), timeout)
+            return
+        before = len(record.diagnostics)
+        failed = False
+        span = metrics.span(stage.name, doc=record.sha256).start()
+        try:
+            call_with_timeout(lambda: stage.process(record), timeout)
+        except BaseException:
+            failed = True
+            raise
+        finally:
+            errors = sum(
+                1 for d in record.diagnostics[before:] if d.level == "error"
+            )
+            if errors:
+                metrics.counter(f"errors.{stage.name}").inc(errors)
+            span.finish(outcome="error" if errors or failed else "ok")
+            record.timings[stage.name] = span.duration
+
+    def _enforce_output_budget(
+        self, record: DocumentRecord, budget: Budget, metrics
+    ) -> None:
+        """Cap what the stages *produced*: surplus macros (count or total
+        source characters) become ``filtered="budget"`` stubs."""
+        candidates = [m for m in record.macros if m.filtered != "budget"]
+        if not candidates:
+            return
+        keep = len(candidates)
+        if budget.max_macro_count is not None:
+            keep = min(keep, budget.max_macro_count)
+        if budget.max_output_bytes is not None:
+            total = 0
+            for index, macro in enumerate(candidates[:keep]):
+                total += len(macro.source)
+                if total > budget.max_output_bytes:
+                    keep = index
+                    break
+        if keep >= len(candidates):
+            return
+        dropped = candidates[keep:]
+        dropped_chars = sum(len(m.source) for m in dropped)
+        for macro in dropped:
+            macro.filtered = "budget"
+            macro.source = ""  # don't let a bomb ride along in the record
+            macro.analysis = None
+        record.degrade(
+            "budget",
+            f"macro output over budget: kept {keep} of {len(candidates)} "
+            f"macros, dropped {dropped_chars:,} source chars",
+        )
+        if metrics.enabled:
+            metrics.counter("budget.macros_dropped").inc(len(dropped))
+
     def run_source(self, source: str, name: str = "Macro1") -> MacroRecord:
-        """Run one bare VBA source through the macro-level stages."""
+        """Run one bare VBA source through the macro-level stages.
+
+        The document budget's wall clock applies cooperatively: a source
+        that overruns it mid-pipeline comes back ``filtered="budget"``.
+        """
         macro = MacroRecord(module_name=name, source=source)
         metrics = self.metrics
+        clock = self.budget.clock() if self.budget is not None else None
         if not metrics.enabled:  # the hot single-shot path stays bare
             for stage in self.stages:
                 if isinstance(stage, MacroStage) and macro.kept:
+                    if clock is not None and clock.expired():
+                        macro.filtered = "budget"
+                        break
                     stage.process_macro(macro)
         else:
             for stage in self.stages:
                 if isinstance(stage, MacroStage) and macro.kept:
+                    if clock is not None and clock.expired():
+                        macro.filtered = "budget"
+                        metrics.counter("budget.timeouts").inc()
+                        break
                     stage.run_macro(macro, metrics)
         if not self.keep_analysis:
             macro.analysis = None
@@ -346,15 +539,9 @@ class AnalysisEngine:
     def _process_parallel(
         self, unique: list[tuple[str, str, bytes]], jobs: int
     ) -> dict[str, DocumentRecord]:
-        chunks = _chunked(unique, jobs)
-        processed: dict[str, DocumentRecord] = {}
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for chunk_result, telemetry in pool.map(
-                _process_document_chunk, [(self, chunk) for chunk in chunks]
-            ):
-                processed.update(chunk_result)
-                self._merge_worker_telemetry(telemetry)
-        return processed
+        from repro.resilience.recovery import run_with_recovery
+
+        return run_with_recovery(self, unique, jobs, self.retry)
 
     def _merge_worker_telemetry(self, telemetry: dict) -> None:
         """Fold one worker's registry snapshot + cache counts into ours."""

@@ -48,7 +48,8 @@ class MacroRecord:
     source: str
     sha256: str = ""
     module_type: str = "standard"
-    filtered: str | None = None  # "short" | "analysis-error" | None (kept)
+    #: "short" | "analysis-error" | "budget" | None (kept)
+    filtered: str | None = None
     analysis: "MacroAnalysis | None" = None
     features: dict[str, np.ndarray] = field(default_factory=dict)
     findings: "list[Finding]" = field(default_factory=list)
@@ -94,6 +95,13 @@ class DocumentRecord:
     #: per-stage wall-clock seconds, filled when the engine runs with a
     #: live metrics registry (empty when telemetry is off or cache-served)
     timings: dict[str, float] = field(default_factory=dict)
+    #: True when a stage crashed, a budget tripped, or the document was
+    #: quarantined — the record is partial but still delivered
+    degraded: bool = False
+    #: stage names that ran to completion on this record, in order
+    completed_stages: list[str] = field(default_factory=list)
+    #: set on quarantine records: {"reason", "attempts", "stage", "retriable"}
+    quarantine: dict[str, Any] | None = None
 
     def diag(self, stage: str, level: str, message: str) -> None:
         if level not in LEVELS:
@@ -135,4 +143,14 @@ class DocumentRecord:
             "document_variables": dict(self.document_variables),
             "diagnostics": [d.to_dict() for d in self.diagnostics],
             "timings": dict(self.timings),
+            "degraded": self.degraded,
+            "completed_stages": list(self.completed_stages),
+            "quarantine": dict(self.quarantine)
+            if self.quarantine is not None
+            else None,
         }
+
+    def degrade(self, stage: str, message: str) -> None:
+        """Record a survivable failure: error diagnostic + degraded marker."""
+        self.degraded = True
+        self.diag(stage, "error", message)

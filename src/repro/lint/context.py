@@ -16,6 +16,13 @@ from repro.vba.tokens import Token, TokenKind
 
 _NAME_KINDS = (TokenKind.IDENTIFIER, TokenKind.KEYWORD)
 
+#: ReDoS / pathological-line guard: the longest physical-line prefix any
+#: rule gets to scan.  Hostile macros pack megabytes onto one line (a
+#: whole payload in one concatenation chain); rules that re-scan line text
+#: must stay O(cap), not O(line).  4 KiB comfortably covers every line a
+#: human or a legitimate generator writes.
+MAX_LINE_SCAN_CHARS = 4096
+
 
 def is_name(token: Token, *names: str) -> bool:
     """True when the token is an identifier/keyword matching one of ``names``.
@@ -126,10 +133,14 @@ class LintContext:
         return first
 
     def line_text(self, line: int) -> str:
-        """The trimmed source text of a 1-based physical line."""
+        """The trimmed source text of a 1-based physical line.
+
+        Capped to :data:`MAX_LINE_SCAN_CHARS` *before* any other string
+        work, so one multi-megabyte line cannot turn a rule sweep
+        quadratic (the slice keeps every later scan O(cap))."""
         lines = self.analysis.lines
         if 1 <= line <= len(lines):
-            return lines[line - 1].strip()
+            return lines[line - 1][:MAX_LINE_SCAN_CHARS].strip()
         return ""
 
     def evidence(self, token: Token, limit: int = 120) -> str:

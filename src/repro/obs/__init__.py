@@ -23,6 +23,7 @@ Quickstart::
 from repro.obs.events import (
     EVENT_SCHEMA,
     read_events,
+    read_events_tolerant,
     validate_event,
     write_events,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "aggregate_events",
     "format_duration",
     "read_events",
+    "read_events_tolerant",
     "render_events_report",
     "summarize",
     "validate_event",

@@ -97,3 +97,29 @@ def read_events(path: str | os.PathLike) -> list[dict[str, Any]]:
             except ValueError as error:
                 raise ValueError(f"line {line_number}: {error}") from None
     return events
+
+
+def read_events_tolerant(
+    path: str | os.PathLike,
+) -> tuple[list[dict[str, Any]], int]:
+    """Load a trace that may be truncated or corrupt mid-stream.
+
+    Traces written by a crashed (or chaos-killed) process routinely end in
+    a half-written line; aggregation must survive that instead of raising
+    halfway through.  Returns ``(valid_events, lines_skipped)`` — every
+    line that fails to decode or validate is skipped and counted, never
+    fatal.  ``OSError`` (missing/unreadable file) still propagates: that
+    is the caller's problem, not the trace's.
+    """
+    events: list[dict[str, Any]] = []
+    skipped = 0
+    with open(path, encoding="utf-8", errors="replace") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(validate_event(json.loads(line)))
+            except (ValueError, TypeError):
+                skipped += 1
+    return events, skipped

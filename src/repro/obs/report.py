@@ -110,6 +110,25 @@ def summarize(registry, cache_info: dict[str, int] | None = None) -> str:
             f"  walk: {counters['walk.skipped']} inputs skipped "
             f"(beyond --max-depth or not regular files)"
         )
+    resilience = {
+        name.split(".", 1)[1]: value
+        for name, value in counters.items()
+        if name.startswith(("resilience.", "budget.")) and value
+    }
+    if resilience:
+        lines.append(
+            "  resilience: "
+            + ", ".join(
+                f"{event} {count}"
+                for event, count in sorted(resilience.items())
+            )
+        )
+    if counters.get("archive.members") or counters.get("archive.rejected"):
+        lines.append(
+            f"  archives: {counters.get('archive.expanded', 0)} expanded "
+            f"({counters.get('archive.members', 0)} members), "
+            f"{counters.get('archive.rejected', 0)} rejected by zip-bomb guards"
+        )
     return "\n".join(lines)
 
 

@@ -1,0 +1,63 @@
+"""Resilient execution: budgets, crash recovery, quarantine, fault injection.
+
+The paper's pipeline has to survive exactly the inputs attackers craft —
+malformed containers, pathological macros, anti-analysis tricks — and the
+infrastructure failures that heavy traffic guarantees.  This package makes
+:meth:`~repro.engine.AnalysisEngine.run` / ``run_batch`` *total* under both:
+
+* :mod:`repro.resilience.budgets` — per-document resource budgets
+  (wall-clock deadline, hard per-stage timeout, input size, macro count,
+  macro output volume) enforced around each stage;
+* :mod:`repro.resilience.recovery` — ``BrokenProcessPool`` recovery for
+  ``run_batch(jobs=N)``: bisect the failed chunk, retry singles with
+  capped exponential backoff, quarantine the poison document;
+* :mod:`repro.resilience.quarantine` — the quarantine record shape and the
+  ``--quarantine-out`` report;
+* :mod:`repro.resilience.chaos` — the fault-injection harness
+  (:class:`FaultPlan` + :class:`ChaosStage`) behind tests, benchmarks and
+  the hidden ``--chaos`` CLI flag;
+* :mod:`repro.resilience.archive` — zip-of-documents expansion for the
+  batch CLI commands, with zip-bomb guards.
+
+Every failure, retry, timeout and quarantine lands in the
+:mod:`repro.obs` registry (``resilience.*`` / ``budget.*`` / ``archive.*``
+counters, plus ``quarantine`` and ``pool.recover`` trace spans).
+"""
+
+from repro.resilience.archive import (
+    ArchiveBombError,
+    ArchiveLimits,
+    expand_archive,
+    is_plain_archive,
+)
+from repro.resilience.budgets import (
+    DEFAULT_BUDGET,
+    Budget,
+    BudgetClock,
+    StageTimeout,
+    call_with_timeout,
+)
+from repro.resilience.chaos import ChaosError, ChaosStage, Fault, FaultPlan
+from repro.resilience.quarantine import quarantine_record, quarantine_report
+from repro.resilience.recovery import DEFAULT_RETRY, RetryPolicy, run_with_recovery
+
+__all__ = [
+    "ArchiveBombError",
+    "ArchiveLimits",
+    "Budget",
+    "BudgetClock",
+    "ChaosError",
+    "ChaosStage",
+    "DEFAULT_BUDGET",
+    "DEFAULT_RETRY",
+    "Fault",
+    "FaultPlan",
+    "RetryPolicy",
+    "StageTimeout",
+    "call_with_timeout",
+    "expand_archive",
+    "is_plain_archive",
+    "quarantine_record",
+    "quarantine_report",
+    "run_with_recovery",
+]

@@ -1,0 +1,162 @@
+"""Zip-of-documents expansion for batch commands, with zip-bomb guards.
+
+Malware feeds deliver documents in bulk as plain zip archives — a mailbox
+export, a sandbox day's haul — and the ROADMAP has long wanted the batch
+CLI commands to expand them inline.  The catch is that an archive is also
+the classic amplification vector, so expansion is budgeted before the
+first member is decompressed:
+
+* ``max_members`` — refuse archives with more entries than this;
+* ``max_member_bytes`` — refuse any member whose *declared* uncompressed
+  size exceeds the cap (checked from the central directory, before
+  inflating);
+* ``max_ratio`` — refuse members whose uncompressed/compressed ratio
+  exceeds the cap (the 42.zip signature);
+* ``max_total_bytes`` — refuse once the declared total would exceed the
+  cap.
+
+Declared sizes can lie, so each member is additionally read through
+``ZipFile.open`` in bounded pieces and abandoned the moment the *actual*
+bytes cross the member cap.  A tripped guard raises
+:class:`ArchiveBombError`; callers turn that into one error record for the
+archive instead of expanding it.
+
+An archive is only expanded when it is a *plain* zip — a zip that is not
+itself an OOXML document (no ``vbaProject.bin`` / ``[Content_Types].xml``
+part), so ``.docm`` files keep flowing to the extractor untouched.
+"""
+
+from __future__ import annotations
+
+import io
+import zipfile
+from dataclasses import dataclass
+
+from repro.ole.ooxml import is_zip
+
+#: Zip parts that mark the container as an Office document, not an archive.
+_OOXML_MARKERS = ("[content_types].xml",)
+
+#: Chunk size for bounded member reads (declared sizes can lie).
+_READ_CHUNK = 1024 * 1024
+
+
+class ArchiveBombError(ValueError):
+    """An archive tripped one of the expansion guards."""
+
+
+@dataclass(frozen=True, slots=True)
+class ArchiveLimits:
+    """Expansion guards.  ``None`` disables a guard."""
+
+    max_members: int | None = 256
+    max_member_bytes: int | None = 64 * 1024 * 1024
+    max_total_bytes: int | None = 256 * 1024 * 1024
+    max_ratio: float | None = 200.0
+
+
+DEFAULT_LIMITS = ArchiveLimits()
+
+
+def is_plain_archive(data: bytes) -> bool:
+    """True for a readable zip that is not itself an OOXML document."""
+    if not is_zip(data):
+        return False
+    try:
+        with zipfile.ZipFile(io.BytesIO(data)) as archive:
+            names = [name.lower() for name in archive.namelist()]
+    except (zipfile.BadZipFile, zipfile.LargeZipFile, OSError):
+        return False
+    if any(name.endswith("vbaproject.bin") for name in names):
+        return False
+    return not any(marker in names for marker in _OOXML_MARKERS)
+
+
+def expand_archive(
+    source_id: str,
+    data: bytes,
+    limits: ArchiveLimits | None = None,
+    metrics=None,
+) -> list[tuple[str, bytes]]:
+    """Expand one plain zip into ``(member_id, bytes)`` batch inputs.
+
+    Member ids are ``<archive>!<member>`` so every downstream record names
+    its provenance.  Directory entries are skipped.  Raises
+    :class:`ArchiveBombError` the moment any guard trips — expansion is
+    all-or-nothing so a bomb cannot smuggle *some* members through.
+    """
+    limits = limits if limits is not None else DEFAULT_LIMITS
+    try:
+        archive = zipfile.ZipFile(io.BytesIO(data))
+    except (zipfile.BadZipFile, zipfile.LargeZipFile, OSError) as error:
+        raise ArchiveBombError(f"unreadable archive: {error}") from error
+    with archive:
+        members = [info for info in archive.infolist() if not info.is_dir()]
+        if limits.max_members is not None and len(members) > limits.max_members:
+            raise ArchiveBombError(
+                f"{len(members)} members exceed the {limits.max_members}-member cap"
+            )
+        declared_total = 0
+        for info in members:
+            if (
+                limits.max_member_bytes is not None
+                and info.file_size > limits.max_member_bytes
+            ):
+                raise ArchiveBombError(
+                    f"member {info.filename!r} declares "
+                    f"{info.file_size:,} bytes (cap {limits.max_member_bytes:,})"
+                )
+            if limits.max_ratio is not None and info.compress_size > 0:
+                ratio = info.file_size / info.compress_size
+                if ratio > limits.max_ratio:
+                    raise ArchiveBombError(
+                        f"member {info.filename!r} expands {ratio:.0f}x "
+                        f"(cap {limits.max_ratio:.0f}x)"
+                    )
+            declared_total += info.file_size
+            if (
+                limits.max_total_bytes is not None
+                and declared_total > limits.max_total_bytes
+            ):
+                raise ArchiveBombError(
+                    f"declared total {declared_total:,} bytes exceeds the "
+                    f"{limits.max_total_bytes:,}-byte cap"
+                )
+        expanded: list[tuple[str, bytes]] = []
+        for info in members:
+            expanded.append(
+                (f"{source_id}!{info.filename}", _read_bounded(archive, info, limits))
+            )
+    if metrics is not None and metrics.enabled:
+        metrics.counter("archive.expanded").inc()
+        metrics.counter("archive.members").inc(len(expanded))
+    return expanded
+
+
+def _read_bounded(
+    archive: zipfile.ZipFile, info: zipfile.ZipInfo, limits: ArchiveLimits
+) -> bytes:
+    """Read one member, trusting actual bytes over the declared size."""
+    cap = limits.max_member_bytes
+    pieces: list[bytes] = []
+    total = 0
+    try:
+        with archive.open(info) as handle:
+            while True:
+                piece = handle.read(_READ_CHUNK)
+                if not piece:
+                    break
+                total += len(piece)
+                if cap is not None and total > cap:
+                    raise ArchiveBombError(
+                        f"member {info.filename!r} produced more than "
+                        f"{cap:,} bytes (declared {info.file_size:,})"
+                    )
+                pieces.append(piece)
+    except ArchiveBombError:
+        raise
+    except Exception as error:  # CRC errors, truncated streams, bad methods
+        raise ArchiveBombError(
+            f"unreadable member {info.filename!r}: {error}"
+        ) from error
+    return b"".join(pieces)

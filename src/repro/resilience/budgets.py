@@ -1,0 +1,115 @@
+"""Per-document resource budgets enforced around each pipeline stage.
+
+A :class:`Budget` bounds what one document may cost the engine:
+
+* ``wall_clock_s`` — a *cooperative* per-document deadline.  The engine
+  checks it between stages (two ``perf_counter`` reads per stage, so the
+  default-on cost is unmeasurable); a document that overruns is marked
+  degraded and its remaining stages are skipped.
+* ``stage_timeout_s`` — a *hard* per-stage timeout.  When set, each stage
+  runs on a watchdog thread and a stage that hangs (hostile input, chaos
+  fault) is abandoned after the timeout.  Off by default: it costs one
+  thread spawn per stage and is meant for untrusted-input deployments,
+  pool workers, and the chaos harness.
+* ``max_input_bytes`` — documents larger than this are refused before the
+  first stage runs.
+* ``max_macro_count`` / ``max_output_bytes`` — caps on what the stages may
+  *produce*: surplus macros (or macros past the total source-character
+  budget) are marked ``filtered="budget"`` and their sources dropped, so a
+  decompression bomb inside a container cannot balloon the record.
+
+Budgets degrade, never raise: every violation becomes a ``budget`` error
+diagnostic plus the record's ``degraded`` marker, and bumps a ``budget.*``
+counter in the metrics registry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+
+class StageTimeout(Exception):
+    """A stage exceeded its hard per-stage timeout and was abandoned."""
+
+
+@dataclass(frozen=True, slots=True)
+class Budget:
+    """Resource limits for analyzing one document.  ``None`` disables a limit."""
+
+    #: cooperative per-document deadline, checked between stages (seconds)
+    wall_clock_s: float | None = 30.0
+    #: hard per-stage watchdog timeout (seconds); off by default
+    stage_timeout_s: float | None = None
+    #: refuse inputs larger than this before the first stage (bytes)
+    max_input_bytes: int | None = 64 * 1024 * 1024
+    #: cap on extracted/produced macros per document
+    max_macro_count: int | None = 512
+    #: cap on total macro source characters a document's stages may emit
+    max_output_bytes: int | None = 16 * 1024 * 1024
+
+    def clock(self) -> "BudgetClock":
+        return BudgetClock(self)
+
+
+#: The engine's default: size/volume caps on, cooperative deadline on,
+#: hard stage watchdog off (opt in for untrusted-input deployments).
+DEFAULT_BUDGET = Budget()
+
+
+class BudgetClock:
+    """One document's countdown against its budget's wall clock."""
+
+    __slots__ = ("budget", "started_at")
+
+    def __init__(self, budget: Budget) -> None:
+        self.budget = budget
+        self.started_at = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started_at
+
+    def expired(self) -> bool:
+        limit = self.budget.wall_clock_s
+        return limit is not None and self.elapsed() > limit
+
+    def stage_timeout(self) -> float | None:
+        """The hard timeout for the next stage: the per-stage cap, further
+        clipped to whatever wall-clock budget remains."""
+        stage = self.budget.stage_timeout_s
+        if stage is None:
+            return None
+        wall = self.budget.wall_clock_s
+        if wall is None:
+            return stage
+        return max(0.001, min(stage, wall - self.elapsed()))
+
+
+def call_with_timeout(fn, timeout: float):
+    """Run ``fn()`` on a daemon watchdog thread, waiting ``timeout`` seconds.
+
+    Returns ``fn``'s result, re-raises its exception, or raises
+    :class:`StageTimeout` when the deadline passes first.  On timeout the
+    thread is *abandoned*, not killed — Python offers no safe preemption —
+    so callers must stop trusting (and stop mutating alongside) whatever
+    state the runaway callable was working on.
+    """
+    outcome: list = [None, None]  # [result, exception]
+    done = threading.Event()
+
+    def target() -> None:
+        try:
+            outcome[0] = fn()
+        except BaseException as error:  # noqa: BLE001 - ferried to the caller
+            outcome[1] = error
+        finally:
+            done.set()
+
+    worker = threading.Thread(target=target, daemon=True, name="stage-watchdog")
+    worker.start()
+    if not done.wait(timeout):
+        raise StageTimeout(f"no result within {timeout:.3f}s")
+    if outcome[1] is not None:
+        raise outcome[1]
+    return outcome[0]

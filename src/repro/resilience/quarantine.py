@@ -1,0 +1,82 @@
+"""Quarantine records: what the batch returns for a poison document.
+
+When recovery bisects a broken pool down to a single input and its capped
+retries are exhausted, the batch still owes its caller one record for that
+position.  The quarantine record is that placeholder: a degraded
+:class:`~repro.engine.records.DocumentRecord` carrying a structured
+``quarantine`` payload —
+
+.. code-block:: json
+
+    {"reason": "BrokenProcessPool: ...", "attempts": 3,
+     "stage": "pool", "retriable": true}
+
+— so ``--format json`` output stays one-record-per-input and an operator
+can replay exactly the quarantined documents later.  Quarantine records
+are **never cached**: the failure is an infrastructure observation about
+this run, not a property of the content hash.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.engine.records import DocumentRecord
+
+
+def quarantine_record(
+    source_id: str,
+    sha256: str | None,
+    reason: str,
+    *,
+    attempts: int = 1,
+    stage: str = "pool",
+) -> DocumentRecord:
+    """A degraded record standing in for a document the pool could not hold."""
+    record = DocumentRecord(source_id=source_id, sha256=sha256)
+    record.degraded = True
+    record.quarantine = {
+        "reason": reason,
+        "attempts": attempts,
+        "stage": stage,
+        "retriable": True,
+    }
+    record.diag(
+        "quarantine",
+        "error",
+        f"quarantined after {attempts} attempt{'s' if attempts != 1 else ''}: "
+        f"{reason}",
+    )
+    return record
+
+
+def quarantine_report(records: Iterable[DocumentRecord]) -> dict[str, Any]:
+    """The ``--quarantine-out`` artifact: every quarantined or degraded record.
+
+    Quarantined records appear in full (they are small by construction);
+    degraded-but-delivered records are listed as summaries so the report
+    shows the whole blast radius of a hostile batch.
+    """
+    quarantined = []
+    degraded = []
+    total = 0
+    for record in records:
+        total += 1
+        if record.quarantine is not None:
+            quarantined.append(record.to_dict())
+        elif record.degraded:
+            degraded.append(
+                {
+                    "path": record.source_id,
+                    "sha256": record.sha256,
+                    "error": record.error,
+                    "completed_stages": list(record.completed_stages),
+                }
+            )
+    return {
+        "total_records": total,
+        "quarantined_count": len(quarantined),
+        "degraded_count": len(degraded),
+        "quarantined": quarantined,
+        "degraded": degraded,
+    }

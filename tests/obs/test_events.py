@@ -6,7 +6,12 @@ import pytest
 
 from repro.corpus.documents import build_document_bytes
 from repro.engine import AnalysisEngine, MetricsRegistry
-from repro.obs import read_events, validate_event, write_events
+from repro.obs import (
+    read_events,
+    read_events_tolerant,
+    validate_event,
+    write_events,
+)
 
 from tests.obs import schema_validator
 
@@ -88,6 +93,55 @@ class TestRoundTrip:
     def test_write_refuses_invalid_events(self, tmp_path):
         with pytest.raises(ValueError):
             write_events(tmp_path / "x.jsonl", [{"nope": 1}])
+
+
+class TestTolerantReader:
+    def test_clean_trace_reads_with_zero_skips(self, tmp_path):
+        events = [_valid_event(), _valid_event(name="analyze", depth=1)]
+        path = tmp_path / "events.jsonl"
+        write_events(path, events)
+        assert read_events_tolerant(path) == (events, 0)
+
+    def test_truncated_final_line_is_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_events(path, [_valid_event()])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "span", "name": "extr')  # torn mid-write
+        events, skipped = read_events_tolerant(path)
+        assert len(events) == 1
+        assert skipped == 1
+
+    def test_schema_invalid_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        lines = [
+            json.dumps(_valid_event()),
+            json.dumps(_valid_event(outcome="maybe")),  # bad enum
+            json.dumps([1, 2, 3]),                      # not an object
+            "not json at all",
+            json.dumps(_valid_event(name="analyze")),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        events, skipped = read_events_tolerant(path)
+        assert [event["name"] for event in events] == ["extract", "analyze"]
+        assert skipped == 3
+
+    def test_binary_garbage_never_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_bytes(b"\x00\xff\xfe garbage\n" + b"\x80\x81\n")
+        events, skipped = read_events_tolerant(path)
+        assert events == []
+        assert skipped == 2
+
+    def test_blank_lines_are_neither_events_nor_skips(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text("\n\n" + json.dumps(_valid_event()) + "\n\n")
+        events, skipped = read_events_tolerant(path)
+        assert len(events) == 1
+        assert skipped == 0
+
+    def test_missing_file_still_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            read_events_tolerant(tmp_path / "nope.jsonl")
 
 
 class TestEngineEvents:

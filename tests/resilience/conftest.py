@@ -1,0 +1,23 @@
+"""Shared fixtures for the resilience tests: small unique documents."""
+
+import random
+
+import pytest
+
+from repro.corpus.benign import generate_benign_module
+from repro.corpus.documents import build_document_bytes
+
+
+@pytest.fixture(scope="session")
+def document_factory():
+    """``factory(n)`` → ``n`` unique ``("doc_XXX", docm_bytes)`` pairs."""
+
+    def factory(count):
+        rng = random.Random(2024)
+        pairs = []
+        for index in range(count):
+            source = generate_benign_module(rng, target_length=400)
+            pairs.append((f"doc_{index:03d}", build_document_bytes([source], "docm")))
+        return pairs
+
+    return factory

@@ -1,0 +1,113 @@
+"""Archive expansion and its zip-bomb guards."""
+
+import io
+import zipfile
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.resilience import (
+    ArchiveBombError,
+    ArchiveLimits,
+    expand_archive,
+    is_plain_archive,
+)
+
+
+def make_zip(members: dict[str, bytes], compress=zipfile.ZIP_DEFLATED) -> bytes:
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", compress) as archive:
+        for name, data in members.items():
+            archive.writestr(name, data)
+    return buffer.getvalue()
+
+
+class TestIsPlainArchive:
+    def test_plain_zip_is_an_archive(self):
+        assert is_plain_archive(make_zip({"a.docm": b"x", "b/c.txt": b"y"}))
+
+    def test_ooxml_document_is_not_an_archive(self, document_factory):
+        [(_, docm)] = document_factory(1)
+        assert not is_plain_archive(docm)
+
+    def test_bare_vba_project_zip_is_not_an_archive(self):
+        assert not is_plain_archive(make_zip({"word/vbaProject.bin": b"\x01"}))
+
+    def test_non_zip_bytes_are_not_an_archive(self):
+        assert not is_plain_archive(b"MZ\x90\x00 garbage")
+        assert not is_plain_archive(b"")
+
+    def test_corrupt_zip_is_not_an_archive(self):
+        data = bytearray(make_zip({"a": b"x"}))
+        eocd = data.rfind(b"PK\x05\x06")  # smash the end-of-central-directory
+        data[eocd : eocd + 4] = b"\x00\x00\x00\x00"
+        assert not is_plain_archive(bytes(data))
+
+
+class TestExpansion:
+    def test_members_become_tagged_inputs(self):
+        data = make_zip({"inner/sample.docm": b"DOC", "notes.txt": b"N"})
+        expanded = expand_archive("feed.zip", data)
+        assert sorted(expanded) == [
+            ("feed.zip!inner/sample.docm", b"DOC"),
+            ("feed.zip!notes.txt", b"N"),
+        ]
+
+    def test_directory_entries_are_skipped(self):
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w") as archive:
+            archive.writestr("dir/", b"")
+            archive.writestr("dir/file.bin", b"F")
+        expanded = expand_archive("a.zip", buffer.getvalue())
+        assert expanded == [("a.zip!dir/file.bin", b"F")]
+
+    def test_metrics_counters(self):
+        registry = MetricsRegistry()
+        expand_archive("a.zip", make_zip({"x": b"1", "y": b"2"}), metrics=registry)
+        assert registry.counter("archive.expanded").value == 1
+        assert registry.counter("archive.members").value == 2
+
+
+class TestBombGuards:
+    def test_member_count_cap(self):
+        data = make_zip({f"m{i}": b"x" for i in range(5)})
+        with pytest.raises(ArchiveBombError, match="member cap"):
+            expand_archive("a.zip", data, ArchiveLimits(max_members=4))
+
+    def test_member_size_cap_checked_before_inflating(self):
+        data = make_zip({"big.bin": b"A" * 4096})
+        with pytest.raises(ArchiveBombError, match="declares"):
+            expand_archive("a.zip", data, ArchiveLimits(max_member_bytes=1024))
+
+    def test_compression_ratio_cap(self):
+        data = make_zip({"zeros.bin": b"\x00" * (1 << 20)})
+        with pytest.raises(ArchiveBombError, match="expands"):
+            expand_archive("a.zip", data, ArchiveLimits(max_ratio=100.0))
+
+    def test_total_expanded_bytes_cap(self):
+        data = make_zip({f"m{i}": bytes(600) for i in range(4)})
+        with pytest.raises(ArchiveBombError, match="declared total"):
+            expand_archive(
+                "a.zip", data,
+                ArchiveLimits(max_total_bytes=2000, max_ratio=None),
+            )
+
+    def test_expansion_is_all_or_nothing(self):
+        # One innocent member plus one bomb: nothing comes out.
+        data = make_zip({"ok.txt": b"fine", "bomb.bin": b"\x00" * (1 << 20)})
+        with pytest.raises(ArchiveBombError):
+            expand_archive("a.zip", data, ArchiveLimits(max_ratio=100.0))
+
+    def test_unreadable_bytes_raise(self):
+        with pytest.raises(ArchiveBombError, match="unreadable archive"):
+            expand_archive("a.zip", b"not a zip at all")
+
+    def test_disabled_guards_allow_expansion(self):
+        data = make_zip({"zeros.bin": b"\x00" * (1 << 20)})
+        limits = ArchiveLimits(
+            max_members=None, max_member_bytes=None,
+            max_total_bytes=None, max_ratio=None,
+        )
+        [(name, payload)] = expand_archive("a.zip", data, limits)
+        assert name == "a.zip!zeros.bin"
+        assert payload == b"\x00" * (1 << 20)

@@ -1,0 +1,175 @@
+"""Budget enforcement: refusal, deadlines, watchdog, and output caps.
+
+Every violation must *degrade* the record — never raise, never lose the
+document — and leave an auditable ``budget`` diagnostic plus counters.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import AnalysisEngine
+from repro.obs import MetricsRegistry
+from repro.resilience import (
+    Budget,
+    DEFAULT_BUDGET,
+    Fault,
+    FaultPlan,
+    StageTimeout,
+    call_with_timeout,
+)
+
+
+class TestBudgetClock:
+    def test_fresh_clock_is_not_expired(self):
+        assert not DEFAULT_BUDGET.clock().expired()
+
+    def test_no_wall_clock_never_expires(self):
+        clock = Budget(wall_clock_s=None).clock()
+        assert not clock.expired()
+
+    def test_zero_wall_clock_expires_immediately(self):
+        clock = Budget(wall_clock_s=0.0).clock()
+        time.sleep(0.001)
+        assert clock.expired()
+
+    def test_stage_timeout_clipped_to_remaining_wall_clock(self):
+        clock = Budget(wall_clock_s=100.0, stage_timeout_s=5.0).clock()
+        assert clock.stage_timeout() == pytest.approx(5.0, abs=0.5)
+        clock = Budget(wall_clock_s=0.0, stage_timeout_s=5.0).clock()
+        assert clock.stage_timeout() == pytest.approx(0.001, abs=0.01)
+
+    def test_stage_timeout_none_when_unset(self):
+        assert DEFAULT_BUDGET.clock().stage_timeout() is None
+
+
+class TestCallWithTimeout:
+    def test_returns_result(self):
+        assert call_with_timeout(lambda: 42, timeout=5.0) == 42
+
+    def test_reraises_callable_exception(self):
+        def boom():
+            raise KeyError("inner")
+
+        with pytest.raises(KeyError):
+            call_with_timeout(boom, timeout=5.0)
+
+    def test_raises_stage_timeout_on_hang(self):
+        started = time.perf_counter()
+        with pytest.raises(StageTimeout):
+            call_with_timeout(lambda: time.sleep(10), timeout=0.05)
+        assert time.perf_counter() - started < 5.0
+
+
+class TestInputRefusal:
+    def test_oversized_input_refused_before_extraction(self, document_factory):
+        [(sid, data)] = document_factory(1)
+        registry = MetricsRegistry()
+        engine = AnalysisEngine.for_extraction(
+            metrics=registry, budget=Budget(max_input_bytes=16)
+        )
+        record = engine.run((sid, data))
+        assert record.degraded
+        assert not record.ok
+        assert record.completed_stages == []
+        assert "refused before extraction" in record.error
+        assert registry.counter("budget.input_rejected").value == 1
+
+    def test_input_within_budget_passes(self, document_factory):
+        [(sid, data)] = document_factory(1)
+        engine = AnalysisEngine.for_extraction(
+            budget=Budget(max_input_bytes=len(data))
+        )
+        record = engine.run((sid, data))
+        assert record.ok and not record.degraded
+
+
+class TestWallClock:
+    def test_exhausted_wall_clock_degrades_and_stops(self, document_factory):
+        [(sid, data)] = document_factory(1)
+        registry = MetricsRegistry()
+        engine = AnalysisEngine.for_extraction(
+            metrics=registry, budget=Budget(wall_clock_s=0.0)
+        )
+        record = engine.run((sid, data))
+        assert record.degraded
+        assert record.completed_stages == []
+        assert "wall-clock budget" in record.error
+        assert registry.counter("budget.timeouts").value >= 1
+
+    def test_no_budget_disables_every_check(self, document_factory):
+        [(sid, data)] = document_factory(1)
+        record = AnalysisEngine.for_extraction(budget=None).run((sid, data))
+        assert record.ok and not record.degraded
+
+
+class TestStageWatchdog:
+    def test_hung_stage_is_abandoned_and_degrades(self, document_factory):
+        [(sid, data)] = document_factory(1)
+        plan = FaultPlan(faults=(Fault("hang", sid),), hang_s=30.0)
+        engine = AnalysisEngine.for_extraction(
+            budget=Budget(stage_timeout_s=0.2), chaos=plan
+        )
+        started = time.perf_counter()
+        record = engine.run((sid, data))
+        assert time.perf_counter() - started < 10.0
+        assert record.degraded
+        assert "hard timeout" in record.error
+        assert "extract" in record.completed_stages
+        assert "chaos" not in record.completed_stages
+
+    def test_watchdog_passes_healthy_stages(self, document_factory):
+        [(sid, data)] = document_factory(1)
+        engine = AnalysisEngine.for_extraction(budget=Budget(stage_timeout_s=10.0))
+        record = engine.run((sid, data))
+        assert record.ok and not record.degraded
+        assert "extract" in record.completed_stages
+
+
+class TestOutputCaps:
+    def test_macro_count_cap_stubs_surplus(self, document_factory):
+        [(sid, data)] = document_factory(1)
+        plan = FaultPlan(faults=(Fault("oversize", sid),), oversize_bytes=64)
+        registry = MetricsRegistry()
+        engine = AnalysisEngine.for_extraction(
+            metrics=registry, budget=Budget(max_macro_count=1), chaos=plan
+        )
+        record = engine.run((sid, data))
+        assert record.degraded
+        kept = [m for m in record.macros if m.filtered != "budget"]
+        dropped = [m for m in record.macros if m.filtered == "budget"]
+        assert len(kept) == 1
+        assert dropped and all(m.source == "" for m in dropped)
+        assert registry.counter("budget.macros_dropped").value == len(dropped)
+
+    def test_output_bytes_cap_drops_flood(self, document_factory):
+        [(sid, data)] = document_factory(1)
+        plan = FaultPlan(faults=(Fault("oversize", sid),), oversize_bytes=4096)
+        engine = AnalysisEngine.for_extraction(
+            budget=Budget(max_output_bytes=1024), chaos=plan
+        )
+        record = engine.run((sid, data))
+        assert record.degraded
+        assert "over budget" in record.error
+        assert any(m.filtered == "budget" for m in record.macros)
+        kept_chars = sum(
+            len(m.source) for m in record.macros if m.filtered != "budget"
+        )
+        assert kept_chars <= 1024
+
+
+class TestRecordSchema:
+    def test_to_dict_carries_resilience_fields(self, document_factory):
+        [(sid, data)] = document_factory(1)
+        payload = AnalysisEngine.for_extraction().run((sid, data)).to_dict()
+        assert payload["degraded"] is False
+        assert "extract" in payload["completed_stages"]
+        assert payload["quarantine"] is None
+
+    def test_degraded_record_is_cached(self, document_factory):
+        [(sid, data)] = document_factory(1)
+        engine = AnalysisEngine.for_extraction(budget=Budget(max_input_bytes=16))
+        first = engine.run((sid, data))
+        second = engine.run((sid, data))
+        assert first.degraded and second.degraded
+        assert engine.cache_info()["hits"] == 1

@@ -1,0 +1,86 @@
+"""The fault-injection harness itself: plans, matching, and in-process faults."""
+
+import pytest
+
+from repro.engine import AnalysisEngine
+from repro.engine.records import DocumentRecord
+from repro.resilience import ChaosStage, Fault, FaultPlan
+
+
+class TestFaultPlanParsing:
+    def test_parse_single_entry(self):
+        plan = FaultPlan.parse("raise:doc_001")
+        assert plan.faults == (Fault("raise", "doc_001"),)
+
+    def test_parse_multiple_entries(self):
+        plan = FaultPlan.parse("hang:doc_007, exit:doc_013 ,oversize:doc_002")
+        assert [f.kind for f in plan.faults] == ["hang", "exit", "oversize"]
+        assert [f.match for f in plan.faults] == ["doc_007", "doc_013", "doc_002"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.parse("explode:doc_001")
+
+    def test_missing_separator_rejected(self):
+        with pytest.raises(ValueError, match="kind:pattern"):
+            FaultPlan.parse("raise")
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ValueError, match="empty fault plan"):
+            FaultPlan.parse(" , ")
+
+    def test_empty_match_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Fault("raise", "")
+
+
+class TestFaultMatching:
+    def test_substring_match(self):
+        plan = FaultPlan.parse("raise:doc_003")
+        assert plan.fault_for("/feed/doc_003.docm").kind == "raise"
+        assert plan.fault_for("/feed/doc_004.docm") is None
+
+    def test_first_matching_fault_wins(self):
+        plan = FaultPlan.parse("hang:doc,exit:doc_001")
+        assert plan.fault_for("doc_001").kind == "hang"
+
+
+class TestInProcessFaults:
+    def test_raise_fault_degrades_record(self, document_factory):
+        [(sid, data)] = document_factory(1)
+        engine = AnalysisEngine.for_extraction(chaos=FaultPlan.parse(f"raise:{sid}"))
+        record = engine.run((sid, data))
+        assert record.degraded
+        assert "ChaosError" in record.error
+        assert "extract" in record.completed_stages
+        assert "chaos" not in record.completed_stages
+
+    def test_exit_fault_downgrades_to_raise_in_parent(self, document_factory):
+        # os._exit in the CLI parent would kill the whole run; in-process the
+        # fault must degrade the record instead (the process demonstrably
+        # survives to make these assertions).
+        [(sid, data)] = document_factory(1)
+        engine = AnalysisEngine.for_extraction(chaos=FaultPlan.parse(f"exit:{sid}"))
+        record = engine.run((sid, data))
+        assert record.degraded
+        assert "ChaosError" in record.error
+
+    def test_unmatched_documents_flow_through_clean(self, document_factory):
+        [(sid, data)] = document_factory(1)
+        engine = AnalysisEngine.for_extraction(chaos=FaultPlan.parse("raise:no-such-doc"))
+        record = engine.run((sid, data))
+        assert record.ok and not record.degraded
+        assert "chaos" in record.completed_stages
+
+    def test_oversize_fault_appends_flood_macro(self):
+        sid = "doc_000"
+        plan = FaultPlan(faults=(Fault("oversize", sid),), oversize_bytes=128)
+        record = DocumentRecord(source_id=sid)
+        ChaosStage(plan).process(record)
+        assert record.macros[-1].module_name == "ChaosOversize"
+        assert len(record.macros[-1].source) == 128
+
+    def test_chaos_stage_is_spliced_after_extract(self):
+        engine = AnalysisEngine.for_extraction(chaos=FaultPlan.parse("raise:x"))
+        names = [stage.name for stage in engine.stages]
+        assert names.index("chaos") == names.index("extract") + 1

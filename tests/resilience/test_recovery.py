@@ -1,0 +1,182 @@
+"""Pool-death recovery: bisection, bounded retries, quarantine, N-in/N-out.
+
+These tests kill real pool workers (``os._exit`` via the chaos stage), so
+they run real ``BrokenProcessPool`` failures — nothing is mocked except
+the backoff sleep.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import AnalysisEngine
+from repro.obs import MetricsRegistry
+from repro.resilience import (
+    DEFAULT_RETRY,
+    FaultPlan,
+    RetryPolicy,
+    quarantine_record,
+    quarantine_report,
+)
+from repro.resilience import recovery as recovery_module
+from repro.engine.records import DocumentRecord
+from repro.engine.stages import Stage
+
+
+@pytest.fixture()
+def recorded_sleeps(monkeypatch):
+    """Capture backoff sleeps instead of waiting them out."""
+    delays = []
+    monkeypatch.setattr(recovery_module, "_sleep", delays.append)
+    return delays
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_then_capped(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_cap_s=0.5)
+        assert policy.backoff(0) == pytest.approx(0.1)
+        assert policy.backoff(1) == pytest.approx(0.2)
+        assert policy.backoff(2) == pytest.approx(0.4)
+        assert policy.backoff(3) == pytest.approx(0.5)
+        assert policy.backoff(10) == pytest.approx(0.5)
+
+
+class TestWorkerDeathRecovery:
+    def test_poison_input_is_quarantined_others_survive(
+        self, document_factory, recorded_sleeps
+    ):
+        pairs = document_factory(6)
+        poison_id = pairs[3][0]
+        engine = AnalysisEngine.for_extraction(
+            chaos=FaultPlan.parse(f"exit:{poison_id}")
+        )
+        records = engine.run_batch(pairs, jobs=2)
+
+        assert len(records) == len(pairs)  # N in, N out
+        assert [r.source_id for r in records] == [sid for sid, _ in pairs]
+        by_id = {r.source_id: r for r in records}
+        poisoned = by_id.pop(poison_id)
+        assert poisoned.quarantine is not None
+        assert poisoned.quarantine["retriable"] is True
+        assert poisoned.quarantine["stage"] == "pool"
+        assert poisoned.quarantine["attempts"] == DEFAULT_RETRY.max_attempts
+        assert poisoned.degraded and not poisoned.ok
+        for record in by_id.values():
+            assert record.ok and not record.degraded
+
+    def test_retries_are_bounded_by_backoff_cap(
+        self, document_factory, recorded_sleeps
+    ):
+        pairs = document_factory(4)
+        policy = RetryPolicy(max_attempts=3, backoff_base_s=0.01, backoff_cap_s=0.02)
+        engine = AnalysisEngine.for_extraction(
+            chaos=FaultPlan.parse(f"exit:{pairs[0][0]}")
+        )
+        engine.retry = policy
+        records = engine.run_batch(pairs, jobs=2)
+        assert len(records) == len(pairs)
+        # A single suspect is retried max_attempts - 1 times, each preceded
+        # by one capped backoff sleep; bisection rounds sleep nothing.
+        assert len(recorded_sleeps) == policy.max_attempts - 1
+        assert all(delay <= policy.backoff_cap_s for delay in recorded_sleeps)
+
+    def test_bisection_and_quarantine_counters(
+        self, document_factory, recorded_sleeps
+    ):
+        pairs = document_factory(6)
+        registry = MetricsRegistry()
+        engine = AnalysisEngine.for_extraction(
+            metrics=registry, chaos=FaultPlan.parse(f"exit:{pairs[2][0]}")
+        )
+        records = engine.run_batch(pairs, jobs=2)
+        assert len(records) == len(pairs)
+        assert registry.counter("resilience.pool_failures").value >= 1
+        assert registry.counter("resilience.quarantined").value == 1
+        assert registry.counter("resilience.retries").value == (
+            DEFAULT_RETRY.max_attempts - 1
+        )
+
+    def test_quarantined_content_is_never_cached(
+        self, document_factory, recorded_sleeps
+    ):
+        pairs = document_factory(4)
+        engine = AnalysisEngine.for_extraction(
+            chaos=FaultPlan.parse(f"exit:{pairs[1][0]}")
+        )
+        records = engine.run_batch(pairs, jobs=2)
+        quarantined = [r for r in records if r.quarantine is not None]
+        assert len(quarantined) == 1
+        assert quarantined[0].sha256 not in engine._cache
+
+    def test_duplicates_of_poison_all_get_records(
+        self, document_factory, recorded_sleeps
+    ):
+        pairs = document_factory(3)
+        poison_id, poison_data = pairs[1]
+        inputs = pairs + [(poison_id, poison_data)]  # same content twice
+        engine = AnalysisEngine.for_extraction(
+            chaos=FaultPlan.parse(f"exit:{poison_id}")
+        )
+        records = engine.run_batch(inputs, jobs=2)
+        assert len(records) == len(inputs)
+        assert sum(1 for r in records if r.quarantine is not None) == 2
+
+
+class PoisonResultStage(Stage):
+    """Attach an unpicklable payload so the worker's *result* cannot travel
+    back — the attributable-failure path, no pool death involved."""
+
+    name = "poison-result"
+
+    def __init__(self, match: str) -> None:
+        self.match = match
+
+    def process(self, document: DocumentRecord) -> None:
+        if self.match in document.source_id:
+            document.document_variables[self.match] = lambda: None
+
+
+class TestAttributableFailures:
+    def test_unpicklable_result_quarantines_only_its_chunk(
+        self, document_factory, recorded_sleeps
+    ):
+        pairs = document_factory(5)
+        target = pairs[2][0]
+        engine = AnalysisEngine.for_extraction()
+        engine.stages.append(PoisonResultStage(target))
+        records = engine.run_batch(pairs, jobs=2)
+        assert len(records) == len(pairs)
+        by_id = {r.source_id: r for r in records}
+        assert by_id[target].quarantine is not None
+        for sid, _ in pairs:
+            if sid != target:
+                assert by_id[sid].ok
+
+
+class TestQuarantineRecords:
+    def test_record_serializes_to_json(self):
+        record = quarantine_record(
+            "feed/doc.docm", "ab" * 32, "BrokenProcessPool: worker died",
+            attempts=3,
+        )
+        payload = json.loads(json.dumps(record.to_dict()))
+        assert payload["degraded"] is True
+        assert payload["ok"] is False
+        assert payload["quarantine"]["attempts"] == 3
+        assert payload["quarantine"]["retriable"] is True
+        assert "quarantined after 3 attempts" in payload["error"]
+
+    def test_report_separates_quarantined_from_degraded(self, document_factory):
+        [(sid, data)] = document_factory(1)
+        engine = AnalysisEngine.for_extraction(
+            chaos=FaultPlan.parse(f"raise:{sid}")
+        )
+        degraded = engine.run((sid, data))
+        quarantined = quarantine_record("bad.docm", None, "poison", attempts=2)
+        report = quarantine_report([degraded, quarantined])
+        assert report["total_records"] == 2
+        assert report["quarantined_count"] == 1
+        assert report["degraded_count"] == 1
+        assert report["quarantined"][0]["path"] == "bad.docm"
+        assert report["degraded"][0]["path"] == sid
+        json.dumps(report)  # the artifact must always be serializable

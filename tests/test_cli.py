@@ -348,11 +348,29 @@ class TestStatsCommand:
         assert main(["stats", "/nonexistent/events.jsonl"]) == 1
         assert "error" in capsys.readouterr().err
 
-    def test_stats_rejects_corrupt_trace(self, tmp_path, capsys):
+    def test_stats_skips_corrupt_lines(self, trace_file, capsys):
+        with open(trace_file, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "span"}\n')   # schema-invalid
+            handle.write('{"truncated mid-wri')  # torn final line
+        assert main(["stats", str(trace_file)]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 2 corrupt line" in captured.err
+        assert "lines skipped: 2" in captured.out
+
+    def test_stats_json_reports_skipped_lines(self, trace_file, capsys):
+        with open(trace_file, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+        assert main(["stats", str(trace_file), "--format", "json"]) == 0
+        aggregated = json.loads(capsys.readouterr().out)
+        assert aggregated["lines_skipped"] == 1
+
+    def test_stats_all_corrupt_trace_still_succeeds(self, tmp_path, capsys):
         bad = tmp_path / "bad.jsonl"
-        bad.write_text('{"type": "span"}\n')
-        assert main(["stats", str(bad)]) == 1
-        assert "line 1" in capsys.readouterr().err
+        bad.write_text('{"type": "span"}\n!!!\n')
+        assert main(["stats", str(bad)]) == 0
+        captured = capsys.readouterr()
+        assert "no events" in captured.out
+        assert "skipped 2 corrupt line" in captured.err
 
 
 class TestRecursiveWalk:
@@ -407,3 +425,101 @@ class TestRecursiveWalk:
         out = capsys.readouterr().out
         assert status == 0
         assert len(out.splitlines()) == 3
+
+
+def _json_records(capsys):
+    out = capsys.readouterr().out
+    return [json.loads(line) for line in out.splitlines() if line.strip()]
+
+
+class TestArchiveExpansion:
+    @pytest.fixture()
+    def bundle(self, demo_document, tmp_path):
+        import zipfile
+
+        path = tmp_path / "bundle.zip"
+        with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
+            archive.write(demo_document, "inner/sample.docm")
+            archive.writestr("notes.txt", "not a document")
+        return path
+
+    def test_extract_expands_archive_members(self, bundle, capsys):
+        assert main(["extract", str(bundle), "--format", "json"]) == 0
+        records = _json_records(capsys)
+        by_path = {record["path"]: record for record in records}
+        docm = by_path[f"{bundle}!inner/sample.docm"]
+        assert docm["ok"] and docm["macros"]
+        assert f"{bundle}!notes.txt" in by_path  # error record, still present
+
+    def test_docm_itself_is_never_expanded(self, demo_document, capsys):
+        assert main(["extract", str(demo_document), "--format", "json"]) == 0
+        [record] = _json_records(capsys)
+        assert record["path"] == str(demo_document)
+        assert record["ok"]
+
+    def test_zip_bomb_becomes_one_degraded_record(self, tmp_path, capsys):
+        import zipfile
+
+        bomb = tmp_path / "bomb.zip"
+        with zipfile.ZipFile(bomb, "w", zipfile.ZIP_DEFLATED) as archive:
+            archive.writestr("boom.bin", b"\x00" * (8 << 20))  # ~5000x ratio
+        assert main(["extract", str(bomb), "--format", "json"]) == 0
+        [record] = _json_records(capsys)
+        assert record["path"] == str(bomb)
+        assert record["degraded"] and not record["ok"]
+        assert "archive refused" in record["error"]
+
+    def test_no_archives_flag_disables_expansion(self, bundle, capsys):
+        assert main(
+            ["extract", str(bundle), "--no-archives", "--format", "json"]
+        ) == 0
+        [record] = _json_records(capsys)
+        assert record["path"] == str(bundle)
+        assert not record["ok"]  # fed to the extractor as-is, which refuses it
+
+    def test_lint_walks_into_archives_too(self, bundle, capsys):
+        assert main(["lint", str(bundle), "--format", "json"]) == 0
+        paths = {record["path"] for record in _json_records(capsys)}
+        assert f"{bundle}!inner/sample.docm" in paths
+
+
+class TestChaosAndQuarantine:
+    def test_chaos_raise_degrades_without_killing_the_run(
+        self, demo_document, capsys
+    ):
+        status = main(
+            ["extract", str(demo_document), "--format", "json",
+             "--chaos", "raise:sample"]
+        )
+        assert status == 0
+        [record] = _json_records(capsys)
+        assert record["degraded"] and not record["ok"]
+        assert "ChaosError" in record["error"]
+
+    def test_bad_chaos_spec_is_a_usage_error(self, demo_document, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["extract", str(demo_document), "--chaos", "explode:sample"])
+        assert excinfo.value.code == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_quarantine_out_writes_report(self, demo_document, tmp_path, capsys):
+        report_path = tmp_path / "quarantine.json"
+        status = main(
+            ["extract", str(demo_document), "--format", "json",
+             "--chaos", "raise:sample", "--quarantine-out", str(report_path)]
+        )
+        assert status == 0
+        report = json.loads(report_path.read_text())
+        assert report["total_records"] == 1
+        assert report["degraded_count"] == 1
+        assert report["quarantined_count"] == 0
+        assert "quarantine report" in capsys.readouterr().err
+
+    def test_timeout_flags_are_accepted(self, demo_document, capsys):
+        status = main(
+            ["extract", str(demo_document), "--format", "json",
+             "--timeout", "30", "--stage-timeout", "10"]
+        )
+        assert status == 0
+        [record] = _json_records(capsys)
+        assert record["ok"]
