@@ -134,7 +134,7 @@ def test_recovery_drill_cost(benchmark, monkeypatch):
         f"RECOVERY DRILL — {len(documents)} documents, jobs=2, one exit fault\n"
         f"wall clock        : {elapsed:.3f} s\n"
         f"pool failures     : {counters.get('resilience.pool_failures', 0)}\n"
-        f"bisections        : {counters.get('resilience.bisections', 0)}\n"
+        f"worker restarts   : {counters.get('stream.worker_restarts', 0)}\n"
         f"retries           : {counters.get('resilience.retries', 0)}\n"
         f"quarantined       : {counters.get('resilience.quarantined', 0)}\n"
         f"backoff requested : {sum(sleeps):.2f} s (skipped in the drill)\n"

@@ -28,14 +28,19 @@ across worker processes) to stderr and ``--trace-out FILE`` saves one
 JSON-lines event per pipeline span for offline analysis.
 
 The batch commands are *resilient* (see :mod:`repro.resilience`): every
-document runs under a budget (``--timeout`` wall clock per document,
-``--stage-timeout`` hard per-stage watchdog, input-size and macro-volume
-caps at library defaults), worker crashes are recovered by bisection +
-capped retries with the poison document quarantined
-(``--quarantine-out FILE`` saves the report), and plain zip archives in
-the input expand into their member documents behind zip-bomb guards
-(``--no-archives`` disables expansion).  A hidden ``--chaos`` flag
-injects faults for drills: ``--chaos hang:doc_007,exit:doc_013``.
+document runs under a budget (``--budget strict|default|off`` picks the
+preset; ``--timeout`` wall clock per document and ``--stage-timeout``
+hard per-stage watchdog override it), a crashed worker indicts exactly
+the task it was holding (per-task blame, survivors stay warm) and that
+document is retried with capped backoff then quarantined
+(``--quarantine-out FILE`` saves the report;
+``repro extract --replay REPORT`` re-analyzes exactly those documents
+after verifying their digests), and plain zip archives in the input
+expand into their member documents behind zip-bomb guards
+(``--no-archives`` disables expansion).  With ``--jobs N`` the batch
+streams through a warm worker pool under a bounded admission window
+(``--window``).  A hidden ``--chaos`` flag injects faults for drills:
+``--chaos hang:doc_007,exit:doc_013``.
 """
 
 from __future__ import annotations
@@ -60,6 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for batch analysis (default 1)",
         )
         subparser.add_argument(
+            "--window", type=int, default=None, metavar="N",
+            help="streaming backpressure window: at most N documents "
+            "admitted past the pool at once (default max(8, 4*jobs); "
+            "only meaningful with --jobs > 1)",
+        )
+        subparser.add_argument(
             "--format", default="text", choices=("text", "json"),
             help="text report or one JSON record per input file",
         )
@@ -81,6 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--trace-out", metavar="FILE", default=None,
             help="write one JSON-lines event per pipeline span to FILE "
             "(aggregate later with `repro stats FILE`)",
+        )
+        subparser.add_argument(
+            "--budget", default="default", choices=("strict", "default", "off"),
+            help="per-document budget preset: 'strict' tightens deadlines and "
+            "caps and arms the per-stage watchdog for untrusted inputs, "
+            "'off' disables all limits; --timeout/--stage-timeout override "
+            "the chosen preset",
         )
         subparser.add_argument(
             "--timeout", type=float, default=None, metavar="SECONDS",
@@ -108,7 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     extract = commands.add_parser("extract", help="dump macro sources")
-    extract.add_argument("files", nargs="+")
+    extract.add_argument("files", nargs="*")
+    extract.add_argument(
+        "--replay", metavar="REPORT", default=None,
+        help="re-analyze the documents a --quarantine-out report "
+        "quarantined (each file's digest is verified against the report "
+        "before replay; changed files are refused)",
+    )
     add_batch_options(extract)
 
     scan = commands.add_parser("scan", help="classify macros in documents")
@@ -234,12 +258,14 @@ def _make_registry(args):
 
 
 def _make_budget(args):
-    """The per-document budget: library defaults adjusted by the flags."""
+    """The per-document budget: the ``--budget`` preset adjusted by the
+    finer-grained flags.  The default preset with no flags is exactly the
+    library default, byte for byte."""
     import dataclasses
 
-    from repro.resilience import DEFAULT_BUDGET
+    from repro.resilience import BUDGET_PRESETS
 
-    budget = DEFAULT_BUDGET
+    budget = BUDGET_PRESETS[getattr(args, "budget", "default")]
     if args.timeout is not None:
         budget = dataclasses.replace(
             budget, wall_clock_s=args.timeout if args.timeout > 0 else None
@@ -319,6 +345,41 @@ def _prepare_entries(args, registry) -> list[tuple[str, object]]:
     return entries
 
 
+def _replay_entries(args, registry) -> list[tuple[str, object]]:
+    """Tagged batch entries for ``--replay REPORT``.
+
+    Each quarantined document is re-read and its digest verified against
+    the report before replay; a file that changed (or vanished) since
+    quarantine yields a pre-failed record instead — replaying different
+    bytes would attribute the outcome to the wrong incident.
+    """
+    from repro.engine.records import DocumentRecord
+    from repro.resilience import load_replay_targets, verify_replay
+
+    entries: list[tuple[str, object]] = []
+    refused = 0
+    for path, recorded_sha in load_replay_targets(args.replay):
+        data, reason = verify_replay(path, recorded_sha)
+        if data is None:
+            record = DocumentRecord(source_id=path, sha256=recorded_sha)
+            record.degrade("replay", f"refused: {reason}")
+            entries.append(("record", record))
+            refused += 1
+        else:
+            entries.append(("input", (path, data)))
+    if registry.enabled:
+        registry.counter("replay.targets").inc(len(entries))
+        if refused:
+            registry.counter("replay.refused").inc(refused)
+    print(
+        f"replaying {len(entries) - refused} of {len(entries)} quarantined "
+        f"document{'s' if len(entries) != 1 else ''} from {args.replay}"
+        + (f" ({refused} refused: changed or unreadable)" if refused else ""),
+        file=sys.stderr,
+    )
+    return entries
+
+
 def _splice_records(entries, batch) -> list:
     """Merge engine records back into entry order (pre-failed ones kept)."""
     batch_iter = iter(batch)
@@ -370,13 +431,24 @@ def _emit_json(records, extra=None) -> None:
 def _cmd_extract(args) -> int:
     from repro.engine import AnalysisEngine
 
+    if not args.files and not args.replay:
+        print("error: no inputs (pass files or --replay REPORT)", file=sys.stderr)
+        return 1
     registry = _make_registry(args)
     engine = AnalysisEngine.for_extraction(
         metrics=registry, budget=_make_budget(args), chaos=_make_chaos(args)
     )
     entries = _prepare_entries(args, registry)
+    if args.replay:
+        try:
+            entries.extend(_replay_entries(args, registry))
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     batch = engine.run_batch(
-        [payload for kind, payload in entries if kind == "input"], jobs=args.jobs
+        [payload for kind, payload in entries if kind == "input"],
+        jobs=args.jobs,
+        window=args.window,
     )
     records = _splice_records(entries, batch)
     _write_quarantine(args, records)
@@ -459,7 +531,9 @@ def _cmd_scan(args) -> int:
     )
     entries = _prepare_entries(args, registry)
     batch = engine.run_batch(
-        [payload for kind, payload in entries if kind == "input"], jobs=args.jobs
+        [payload for kind, payload in entries if kind == "input"],
+        jobs=args.jobs,
+        window=args.window,
     )
     records = _splice_records(entries, batch)
     extras = _scan_extras(records)
@@ -606,7 +680,9 @@ def _cmd_lint(args) -> int:
             )
             records[index] = record
     if documents:
-        batch = engine.run_batch([item for _, item in documents], jobs=args.jobs)
+        batch = engine.run_batch(
+            [item for _, item in documents], jobs=args.jobs, window=args.window
+        )
         for (index, _), record in zip(documents, batch):
             records[index] = record
     _write_quarantine(args, records)

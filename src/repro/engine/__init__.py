@@ -12,6 +12,7 @@ Quickstart::
 """
 
 from repro.engine.core import AnalysisEngine, default_stages
+from repro.engine.stream import StreamingPool, StreamResult
 from repro.obs.metrics import MetricsRegistry
 from repro.resilience.budgets import DEFAULT_BUDGET, Budget
 from repro.engine.records import (
@@ -45,6 +46,8 @@ __all__ = [
     "MacroStage",
     "MetricsRegistry",
     "Stage",
+    "StreamResult",
+    "StreamingPool",
     "default_stages",
     "sha256_hex",
 ]

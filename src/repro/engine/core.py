@@ -11,8 +11,12 @@ extraction / analysis / featurization together privately.  The engine:
   never exceptions (N inputs in, N records out);
 * memoizes whole-document results in a content-hash (SHA-256) cache, so
   duplicate attachments are analyzed once;
-* fans batches out over a :class:`~concurrent.futures.ProcessPoolExecutor`
-  with ``run_batch(inputs, jobs=N)``.
+* fans batches out over a persistent warm
+  :class:`~repro.engine.stream.StreamingPool` with
+  ``run_batch(inputs, jobs=N)``, and exposes the same pool as a true
+  streaming front-end via :meth:`AnalysisEngine.stream` (documents from
+  an iterator, bounded-window backpressure, results yielded as they
+  complete under an ordering contract).
 
 Records served from the cache share their macro list with the original
 record; treat records as read-only after a run.
@@ -22,16 +26,18 @@ every document runs under a :class:`~repro.resilience.budgets.Budget`
 (input size, wall clock, optional hard per-stage watchdog, macro
 count/volume caps), a stage that crashes mid-pipeline degrades the record
 instead of losing it (later stages still run over what exists), and
-``run_batch(jobs=N)`` survives worker death — the failed chunk is
-bisected, singles are retried with capped backoff, and a poison document
-becomes a quarantine record rather than a lost batch.
+``run_batch(jobs=N)`` survives worker death — with one task in flight per
+worker, blame is per-task: the blamed document is retried with capped
+backoff and quarantined when retries are exhausted, while only the dead
+worker is rebuilt (survivors stay warm, no bisection rounds).
 """
 
 from __future__ import annotations
 
 import math
 import os
-from collections.abc import Iterable, Sequence
+import weakref
+from collections.abc import Iterable, Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -56,8 +62,8 @@ from repro.resilience.budgets import (
     call_with_timeout,
 )
 
-#: chunks per worker when fanning a batch out, to amortize pool overhead
-#: while keeping the workers load-balanced.
+#: chunks per worker for :meth:`AnalysisEngine.feature_matrices` fan-out
+#: (documents go through the per-task streaming pool instead).
 _CHUNKS_PER_JOB = 4
 
 
@@ -106,6 +112,7 @@ class AnalysisEngine:
         budget: Budget | None = DEFAULT_BUDGET,
         retry=None,
         chaos=None,
+        mp_context: str | None = None,
     ) -> None:
         if stages is None:
             stages = default_stages(
@@ -141,6 +148,10 @@ class AnalysisEngine:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
+        #: worker start method for the streaming pool (None = platform default)
+        self.mp_context = mp_context
+        self._pool = None  # lazily-built persistent StreamingPool
+        self._pool_config: tuple | None = None
 
     # -- convenience constructors --------------------------------------
 
@@ -151,6 +162,7 @@ class AnalysisEngine:
         metrics: MetricsRegistry | None = None,
         budget: Budget | None = DEFAULT_BUDGET,
         chaos=None,
+        mp_context: str | None = None,
     ) -> "AnalysisEngine":
         """Extraction (and optional length filter) only — no featurization."""
         return cls(
@@ -159,6 +171,7 @@ class AnalysisEngine:
             metrics=metrics,
             budget=budget,
             chaos=chaos,
+            mp_context=mp_context,
         )
 
     @classmethod
@@ -219,12 +232,60 @@ class AnalysisEngine:
         state["cache_misses"] = 0
         state["cache_evictions"] = 0
         # Workers fill a same-configuration empty registry; the parent
-        # folds the snapshots back in after the pool drains.
+        # folds the snapshots back in as the stream flushes.
         state["metrics"] = self.metrics.spawn()
+        # The warm pool is parent-side infrastructure, never shipped.
+        state["_pool"] = None
+        state["_pool_config"] = None
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+
+    # -- warm-pool lifecycle -------------------------------------------
+
+    def _stream_pool(self, jobs: int, window: int | None = None):
+        """The persistent warm pool for this engine, (re)built on demand.
+
+        The pool survives across ``run_batch`` / ``stream`` calls — that
+        is the whole point: workers spawn and import once, then stay warm.
+        A call with a different ``jobs``/``window`` shape tears the old
+        pool down and builds a fresh one.
+        """
+        from repro.engine.stream import StreamingPool
+
+        config = (jobs, window)
+        if self._pool is not None and self._pool_config != config:
+            self._pool.close()
+            self._pool = None
+        if self._pool is None:
+            pool = StreamingPool(
+                self,
+                jobs,
+                window=window,
+                retry=self.retry,
+                mp_context=self.mp_context,
+            )
+            self._pool = pool
+            self._pool_config = config
+            # The pool holds only a weak reference back to the engine, so
+            # this finalizer can fire and shut the workers down.
+            weakref.finalize(self, StreamingPool.close, pool)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the warm pool down (workers exit).  The engine stays usable;
+        the next ``jobs > 1`` call builds a fresh pool."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+            self._pool_config = None
+
+    def __enter__(self) -> "AnalysisEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- cache ---------------------------------------------------------
 
@@ -474,26 +535,83 @@ class AnalysisEngine:
 
     # -- batches -------------------------------------------------------
 
-    def run_batch(self, inputs: Iterable, jobs: int = 1) -> list[DocumentRecord]:
+    def run_batch(
+        self, inputs: Iterable, jobs: int = 1, *, window: int | None = None
+    ) -> list[DocumentRecord]:
         """Analyze many documents; returns one record per input, in order.
 
         Inputs may mix paths, raw bytes, ``(source_id, bytes)`` pairs, and
         objects with ``file_name``/``data`` attributes.  Identical content
         (by SHA-256) is analyzed once and served from the cache for every
         other occurrence.  With ``jobs > 1`` the unique documents are
-        chunked across a process pool; each worker fills a private metrics
-        registry that is merged back into :attr:`metrics` (and the cache
-        counters) before this method returns.
+        dispatched one task at a time over the engine's persistent
+        :class:`~repro.engine.stream.StreamingPool` (workers spawn once
+        and stay warm across calls; ``window`` bounds in-flight tasks);
+        worker telemetry folds back into :attr:`metrics` (and the cache
+        counters) incrementally and is complete before this method
+        returns.
         """
         if not self.metrics.enabled:
-            return self._run_batch(inputs, jobs)
+            return self._run_batch(inputs, jobs, window)
         span = self.metrics.span("batch").start()
         try:
-            return self._run_batch(inputs, jobs)
+            return self._run_batch(inputs, jobs, window)
         finally:
             span.finish()
 
-    def _run_batch(self, inputs: Iterable, jobs: int) -> list[DocumentRecord]:
+    def stream(
+        self,
+        inputs: Iterable,
+        *,
+        jobs: int = 1,
+        window: int | None = None,
+        ordered: bool = True,
+    ) -> Iterator[DocumentRecord]:
+        """Stream records for an unbounded feed in ``O(window)`` memory.
+
+        Unlike :meth:`run_batch`, the feed is consumed **lazily**: at most
+        ``window`` documents are admitted beyond what the caller has
+        consumed (backpressure), so a million-document queue never
+        materializes.  With ``ordered`` (the default) records come back
+        in input order through a bounded reorder buffer; ``ordered=False``
+        yields in completion order.  Content seen before is served from
+        the engine cache, and identical documents in flight at the same
+        time are coalesced and analyzed once.
+
+        ``jobs <= 1`` degrades to a lazy serial loop with the same
+        contract (order, caching, totality, O(1) memory).
+        """
+        if jobs <= 1:
+            for item in inputs:
+                yield self.run(item)
+            return
+        pool = self._stream_pool(jobs, window)
+
+        def entries():
+            for seq, item in enumerate(inputs):
+                sid, data, error = _coerce_input(item)
+                if error is not None:
+                    record = DocumentRecord(source_id=sid)
+                    record.diag("read", "error", error)
+                    yield ("ready", seq, record)
+                    continue
+                digest = sha256_hex(data)
+                cached = self._cache_get(digest)
+                if cached is not None:
+                    yield ("ready", seq, self._cached_copy(cached, sid))
+                else:
+                    yield ("task", seq, sid, data, digest)
+
+        for result in pool.stream(entries(), ordered=ordered):
+            if result.computed:
+                self._cache_put(result.record.sha256, result.record)
+            elif result.coalesced:
+                self.cache_hits += 1
+            yield result.record
+
+    def _run_batch(
+        self, inputs: Iterable, jobs: int, window: int | None = None
+    ) -> list[DocumentRecord]:
         prepared = [_coerce_input(item) for item in inputs]
         records: list[DocumentRecord | None] = [None] * len(prepared)
 
@@ -519,7 +637,7 @@ class AnalysisEngine:
             for digest, positions in pending.items()
         ]
         if jobs > 1 and len(unique) > 1:
-            processed = self._process_parallel(unique, jobs)
+            processed = self._process_parallel(unique, jobs, window)
         else:
             processed = {
                 digest: self._process(sid, data, digest)
@@ -537,11 +655,23 @@ class AnalysisEngine:
         return records  # type: ignore[return-value]
 
     def _process_parallel(
-        self, unique: list[tuple[str, str, bytes]], jobs: int
+        self,
+        unique: list[tuple[str, str, bytes]],
+        jobs: int,
+        window: int | None = None,
     ) -> dict[str, DocumentRecord]:
-        from repro.resilience.recovery import run_with_recovery
+        """Per-task dispatch over the persistent warm pool.
 
-        return run_with_recovery(self, unique, jobs, self.retry)
+        Inputs are already deduplicated by digest, so each task's key *is*
+        its digest; completion order is irrelevant here because the batch
+        shell reassembles records by position.
+        """
+        pool = self._stream_pool(jobs, window)
+        entries = (("task", digest, sid, data, digest) for digest, sid, data in unique)
+        return {
+            result.key: result.record
+            for result in pool.stream(entries, ordered=False)
+        }
 
     def _merge_worker_telemetry(self, telemetry: dict) -> None:
         """Fold one worker's registry snapshot + cache counts into ours."""
@@ -613,24 +743,6 @@ def _coerce_input(item) -> tuple[str, bytes | None, str | None]:
 def _chunked(items: list, jobs: int) -> list[list]:
     size = max(1, math.ceil(len(items) / (jobs * _CHUNKS_PER_JOB)))
     return [items[start : start + size] for start in range(0, len(items), size)]
-
-
-def _process_document_chunk(payload) -> tuple[dict[str, DocumentRecord], dict]:
-    """Worker entry point: records + the worker's telemetry snapshot.
-
-    The engine arrives pickled with an empty cache and a private, empty
-    registry (see ``AnalysisEngine.__getstate__``); everything the chunk
-    recorded travels back alongside the records so the parent can merge.
-    """
-    engine, chunk = payload
-    processed = {
-        digest: engine._process(sid, data, digest) for digest, sid, data in chunk
-    }
-    telemetry = {
-        "metrics": engine.metrics.to_dict() if engine.metrics.enabled else None,
-        "cache": engine.cache_info(),
-    }
-    return processed, telemetry
 
 
 def _featurize_source(names, source) -> dict[str, np.ndarray]:

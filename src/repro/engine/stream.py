@@ -1,0 +1,511 @@
+"""The streaming warm-pool engine: persistent workers, per-task dispatch,
+backpressure.
+
+``run_batch(jobs=N)`` used to build a fresh ``ProcessPoolExecutor`` per
+call and schedule work in barrier rounds: every call re-paid worker spawn
+and import cost, and one slow document stalled its whole round.  A
+:class:`StreamingPool` replaces both decisions for gateway-scale traffic:
+
+* **persistent warm workers** — each worker is spawned once per pool
+  lifetime, unpickles the engine exactly once in its initializer (which
+  pre-imports numpy and the analysis stack and pre-builds the stage
+  list), and then serves tasks for as long as the pool lives.  Repeated
+  ``run_batch`` calls on the same engine reuse the same warm pool;
+* **per-task dispatch** — documents are submitted one at a time as
+  worker slots free up, and results are yielded as they complete.  There
+  are no barrier rounds: a pathological document delays only the worker
+  holding it;
+* **backpressure** — the pool admits at most ``window`` documents beyond
+  what the consumer has taken (in flight + awaiting dispatch + completed
+  but unyielded), pulling from the input iterator lazily.  A 1M-document
+  feed runs in ``O(window)`` memory;
+* **an ordering contract** — ``ordered=True`` yields results in input
+  order through a reorder buffer that is *inside* the window accounting
+  (so a slow head-of-line document cannot balloon memory either);
+  ``ordered=False`` yields in completion order for maximum throughput;
+* **per-task blame** — every worker slot is its own single-process
+  executor with exactly one task in flight, so a dead worker indicts
+  exactly the task it was holding.  The bisection rounds of the old
+  round-based recovery disappear: the blamed task is retried under the
+  engine's :class:`~repro.resilience.recovery.RetryPolicy` (capped
+  exponential backoff) and quarantined when retries are exhausted, while
+  only the dead slot is rebuilt — surviving workers stay warm.
+
+Worker telemetry folds back **incrementally**: every
+``telemetry_every``-th task a worker attaches a registry snapshot to its
+result and resets, and a final flush at end of stream collects the
+remainder — so a long-lived stream's parent registry trails the workers
+by a bounded interval instead of an entire batch.
+
+Metrics: ``stream.in_flight`` / ``stream.queue_depth`` gauges track peak
+window occupancy and reorder-buffer depth, ``stream.tasks`` /
+``stream.worker_restarts`` count work and worker deaths,
+``stream.tasks_per_sec`` records the last stream's throughput, and the
+``resilience.pool_failures`` / ``resilience.retries`` /
+``resilience.quarantined`` counters keep their PR-4 meanings (with
+``resilience.bisections`` now structurally zero).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+import weakref
+from collections import deque
+from collections.abc import Iterable, Iterator
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.engine.records import DocumentRecord
+from repro.resilience.quarantine import quarantine_record
+from repro.resilience.recovery import DEFAULT_RETRY, RetryPolicy
+
+#: Tasks a worker completes between incremental telemetry flushes.
+DEFAULT_TELEMETRY_EVERY = 16
+
+#: Default backpressure window per worker when none is given.
+_WINDOW_PER_JOB = 4
+
+
+@dataclass(slots=True)
+class StreamResult:
+    """One completed stream entry: the record plus cache bookkeeping hints."""
+
+    key: object
+    record: DocumentRecord
+    #: the record was computed by a worker this stream (cache-worthy)
+    computed: bool
+    #: the record is a copy of an identical in-flight document (a cache hit
+    #: coalesced inside the window rather than served from the parent cache)
+    coalesced: bool
+
+
+class _Task:
+    """One dispatched document plus its retry state and coalesced twins."""
+
+    __slots__ = ("key", "source_id", "data", "digest", "attempt", "followers")
+
+    def __init__(self, key, source_id: str, data: bytes, digest: str) -> None:
+        self.key = key
+        self.source_id = source_id
+        self.data = data
+        self.digest = digest
+        self.attempt = 0
+        self.followers: list[tuple[object, str]] = []
+
+
+class _Slot:
+    """One worker seat: a single-process executor we can rebuild alone."""
+
+    __slots__ = ("index", "executor", "pid", "unflushed")
+
+    def __init__(self, index: int, executor: ProcessPoolExecutor) -> None:
+        self.index = index
+        self.executor = executor
+        self.pid: int | None = None
+        #: tasks completed since the worker last shipped telemetry
+        self.unflushed = 0
+
+
+class StreamingPool:
+    """Warm workers that survive across calls, fed one task at a time.
+
+    The pool holds only a *weak* reference to its engine (the engine owns
+    the pool; a strong back-reference would keep both alive forever) plus
+    a pickled snapshot taken at construction for worker initializers —
+    stage configuration is therefore frozen at pool spawn.
+    """
+
+    def __init__(
+        self,
+        engine,
+        jobs: int,
+        *,
+        window: int | None = None,
+        retry: RetryPolicy | None = None,
+        mp_context: str | None = None,
+        telemetry_every: int = DEFAULT_TELEMETRY_EVERY,
+        warm_start: bool = True,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.window = (
+            int(window)
+            if window is not None and window > 0
+            else max(8, _WINDOW_PER_JOB * self.jobs)
+        )
+        if self.window < self.jobs:
+            # A window smaller than the pool would idle paid-for workers.
+            self.window = self.jobs
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+        self.telemetry_every = max(0, int(telemetry_every))
+        self._engine_ref = weakref.ref(engine)
+        self._metrics = engine.metrics
+        self._engine_pickle = pickle.dumps(engine)
+        self._context = (
+            multiprocessing.get_context(mp_context) if mp_context else None
+        )
+        self._closed = False
+        self.worker_restarts = 0
+        self.peak_in_flight = 0  # peak window occupancy (admitted - yielded)
+        self.peak_dispatched = 0  # peak tasks simultaneously on workers
+        self.tasks_completed = 0
+        self._slots = [self._new_slot(index) for index in range(self.jobs)]
+        if warm_start:
+            self.warm_up(wait_ready=False)
+
+    # -- worker lifecycle ----------------------------------------------
+
+    def _new_slot(self, index: int) -> _Slot:
+        executor = ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=self._context,
+            initializer=_stream_worker_init,
+            initargs=(
+                self._engine_pickle,
+                self.telemetry_every if self._metrics.enabled else 0,
+            ),
+        )
+        return _Slot(index, executor)
+
+    def warm_up(self, *, wait_ready: bool = True) -> list[int | None]:
+        """Force worker processes up (and their imports paid) *now*.
+
+        With ``wait_ready`` the call blocks until every worker has run its
+        initializer and returns their pids; without it the spawns proceed
+        in the background while the caller does other work.
+        """
+        futures = []
+        for slot in self._slots:
+            try:
+                futures.append((slot, slot.executor.submit(_stream_warm)))
+            except BrokenProcessPool:
+                self._restart_slot(slot)
+        if not wait_ready:
+            return [slot.pid for slot in self._slots]
+        for slot, future in futures:
+            try:
+                slot.pid = future.result()
+            except BrokenProcessPool:
+                self._restart_slot(slot)
+        return [slot.pid for slot in self._slots]
+
+    def _restart_slot(self, slot: _Slot) -> None:
+        """Replace one dead worker; every other slot stays warm."""
+        metrics = self._metrics
+        span = None
+        if metrics.enabled:
+            metrics.counter("resilience.pool_failures").inc()
+            metrics.counter("stream.worker_restarts").inc()
+            span = metrics.span("pool.recover").start()
+        slot.executor.shutdown(wait=False, cancel_futures=True)
+        slot.executor = self._new_slot(slot.index).executor
+        slot.pid = None
+        slot.unflushed = 0  # whatever the dead worker held is gone
+        self.worker_restarts += 1
+        if span is not None:
+            span.finish(outcome="error")
+
+    def worker_pids(self) -> list[int | None]:
+        """Last-known worker pid per slot (None before a slot's first task)."""
+        return [slot.pid for slot in self._slots]
+
+    def close(self) -> None:
+        """Shut every worker down.  Idempotent; the pool is unusable after."""
+        if self._closed:
+            return
+        self._closed = True
+        for slot in self._slots:
+            slot.executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "StreamingPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- the dispatch loop ---------------------------------------------
+
+    def stream(
+        self, entries: Iterable[tuple], *, ordered: bool = False
+    ) -> Iterator[StreamResult]:
+        """Drive tagged entries through the warm workers.
+
+        ``entries`` is an iterable (consumed lazily, never materialized) of
+
+        * ``("task", key, source_id, data, digest)`` — analyze ``data`` on
+          a worker.  Entries sharing a ``digest`` while one is in flight
+          are *coalesced*: analyzed once, the twins yielded as copies;
+        * ``("ready", key, record)`` — a pre-completed record (a parent
+          cache hit, a coercion error) that only needs ordering.
+
+        Yields one :class:`StreamResult` per entry.  With ``ordered`` the
+        results come back in entry order; otherwise in completion order.
+        At most ``self.window`` entries are admitted beyond what has been
+        yielded, which bounds the reorder buffer and the in-flight set
+        alike.
+        """
+        if self._closed:
+            raise RuntimeError("cannot stream on a closed StreamingPool")
+        engine = self._engine_ref()
+        metrics = self._metrics
+        source = iter(entries)
+        exhausted = False
+        waiting: deque[_Task] = deque()
+        inflight: dict[Future, tuple[_Slot, _Task]] = {}
+        idle: list[_Slot] = list(self._slots)
+        primaries: dict[str, _Task] = {}  # digest -> in-flight/waiting task
+        buffer: dict[object, StreamResult] = {}
+        expected: deque = deque()  # admitted keys in order (ordered mode)
+        admitted = 0
+        yielded = 0
+        completed = 0
+        started_at = time.perf_counter()
+
+        in_flight_gauge = metrics.gauge("stream.in_flight")
+        depth_gauge = metrics.gauge("stream.queue_depth")
+
+        try:
+            while True:
+                # 1. Admit from the feed while the window has room.
+                while not exhausted and admitted - yielded < self.window:
+                    try:
+                        entry = next(source)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    admitted += 1
+                    kind = entry[0]
+                    if ordered:
+                        expected.append(entry[1])
+                    if kind == "ready":
+                        _, key, record = entry
+                        buffer[key] = StreamResult(key, record, False, False)
+                        continue
+                    _, key, source_id, data, digest = entry
+                    primary = primaries.get(digest)
+                    if primary is not None:
+                        primary.followers.append((key, source_id))
+                        continue
+                    task = _Task(key, source_id, data, digest)
+                    primaries[digest] = task
+                    waiting.append(task)
+
+                # 2. Dispatch while workers are free.
+                while waiting and idle:
+                    task = waiting.popleft()
+                    slot = idle.pop()
+                    inflight[self._submit(slot, task)] = (slot, task)
+
+                occupancy = admitted - yielded
+                if occupancy > self.peak_in_flight:
+                    self.peak_in_flight = occupancy
+                    in_flight_gauge.set(occupancy)
+                if len(inflight) > self.peak_dispatched:
+                    self.peak_dispatched = len(inflight)
+                if len(buffer) > depth_gauge.value:
+                    depth_gauge.set(len(buffer))
+
+                # 3. Yield whatever the contract allows.
+                progressed = False
+                if ordered:
+                    while expected and expected[0] in buffer:
+                        yield buffer.pop(expected.popleft())
+                        yielded += 1
+                        progressed = True
+                else:
+                    while buffer:
+                        key, result = next(iter(buffer.items()))
+                        del buffer[key]
+                        yield result
+                        yielded += 1
+                        progressed = True
+                if progressed:
+                    continue  # freed window slots: admit before blocking
+
+                # 4. Done?
+                if exhausted and not inflight and not waiting:
+                    break
+
+                # 5. Block until any worker finishes, then settle results.
+                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    slot, task = inflight.pop(future)
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool:
+                        # One task per worker: the dead pool indicts
+                        # exactly this task.  Rebuild only this slot.
+                        self._restart_slot(slot)
+                        idle.append(slot)
+                        error = BrokenProcessPool(
+                            "worker died mid-task; per-task dispatch "
+                            "attributes the failure to this document"
+                        )
+                        self._settle_failure(task, error, waiting, buffer, primaries)
+                    except Exception as error:
+                        # Attributable failure (e.g. an unpicklable
+                        # result): the worker survived, only the task pays.
+                        idle.append(slot)
+                        self._settle_failure(task, error, waiting, buffer, primaries)
+                    else:
+                        idle.append(slot)
+                        record, pid, telemetry = payload
+                        slot.pid = pid
+                        slot.unflushed += 1
+                        completed += 1
+                        self.tasks_completed += 1
+                        if metrics.enabled:
+                            metrics.counter("stream.tasks").inc()
+                        if telemetry is not None:
+                            slot.unflushed = 0
+                            if engine is not None:
+                                engine._merge_worker_telemetry(telemetry)
+                        self._settle_success(task, record, buffer, primaries)
+        finally:
+            if engine is not None and metrics.enabled:
+                self._flush_telemetry(engine)
+                elapsed = time.perf_counter() - started_at
+                if completed and elapsed > 0.0:
+                    metrics.gauge("stream.tasks_per_sec").set(
+                        round(completed / elapsed, 3)
+                    )
+
+    def _submit(self, slot: _Slot, task: _Task) -> Future:
+        """Submit one task to one slot, reviving the slot if it died idle."""
+        for attempt in (0, 1):
+            try:
+                return slot.executor.submit(
+                    _stream_task, task.key, task.source_id, task.data, task.digest
+                )
+            except (BrokenProcessPool, RuntimeError):
+                if attempt:
+                    raise
+                self._restart_slot(slot)
+        raise AssertionError("unreachable")
+
+    def _settle_success(
+        self,
+        task: _Task,
+        record: DocumentRecord,
+        buffer: dict,
+        primaries: dict,
+    ) -> None:
+        from repro.engine.core import AnalysisEngine
+
+        primaries.pop(task.digest, None)
+        buffer[task.key] = StreamResult(task.key, record, True, False)
+        for key, source_id in task.followers:
+            buffer[key] = StreamResult(
+                key, AnalysisEngine._cached_copy(record, source_id), False, True
+            )
+
+    def _settle_failure(
+        self,
+        task: _Task,
+        error: BaseException,
+        waiting: deque,
+        buffer: dict,
+        primaries: dict,
+    ) -> None:
+        """Per-task blame: retry with capped backoff, then quarantine."""
+        from repro.resilience import recovery as recovery_module
+
+        metrics = self._metrics
+        attempts = task.attempt + 1
+        if attempts < self.retry.max_attempts:
+            if metrics.enabled:
+                metrics.counter("resilience.retries").inc()
+            # Backoff before the retry; tests monkeypatch recovery._sleep.
+            recovery_module._sleep(self.retry.backoff(task.attempt))
+            task.attempt = attempts
+            waiting.appendleft(task)  # retries outrank fresh admissions
+            return
+        reason = (
+            f"{type(error).__name__}: {error}"
+            if str(error)
+            else type(error).__name__
+        )
+        record = quarantine_record(
+            task.source_id, task.digest, reason, attempts=attempts, stage="pool"
+        )
+        if metrics.enabled:
+            metrics.counter("resilience.quarantined").inc()
+            metrics.span("quarantine", doc=task.digest).start().finish(
+                outcome="error"
+            )
+        self._settle_success(task, record, buffer, primaries)
+
+    def _flush_telemetry(self, engine) -> None:
+        """Collect what the workers recorded since their last flush."""
+        futures = []
+        for slot in self._slots:
+            if slot.unflushed <= 0:
+                continue
+            try:
+                futures.append((slot, slot.executor.submit(_stream_flush)))
+            except (BrokenProcessPool, RuntimeError):
+                continue  # the worker (and its unsent telemetry) is gone
+        for slot, future in futures:
+            try:
+                telemetry = future.result(timeout=60)
+            except Exception:
+                continue
+            slot.unflushed = 0
+            engine._merge_worker_telemetry(telemetry)
+
+
+# ----------------------------------------------------------------------
+# Worker-side entry points.  The engine is unpickled exactly once per
+# worker process (pre-importing numpy and the analysis stack, pre-building
+# the stage list); tasks then carry only (key, source_id, data, digest).
+
+_WORKER_STATE: dict = {}
+
+
+def _stream_worker_init(engine_pickle: bytes, telemetry_every: int) -> None:
+    engine = pickle.loads(engine_pickle)
+    _WORKER_STATE["engine"] = engine
+    _WORKER_STATE["telemetry_every"] = telemetry_every
+    _WORKER_STATE["since_flush"] = 0
+
+
+def _stream_warm() -> int:
+    """A no-op task that forces the worker (and its imports) up."""
+    return os.getpid()
+
+
+def _telemetry_snapshot(engine) -> dict:
+    """The worker → parent telemetry delta; resets the worker's registry."""
+    snapshot = {
+        "metrics": engine.metrics.to_dict() if engine.metrics.enabled else None,
+        "cache": engine.cache_info(),
+    }
+    engine.metrics = engine.metrics.spawn()
+    engine.cache_hits = 0
+    engine.cache_misses = 0
+    engine.cache_evictions = 0
+    return snapshot
+
+
+def _stream_task(key, source_id: str, data: bytes, digest: str):
+    """One document through the warm engine; telemetry rides along
+    every ``telemetry_every`` tasks."""
+    engine = _WORKER_STATE["engine"]
+    record = engine._process(source_id, data, digest)
+    telemetry = None
+    every = _WORKER_STATE["telemetry_every"]
+    if every:
+        _WORKER_STATE["since_flush"] += 1
+        if _WORKER_STATE["since_flush"] >= every:
+            _WORKER_STATE["since_flush"] = 0
+            telemetry = _telemetry_snapshot(engine)
+    return record, os.getpid(), telemetry
+
+
+def _stream_flush() -> dict:
+    """Explicit end-of-stream telemetry flush."""
+    _WORKER_STATE["since_flush"] = 0
+    return _telemetry_snapshot(_WORKER_STATE["engine"])

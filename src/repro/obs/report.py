@@ -3,8 +3,8 @@
 Two consumers:
 
 * ``--stats`` on the batch CLI commands renders :func:`summarize` over the
-  live registry right after a run (per-stage p50/p95, throughput, cache
-  hit rate, error and skip counters);
+  live registry right after a run (per-stage p50/p95/max, throughput,
+  cache hit rate, error and skip counters);
 * ``repro stats events.jsonl`` re-aggregates a saved trace with
   :func:`aggregate_events` — there the percentiles are exact (computed
   from the raw durations) rather than histogram-interpolated.
@@ -36,14 +36,18 @@ def format_duration(seconds: float) -> str:
     return f"{seconds * 1_000_000:.0f}us"
 
 
-def _render_rows(rows: list[tuple[str, int, float, float, float]]) -> list[str]:
+def _render_rows(
+    rows: list[tuple[str, int, float, float, float, float]]
+) -> list[str]:
     lines = [
-        f"  {'stage':<12} {'count':>7} {'p50':>9} {'p95':>9} {'total':>9}"
+        f"  {'stage':<12} {'count':>7} {'p50':>9} {'p95':>9} {'max':>9} "
+        f"{'total':>9}"
     ]
-    for name, count, p50, p95, total in rows:
+    for name, count, p50, p95, maximum, total in rows:
         lines.append(
             f"  {name:<12} {count:>7} {format_duration(p50):>9} "
-            f"{format_duration(p95):>9} {format_duration(total):>9}"
+            f"{format_duration(p95):>9} {format_duration(maximum):>9} "
+            f"{format_duration(total):>9}"
         )
     return lines
 
@@ -77,7 +81,7 @@ def summarize(registry, cache_info: dict[str, int] | None = None) -> str:
 
     rows = [
         (name, spans[name].count, spans[name].percentile(0.5),
-         spans[name].percentile(0.95), spans[name].sum)
+         spans[name].percentile(0.95), spans[name].max, spans[name].sum)
         for name in sorted(spans, key=_stage_key)
     ]
     if rows:
@@ -135,7 +139,7 @@ def summarize(registry, cache_info: dict[str, int] | None = None) -> str:
 def aggregate_events(events: Iterable[dict[str, Any]]) -> dict[str, dict[str, Any]]:
     """Exact per-span-name stats from raw trace events.
 
-    Returns ``{name: {count, errors, p50, p95, total, mean}}`` with
+    Returns ``{name: {count, errors, p50, p95, max, total, mean}}`` with
     durations in seconds and percentiles computed from the sorted raw
     values (nearest-rank).
     """
@@ -153,6 +157,7 @@ def aggregate_events(events: Iterable[dict[str, Any]]) -> dict[str, dict[str, An
             "errors": errors.get(name, 0),
             "p50": _nearest_rank(values, 0.5),
             "p95": _nearest_rank(values, 0.95),
+            "max": values[-1],
             "total": sum(values),
             "mean": sum(values) / len(values),
         }
@@ -175,7 +180,8 @@ def render_events_report(events: list[dict[str, Any]]) -> str:
         f"{'es' if len(pids) != 1 else ''}"
     ]
     rows = [
-        (name, stats["count"], stats["p50"], stats["p95"], stats["total"])
+        (name, stats["count"], stats["p50"], stats["p95"], stats["max"],
+         stats["total"])
         for name, stats in sorted(aggregated.items(), key=lambda kv: _stage_key(kv[0]))
     ]
     lines.extend(_render_rows(rows))

@@ -8,9 +8,10 @@ infrastructure failures that heavy traffic guarantees.  This package makes
 * :mod:`repro.resilience.budgets` — per-document resource budgets
   (wall-clock deadline, hard per-stage timeout, input size, macro count,
   macro output volume) enforced around each stage;
-* :mod:`repro.resilience.recovery` — ``BrokenProcessPool`` recovery for
-  ``run_batch(jobs=N)``: bisect the failed chunk, retry singles with
-  capped exponential backoff, quarantine the poison document;
+* :mod:`repro.resilience.recovery` — the worker-failure *policy*
+  (:class:`RetryPolicy`): the streaming pool blames the exact task a dead
+  worker was holding, retries it with capped exponential backoff, and
+  quarantines it when retries run out — no bisection needed;
 * :mod:`repro.resilience.quarantine` — the quarantine record shape and the
   ``--quarantine-out`` report;
 * :mod:`repro.resilience.chaos` — the fault-injection harness
@@ -31,19 +32,28 @@ from repro.resilience.archive import (
     is_plain_archive,
 )
 from repro.resilience.budgets import (
+    BUDGET_PRESETS,
     DEFAULT_BUDGET,
+    STRICT_BUDGET,
+    UNLIMITED_BUDGET,
     Budget,
     BudgetClock,
     StageTimeout,
     call_with_timeout,
 )
 from repro.resilience.chaos import ChaosError, ChaosStage, Fault, FaultPlan
-from repro.resilience.quarantine import quarantine_record, quarantine_report
-from repro.resilience.recovery import DEFAULT_RETRY, RetryPolicy, run_with_recovery
+from repro.resilience.quarantine import (
+    load_replay_targets,
+    quarantine_record,
+    quarantine_report,
+    verify_replay,
+)
+from repro.resilience.recovery import DEFAULT_RETRY, RetryPolicy
 
 __all__ = [
     "ArchiveBombError",
     "ArchiveLimits",
+    "BUDGET_PRESETS",
     "Budget",
     "BudgetClock",
     "ChaosError",
@@ -53,11 +63,14 @@ __all__ = [
     "Fault",
     "FaultPlan",
     "RetryPolicy",
+    "STRICT_BUDGET",
     "StageTimeout",
+    "UNLIMITED_BUDGET",
     "call_with_timeout",
     "expand_archive",
     "is_plain_archive",
+    "load_replay_targets",
     "quarantine_record",
     "quarantine_report",
-    "run_with_recovery",
+    "verify_replay",
 ]

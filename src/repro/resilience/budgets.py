@@ -57,6 +57,34 @@ class Budget:
 #: hard stage watchdog off (opt in for untrusted-input deployments).
 DEFAULT_BUDGET = Budget()
 
+#: Untrusted-input preset: tighter deadlines, the hard per-stage watchdog
+#: on, and quartered size/volume caps.  For mail gateways and sandboxes
+#: where a hostile document hanging a worker costs more than a thread
+#: spawn per stage.
+STRICT_BUDGET = Budget(
+    wall_clock_s=10.0,
+    stage_timeout_s=5.0,
+    max_input_bytes=16 * 1024 * 1024,
+    max_macro_count=128,
+    max_output_bytes=4 * 1024 * 1024,
+)
+
+#: Everything disabled — benchmarking and trusted-corpus runs only.
+UNLIMITED_BUDGET = Budget(
+    wall_clock_s=None,
+    stage_timeout_s=None,
+    max_input_bytes=None,
+    max_macro_count=None,
+    max_output_bytes=None,
+)
+
+#: Named presets behind the CLI ``--budget`` flag.
+BUDGET_PRESETS: dict[str, Budget] = {
+    "default": DEFAULT_BUDGET,
+    "strict": STRICT_BUDGET,
+    "off": UNLIMITED_BUDGET,
+}
+
 
 class BudgetClock:
     """One document's countdown against its budget's wall clock."""

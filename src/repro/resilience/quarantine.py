@@ -1,8 +1,8 @@
 """Quarantine records: what the batch returns for a poison document.
 
-When recovery bisects a broken pool down to a single input and its capped
-retries are exhausted, the batch still owes its caller one record for that
-position.  The quarantine record is that placeholder: a degraded
+When a worker dies holding a task (per-task blame: one task in flight per
+worker slot) and its capped retries are exhausted, the stream still owes
+its caller one record for that position.  The quarantine record is that placeholder: a degraded
 :class:`~repro.engine.records.DocumentRecord` carrying a structured
 ``quarantine`` payload —
 
@@ -19,9 +19,10 @@ this run, not a property of the content hash.
 
 from __future__ import annotations
 
+import json
 from typing import Any, Iterable
 
-from repro.engine.records import DocumentRecord
+from repro.engine.records import DocumentRecord, sha256_hex
 
 
 def quarantine_record(
@@ -80,3 +81,48 @@ def quarantine_report(records: Iterable[DocumentRecord]) -> dict[str, Any]:
         "quarantined": quarantined,
         "degraded": degraded,
     }
+
+
+def load_replay_targets(path: str) -> list[tuple[str, str | None]]:
+    """The ``(path, recorded sha256)`` pairs a ``--quarantine-out`` report
+    asks to be replayed.
+
+    Raises :class:`ValueError` when the file is not a quarantine report —
+    replaying an arbitrary JSON file would silently analyze nothing.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if not isinstance(report, dict) or "quarantined" not in report:
+        raise ValueError(
+            f"{path}: not a quarantine report (expected the --quarantine-out "
+            f"shape with a 'quarantined' list)"
+        )
+    targets: list[tuple[str, str | None]] = []
+    for entry in report["quarantined"]:
+        if not isinstance(entry, dict) or "path" not in entry:
+            raise ValueError(f"{path}: malformed quarantined entry: {entry!r}")
+        targets.append((entry["path"], entry.get("sha256")))
+    return targets
+
+
+def verify_replay(path: str, recorded_sha256: str | None) -> tuple[bytes | None, str | None]:
+    """Read one replay target and check it is still the quarantined document.
+
+    Returns ``(data, None)`` when the on-disk bytes hash to the recorded
+    digest, or ``(None, reason)`` when the file is unreadable or has
+    changed since quarantine — replaying different content would attribute
+    its outcome to the wrong incident.
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as error:
+        return None, f"unreadable: {error}"
+    if recorded_sha256 is not None:
+        actual = sha256_hex(data)
+        if actual != recorded_sha256:
+            return None, (
+                f"digest mismatch: quarantined {recorded_sha256[:12]}..., "
+                f"on disk {actual[:12]}... (file changed since quarantine)"
+            )
+    return data, None

@@ -1,46 +1,36 @@
-"""``BrokenProcessPool`` recovery: bisect, retry with backoff, quarantine.
+"""Worker-failure policy: capped retries, then quarantine — per task.
 
 ``ProcessPoolExecutor`` fails collectively: one worker dying mid-task (a
-segfaulting parser, an ``os._exit``, the OOM killer) breaks the whole pool
-and every in-flight future with it — the pool cannot say *which* task
-killed it.  Losing a 10,000-document batch to one poison input is exactly
-the failure mode a production gateway cannot have, so
-:func:`run_with_recovery` turns pool death into convergence:
+segfaulting parser, an ``os._exit``, the OOM killer) breaks its whole pool
+and every in-flight future with it.  PR 4 recovered from that with
+round-based blame attribution and ``O(log n)`` bisection, because a
+multi-task pool could not say *which* task killed it.  The streaming
+engine (:mod:`repro.engine.stream`) removes the ambiguity structurally:
+each worker slot is a single-process executor with exactly one task in
+flight, so a broken slot indicts exactly the task it was holding —
+bisection disappears, and what remains of recovery is pure *policy*:
 
-1. work is scheduled in **rounds**, one suspect group per round, chunked
-   across the pool for parallelism.  The first round is the whole batch —
-   i.e. the normal path at full speed;
-2. when a round breaks the pool, blame lands on that round's group alone
-   (nothing else was in flight).  The pool is rebuilt and the group is
-   **bisected**: each half becomes its own round, so innocent documents
-   that shared a round with the poison one are re-proven good in
-   ``O(log n)`` rounds;
-3. a suspect group of size one is **retried** up to
-   :attr:`RetryPolicy.max_attempts` times with capped exponential backoff
-   (transient failures — OOM pressure, a flaky sandbox — get their
-   chance); when its retries are exhausted the input is **quarantined**:
-   the batch keeps its one-record-per-input contract with a
-   :func:`~repro.resilience.quarantine.quarantine_record` in that
-   position;
-4. failures that *are* attributable to one chunk (an unpicklable or
-   oversized stage result raising on the way back) skip the blame
-   ambiguity and bisect that chunk directly.
+* a blamed task is retried up to :attr:`RetryPolicy.max_attempts` times
+  with capped exponential backoff (transient failures — OOM pressure, a
+  flaky sandbox — get their chance);
+* when retries are exhausted the input is **quarantined**: the stream
+  keeps its one-record-per-input contract with a
+  :func:`~repro.resilience.quarantine.quarantine_record` in that
+  position;
+* only the dead worker slot is rebuilt; surviving workers stay warm.
 
-Telemetry: ``resilience.pool_failures`` / ``resilience.bisections`` /
+Telemetry (unchanged names from PR 4): ``resilience.pool_failures`` /
 ``resilience.retries`` / ``resilience.quarantined`` counters, a
-``pool.recover`` span around each pool rebuild, and a ``quarantine`` span
-(outcome ``error``) per quarantined document.
+``pool.recover`` span around each slot rebuild, and a ``quarantine`` span
+(outcome ``error``) per quarantined document.  ``resilience.bisections``
+is structurally zero now and kept only so dashboards watching it read 0
+rather than disappearing.
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-
-from repro.resilience.quarantine import quarantine_record
 
 #: Monkeypatchable sleep so tests exercise backoff without waiting it out.
 _sleep = time.sleep
@@ -48,9 +38,9 @@ _sleep = time.sleep
 
 @dataclass(frozen=True, slots=True)
 class RetryPolicy:
-    """How hard recovery tries before quarantining a single input."""
+    """How hard the pool tries before quarantining a blamed input."""
 
-    #: total attempts for a size-one suspect group (first run + retries)
+    #: total attempts for a blamed task (first run + retries)
     max_attempts: int = 3
     #: backoff before retry ``k`` is ``min(cap, base * 2**k)`` seconds
     backoff_base_s: float = 0.05
@@ -61,129 +51,3 @@ class RetryPolicy:
 
 
 DEFAULT_RETRY = RetryPolicy()
-
-
-class _Pool:
-    """A rebuildable executor handle shared across recovery rounds."""
-
-    def __init__(self, jobs: int) -> None:
-        self.jobs = jobs
-        self.executor = ProcessPoolExecutor(max_workers=jobs)
-
-    def rebuild(self) -> None:
-        self.executor.shutdown(wait=False, cancel_futures=True)
-        self.executor = ProcessPoolExecutor(max_workers=self.jobs)
-
-    def shutdown(self) -> None:
-        self.executor.shutdown(wait=False, cancel_futures=True)
-
-
-def run_with_recovery(engine, unique, jobs: int, policy: RetryPolicy | None = None):
-    """Process ``unique`` ``(digest, source_id, data)`` triples on a pool,
-    surviving worker crashes; returns ``{digest: DocumentRecord}`` complete
-    for every input (quarantine records included)."""
-    from repro.engine.core import _chunked, _process_document_chunk
-
-    policy = policy if policy is not None else DEFAULT_RETRY
-    metrics = engine.metrics
-    processed: dict = {}
-    #: rounds of (items, attempt); depth-first so poison converges fast
-    rounds: deque[tuple[list, int]] = deque([(list(unique), 0)])
-    pool = _Pool(jobs)
-    try:
-        while rounds:
-            items, attempt = rounds.popleft()
-            if not items:
-                continue
-            suspects: list = []  # items whose failure is not attributable
-            attributable: list[tuple[list, BaseException]] = []
-            broke = False
-
-            chunks = _chunked(items, jobs)
-            futures = []
-            for position, chunk in enumerate(chunks):
-                try:
-                    future = pool.executor.submit(
-                        _process_document_chunk, (engine, chunk)
-                    )
-                except BrokenProcessPool:
-                    broke = True
-                    for unsubmitted in chunks[position:]:
-                        suspects.extend(unsubmitted)
-                    break
-                futures.append((future, chunk))
-            for future, chunk in futures:
-                try:
-                    chunk_result, telemetry = future.result()
-                except BrokenProcessPool:
-                    broke = True
-                    suspects.extend(chunk)
-                except Exception as error:  # poison result (e.g. unpicklable)
-                    attributable.append((chunk, error))
-                else:
-                    processed.update(chunk_result)
-                    engine._merge_worker_telemetry(telemetry)
-
-            delay = 0.0
-            if broke:
-                span = None
-                if metrics.enabled:
-                    metrics.counter("resilience.pool_failures").inc()
-                    span = metrics.span("pool.recover").start()
-                pool.rebuild()
-                if span is not None:
-                    span.finish(outcome="error")
-                error = BrokenProcessPool(
-                    "a worker died; the pool could not attribute the failure"
-                )
-                delay = max(
-                    delay,
-                    _requeue(
-                        suspects, attempt, error, rounds, processed,
-                        policy, metrics,
-                    ),
-                )
-            for chunk, error in attributable:
-                delay = max(
-                    delay,
-                    _requeue(
-                        chunk, attempt, error, rounds, processed,
-                        policy, metrics,
-                    ),
-                )
-            if delay > 0.0 and rounds:
-                _sleep(delay)
-    finally:
-        pool.shutdown()
-    return processed
-
-
-def _requeue(items, attempt, error, rounds, processed, policy, metrics) -> float:
-    """Route one failed suspect group: bisect, schedule a retry, or
-    quarantine.  Returns the backoff delay the failure asks for (0 when
-    bisecting — splitting is diagnosis, not retrying)."""
-    if not items:
-        return 0.0
-    if len(items) > 1:
-        mid = len(items) // 2
-        rounds.appendleft((items[mid:], attempt))
-        rounds.appendleft((items[:mid], attempt))
-        if metrics.enabled:
-            metrics.counter("resilience.bisections").inc()
-        return 0.0
-    digest, source_id, _data = items[0]
-    if attempt + 1 < policy.max_attempts:
-        rounds.appendleft((items, attempt + 1))
-        if metrics.enabled:
-            metrics.counter("resilience.retries").inc()
-        return policy.backoff(attempt)
-    reason = (
-        f"{type(error).__name__}: {error}" if str(error) else type(error).__name__
-    )
-    processed[digest] = quarantine_record(
-        source_id, digest, reason, attempts=attempt + 1, stage="pool"
-    )
-    if metrics.enabled:
-        metrics.counter("resilience.quarantined").inc()
-        metrics.span("quarantine", doc=digest).start().finish(outcome="error")
-    return 0.0

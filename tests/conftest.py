@@ -1,4 +1,4 @@
-"""Shared fixtures for the resilience tests: small unique documents."""
+"""Shared fixtures: small unique documents for engine/resilience tests."""
 
 import random
 

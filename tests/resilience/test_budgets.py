@@ -173,3 +173,36 @@ class TestRecordSchema:
         second = engine.run((sid, data))
         assert first.degraded and second.degraded
         assert engine.cache_info()["hits"] == 1
+
+
+class TestBudgetPresets:
+    def test_presets_cover_the_cli_choices(self):
+        from repro.resilience import (
+            BUDGET_PRESETS,
+            DEFAULT_BUDGET,
+            STRICT_BUDGET,
+            UNLIMITED_BUDGET,
+        )
+
+        assert BUDGET_PRESETS == {
+            "default": DEFAULT_BUDGET,
+            "strict": STRICT_BUDGET,
+            "off": UNLIMITED_BUDGET,
+        }
+
+    def test_strict_is_uniformly_tighter_than_default(self):
+        from repro.resilience import DEFAULT_BUDGET, STRICT_BUDGET
+
+        assert STRICT_BUDGET.wall_clock_s < DEFAULT_BUDGET.wall_clock_s
+        assert STRICT_BUDGET.stage_timeout_s is not None
+        assert DEFAULT_BUDGET.stage_timeout_s is None  # watchdog is opt-in
+        assert STRICT_BUDGET.max_input_bytes < DEFAULT_BUDGET.max_input_bytes
+        assert STRICT_BUDGET.max_macro_count < DEFAULT_BUDGET.max_macro_count
+        assert STRICT_BUDGET.max_output_bytes < DEFAULT_BUDGET.max_output_bytes
+
+    def test_unlimited_budget_never_expires(self):
+        from repro.resilience import UNLIMITED_BUDGET
+
+        clock = UNLIMITED_BUDGET.clock()
+        assert not clock.expired()
+        assert clock.stage_timeout() is None

@@ -1,8 +1,11 @@
-"""Pool-death recovery: bisection, bounded retries, quarantine, N-in/N-out.
+"""Pool-death recovery: per-task blame, bounded retries, quarantine,
+N-in/N-out.
 
 These tests kill real pool workers (``os._exit`` via the chaos stage), so
 they run real ``BrokenProcessPool`` failures — nothing is mocked except
-the backoff sleep.
+the backoff sleep.  Since the streaming pool dispatches one task per
+worker, a dead worker indicts exactly the document it was holding; no
+bisection rounds happen (or are asserted) anywhere here.
 """
 
 import json
@@ -75,12 +78,12 @@ class TestWorkerDeathRecovery:
         engine.retry = policy
         records = engine.run_batch(pairs, jobs=2)
         assert len(records) == len(pairs)
-        # A single suspect is retried max_attempts - 1 times, each preceded
-        # by one capped backoff sleep; bisection rounds sleep nothing.
+        # The blamed task is retried max_attempts - 1 times, each preceded
+        # by one capped backoff sleep.
         assert len(recorded_sleeps) == policy.max_attempts - 1
         assert all(delay <= policy.backoff_cap_s for delay in recorded_sleeps)
 
-    def test_bisection_and_quarantine_counters(
+    def test_failure_and_quarantine_counters(
         self, document_factory, recorded_sleeps
     ):
         pairs = document_factory(6)
@@ -95,6 +98,8 @@ class TestWorkerDeathRecovery:
         assert registry.counter("resilience.retries").value == (
             DEFAULT_RETRY.max_attempts - 1
         )
+        # Blame is structural now; bisection never runs.
+        assert "resilience.bisections" not in registry.to_dict()["counters"]
 
     def test_quarantined_content_is_never_cached(
         self, document_factory, recorded_sleeps
@@ -137,7 +142,7 @@ class PoisonResultStage(Stage):
 
 
 class TestAttributableFailures:
-    def test_unpicklable_result_quarantines_only_its_chunk(
+    def test_unpicklable_result_quarantines_only_its_target(
         self, document_factory, recorded_sleeps
     ):
         pairs = document_factory(5)

@@ -334,6 +334,7 @@ class TestStatsCommand:
         out = capsys.readouterr().out
         assert "TRACE" in out
         assert "p95" in out
+        assert "max" in out
         assert "extract" in out
 
     def test_stats_json_aggregates(self, trace_file, capsys):
@@ -342,7 +343,7 @@ class TestStatsCommand:
         assert "extract" in aggregated
         stats = aggregated["extract"]
         assert stats["count"] >= 1
-        assert 0 <= stats["p50"] <= stats["p95"]
+        assert 0 <= stats["p50"] <= stats["p95"] <= stats["max"]
 
     def test_stats_missing_file_fails(self, capsys):
         assert main(["stats", "/nonexistent/events.jsonl"]) == 1
@@ -523,3 +524,124 @@ class TestChaosAndQuarantine:
         assert status == 0
         [record] = _json_records(capsys)
         assert record["ok"]
+
+
+class TestBudgetPresets:
+    def _budget_for(self, argv):
+        from repro.cli import _make_budget
+
+        return _make_budget(build_parser().parse_args(argv))
+
+    def test_default_preset_is_the_library_default(self):
+        from repro.resilience import DEFAULT_BUDGET
+
+        assert self._budget_for(["extract", "x"]) == DEFAULT_BUDGET
+
+    def test_strict_preset_arms_the_watchdog(self):
+        from repro.resilience import STRICT_BUDGET
+
+        budget = self._budget_for(["extract", "x", "--budget", "strict"])
+        assert budget == STRICT_BUDGET
+        assert budget.stage_timeout_s is not None
+        assert budget.wall_clock_s < 30.0
+
+    def test_off_preset_disables_every_limit(self):
+        import dataclasses
+
+        from repro.resilience import UNLIMITED_BUDGET
+
+        budget = self._budget_for(["extract", "x", "--budget", "off"])
+        assert budget == UNLIMITED_BUDGET
+        assert all(
+            getattr(budget, field.name) is None
+            for field in dataclasses.fields(budget)
+        )
+
+    def test_fine_grained_flags_override_the_preset(self):
+        budget = self._budget_for(
+            ["extract", "x", "--budget", "strict", "--timeout", "3"]
+        )
+        assert budget.wall_clock_s == 3.0
+        assert budget.stage_timeout_s == 5.0  # rest of strict kept
+
+    def test_unknown_preset_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["extract", "x", "--budget", "lenient"])
+
+    def test_strict_preset_runs_a_batch(self, demo_document, capsys):
+        status = main(
+            ["extract", str(demo_document), "--format", "json",
+             "--budget", "strict"]
+        )
+        assert status == 0
+        [record] = _json_records(capsys)
+        assert record["ok"]
+
+
+class TestStreamingCli:
+    def test_window_flag_bounds_the_batch(self, scan_directory, capsys):
+        status = main(
+            ["extract", str(scan_directory), "--format", "json",
+             "--jobs", "2", "--window", "2"]
+        )
+        assert status == 0
+        assert _json_records(capsys)
+
+
+class TestReplay:
+    @pytest.fixture()
+    def quarantine_report(self, tmp_path, monkeypatch, capsys):
+        """Poison one of two documents, quarantine it, return the report."""
+        from repro.resilience import recovery as recovery_module
+
+        monkeypatch.setattr(recovery_module, "_sleep", lambda delay: None)
+        good = tmp_path / "good.docm"
+        bad = tmp_path / "bad.docm"
+        assert main(["demo", str(good), "--seed", "5"]) == 0
+        assert main(["demo", str(bad), "--seed", "6"]) == 0
+        report = tmp_path / "quarantine.json"
+        status = main(
+            ["extract", str(good), str(bad), "--format", "json",
+             "--jobs", "2", "--chaos", "exit:bad.docm",
+             "--quarantine-out", str(report)]
+        )
+        capsys.readouterr()
+        assert status == 0
+        payload = json.loads(report.read_text())
+        assert payload["quarantined_count"] == 1
+        assert payload["quarantined"][0]["path"] == str(bad)
+        return report
+
+    def test_replay_reanalyzes_quarantined_documents(
+        self, quarantine_report, capsys
+    ):
+        status = main(
+            ["extract", "--replay", str(quarantine_report), "--format", "json"]
+        )
+        assert status == 0
+        [record] = _json_records(capsys)
+        assert record["path"].endswith("bad.docm")
+        assert record["ok"]  # no chaos this time: the document is fine
+
+    def test_replay_refuses_changed_files(
+        self, quarantine_report, tmp_path, capsys
+    ):
+        with open(tmp_path / "bad.docm", "ab") as handle:
+            handle.write(b"tampered")
+        status = main(
+            ["extract", "--replay", str(quarantine_report), "--format", "json"]
+        )
+        assert status == 0
+        [record] = _json_records(capsys)
+        assert not record["ok"] and record["degraded"]
+        assert "digest mismatch" in record["error"]
+
+    def test_replay_of_non_report_fails(self, tmp_path, capsys):
+        bogus = tmp_path / "not_a_report.json"
+        bogus.write_text(json.dumps({"foo": "bar"}))
+        assert main(["extract", "--replay", str(bogus)]) == 1
+        assert "not a quarantine report" in capsys.readouterr().err
+
+    def test_extract_without_inputs_or_replay_fails(self, capsys):
+        assert main(["extract"]) == 1
+        assert "no inputs" in capsys.readouterr().err
