@@ -1,0 +1,140 @@
+"""Batch-vectorized featurization vs the per-row loop (ISSUE 6 feature layer).
+
+The V/J extractors are column-batch kernels over
+:class:`~repro.vba.analyzer.AnalysisSummary` digests: one numpy pass per
+feature group instead of one Python call per macro per feature.  This
+bench pins down what that buys on a synthetic triage corpus:
+
+* **kernel speedup** — ``FeatureSet.extract_matrix`` over the whole
+  summary batch vs the same kernel driven one row at a time (the shape
+  every pre-vectorization call site had).  Row-level parity is asserted
+  by ``tests/features/test_batch_parity.py``; this file asserts the
+  speed;
+* **end-to-end throughput** — ``extract_matrices`` from raw sources
+  (tokenize + summarize + vectorize), the number that bounds dataset
+  builds and ``feature_matrices``-style fan-out.
+
+Results land in ``benchmarks/results/featurize_vector.json``; if a
+committed artifact is present the run fails on a >20% regression of
+either throughput (the CI ``featurize-bench`` gate).
+
+Environment knob: ``REPRO_BENCH_FEATURIZE_MACROS`` (corpus size,
+default 300).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+import numpy as np
+from conftest import RESULTS_DIR, save_artifact
+
+from repro.corpus.benign import generate_benign_module
+from repro.corpus.malicious import generate_malicious_macro
+from repro.features import extract_matrices, get_feature_set
+from repro.obfuscation.pipeline import default_pipeline
+from repro.vba.analyzer import analyze
+
+MACROS = int(os.environ.get("REPRO_BENCH_FEATURIZE_MACROS", "300"))
+MIN_KERNEL_SPEEDUP = 2.0
+REGRESSION_TOLERANCE = 0.8
+
+
+def build_corpus(count: int) -> list[str]:
+    """Benign / malicious / obfuscated macro sources, 2:1:1."""
+    rng = random.Random(35)
+    pipeline = default_pipeline()
+    sources = [
+        generate_benign_module(rng, target_length=rng.randint(300, 2000))
+        for _ in range(count // 2)
+    ]
+    sources += [
+        generate_malicious_macro(rng, "word") for _ in range(count // 4)
+    ]
+    sources += [
+        pipeline.run(generate_malicious_macro(rng, "word"), seed=seed).source
+        for seed in range(count - len(sources))
+    ]
+    return sources
+
+
+def _previous_artifact() -> dict | None:
+    path = RESULTS_DIR / "featurize_vector.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def test_batch_kernels_beat_per_row_loop(benchmark):
+    previous = _previous_artifact()
+    sources = build_corpus(MACROS)
+    summaries = [analyze(source).ensure_summary() for source in sources]
+    sets = [get_feature_set("V"), get_feature_set("J")]
+
+    # Per-row loop: the pre-vectorization call shape (one kernel
+    # invocation per macro), timed over both feature sets.
+    started = time.perf_counter()
+    per_row = {
+        fs.name: np.vstack(
+            [fs.extract_matrix([summary]) for summary in summaries]
+        )
+        for fs in sets
+    }
+    per_row_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batch = {fs.name: fs.extract_matrix(summaries) for fs in sets}
+    batch_s = time.perf_counter() - started
+
+    for name in ("V", "J"):
+        assert np.array_equal(per_row[name], batch[name]), name
+    kernel_speedup = per_row_s / batch_s if batch_s else float("inf")
+
+    # End to end from raw sources: tokenize + summarize + both kernels.
+    started = time.perf_counter()
+    matrices = extract_matrices(sources, ("V", "J"))
+    end_to_end_s = time.perf_counter() - started
+    assert matrices["V"].shape == (len(sources), 15)
+    assert matrices["J"].shape == (len(sources), 20)
+
+    rows = len(sources)
+    payload = {
+        "macros": rows,
+        "per_row_s": round(per_row_s, 4),
+        "batch_s": round(batch_s, 4),
+        "kernel_speedup": round(kernel_speedup, 2),
+        "kernel_rows_per_s": round(rows / batch_s, 1),
+        "end_to_end_s": round(end_to_end_s, 4),
+        "end_to_end_rows_per_s": round(rows / end_to_end_s, 1),
+    }
+    text = (
+        "FEATURIZE VECTOR — batch kernels vs per-row loop\n"
+        f"corpus              : {rows} macros (V + J, 35 columns)\n"
+        f"per-row loop        : {per_row_s:.4f} s  ({rows / per_row_s:.1f} rows/s)\n"
+        f"batch kernels       : {batch_s:.4f} s  ({rows / batch_s:.1f} rows/s)\n"
+        f"kernel speedup      : {kernel_speedup:.2f}x  (required >= {MIN_KERNEL_SPEEDUP}x)\n"
+        f"end-to-end          : {end_to_end_s:.4f} s  ({rows / end_to_end_s:.1f} rows/s)\n"
+    )
+    print("\n" + text)
+    save_artifact(
+        "featurize_vector.json",
+        json.dumps(payload, indent=2, sort_keys=True),
+    )
+
+    assert kernel_speedup >= MIN_KERNEL_SPEEDUP, text
+    if previous is not None:
+        for key in ("kernel_rows_per_s", "end_to_end_rows_per_s"):
+            floor = previous[key] * REGRESSION_TOLERANCE
+            assert payload[key] >= floor, (
+                f"{key} regressed >20%: {payload[key]} vs "
+                f"committed {previous[key]}"
+            )
+
+    benchmark.pedantic(
+        lambda: [fs.extract_matrix(summaries) for fs in sets],
+        iterations=1,
+        rounds=5,
+    )

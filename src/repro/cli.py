@@ -35,9 +35,10 @@ the task it was holding (per-task blame, survivors stay warm) and that
 document is retried with capped backoff then quarantined
 (``--quarantine-out FILE`` saves the report;
 ``repro extract --replay REPORT`` re-analyzes exactly those documents
-after verifying their digests), and plain zip archives in the input
-expand into their member documents behind zip-bomb guards
-(``--no-archives`` disables expansion).  With ``--jobs N`` the batch
+after verifying their digests), and plain archives in the input — zip,
+tar, ``tar.gz``, nested one level (zip-in-zip and friends) — expand into
+their member documents behind archive-bomb guards (``--no-archives``
+disables expansion).  With ``--jobs N`` the batch
 streams through a warm worker pool under a bounded admission window
 (``--window``).  A hidden ``--chaos`` flag injects faults for drills:
 ``--chaos hang:doc_007,exit:doc_013``.
@@ -116,8 +117,8 @@ def build_parser() -> argparse.ArgumentParser:
         )
         subparser.add_argument(
             "--no-archives", action="store_true",
-            help="do not expand plain zip archives into their member "
-            "documents (expansion is guarded against zip bombs)",
+            help="do not expand plain zip/tar archives into their member "
+            "documents (expansion is guarded against archive bombs)",
         )
         # Fault injection for resilience drills; deliberately undocumented.
         subparser.add_argument(
@@ -297,14 +298,31 @@ def _make_chaos(args):
 #: Zip local/central/empty magics — enough to decide "read the whole file".
 _ZIP_MAGICS = (b"PK\x03\x04", b"PK\x05\x06", b"PK\x07\x08")
 
+_GZIP_MAGIC = b"\x1f\x8b"
+#: Offset of the ``ustar`` magic in a POSIX tar header; sniffing tars
+#: therefore needs the first 262 bytes of the file.
+_TAR_MAGIC_OFFSET = 257
+_SNIFF_BYTES = _TAR_MAGIC_OFFSET + 5
+
+
+def _archive_candidate(head: bytes) -> bool:
+    """Cheap magic sniff: worth reading the whole file for expansion?"""
+    return (
+        head[:4] in _ZIP_MAGICS
+        or head[:2] == _GZIP_MAGIC
+        or head[_TAR_MAGIC_OFFSET:_SNIFF_BYTES] == b"ustar"
+    )
+
 
 def _prepare_entries(args, registry) -> list[tuple[str, object]]:
     """Expand directories and archives into tagged batch entries.
 
     Returns ``("input", item)`` entries the engine should analyze (paths
     or ``(source_id, bytes)`` pairs — archive members arrive as pairs with
-    ``archive!member`` ids) and ``("record", DocumentRecord)`` entries that
-    already failed (an archive a zip-bomb guard refused).
+    ``archive!member`` ids, nested one level for archive-in-archive feeds)
+    and ``("record", DocumentRecord)`` entries that already failed (an
+    archive a bomb guard refused).  Zip, tar, and ``tar.gz`` feeds all
+    expand; Office documents (OOXML zips) always analyze as-is.
     """
     paths = _expand_inputs(
         args.files,
@@ -316,19 +334,25 @@ def _prepare_entries(args, registry) -> list[tuple[str, object]]:
     for path in paths:
         try:
             with open(path, "rb") as handle:
-                magic = handle.read(4)
+                head = handle.read(_SNIFF_BYTES)
         except OSError:
             entries.append(("input", path))  # the engine records the error
             continue
-        if args.no_archives or magic not in _ZIP_MAGICS:
+        if args.no_archives or not _archive_candidate(head):
             entries.append(("input", path))
             continue
-        from repro.resilience import ArchiveBombError, expand_archive, is_plain_archive
+        from repro.resilience import (
+            ArchiveBombError,
+            expand_archive,
+            is_plain_archive,
+            is_tar_archive,
+        )
 
         with open(path, "rb") as handle:
             data = handle.read()
-        if not is_plain_archive(data):
-            entries.append(("input", (path, data)))  # an Office zip: analyze as-is
+        if not (is_plain_archive(data) or is_tar_archive(data)):
+            # An Office zip (or a non-archive gzip): analyze as-is.
+            entries.append(("input", (path, data)))
             continue
         try:
             members = expand_archive(path, data, metrics=registry)

@@ -53,7 +53,8 @@ from repro.engine.stages import (
     MacroStage,
     Stage,
 )
-from repro.features.registry import get_feature_set
+from repro.features.cache import FeatureRowCache
+from repro.features.matrix import extract_matrices
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.resilience.budgets import (
     DEFAULT_BUDGET,
@@ -113,6 +114,8 @@ class AnalysisEngine:
         retry=None,
         chaos=None,
         mp_context: str | None = None,
+        feature_cache_size: int = 4096,
+        shm_threshold: int | None = None,
     ) -> None:
         if stages is None:
             stages = default_stages(
@@ -140,7 +143,12 @@ class AnalysisEngine:
             self.stages.insert(position, ChaosStage(chaos))
         self.feature_sets = tuple(feature_sets)
         self.keep_analysis = keep_analysis
+        #: worker→parent results at or above this pickle size travel over a
+        #: shared-memory segment instead of the result pipe (None = default
+        #: threshold, <= 0 disables shm transport entirely)
+        self.shm_threshold = shm_threshold
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._feature_cache = self._wire_feature_cache(feature_cache_size)
         self._cache: dict[str, DocumentRecord] | None = (
             {} if cache_size > 0 else None
         )
@@ -152,6 +160,40 @@ class AnalysisEngine:
         self.mp_context = mp_context
         self._pool = None  # lazily-built persistent StreamingPool
         self._pool_config: tuple | None = None
+
+    def _wire_feature_cache(self, capacity: int) -> FeatureRowCache | None:
+        """Build the normalized-source feature-row cache and wire it into
+        the analyze/featurize stages.
+
+        The analyze stage may *skip tokenization* on a hit, but only when
+        nothing downstream needs the token-level analysis: ``keep_analysis``
+        off and no macro stage beyond analyze/featurize/classify in the
+        chain (lint and custom macro stages read ``macro.analysis``).
+        """
+        featurize = [s for s in self.stages if isinstance(s, FeaturizeStage)]
+        if capacity <= 0 or not featurize:
+            return None
+        cache = FeatureRowCache(capacity)
+        cached_sets = tuple(
+            dict.fromkeys(
+                name for stage in featurize for name in stage.feature_sets
+            )
+        )
+        analysis_needed = self.keep_analysis or any(
+            isinstance(stage, MacroStage)
+            and not isinstance(
+                stage, (AnalyzeStage, FeaturizeStage, ClassifyStage)
+            )
+            for stage in self.stages
+        )
+        for stage in self.stages:
+            if isinstance(stage, AnalyzeStage):
+                stage.feature_cache = cache
+                stage.cached_sets = cached_sets
+                stage.analysis_required = analysis_needed
+            elif isinstance(stage, FeaturizeStage):
+                stage.feature_cache = cache
+        return cache
 
     # -- convenience constructors --------------------------------------
 
@@ -294,13 +336,25 @@ class AnalysisEngine:
 
         Worker-process counts are folded in as each ``run_batch(jobs=N)``
         pool drains, so the totals agree between ``jobs=1`` and
-        ``jobs=N`` runs of the same inputs.
+        ``jobs=N`` runs of the same inputs.  The ``feature_*`` keys report
+        the normalized-source feature-row cache (hit/miss/eviction
+        counters merge from workers too; ``feature_size`` is the parent
+        process's own cache — row contents never cross processes).
         """
+        feature = (
+            self._feature_cache.info()
+            if self._feature_cache is not None
+            else {"hits": 0, "misses": 0, "evictions": 0, "size": 0}
+        )
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
             "evictions": self.cache_evictions,
             "size": len(self._cache) if self._cache is not None else 0,
+            "feature_hits": feature["hits"],
+            "feature_misses": feature["misses"],
+            "feature_evictions": feature["evictions"],
+            "feature_size": feature["size"],
         }
 
     def _cache_get(self, digest: str) -> DocumentRecord | None:
@@ -399,6 +453,7 @@ class AnalysisEngine:
         if not self.keep_analysis:
             for macro in record.macros:
                 macro.analysis = None
+                macro.summary = None
         return record
 
     def _run_stages(self, record: DocumentRecord, clock, metrics) -> None:
@@ -531,6 +586,7 @@ class AnalysisEngine:
                     stage.run_macro(macro, metrics)
         if not self.keep_analysis:
             macro.analysis = None
+            macro.summary = None
         return macro
 
     # -- batches -------------------------------------------------------
@@ -681,6 +737,10 @@ class AnalysisEngine:
         self.cache_hits += cache["hits"]
         self.cache_misses += cache["misses"]
         self.cache_evictions += cache["evictions"]
+        if self._feature_cache is not None:
+            self._feature_cache.hits += cache.get("feature_hits", 0)
+            self._feature_cache.misses += cache.get("feature_misses", 0)
+            self._feature_cache.evictions += cache.get("feature_evictions", 0)
 
     def feature_matrices(
         self,
@@ -691,31 +751,30 @@ class AnalysisEngine:
         """Per-set (n_samples × n_features) matrices over bare macro sources.
 
         The registry-backed replacement for hand-rolled featurization: each
-        source is analyzed once and every requested set extracts from the
-        shared analysis — the same code path documents take through
-        :meth:`run_batch`.
+        source is analyzed once and summarized, then every requested set
+        vectorizes whole chunks through its column-batch kernel — the same
+        kernels documents hit through :meth:`run_batch`.  With ``jobs > 1``
+        each worker builds the matrices for its chunk of sources and the
+        parent stacks the blocks; the kernels are row-deterministic, so
+        chunking never changes a row.
         """
         names = tuple(feature_sets) if feature_sets else self.feature_sets
         if not names:
             raise ValueError("no feature sets requested")
-        widths = {name: get_feature_set(name).width for name in names}
         sources = list(sources)
         if jobs > 1 and len(sources) > 1:
-            rows: list[dict[str, np.ndarray]] = []
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                for chunk_rows in pool.map(
-                    _featurize_source_chunk,
-                    [(names, chunk) for chunk in _chunked(sources, jobs)],
-                ):
-                    rows.extend(chunk_rows)
-        else:
-            rows = [_featurize_source(names, source) for source in sources]
-        return {
-            name: np.vstack([row[name] for row in rows])
-            if rows
-            else np.empty((0, widths[name]))
-            for name in names
-        }
+                parts = list(
+                    pool.map(
+                        _featurize_source_chunk,
+                        [(names, chunk) for chunk in _chunked(sources, jobs)],
+                    )
+                )
+            return {
+                name: np.vstack([part[name] for part in parts])
+                for name in names
+            }
+        return extract_matrices(sources, names)
 
 
 # ----------------------------------------------------------------------
@@ -745,13 +804,6 @@ def _chunked(items: list, jobs: int) -> list[list]:
     return [items[start : start + size] for start in range(0, len(items), size)]
 
 
-def _featurize_source(names, source) -> dict[str, np.ndarray]:
-    from repro.vba.analyzer import analyze
-
-    analysis = analyze(source)
-    return {name: get_feature_set(name).extract(analysis) for name in names}
-
-
-def _featurize_source_chunk(payload) -> list[dict[str, np.ndarray]]:
+def _featurize_source_chunk(payload) -> dict[str, np.ndarray]:
     names, sources = payload
-    return [_featurize_source(names, source) for source in sources]
+    return extract_matrices(sources, names)

@@ -16,7 +16,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.lint.findings import Finding
-    from repro.vba.analyzer import MacroAnalysis
+    from repro.vba.analyzer import AnalysisSummary, MacroAnalysis
 
 #: Diagnostic severities, mildest first.
 LEVELS = ("info", "warning", "error")
@@ -51,6 +51,11 @@ class MacroRecord:
     #: "short" | "analysis-error" | "budget" | None (kept)
     filtered: str | None = None
     analysis: "MacroAnalysis | None" = None
+    #: array-backed digest the batch feature kernels ran over (kept only
+    #: under ``keep_analysis``, like the analysis itself)
+    summary: "AnalysisSummary | None" = field(default=None, compare=False)
+    #: normalized-source digest keying the feature-row cache
+    feature_digest: str | None = field(default=None, compare=False)
     features: dict[str, np.ndarray] = field(default_factory=dict)
     findings: "list[Finding]" = field(default_factory=list)
     score: float | None = None

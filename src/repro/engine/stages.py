@@ -10,6 +10,7 @@ implement :meth:`Stage.process`; macro-level stages additionally expose
 from __future__ import annotations
 
 from repro.engine.records import DocumentRecord, MacroRecord
+from repro.features.cache import FeatureRowCache, normalized_digest
 from repro.features.registry import get_feature_set
 
 
@@ -138,15 +139,41 @@ class FilterShortStage(Stage):
 
 
 class AnalyzeStage(MacroStage):
-    """Lex each module once into the shared :class:`MacroAnalysis`."""
+    """Lex each module once into the shared :class:`MacroAnalysis`.
+
+    When the engine wires in a :class:`~repro.features.cache.FeatureRowCache`
+    (and nothing downstream needs the analysis itself), a macro whose
+    normalized-source digest already has every configured feature row
+    cached skips tokenization entirely — re-submitted line-ending/BOM
+    variants of a known macro cost one hash, not a lexer pass.
+    """
 
     name = "analyze"
+
+    def __init__(
+        self,
+        feature_cache: FeatureRowCache | None = None,
+        cached_sets: tuple[str, ...] = (),
+        analysis_required: bool = False,
+    ) -> None:
+        self.feature_cache = feature_cache
+        self.cached_sets = tuple(cached_sets)
+        #: True when a downstream consumer (lint, keep_analysis, custom
+        #: macro stages) needs the token-level analysis even on cache hits
+        self.analysis_required = analysis_required
 
     def process_macro(
         self, macro: MacroRecord, document: DocumentRecord | None = None
     ) -> None:
         from repro.vba.analyzer import analyze
 
+        cache = self.feature_cache
+        if cache is not None and self.cached_sets and not self.analysis_required:
+            macro.feature_digest = normalized_digest(macro.source)
+            rows = cache.get(macro.feature_digest, self.cached_sets)
+            if rows is not None:
+                macro.features.update(rows)
+                return
         try:
             macro.analysis = analyze(macro.source)
         except Exception as error:  # analyzer bug — keep the batch alive
@@ -158,22 +185,84 @@ class AnalyzeStage(MacroStage):
 
 
 class FeaturizeStage(MacroStage):
-    """Vectorize the analysis through the registered feature sets."""
+    """Vectorize analyses through the registered feature sets — in batches.
+
+    Macros accumulate into a micro-batch and flush through each set's
+    column-batch kernel (:meth:`FeatureSet.extract_matrix`), so one
+    document's modules are vectorized in single numpy passes instead of
+    per-macro Python loops.  The kernels are row-deterministic: a macro's
+    row is bit-identical at any batch size, which is what keeps the serial
+    and streamed paths exactly equal.  Finished rows are stored in the
+    engine's feature-row cache (when wired) under the macro's
+    normalized-source digest.
+    """
 
     name = "featurize"
 
-    def __init__(self, feature_sets: tuple[str, ...] = ("V",)) -> None:
+    def __init__(
+        self,
+        feature_sets: tuple[str, ...] = ("V",),
+        feature_cache: FeatureRowCache | None = None,
+        batch_size: int = 256,
+    ) -> None:
         self.feature_sets = tuple(feature_sets)
         for name in self.feature_sets:  # fail fast on unknown names
             get_feature_set(name)
+        self.feature_cache = feature_cache
+        self.batch_size = max(1, int(batch_size))
+
+    def process(self, document: DocumentRecord) -> None:
+        pending: list[MacroRecord] = []
+        for macro in document.macros:
+            if macro.kept:
+                self._accumulate(macro, pending)
+                if len(pending) >= self.batch_size:
+                    self._flush(pending)
+        self._flush(pending)
 
     def process_macro(
         self, macro: MacroRecord, document: DocumentRecord | None = None
     ) -> None:
+        pending: list[MacroRecord] = []
+        self._accumulate(macro, pending)
+        self._flush(pending)
+
+    def _accumulate(self, macro: MacroRecord, pending: list[MacroRecord]) -> None:
+        """Serve a macro from cache or queue it for the batch kernels."""
+        if all(name in macro.features for name in self.feature_sets):
+            return
+        cache = self.feature_cache
+        if cache is not None and macro.feature_digest is None:
+            # AnalyzeStage didn't consult the cache (analysis was needed
+            # anyway); one lookup here still skips the kernel work.
+            macro.feature_digest = normalized_digest(macro.source)
+            rows = cache.get(macro.feature_digest, self.feature_sets)
+            if rows is not None:
+                macro.features.update(rows)
+                return
         if macro.analysis is None:
             return
+        pending.append(macro)
+
+    def _flush(self, pending: list[MacroRecord]) -> None:
+        if not pending:
+            return
+        for macro in pending:
+            macro.summary = macro.analysis.ensure_summary()
+        summaries = [macro.summary for macro in pending]
         for name in self.feature_sets:
-            macro.features[name] = get_feature_set(name).extract(macro.analysis)
+            matrix = get_feature_set(name).extract_matrix(summaries)
+            for macro, row in zip(pending, matrix):
+                macro.features[name] = row
+        cache = self.feature_cache
+        if cache is not None:
+            for macro in pending:
+                if macro.feature_digest is not None:
+                    cache.put(
+                        macro.feature_digest,
+                        {name: macro.features[name] for name in self.feature_sets},
+                    )
+        pending.clear()
 
 
 class LintStage(MacroStage):

@@ -1,10 +1,25 @@
 """Static feature engineering: the paper's V1–V15 set and the J1–J20 baseline.
 
-Feature sets are pluggable: see :mod:`repro.features.registry`.
+Feature sets are pluggable (see :mod:`repro.features.registry`) and each
+built-in set ships a column-batch kernel (``v_features_batch`` /
+``j_features_batch``) that vectorizes whole corpora of
+:class:`~repro.vba.analyzer.AnalysisSummary` digests in single numpy
+passes.  :mod:`repro.features.cache` adds the normalized-source
+feature-row cache that lets re-submitted macro variants skip analysis and
+featurization entirely.
 """
 
-from repro.features.entropy import max_entropy, shannon_entropy
-from repro.features.jfeatures import J_FEATURE_NAMES, extract_j_features
+from repro.features.cache import (
+    FeatureRowCache,
+    normalize_source,
+    normalized_digest,
+)
+from repro.features.entropy import entropy_from_counts, max_entropy, shannon_entropy
+from repro.features.jfeatures import (
+    J_FEATURE_NAMES,
+    extract_j_features,
+    j_features_batch,
+)
 from repro.features.matrix import (
     FEATURE_SETS,
     extract_both,
@@ -23,14 +38,17 @@ from repro.features.vfeatures import (
     V_FEATURE_GROUPS,
     V_FEATURE_NAMES,
     extract_v_features,
+    v_features_batch,
 )
 
 __all__ = [
     "FEATURE_SETS",
+    "FeatureRowCache",
     "FeatureSet",
     "J_FEATURE_NAMES",
     "V_FEATURE_GROUPS",
     "V_FEATURE_NAMES",
+    "entropy_from_counts",
     "extract_both",
     "extract_features",
     "extract_j_features",
@@ -38,9 +56,13 @@ __all__ = [
     "extract_v_features",
     "feature_names",
     "get_feature_set",
+    "j_features_batch",
     "max_entropy",
+    "normalize_source",
+    "normalized_digest",
     "register_feature_set",
     "registered_feature_sets",
     "shannon_entropy",
     "unregister_feature_set",
+    "v_features_batch",
 ]

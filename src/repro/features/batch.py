@@ -1,0 +1,58 @@
+"""Shared primitives for the column-batch feature kernels.
+
+A batch kernel maps a sequence of
+:class:`~repro.vba.analyzer.AnalysisSummary` objects to an
+``(n, width)`` float64 matrix in single numpy passes per feature group.
+The helpers here enforce the one property the exact-parity contract
+depends on: **row determinism**.  Every operation is elementwise over
+per-summary scalars (exact integer sums gathered once per row), so a
+macro's feature row is bit-identical whether extracted in a batch of one
+or of ten thousand.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def gather(summaries: Sequence, attr: str) -> np.ndarray:
+    """One summary scalar per row, as a float64 column vector."""
+    return np.fromiter(
+        (getattr(summary, attr) for summary in summaries),
+        dtype=np.float64,
+        count=len(summaries),
+    )
+
+
+def gather_rows(summaries: Sequence, attr: str) -> np.ndarray:
+    """One fixed-width summary array per row, stacked to ``(n, k)``."""
+    return np.stack(
+        [np.asarray(getattr(summary, attr), dtype=np.float64) for summary in summaries]
+    )
+
+
+def safe_divide(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
+    """Elementwise division that yields 0.0 where the denominator is ≤ 0."""
+    out = np.zeros_like(numerator, dtype=np.float64)
+    np.divide(numerator, denominator, out=out, where=denominator > 0)
+    return out
+
+
+def mean_from_sums(count: np.ndarray, total: np.ndarray) -> np.ndarray:
+    """Elementwise mean from exact integer sums; 0.0 for empty groups."""
+    return safe_divide(total, count)
+
+
+def variance_from_sums(
+    count: np.ndarray, total: np.ndarray, sq_total: np.ndarray
+) -> np.ndarray:
+    """Elementwise population variance via E[x²] − E[x]².
+
+    The sums are exact integers in float64, so the only rounding is the
+    two divisions and one subtraction — independent of batch composition.
+    Cancellation can produce a tiny negative; clamp to zero.
+    """
+    mean = safe_divide(total, count)
+    return np.maximum(safe_divide(sq_total, count) - mean * mean, 0.0)

@@ -1,0 +1,126 @@
+"""Normalized-source feature cache: skip analysis for re-submitted variants.
+
+Fleet traffic is dominated by re-submissions of the same macro under
+trivially different encodings: the OLE extractor emits CRLF line endings
+(`vba_project` streams are CRLF by spec) while the same module pasted from
+a text feed arrives LF-terminated, possibly with a UTF-8 BOM stuck to the
+first module.  Those variants hash to different document digests, so the
+document-level SHA-256 cache misses — yet their feature rows are the rows
+of the *same* macro as far as triage is concerned.
+
+This cache keys finished feature rows on the SHA-256 of a **normalized**
+view of the macro source (BOM stripped, CRLF/CR canonicalized to LF).
+Normalization applies to the cache *key only*: feature values are always
+computed over the raw source (entropy and length features are sensitive to
+line endings, and changing them would silently shift the paper's numbers).
+A hit therefore serves the row of the first-seen variant — deliberate
+dedup semantics, documented here and in DESIGN.md: within one fleet's
+traffic the variants are the same artifact, and serving one row for all of
+them is the point.
+
+The cache is process-local and LRU-bounded.  It pickles as an *empty*
+cache (capacity only), so engine snapshots shipped to pool workers start
+cold and worker hit/miss counters merge cleanly into the parent's
+``cache_info()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from collections.abc import Sequence
+
+import numpy as np
+
+_BOM = "\ufeff"
+
+
+def normalize_source(source: str) -> str:
+    """The canonical view of a macro source used for cache keying.
+
+    Strips a leading BOM and canonicalizes CRLF / lone-CR line endings to
+    LF.  Used only to compute cache keys — never to compute features.
+    """
+    if source.startswith(_BOM):
+        source = source[len(_BOM):]
+    if "\r" in source:
+        source = source.replace("\r\n", "\n").replace("\r", "\n")
+    return source
+
+
+def normalized_digest(source: str) -> str:
+    """SHA-256 hex digest of the normalized source (the cache key)."""
+    canonical = normalize_source(source)
+    return hashlib.sha256(canonical.encode("utf-8", "replace")).hexdigest()
+
+
+class FeatureRowCache:
+    """LRU map: normalized-source digest → finished feature rows per set.
+
+    One entry holds a dict of ``{feature_set_name: (width,) float64 row}``;
+    an entry may grow lazily as more sets are computed for the same macro.
+    A lookup only hits when *every* requested set is present, so a config
+    change (say V-only → V+J) degrades to a miss and a merge, never to a
+    partial row.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_rows")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = max(0, int(capacity))
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._rows: OrderedDict[str, dict[str, np.ndarray]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def get(
+        self, digest: str, names: Sequence[str]
+    ) -> dict[str, np.ndarray] | None:
+        """The rows for ``names`` if all are cached, else ``None``.
+
+        Counts exactly one hit or one miss per call.
+        """
+        entry = self._rows.get(digest)
+        if entry is not None and all(name in entry for name in names):
+            self._rows.move_to_end(digest)
+            self.hits += 1
+            return {name: entry[name] for name in names}
+        self.misses += 1
+        return None
+
+    def put(self, digest: str, rows: dict[str, np.ndarray]) -> None:
+        """Store (or merge) finished rows under a normalized digest."""
+        if self.capacity == 0 or not rows:
+            return
+        entry = self._rows.get(digest)
+        if entry is not None:
+            entry.update(rows)
+            self._rows.move_to_end(digest)
+            return
+        while len(self._rows) >= self.capacity:
+            self._rows.popitem(last=False)
+            self.evictions += 1
+        self._rows[digest] = dict(rows)
+
+    def info(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._rows),
+        }
+
+    # -- pickling: snapshots ship the configuration, never the contents --
+
+    def __getstate__(self) -> dict[str, int]:
+        return {"capacity": self.capacity}
+
+    def __setstate__(self, state: dict[str, int]) -> None:
+        self.capacity = state["capacity"]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._rows = OrderedDict()

@@ -2,12 +2,24 @@
 
 H(X) = − Σ p_i · log₂ p_i over the character distribution of the macro code,
 exactly the formula in Section IV.C.1 of the paper.
+
+Two implementations of the same formula live here: the scalar
+:func:`shannon_entropy` (the reference, kept bit-stable for existing
+callers and tests) and the vectorized :func:`entropy_from_counts` used by
+the batch featurization path, which takes a pre-computed character-count
+array — e.g. from the single character pass of
+:func:`repro.vba.analyzer.summarize` — so the hot path never builds a
+``Counter``.  Both V13 and J15 read the one entropy value stored on the
+:class:`~repro.vba.analyzer.AnalysisSummary`; the duplicated per-feature
+recomputation is gone.
 """
 
 from __future__ import annotations
 
 import math
 from collections import Counter
+
+import numpy as np
 
 
 def shannon_entropy(text: str) -> float:
@@ -21,6 +33,21 @@ def shannon_entropy(text: str) -> float:
         probability = count / total
         entropy -= probability * math.log2(probability)
     return entropy
+
+
+def entropy_from_counts(counts) -> float:
+    """Shannon entropy in bits from an array of symbol counts.
+
+    Zero-count bins are ignored, so a fixed-width histogram (e.g. the
+    summary's char-class histogram) can be passed directly.  This is the
+    vectorized kernel behind the summary's ``entropy`` field.
+    """
+    array = np.asarray(counts, dtype=np.float64)
+    total = array.sum()
+    if total <= 0:
+        return 0.0
+    probabilities = array[array > 0] / total
+    return float(-(probabilities * np.log2(probabilities)).sum())
 
 
 def max_entropy(alphabet_size: int) -> float:

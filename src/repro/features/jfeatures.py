@@ -9,15 +9,23 @@ comparative experiment does.  Two paper-noted adaptations:
   applied the minification technique of removing linefeed";
 * the ``eval()``-based feature of [26] is dropped because VBA has no
   corresponding function.
+
+Like the V set, extraction is a **column-batch kernel**:
+:func:`j_features_batch` maps :class:`~repro.vba.analyzer.AnalysisSummary`
+digests to the ``(n, 20)`` matrix in single numpy passes; the per-row API
+is the same kernel applied to a batch of one.  J15 reads the entropy
+value the analyzer computed once — V13 and J15 are the same number from
+the same pass, not two recomputations.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
-from repro.features.entropy import shannon_entropy
-from repro.vba.analyzer import MacroAnalysis, analyze
-from repro.vba.tokens import TokenKind
+from repro.features.batch import gather, mean_from_sums, safe_divide
+from repro.vba.analyzer import AnalysisSummary, MacroAnalysis, analyze
 
 J_FEATURE_NAMES: tuple[str, ...] = (
     "J1_length_chars",
@@ -42,143 +50,60 @@ J_FEATURE_NAMES: tuple[str, ...] = (
     "J20_function_defs_per_char",
 )
 
-_LONG_LINE_THRESHOLD = 150  # paper's VBA adaptation of J14
-
-_VOWELS = frozenset("aeiouAEIOU")
-
-
-def _is_human_readable(word: str) -> bool:
-    """Likarish-style readability: a word looks pronounceable.
-
-    Heuristic: mostly letters, contains a vowel, not absurdly long, and no
-    long consonant run (pronounceable English never stacks 4+ consonants the
-    way ``rjzybhqrliy``-style random identifiers do).
-    """
-    if not word or len(word) > 15:
-        return False
-    letters = sum(1 for ch in word if ch.isalpha())
-    if letters < len(word) * 0.5:
-        return False
-    if not any(ch in _VOWELS for ch in word):
-        return False
-    run = 0
-    for ch in word:
-        if ch.isalpha() and ch not in _VOWELS:
-            run += 1
-            if run >= 4:
-                return False
-        else:
-            run = 0
-    return True
-
-
-def _function_bodies(analysis: MacroAnalysis) -> list[str]:
-    """Procedure body texts, split on Sub/Function boundaries."""
-    import re
-
-    pattern = re.compile(
-        r"(?:^|\n)[ \t]*(?:Public\s+|Private\s+)?(?:Sub|Function)\s+\w+"
-        r".*?\n(.*?)(?:^|\n)[ \t]*End (?:Sub|Function)",
-        re.DOTALL | re.IGNORECASE,
-    )
-    return [match.group(1) for match in pattern.finditer(analysis.source)]
-
-
 def extract_j_features(source: str) -> np.ndarray:
     """Extract the 20-dimensional J vector from one macro's source text."""
     return j_features_from_analysis(analyze(source))
 
 
 def j_features_from_analysis(analysis: MacroAnalysis) -> np.ndarray:
-    source = analysis.source
-    lines = analysis.lines
-    n_lines = max(1, len(lines))
+    """Extract J1–J20 from a pre-computed structural analysis.
 
-    j1 = float(len(source))
-    j2 = j1 / n_lines
-    j3 = float(len(lines))
-    j4 = float(len(analysis.string_literals))
+    A batch-of-one through :func:`j_features_batch` — bit-identical to the
+    row this macro would get inside any larger batch.
+    """
+    return j_features_batch([analysis.ensure_summary()])[0]
 
-    words = analysis.words
-    readable = sum(1 for word in words if _is_human_readable(word))
-    j5 = readable / len(words) if words else 0.0
 
-    whitespace = sum(1 for ch in source if ch in " \t\r\n")
-    j6 = whitespace / j1 if j1 else 0.0
+def j_features_batch(summaries: Sequence[AnalysisSummary]) -> np.ndarray:
+    """The column-batch kernel: summaries → ``(n, 20)`` float64 matrix."""
+    n = len(summaries)
+    out = np.zeros((n, len(J_FEATURE_NAMES)), dtype=np.float64)
+    if n == 0:
+        return out
 
-    member_calls = sum(1 for call in analysis.call_sites if call.is_member)
-    j7 = member_calls / len(analysis.call_sites) if analysis.call_sites else 0.0
+    j1 = gather(summaries, "source_chars")
+    line_count = gather(summaries, "line_count")
+    n_lines = np.maximum(line_count, 1.0)
+    word_count = gather(summaries, "word_count")
+    calls = gather(summaries, "call_count")
+    body_count = gather(summaries, "body_count")
+    body_chars = gather(summaries, "body_total_chars")
 
-    string_lengths = [len(s) for s in analysis.string_literals]
-    j8 = float(np.mean(string_lengths)) if string_lengths else 0.0
-
-    argument_lengths = _argument_lengths(analysis)
-    j9 = float(np.mean(argument_lengths)) if argument_lengths else 0.0
-
-    j10 = float(len(analysis.comments))
-    j11 = j10 / n_lines
-    j12 = float(len(words))
-
-    comment_text = analysis.comment_text
-    words_in_comments = sum(1 for word in words if word in comment_text)
-    j13 = (len(words) - words_in_comments) / len(words) if words else 0.0
-
-    long_lines = sum(1 for line in lines if len(line) > _LONG_LINE_THRESHOLD)
-    j14 = long_lines / n_lines
-
-    j15 = shannon_entropy(source)
-
-    string_chars = sum(
-        len(token.text)
-        for token in analysis.tokens
-        if token.kind is TokenKind.STRING
+    out[:, 0] = j1
+    out[:, 1] = j1 / n_lines
+    out[:, 2] = line_count
+    out[:, 3] = gather(summaries, "string_count")
+    out[:, 4] = safe_divide(gather(summaries, "readable_word_count"), word_count)
+    out[:, 5] = safe_divide(gather(summaries, "whitespace_chars"), j1)
+    out[:, 6] = safe_divide(gather(summaries, "member_call_count"), calls)
+    out[:, 7] = mean_from_sums(
+        gather(summaries, "string_count"), gather(summaries, "string_len_sum")
     )
-    j16 = string_chars / j1 if j1 else 0.0
-
-    backslashes = source.count("\\")
-    j17 = backslashes / j1 if j1 else 0.0
-
-    bodies = _function_bodies(analysis)
-    body_chars = sum(len(body) for body in bodies)
-    j18 = body_chars / len(bodies) if bodies else 0.0
-    j19 = body_chars / j1 if j1 else 0.0
-    j20 = len(bodies) / j1 if j1 else 0.0
-
-    return np.array(
-        [
-            j1, j2, j3, j4, j5, j6, j7, j8, j9, j10,
-            j11, j12, j13, j14, j15, j16, j17, j18, j19, j20,
-        ],
-        dtype=np.float64,
+    out[:, 8] = mean_from_sums(
+        gather(summaries, "argument_count"), gather(summaries, "argument_len_sum")
     )
-
-
-def _argument_lengths(analysis: MacroAnalysis) -> list[int]:
-    """Character lengths of parenthesized call arguments."""
-    lengths: list[int] = []
-    tokens = [
-        t
-        for t in analysis.tokens
-        if t.kind
-        not in (TokenKind.WHITESPACE, TokenKind.NEWLINE, TokenKind.EOF)
-    ]
-    for index, token in enumerate(tokens[:-1]):
-        if token.kind is not TokenKind.IDENTIFIER:
-            continue
-        nxt = tokens[index + 1]
-        if nxt.kind is not TokenKind.PUNCT or nxt.text != "(":
-            continue
-        depth = 0
-        size = 0
-        for inner in tokens[index + 1 :]:
-            if inner.kind is TokenKind.PUNCT and inner.text == "(":
-                depth += 1
-                if depth == 1:
-                    continue
-            if inner.kind is TokenKind.PUNCT and inner.text == ")":
-                depth -= 1
-                if depth == 0:
-                    break
-            size += len(inner.text)
-        lengths.append(size)
-    return lengths
+    comment_count = gather(summaries, "comment_count")
+    out[:, 9] = comment_count
+    out[:, 10] = comment_count / n_lines
+    out[:, 11] = word_count
+    out[:, 12] = safe_divide(
+        word_count - gather(summaries, "words_in_comment_count"), word_count
+    )
+    out[:, 13] = gather(summaries, "long_line_count") / n_lines
+    out[:, 14] = gather(summaries, "entropy")
+    out[:, 15] = safe_divide(gather(summaries, "string_token_chars"), j1)
+    out[:, 16] = safe_divide(gather(summaries, "backslash_chars"), j1)
+    out[:, 17] = mean_from_sums(body_count, body_chars)
+    out[:, 18] = safe_divide(body_chars, j1)
+    out[:, 19] = safe_divide(body_count, j1)
+    return out

@@ -1,8 +1,13 @@
 """Feature-matrix assembly over macro collections.
 
 Thin wrappers over the feature-set registry (:mod:`repro.features.registry`):
-every matrix is built by analyzing each macro once and handing the shared
-:class:`~repro.vba.analyzer.MacroAnalysis` to each requested extractor.
+each macro is analyzed exactly once and summarized into an
+:class:`~repro.vba.analyzer.AnalysisSummary`; every requested set then
+vectorizes whole chunks at a time through its column-batch kernel (or the
+per-row fallback) via :meth:`~repro.features.registry.FeatureSet.extract_matrix`.
+Chunking keeps memory at ``O(chunk)`` analyses while preserving exact row
+values — the kernels are row-deterministic, so chunk boundaries never
+change a single bit of the output.
 """
 
 from __future__ import annotations
@@ -17,6 +22,10 @@ from repro.vba.analyzer import analyze
 #: The paper's built-in pair; the registry may hold more.
 FEATURE_SETS = ("V", "J")
 
+#: analyses held at once during matrix assembly (memory bound, not a
+#: semantic boundary — results are chunk-size invariant).
+_CHUNK_SIZE = 512
+
 
 def feature_names(feature_set: str) -> tuple[str, ...]:
     return get_feature_set(feature_set).names
@@ -27,17 +36,36 @@ def extract_matrices(
 ) -> dict[str, np.ndarray]:
     """Build one (n_samples × n_features) matrix per requested feature set.
 
-    Each macro is analyzed exactly once; all extractors share the analysis.
+    Each macro is analyzed exactly once; all requested sets share the
+    analysis chunk and vectorize it through their batch kernels.
     """
     sets = [get_feature_set(name) for name in feature_sets]
-    rows: dict[str, list[np.ndarray]] = {fs.name: [] for fs in sets}
-    for source in sources:
-        analysis = analyze(source)
+    blocks: dict[str, list[np.ndarray]] = {fs.name: [] for fs in sets}
+    chunk: list = []
+
+    vectorized = any(fs.batch_extractor is not None for fs in sets)
+
+    def flush() -> None:
+        if not chunk:
+            return
+        if vectorized:
+            summaries = [analysis.ensure_summary() for analysis in chunk]
         for fs in sets:
-            rows[fs.name].append(fs.extract(analysis))
+            blocks[fs.name].append(
+                fs.extract_matrix(
+                    summaries if fs.batch_extractor is not None else chunk
+                )
+            )
+        chunk.clear()
+
+    for source in sources:
+        chunk.append(analyze(source))
+        if len(chunk) >= _CHUNK_SIZE:
+            flush()
+    flush()
     return {
-        fs.name: np.vstack(rows[fs.name])
-        if rows[fs.name]
+        fs.name: np.vstack(blocks[fs.name])
+        if blocks[fs.name]
         else np.empty((0, fs.width))
         for fs in sets
     }

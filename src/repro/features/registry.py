@@ -14,19 +14,36 @@ papers) plug in without touching any call site:
     ...                      lambda a: extract_v_features_subset(a),
     ...                      ("V13_entropy",))
 
-The built-in "V" and "J" sets register themselves on import.
+A set may additionally carry a ``batch_extractor`` — a column-batch
+kernel mapping a sequence of
+:class:`~repro.vba.analyzer.AnalysisSummary` digests straight to the
+``(n, width)`` float64 matrix.  :meth:`FeatureSet.extract_matrix` uses
+it when present and falls back to per-row extraction for third-party
+sets that only define ``extractor``, so every call site gets the
+vectorized hot path for free where one exists.
+
+The built-in "V" and "J" sets register themselves (with their batch
+kernels) on import.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.features.jfeatures import J_FEATURE_NAMES, j_features_from_analysis
-from repro.features.vfeatures import V_FEATURE_NAMES, v_features_from_analysis
-from repro.vba.analyzer import MacroAnalysis
+from repro.features.jfeatures import (
+    J_FEATURE_NAMES,
+    j_features_batch,
+    j_features_from_analysis,
+)
+from repro.features.vfeatures import (
+    V_FEATURE_NAMES,
+    v_features_batch,
+    v_features_from_analysis,
+)
+from repro.vba.analyzer import AnalysisSummary, MacroAnalysis
 
 
 @dataclass(frozen=True, slots=True)
@@ -37,6 +54,8 @@ class FeatureSet:
     extractor: Callable[[MacroAnalysis], np.ndarray]
     names: tuple[str, ...]
     description: str = ""
+    #: optional column-batch kernel: summaries → (n, width) float64 matrix
+    batch_extractor: Callable[[Sequence[AnalysisSummary]], np.ndarray] | None = None
 
     @property
     def width(self) -> int:
@@ -51,6 +70,34 @@ class FeatureSet:
             )
         return row
 
+    def extract_matrix(
+        self, analyses: Sequence[MacroAnalysis | AnalysisSummary]
+    ) -> np.ndarray:
+        """Vectorize many macros at once: the ``(n, width)`` matrix.
+
+        With a ``batch_extractor`` the whole matrix is produced by the
+        column-batch kernel over the analyses' summaries (accepted
+        directly too); without one, rows are extracted one at a time —
+        identical output, just slower.
+        """
+        if not analyses:
+            return np.empty((0, self.width), dtype=np.float64)
+        if self.batch_extractor is not None:
+            summaries = [
+                item.ensure_summary() if isinstance(item, MacroAnalysis) else item
+                for item in analyses
+            ]
+            matrix = np.asarray(
+                self.batch_extractor(summaries), dtype=np.float64
+            )
+            if matrix.shape != (len(analyses), self.width):
+                raise ValueError(
+                    f"feature set {self.name!r} batch kernel produced shape "
+                    f"{matrix.shape}, expected ({len(analyses)}, {self.width})"
+                )
+            return matrix
+        return np.vstack([self.extract(analysis) for analysis in analyses])
+
 
 _REGISTRY: dict[str, FeatureSet] = {}
 
@@ -61,6 +108,8 @@ def register_feature_set(
     names: tuple[str, ...] | list[str],
     *,
     description: str = "",
+    batch_extractor: Callable[[Sequence[AnalysisSummary]], np.ndarray]
+    | None = None,
     replace: bool = False,
 ) -> FeatureSet:
     """Register a feature set under ``name`` and return its descriptor."""
@@ -75,6 +124,7 @@ def register_feature_set(
         extractor=extractor,
         names=tuple(names),
         description=description,
+        batch_extractor=batch_extractor,
     )
     _REGISTRY[name] = feature_set
     return feature_set
@@ -108,10 +158,12 @@ register_feature_set(
     v_features_from_analysis,
     V_FEATURE_NAMES,
     description="Table IV discriminant features V1-V15",
+    batch_extractor=v_features_batch,
 )
 register_feature_set(
     "J",
     j_features_from_analysis,
     J_FEATURE_NAMES,
     description="Likarish-style JavaScript baseline J1-J20 (Table VI)",
+    batch_extractor=j_features_batch,
 )

@@ -21,22 +21,29 @@
 Normalization follows Section IV.C.4: instead of dividing count features by
 whole-script length (Aebersold et al.), V1 (comment-free code length) is the
 normalization unit — V5 is reported per V1 character.
+
+The extractor is a **column-batch kernel**: :func:`v_features_batch` maps a
+sequence of :class:`~repro.vba.analyzer.AnalysisSummary` digests to the
+``(n, 15)`` matrix in single numpy passes per feature group (O4 counts, O2
+string stats, O3 catalog fractions, O1 entropy/identifier stats).  The
+per-row API (:func:`v_features_from_analysis`) is the same kernel applied
+to a batch of one, so per-row and batch extraction agree bit-for-bit.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
-from repro.features.entropy import shannon_entropy
-from repro.vba.analyzer import MacroAnalysis, analyze
-from repro.vba.functions import (
-    ARITHMETIC_FUNCTIONS,
-    FINANCIAL_FUNCTIONS,
-    RICH_FUNCTIONS,
-    TEXT_FUNCTIONS,
-    TYPE_CONVERSION_FUNCTIONS,
+from repro.features.batch import (
+    gather,
+    gather_rows,
+    mean_from_sums,
+    safe_divide,
+    variance_from_sums,
 )
-from repro.vba.tokens import STRING_CONCAT_OPERATORS, TokenKind
+from repro.vba.analyzer import AnalysisSummary, MacroAnalysis, analyze
 
 V_FEATURE_NAMES: tuple[str, ...] = (
     "V1_code_chars",
@@ -57,53 +64,60 @@ V_FEATURE_NAMES: tuple[str, ...] = (
 )
 
 
-def _mean_and_variance(lengths: list[int]) -> tuple[float, float]:
-    if not lengths:
-        return 0.0, 0.0
-    array = np.asarray(lengths, dtype=np.float64)
-    return float(array.mean()), float(array.var())
-
-
 def extract_v_features(source: str) -> np.ndarray:
     """Extract the 15-dimensional V vector from one macro's source text."""
     return v_features_from_analysis(analyze(source))
 
 
 def v_features_from_analysis(analysis: MacroAnalysis) -> np.ndarray:
-    """Extract V1–V15 from a pre-computed structural analysis."""
-    code = analysis.code_without_comments
-    v1 = float(len(code))
-    v2 = float(len(analysis.comment_text))
+    """Extract V1–V15 from a pre-computed structural analysis.
 
-    v3, v4 = _mean_and_variance([len(word) for word in analysis.words])
+    A batch-of-one through :func:`v_features_batch` — bit-identical to the
+    row this macro would get inside any larger batch.
+    """
+    return v_features_batch([analysis.ensure_summary()])[0]
 
-    # V5: string-operator occurrences, normalized by V1 (Section IV.C.4).
-    operator_count = analysis.operator_count(STRING_CONCAT_OPERATORS)
-    v5 = operator_count / v1 if v1 else 0.0
 
-    string_chars = sum(
-        len(token.text)
-        for token in analysis.tokens
-        if token.kind is TokenKind.STRING
-    )
-    v6 = string_chars / v1 if v1 else 0.0
-    v7, _ = _mean_and_variance([len(s) for s in analysis.string_literals])
+def v_features_batch(summaries: Sequence[AnalysisSummary]) -> np.ndarray:
+    """The column-batch kernel: summaries → ``(n, 15)`` float64 matrix."""
+    n = len(summaries)
+    out = np.zeros((n, len(V_FEATURE_NAMES)), dtype=np.float64)
+    if n == 0:
+        return out
 
-    v8 = analysis.called_builtin_fraction(TEXT_FUNCTIONS)
-    v9 = analysis.called_builtin_fraction(ARITHMETIC_FUNCTIONS)
-    v10 = analysis.called_builtin_fraction(TYPE_CONVERSION_FUNCTIONS)
-    v11 = analysis.called_builtin_fraction(FINANCIAL_FUNCTIONS)
-    v12 = analysis.called_builtin_fraction(RICH_FUNCTIONS)
-
-    v13 = shannon_entropy(analysis.source)
-    v14, v15 = _mean_and_variance(
-        [len(name) for name in analysis.declared_identifiers]
+    # O4 group: code/comment volume and word-length shape.
+    v1 = gather(summaries, "code_chars")
+    out[:, 0] = v1
+    out[:, 1] = gather(summaries, "comment_chars")
+    word_count = gather(summaries, "word_count")
+    word_sum = gather(summaries, "word_len_sum")
+    out[:, 2] = mean_from_sums(word_count, word_sum)
+    out[:, 3] = variance_from_sums(
+        word_count, word_sum, gather(summaries, "word_len_sqsum")
     )
 
-    return np.array(
-        [v1, v2, v3, v4, v5, v6, v7, v8, v9, v10, v11, v12, v13, v14, v15],
-        dtype=np.float64,
+    # O2 group: string operators and literal volume, per V1 character.
+    out[:, 4] = safe_divide(gather(summaries, "string_op_count"), v1)
+    out[:, 5] = safe_divide(gather(summaries, "string_token_chars"), v1)
+    out[:, 6] = mean_from_sums(
+        gather(summaries, "string_count"), gather(summaries, "string_len_sum")
     )
+
+    # O3 group: call-catalog fractions V8–V12 in one (n, 5) pass.
+    calls = gather(summaries, "call_count")
+    out[:, 7:12] = safe_divide(
+        gather_rows(summaries, "catalog_hits"), calls[:, np.newaxis]
+    )
+
+    # O1 group: entropy and identifier-length shape.
+    out[:, 12] = gather(summaries, "entropy")
+    ident_count = gather(summaries, "identifier_count")
+    ident_sum = gather(summaries, "identifier_len_sum")
+    out[:, 13] = mean_from_sums(ident_count, ident_sum)
+    out[:, 14] = variance_from_sums(
+        ident_count, ident_sum, gather(summaries, "identifier_len_sqsum")
+    )
+    return out
 
 
 #: Feature-group slices for the ablation benchmarks (DESIGN.md §5): which

@@ -95,6 +95,17 @@ def summarize(registry, cache_info: dict[str, int] | None = None) -> str:
             f" / {cache_info.get('evictions', 0)} evictions"
             f" ({rate:.1%} hit rate)"
         )
+        feature_lookups = cache_info.get("feature_hits", 0) + cache_info.get(
+            "feature_misses", 0
+        )
+        if feature_lookups:
+            feature_rate = cache_info["feature_hits"] / feature_lookups
+            lines.append(
+                f"  feature cache: {cache_info['feature_hits']} hits"
+                f" / {cache_info['feature_misses']} misses"
+                f" / {cache_info.get('feature_evictions', 0)} evictions"
+                f" ({feature_rate:.1%} hit rate)"
+            )
 
     errors = {
         name.removeprefix("errors."): value

@@ -30,6 +30,7 @@ from repro.resilience.archive import (
     ArchiveLimits,
     expand_archive,
     is_plain_archive,
+    is_tar_archive,
 )
 from repro.resilience.budgets import (
     BUDGET_PRESETS,
@@ -69,6 +70,7 @@ __all__ = [
     "call_with_timeout",
     "expand_archive",
     "is_plain_archive",
+    "is_tar_archive",
     "load_replay_targets",
     "quarantine_record",
     "quarantine_report",

@@ -1,34 +1,42 @@
-"""Zip-of-documents expansion for batch commands, with zip-bomb guards.
+"""Archive-of-documents expansion for batch commands, with bomb guards.
 
-Malware feeds deliver documents in bulk as plain zip archives — a mailbox
-export, a sandbox day's haul — and the ROADMAP has long wanted the batch
-CLI commands to expand them inline.  The catch is that an archive is also
-the classic amplification vector, so expansion is budgeted before the
-first member is decompressed:
+Malware feeds deliver documents in bulk as plain archives — a mailbox
+export as a zip, a sandbox day's haul as a ``.tar.gz`` — and the ROADMAP
+has long wanted the batch CLI commands to expand them inline.  The catch
+is that an archive is also the classic amplification vector, so expansion
+is budgeted before the first member is decompressed:
 
-* ``max_members`` — refuse archives with more entries than this;
+* ``max_members`` — refuse archives with more entries than this (the cap
+  also applies *cumulatively* across nested expansion);
 * ``max_member_bytes`` — refuse any member whose *declared* uncompressed
-  size exceeds the cap (checked from the central directory, before
-  inflating);
-* ``max_ratio`` — refuse members whose uncompressed/compressed ratio
-  exceeds the cap (the 42.zip signature);
-* ``max_total_bytes`` — refuse once the declared total would exceed the
-  cap.
+  size exceeds the cap (checked from the central directory / tar headers,
+  before inflating);
+* ``max_ratio`` — refuse zip members whose uncompressed/compressed ratio
+  exceeds the cap (the 42.zip signature); for gzip-compressed tars the
+  same cap applies to the whole archive's declared/compressed ratio;
+* ``max_total_bytes`` — refuse once the declared total (summed across
+  nesting levels) would exceed the cap.
 
-Declared sizes can lie, so each member is additionally read through
-``ZipFile.open`` in bounded pieces and abandoned the moment the *actual*
-bytes cross the member cap.  A tripped guard raises
-:class:`ArchiveBombError`; callers turn that into one error record for the
-archive instead of expanding it.
+Declared sizes can lie, so each member is additionally read in bounded
+pieces and abandoned the moment the *actual* bytes cross the member cap.
+A tripped guard raises :class:`ArchiveBombError`; callers turn that into
+one error record for the archive instead of expanding it.
 
-An archive is only expanded when it is a *plain* zip — a zip that is not
-itself an OOXML document (no ``vbaProject.bin`` / ``[Content_Types].xml``
-part), so ``.docm`` files keep flowing to the extractor untouched.
+A member that is itself a plain archive (zip-in-zip, tar-in-zip, …) is
+expanded in place — **one level deep** by default (``max_depth``); deeper
+archives pass through as ordinary inputs.  All guards share one budget
+across the whole nested expansion, so a bomb cannot hide behind a level
+of wrapping.
+
+A zip is only expanded when it is *plain* — not itself an OOXML document
+(no ``vbaProject.bin`` / ``[Content_Types].xml`` part) — so ``.docm``
+files keep flowing to the extractor untouched, at any nesting level.
 """
 
 from __future__ import annotations
 
 import io
+import tarfile
 import zipfile
 from dataclasses import dataclass
 
@@ -39,6 +47,10 @@ _OOXML_MARKERS = ("[content_types].xml",)
 
 #: Chunk size for bounded member reads (declared sizes can lie).
 _READ_CHUNK = 1024 * 1024
+
+_GZIP_MAGIC = b"\x1f\x8b"
+#: Offset of the ``ustar`` magic in a POSIX tar header block.
+_TAR_MAGIC_OFFSET = 257
 
 
 class ArchiveBombError(ValueError):
@@ -72,31 +84,128 @@ def is_plain_archive(data: bytes) -> bool:
     return not any(marker in names for marker in _OOXML_MARKERS)
 
 
+def is_tar_archive(data: bytes) -> bool:
+    """True for a readable (optionally gzip-compressed) POSIX tar feed.
+
+    Old pre-POSIX tars carry no magic and are not recognized — feeds are
+    modern ``tar``/``tar.gz`` output in practice.
+    """
+    if (
+        data[:2] != _GZIP_MAGIC
+        and data[_TAR_MAGIC_OFFSET : _TAR_MAGIC_OFFSET + 5] != b"ustar"
+    ):
+        return False
+    try:
+        with tarfile.open(fileobj=io.BytesIO(data), mode="r:*"):
+            return True
+    except (tarfile.TarError, OSError, EOFError, ValueError):
+        return False
+
+
 def expand_archive(
     source_id: str,
     data: bytes,
     limits: ArchiveLimits | None = None,
     metrics=None,
+    *,
+    max_depth: int = 1,
 ) -> list[tuple[str, bytes]]:
-    """Expand one plain zip into ``(member_id, bytes)`` batch inputs.
+    """Expand one plain archive into ``(member_id, bytes)`` batch inputs.
 
-    Member ids are ``<archive>!<member>`` so every downstream record names
-    its provenance.  Directory entries are skipped.  Raises
-    :class:`ArchiveBombError` the moment any guard trips — expansion is
-    all-or-nothing so a bomb cannot smuggle *some* members through.
+    Handles plain zips and (optionally gzipped) tars.  Member ids are
+    ``<archive>!<member>`` so every downstream record names its
+    provenance; a nested archive's members get a second ``!`` segment.
+    Directory entries are skipped.  Members that are themselves plain
+    archives are expanded in place up to ``max_depth`` levels below the
+    outer archive, against the *same* cumulative member/byte budget.
+    Raises :class:`ArchiveBombError` the moment any guard trips —
+    expansion is all-or-nothing so a bomb cannot smuggle *some* members
+    through.
     """
     limits = limits if limits is not None else DEFAULT_LIMITS
+    totals = {"members": 0, "bytes": 0, "nested_archives": 0, "nested_members": 0}
+    expanded = _expand_any(source_id, data, limits, 0, max_depth, totals)
+    if metrics is not None and metrics.enabled:
+        metrics.counter("archive.expanded").inc()
+        metrics.counter("archive.members").inc(len(expanded))
+        if totals["nested_archives"]:
+            metrics.counter("archive.nested_expanded").inc(
+                totals["nested_archives"]
+            )
+            metrics.counter("archive.nested_members").inc(
+                totals["nested_members"]
+            )
+    return expanded
+
+
+def _expand_any(
+    source_id: str,
+    data: bytes,
+    limits: ArchiveLimits,
+    depth: int,
+    max_depth: int,
+    totals: dict,
+) -> list[tuple[str, bytes]]:
+    """Dispatch one archive by format, then recurse into archive members."""
+    if is_zip(data):
+        members = _expand_zip(source_id, data, limits, totals)
+    else:
+        members = _expand_tar(source_id, data, limits, totals)
+    if depth >= max_depth:
+        return members
+    expanded: list[tuple[str, bytes]] = []
+    for member_id, member_data in members:
+        if is_plain_archive(member_data) or is_tar_archive(member_data):
+            nested = _expand_any(
+                member_id, member_data, limits, depth + 1, max_depth, totals
+            )
+            totals["nested_archives"] += 1
+            totals["nested_members"] += len(nested)
+            expanded.extend(nested)
+        else:
+            expanded.append((member_id, member_data))
+    return expanded
+
+
+def _check_member_budget(count: int, limits: ArchiveLimits, totals: dict) -> None:
+    """Per-archive and whole-expansion member caps."""
+    if limits.max_members is None:
+        return
+    if count > limits.max_members:
+        raise ArchiveBombError(
+            f"{count} members exceed the {limits.max_members}-member cap"
+        )
+    totals["members"] += count
+    if totals["members"] > limits.max_members:
+        raise ArchiveBombError(
+            f"{totals['members']} members across nested expansion exceed "
+            f"the {limits.max_members}-member cap"
+        )
+
+
+def _charge_declared(size: int, limits: ArchiveLimits, totals: dict) -> None:
+    """Charge one member's declared size against the whole-expansion cap."""
+    totals["bytes"] += size
+    if (
+        limits.max_total_bytes is not None
+        and totals["bytes"] > limits.max_total_bytes
+    ):
+        raise ArchiveBombError(
+            f"declared total {totals['bytes']:,} bytes exceeds the "
+            f"{limits.max_total_bytes:,}-byte cap"
+        )
+
+
+def _expand_zip(
+    source_id: str, data: bytes, limits: ArchiveLimits, totals: dict
+) -> list[tuple[str, bytes]]:
     try:
         archive = zipfile.ZipFile(io.BytesIO(data))
     except (zipfile.BadZipFile, zipfile.LargeZipFile, OSError) as error:
         raise ArchiveBombError(f"unreadable archive: {error}") from error
     with archive:
         members = [info for info in archive.infolist() if not info.is_dir()]
-        if limits.max_members is not None and len(members) > limits.max_members:
-            raise ArchiveBombError(
-                f"{len(members)} members exceed the {limits.max_members}-member cap"
-            )
-        declared_total = 0
+        _check_member_budget(len(members), limits, totals)
         for info in members:
             if (
                 limits.max_member_bytes is not None
@@ -113,50 +222,83 @@ def expand_archive(
                         f"member {info.filename!r} expands {ratio:.0f}x "
                         f"(cap {limits.max_ratio:.0f}x)"
                     )
-            declared_total += info.file_size
-            if (
-                limits.max_total_bytes is not None
-                and declared_total > limits.max_total_bytes
-            ):
-                raise ArchiveBombError(
-                    f"declared total {declared_total:,} bytes exceeds the "
-                    f"{limits.max_total_bytes:,}-byte cap"
-                )
+            _charge_declared(info.file_size, limits, totals)
         expanded: list[tuple[str, bytes]] = []
         for info in members:
-            expanded.append(
-                (f"{source_id}!{info.filename}", _read_bounded(archive, info, limits))
-            )
-    if metrics is not None and metrics.enabled:
-        metrics.counter("archive.expanded").inc()
-        metrics.counter("archive.members").inc(len(expanded))
+            with archive.open(info) as handle:
+                payload = _read_bounded(
+                    handle, info.filename, info.file_size, limits
+                )
+            expanded.append((f"{source_id}!{info.filename}", payload))
+    return expanded
+
+
+def _expand_tar(
+    source_id: str, data: bytes, limits: ArchiveLimits, totals: dict
+) -> list[tuple[str, bytes]]:
+    try:
+        archive = tarfile.open(fileobj=io.BytesIO(data), mode="r:*")
+    except (tarfile.TarError, OSError, EOFError, ValueError) as error:
+        raise ArchiveBombError(f"unreadable archive: {error}") from error
+    with archive:
+        try:
+            members = [info for info in archive.getmembers() if info.isfile()]
+        except (tarfile.TarError, OSError, EOFError) as error:
+            raise ArchiveBombError(f"unreadable archive: {error}") from error
+        _check_member_budget(len(members), limits, totals)
+        declared = 0
+        for info in members:
+            if (
+                limits.max_member_bytes is not None
+                and info.size > limits.max_member_bytes
+            ):
+                raise ArchiveBombError(
+                    f"member {info.name!r} declares "
+                    f"{info.size:,} bytes (cap {limits.max_member_bytes:,})"
+                )
+            declared += info.size
+            _charge_declared(info.size, limits, totals)
+        # tar compresses the whole stream, so the ratio guard applies to
+        # the archive as a unit (per-member compressed sizes don't exist).
+        if limits.max_ratio is not None and data[:2] == _GZIP_MAGIC and data:
+            ratio = declared / len(data)
+            if ratio > limits.max_ratio:
+                raise ArchiveBombError(
+                    f"archive expands {ratio:.0f}x "
+                    f"(cap {limits.max_ratio:.0f}x)"
+                )
+        expanded = []
+        for info in members:
+            handle = archive.extractfile(info)
+            if handle is None:
+                continue
+            with handle:
+                payload = _read_bounded(handle, info.name, info.size, limits)
+            expanded.append((f"{source_id}!{info.name}", payload))
     return expanded
 
 
 def _read_bounded(
-    archive: zipfile.ZipFile, info: zipfile.ZipInfo, limits: ArchiveLimits
+    handle, name: str, declared: int, limits: ArchiveLimits
 ) -> bytes:
-    """Read one member, trusting actual bytes over the declared size."""
+    """Read one member stream, trusting actual bytes over the declared size."""
     cap = limits.max_member_bytes
     pieces: list[bytes] = []
     total = 0
     try:
-        with archive.open(info) as handle:
-            while True:
-                piece = handle.read(_READ_CHUNK)
-                if not piece:
-                    break
-                total += len(piece)
-                if cap is not None and total > cap:
-                    raise ArchiveBombError(
-                        f"member {info.filename!r} produced more than "
-                        f"{cap:,} bytes (declared {info.file_size:,})"
-                    )
-                pieces.append(piece)
+        while True:
+            piece = handle.read(_READ_CHUNK)
+            if not piece:
+                break
+            total += len(piece)
+            if cap is not None and total > cap:
+                raise ArchiveBombError(
+                    f"member {name!r} produced more than "
+                    f"{cap:,} bytes (declared {declared:,})"
+                )
+            pieces.append(piece)
     except ArchiveBombError:
         raise
     except Exception as error:  # CRC errors, truncated streams, bad methods
-        raise ArchiveBombError(
-            f"unreadable member {info.filename!r}: {error}"
-        ) from error
+        raise ArchiveBombError(f"unreadable member {name!r}: {error}") from error
     return b"".join(pieces)

@@ -11,6 +11,16 @@
   position — categorized against the built-in catalogs for V8–V12;
 * string literals, comments, and the paper's notion of "words" (units
   delimited by whitespace and VBA symbols, following Likarish et al.).
+
+On top of the structural analysis sits :class:`AnalysisSummary` — a small,
+picklable, array-backed digest of everything the feature extractors need
+(token-kind counts, word/string/identifier length arrays with exact integer
+sums, a char-class histogram, Shannon entropy computed once).  It is built
+in a single token walk plus one vectorized character pass, so feature
+kernels never re-walk tokens or re-scan the source.  All of its reductions
+are segment-local (per macro), which is what makes the batch feature
+kernels row-deterministic: a macro's feature row is bit-identical whether
+it is extracted alone or in a batch of thousands.
 """
 
 from __future__ import annotations
@@ -18,9 +28,18 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
-from repro.vba.functions import ALL_CATEGORIZED_FUNCTIONS
+import numpy as np
+
+from repro.vba.functions import (
+    ALL_CATEGORIZED_FUNCTIONS,
+    ARITHMETIC_FUNCTIONS,
+    FINANCIAL_FUNCTIONS,
+    RICH_FUNCTIONS,
+    TEXT_FUNCTIONS,
+    TYPE_CONVERSION_FUNCTIONS,
+)
 from repro.vba.lexer import tokenize
-from repro.vba.tokens import Token, TokenKind
+from repro.vba.tokens import STRING_CONCAT_OPERATORS, Token, TokenKind
 
 # Keywords that introduce a procedure whose following identifier is the
 # procedure name.
@@ -31,6 +50,38 @@ _PROCEDURE_KEYWORDS = frozenset({"sub", "function", "property"})
 _DECLARATION_KEYWORDS = frozenset({"dim", "const", "redim", "static"})
 
 _WORD_PATTERN = re.compile(r"[A-Za-z0-9_$#@%!&]+")
+
+#: J14's VBA adaptation (Section V.B of the paper): a line is "long" past
+#: 150 characters instead of the JavaScript studies' 1000.
+LONG_LINE_THRESHOLD = 150
+
+#: Procedure bodies, split on Sub/Function boundaries (J18–J20).
+_FUNCTION_BODY_PATTERN = re.compile(
+    r"(?:^|\n)[ \t]*(?:Public\s+|Private\s+)?(?:Sub|Function)\s+\w+"
+    r".*?\n(.*?)(?:^|\n)[ \t]*End (?:Sub|Function)",
+    re.DOTALL | re.IGNORECASE,
+)
+
+#: The built-in call catalogs, in the fixed column order used by
+#: :attr:`AnalysisSummary.catalog_hits` (and features V8–V12).
+CATALOG_ORDER: tuple[frozenset[str], ...] = (
+    TEXT_FUNCTIONS,
+    ARITHMETIC_FUNCTIONS,
+    TYPE_CONVERSION_FUNCTIONS,
+    FINANCIAL_FUNCTIONS,
+    RICH_FUNCTIONS,
+)
+
+_KIND_INDEX: dict[TokenKind, int] = {
+    kind: index for index, kind in enumerate(TokenKind)
+}
+
+#: char-class histogram shape: one bin per ASCII codepoint plus a single
+#: overflow bin for everything non-ASCII.
+_HIST_BINS = 129
+_HIST_OVERFLOW = 128
+
+_VOWELS = frozenset("aeiouAEIOU")
 
 
 @dataclass(slots=True)
@@ -54,6 +105,8 @@ class MacroAnalysis:
     string_literals: list[str] = field(default_factory=list)
     comments: list[str] = field(default_factory=list)
     procedure_names: list[str] = field(default_factory=list)
+    #: lazily-built array-backed digest for the batch feature kernels
+    summary: "AnalysisSummary | None" = field(default=None, compare=False)
 
     # ------------------------------------------------------------------
     # Derived text measures used by the feature extractors.
@@ -99,6 +152,68 @@ class MacroAnalysis:
         hits = sum(1 for call in self.call_sites if call.name.lower() in catalog)
         return hits / len(self.call_sites)
 
+    def ensure_summary(self) -> "AnalysisSummary":
+        """The cached :class:`AnalysisSummary`, built on first access."""
+        if self.summary is None:
+            self.summary = summarize(self)
+        return self.summary
+
+
+@dataclass(slots=True)
+class AnalysisSummary:
+    """Array-backed digest of one macro for the batch feature kernels.
+
+    Everything here is plain numbers and small numpy arrays: the summary
+    pickles cheaply, travels through process pools, and lets the V/J
+    extractors compute whole feature columns in single vectorized passes
+    without touching tokens again.  Integer sums (``*_sum``/``*_sqsum``)
+    are exact in float64, so means and variances derived from them do not
+    depend on batch composition.
+    """
+
+    # -- characters ----------------------------------------------------
+    source_chars: int
+    code_chars: int  # source minus comment-token text (the lexer is lossless)
+    comment_chars: int
+    whitespace_chars: int  # " \t\r\n"
+    backslash_chars: int
+    entropy: float  # Shannon entropy of the source, computed exactly once
+    char_histogram: np.ndarray  # (129,) int64: ASCII bins + one overflow bin
+    # -- line structure ------------------------------------------------
+    line_count: int
+    long_line_count: int  # lines beyond LONG_LINE_THRESHOLD chars
+    line_lengths: np.ndarray
+    # -- tokens ----------------------------------------------------------
+    token_kind_counts: np.ndarray  # (len(TokenKind),) int64, TokenKind order
+    comment_count: int
+    # -- the paper's "words" -------------------------------------------
+    word_count: int
+    word_len_sum: int
+    word_len_sqsum: int
+    readable_word_count: int
+    words_in_comment_count: int
+    word_lengths: np.ndarray
+    # -- string literals -----------------------------------------------
+    string_count: int
+    string_len_sum: int  # decoded literal lengths
+    string_token_chars: int  # raw token text incl. quotes (V6/J16)
+    string_op_count: int  # OPERATOR tokens in STRING_CONCAT_OPERATORS
+    string_lengths: np.ndarray
+    # -- declared identifiers ------------------------------------------
+    identifier_count: int
+    identifier_len_sum: int
+    identifier_len_sqsum: int
+    identifier_lengths: np.ndarray
+    # -- call sites ----------------------------------------------------
+    call_count: int
+    member_call_count: int
+    catalog_hits: np.ndarray  # (5,) int64 in CATALOG_ORDER
+    argument_count: int
+    argument_len_sum: int
+    # -- procedure bodies ----------------------------------------------
+    body_count: int
+    body_total_chars: int
+
 
 def analyze(source: str) -> MacroAnalysis:
     """Run the full structural analysis over one module's source code."""
@@ -106,6 +221,194 @@ def analyze(source: str) -> MacroAnalysis:
     analysis.tokens = tokenize(source)
     _collect(analysis)
     return analysis
+
+
+def summarize(analysis: MacroAnalysis) -> AnalysisSummary:
+    """Build the array-backed summary from one finished analysis.
+
+    One walk over the token list, one vectorized pass over the characters,
+    one regex pass for words and one for procedure bodies — after this the
+    feature extractors never look at the analysis again.
+    """
+    source = analysis.source
+    char_histogram, entropy = _char_stats(source)
+    whitespace_chars = int(
+        char_histogram[32] + char_histogram[9]
+        + char_histogram[13] + char_histogram[10]
+    )
+    backslash_chars = int(char_histogram[92])
+
+    token_kind_counts = np.zeros(len(_KIND_INDEX), dtype=np.int64)
+    comment_chars = 0
+    comment_parts: list[str] = []
+    string_token_chars = 0
+    string_op_count = 0
+    for token in analysis.tokens:
+        token_kind_counts[_KIND_INDEX[token.kind]] += 1
+        kind = token.kind
+        if kind is TokenKind.COMMENT:
+            comment_chars += len(token.text)
+            comment_parts.append(token.text)
+        elif kind is TokenKind.STRING:
+            string_token_chars += len(token.text)
+        elif kind is TokenKind.OPERATOR and token.text in STRING_CONCAT_OPERATORS:
+            string_op_count += 1
+    comment_text = "".join(comment_parts)
+
+    lines = source.splitlines()
+    line_lengths = np.fromiter(
+        (len(line) for line in lines), dtype=np.int64, count=len(lines)
+    )
+    long_line_count = (
+        int((line_lengths > LONG_LINE_THRESHOLD).sum()) if len(lines) else 0
+    )
+
+    words = _WORD_PATTERN.findall(source)
+    word_lengths = np.fromiter(
+        (len(word) for word in words), dtype=np.int64, count=len(words)
+    )
+    readable_word_count = sum(
+        1 for word in words if _is_human_readable(word)
+    )
+    words_in_comment_count = (
+        sum(1 for word in words if word in comment_text) if comment_text else 0
+    )
+
+    string_lengths = np.fromiter(
+        (len(value) for value in analysis.string_literals),
+        dtype=np.int64,
+        count=len(analysis.string_literals),
+    )
+    identifier_lengths = np.fromiter(
+        (len(name) for name in analysis.declared_identifiers),
+        dtype=np.int64,
+        count=len(analysis.declared_identifiers),
+    )
+
+    catalog_hits = np.zeros(len(CATALOG_ORDER), dtype=np.int64)
+    member_call_count = 0
+    for call in analysis.call_sites:
+        lowered = call.name.lower()
+        if call.is_member:
+            member_call_count += 1
+        for column, catalog in enumerate(CATALOG_ORDER):
+            if lowered in catalog:
+                catalog_hits[column] += 1
+
+    argument_lengths = _argument_lengths(analysis.tokens)
+
+    body_count = 0
+    body_total_chars = 0
+    for match in _FUNCTION_BODY_PATTERN.finditer(source):
+        body_count += 1
+        body_total_chars += match.end(1) - match.start(1)
+
+    return AnalysisSummary(
+        source_chars=len(source),
+        code_chars=len(source) - comment_chars,
+        comment_chars=comment_chars,
+        whitespace_chars=whitespace_chars,
+        backslash_chars=backslash_chars,
+        entropy=entropy,
+        char_histogram=char_histogram,
+        line_count=len(lines),
+        long_line_count=long_line_count,
+        line_lengths=line_lengths,
+        token_kind_counts=token_kind_counts,
+        comment_count=int(token_kind_counts[_KIND_INDEX[TokenKind.COMMENT]]),
+        word_count=len(words),
+        word_len_sum=int(word_lengths.sum()),
+        word_len_sqsum=int((word_lengths * word_lengths).sum()),
+        readable_word_count=readable_word_count,
+        words_in_comment_count=words_in_comment_count,
+        word_lengths=word_lengths,
+        string_count=len(analysis.string_literals),
+        string_len_sum=int(string_lengths.sum()),
+        string_token_chars=string_token_chars,
+        string_op_count=string_op_count,
+        string_lengths=string_lengths,
+        identifier_count=len(analysis.declared_identifiers),
+        identifier_len_sum=int(identifier_lengths.sum()),
+        identifier_len_sqsum=int((identifier_lengths * identifier_lengths).sum()),
+        identifier_lengths=identifier_lengths,
+        call_count=len(analysis.call_sites),
+        member_call_count=member_call_count,
+        catalog_hits=catalog_hits,
+        argument_count=len(argument_lengths),
+        argument_len_sum=int(sum(argument_lengths)),
+        body_count=body_count,
+        body_total_chars=body_total_chars,
+    )
+
+
+def _char_stats(source: str) -> tuple[np.ndarray, float]:
+    """Char-class histogram + Shannon entropy from one vectorized pass."""
+    if not source:
+        return np.zeros(_HIST_BINS, dtype=np.int64), 0.0
+    codes = np.frombuffer(source.encode("utf-32-le"), dtype=np.uint32)
+    histogram = np.bincount(
+        np.minimum(codes, _HIST_OVERFLOW), minlength=_HIST_BINS
+    ).astype(np.int64)
+    _, counts = np.unique(codes, return_counts=True)
+    probabilities = counts / len(codes)
+    entropy = float(-(probabilities * np.log2(probabilities)).sum())
+    return histogram, entropy
+
+
+def _is_human_readable(word: str) -> bool:
+    """Likarish-style readability: a word looks pronounceable.
+
+    Heuristic: mostly letters, contains a vowel, not absurdly long, and no
+    long consonant run (pronounceable English never stacks 4+ consonants the
+    way ``rjzybhqrliy``-style random identifiers do).
+    """
+    if not word or len(word) > 15:
+        return False
+    letters = sum(1 for ch in word if ch.isalpha())
+    if letters < len(word) * 0.5:
+        return False
+    if not any(ch in _VOWELS for ch in word):
+        return False
+    run = 0
+    for ch in word:
+        if ch.isalpha() and ch not in _VOWELS:
+            run += 1
+            if run >= 4:
+                return False
+        else:
+            run = 0
+    return True
+
+
+def _argument_lengths(all_tokens: list[Token]) -> list[int]:
+    """Character lengths of parenthesized call arguments (J9)."""
+    lengths: list[int] = []
+    tokens = [
+        t
+        for t in all_tokens
+        if t.kind
+        not in (TokenKind.WHITESPACE, TokenKind.NEWLINE, TokenKind.EOF)
+    ]
+    for index, token in enumerate(tokens[:-1]):
+        if token.kind is not TokenKind.IDENTIFIER:
+            continue
+        nxt = tokens[index + 1]
+        if nxt.kind is not TokenKind.PUNCT or nxt.text != "(":
+            continue
+        depth = 0
+        size = 0
+        for inner in tokens[index + 1 :]:
+            if inner.kind is TokenKind.PUNCT and inner.text == "(":
+                depth += 1
+                if depth == 1:
+                    continue
+            if inner.kind is TokenKind.PUNCT and inner.text == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            size += len(inner.text)
+        lengths.append(size)
+    return lengths
 
 
 # ----------------------------------------------------------------------

@@ -155,6 +155,8 @@ class TestCache:
         engine.run(documents[0])
         assert engine.cache_info() == {
             "hits": 0, "misses": 0, "evictions": 0, "size": 0,
+            "feature_hits": 0, "feature_misses": 0,
+            "feature_evictions": 0, "feature_size": 0,
         }
 
 

@@ -18,11 +18,12 @@ import time
 
 import pytest
 
+from repro.corpus.documents import build_document_bytes
 from repro.engine import AnalysisEngine
 from repro.engine.records import DocumentRecord
 from repro.engine.stages import Stage
 from repro.obs import MetricsRegistry
-from repro.resilience import DEFAULT_RETRY, FaultPlan, RetryPolicy
+from repro.resilience import DEFAULT_RETRY, Fault, FaultPlan, RetryPolicy
 from repro.resilience import recovery as recovery_module
 
 
@@ -230,3 +231,120 @@ class TestSerialParity:
 
         assert [shape(r) for r in serial] == [shape(r) for r in streamed]
         engine.close()
+
+
+def big_docs(count, chars=200_000):
+    """Documents whose records pickle far beyond the shm threshold."""
+    pairs = []
+    for index in range(count):
+        lines = [f"Sub Big{index}()"]
+        lines.extend(
+            f'    v{index}_{line} = "padding {index} {line} {"x" * 64}"'
+            for line in range(chars // 96)
+        )
+        lines.append("End Sub")
+        source = "\n".join(lines) + "\n"
+        pairs.append((f"big_{index:03d}", build_document_bytes([source], "docm")))
+    return pairs
+
+
+class TestSharedMemoryTransport:
+    def test_large_records_ride_shared_memory_with_exact_parity(self):
+        pairs = big_docs(4)
+        serial = AnalysisEngine.for_extraction(
+            metrics=MetricsRegistry(), budget=None
+        ).run_batch(pairs)
+        registry = MetricsRegistry()
+        engine = AnalysisEngine.for_extraction(metrics=registry, budget=None)
+        streamed = engine.run_batch(pairs, jobs=2)
+
+        def shape(record):
+            payload = record.to_dict()
+            payload.pop("timings")
+            return payload
+
+        assert [shape(r) for r in serial] == [shape(r) for r in streamed]
+        # The extracted module sources survive the segment round-trip.
+        for record, reference in zip(streamed, serial):
+            assert record.ok
+            assert [m.source for m in record.macros] == [
+                m.source for m in reference.macros
+            ]
+        counters = registry.to_dict()["counters"]
+        assert counters["stream.shm_results"] == len(pairs)
+        assert counters["stream.shm_bytes"] > len(pairs) * 64 * 1024
+        assert counters.get("stream.shm_fallback", 0) == 0
+        engine.close()
+
+    def test_shm_threshold_zero_disables_transport(self):
+        pairs = big_docs(2)
+        registry = MetricsRegistry()
+        engine = AnalysisEngine.for_extraction(metrics=registry, budget=None)
+        engine.shm_threshold = 0
+        records = engine.run_batch(pairs, jobs=2)
+        assert all(record.ok for record in records)
+        counters = registry.to_dict()["counters"]
+        assert counters.get("stream.shm_results", 0) == 0
+        engine.close()
+
+    def test_segments_are_reclaimed_not_leaked(self):
+        # Many large results through few workers: the per-worker segment
+        # pool must recycle instead of growing one segment per task.
+        pairs = big_docs(6, chars=120_000)
+        registry = MetricsRegistry()
+        engine = AnalysisEngine.for_extraction(metrics=registry, budget=None)
+        records = engine.run_batch(pairs, jobs=2)
+        assert all(record.ok for record in records)
+        counters = registry.to_dict()["counters"]
+        assert counters["stream.shm_results"] == len(pairs)
+        pool = engine._pool
+        names = set().union(*(slot.shm_names for slot in pool._slots))
+        # 2 workers x a pooled segment (or two) each, not 6 fresh segments.
+        assert len(names) <= 4
+        engine.close()
+
+
+class TestChaosUnderBackpressure:
+    def test_hang_and_oversize_mix_keeps_window_and_totality(
+        self, document_factory
+    ):
+        """ISSUE 6 satellite: a FaultPlan mixing a hanging document with an
+        oversized one at ``--window 4`` must neither blow the admission
+        window nor lose a record (N in, N out, in order)."""
+        pairs = document_factory(12)
+        hang_id, oversize_id = pairs[3][0], pairs[7][0]
+        plan = FaultPlan(
+            faults=(Fault("hang", hang_id), Fault("oversize", oversize_id)),
+            hang_s=0.2,
+            oversize_bytes=256 * 1024,  # also exercises the shm transport
+        )
+        engine = AnalysisEngine.for_extraction(chaos=plan)
+        records = list(engine.stream(pairs, jobs=2, window=4, ordered=True))
+        assert [r.source_id for r in records] == [sid for sid, _ in pairs]
+        assert engine._pool.peak_in_flight <= 4
+        oversized = next(r for r in records if r.source_id == oversize_id)
+        assert any(len(m.source) >= 256 * 1024 for m in oversized.macros)
+        for record in records:
+            assert record.quarantine is None
+        engine.close()
+
+
+class TestFeatureCacheTelemetry:
+    def test_worker_feature_cache_counters_merge(self, document_factory):
+        pairs = document_factory(6)
+        serial_engine = AnalysisEngine(
+            feature_sets=("V", "J"), metrics=MetricsRegistry()
+        )
+        serial_engine.run_batch(pairs, jobs=1)
+        parallel_engine = AnalysisEngine(
+            feature_sets=("V", "J"), metrics=MetricsRegistry()
+        )
+        parallel_engine.run_batch(pairs, jobs=2)
+        serial_info = serial_engine.cache_info()
+        parallel_info = parallel_engine.cache_info()
+        # Counters agree after the telemetry merge; sizes legitimately
+        # differ (row contents never leave the worker processes).
+        for key in ("feature_hits", "feature_misses", "feature_evictions"):
+            assert serial_info[key] == parallel_info[key], key
+        assert serial_info["feature_misses"] == len(pairs)
+        parallel_engine.close()

@@ -1,0 +1,267 @@
+"""Parity between per-row and column-batch feature extraction.
+
+The vectorized hot path (``extract_matrices`` over
+:class:`~repro.vba.analyzer.AnalysisSummary` batches) must be
+**bit-for-bit identical** to extracting each row alone — the kernels are
+row-deterministic, so a batch of one and a batch of a thousand agree
+exactly.  On top of that, the batch kernels must agree (to float
+round-off) with the original scalar extractors they replaced; those
+scalar formulas are embedded below as the reference oracle.
+"""
+
+import random
+import re
+
+import numpy as np
+import pytest
+
+from repro.corpus.benign import generate_benign_module
+from repro.corpus.malicious import generate_malicious_macro
+from repro.features import extract_matrices, get_feature_set
+from repro.features.entropy import shannon_entropy
+from repro.obfuscation.pipeline import default_pipeline
+from repro.vba.analyzer import analyze
+from repro.vba.functions import (
+    ARITHMETIC_FUNCTIONS,
+    FINANCIAL_FUNCTIONS,
+    RICH_FUNCTIONS,
+    TEXT_FUNCTIONS,
+    TYPE_CONVERSION_FUNCTIONS,
+)
+from repro.vba.tokens import STRING_CONCAT_OPERATORS, TokenKind
+
+_EDGE_CASES = [
+    "",
+    "' a comment\n' and another comment, nothing else\n",
+    "Sub A()\r\n    x = 1\r\n    y = x + 2\r\nEnd Sub\r\n",  # CRLF
+    '﻿Sub B()\n    MsgBox "bom"\nEnd Sub\n',  # BOM-prefixed
+    "Sub C()\n    s = " + " & ".join(f'"{c}"' for c in "payload") + "\nEnd Sub\n",
+    "Sub D()\n    v = Chr(65) & Chr(66) & CStr(1.5)\nEnd Sub\n",
+    "Sub E()\n    " + 'x = "' + "A" * 400 + '"' + "\nEnd Sub\n",  # long line
+    "Dim rjzybhqrliy As String\n",  # unreadable identifier, no body
+]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = random.Random(77)
+    sources = [
+        generate_benign_module(rng, target_length=rng.randint(200, 1500))
+        for _ in range(4)
+    ]
+    sources += [generate_malicious_macro(rng, "word") for _ in range(3)]
+    pipeline = default_pipeline()
+    sources += [
+        pipeline.run(generate_malicious_macro(rng, "word"), seed=seed).source
+        for seed in range(3)
+    ]
+    return sources + _EDGE_CASES
+
+
+class TestExactBatchParity:
+    @pytest.mark.parametrize("name", ["V", "J"])
+    def test_batch_matrix_equals_per_row_extraction(self, corpus, name):
+        feature_set = get_feature_set(name)
+        batch = extract_matrices(corpus, (name,))[name]
+        rows = np.vstack(
+            [feature_set.extract(analyze(source)) for source in corpus]
+        )
+        assert batch.shape == (len(corpus), feature_set.width)
+        assert np.array_equal(batch, rows)
+
+    @pytest.mark.parametrize("name", ["V", "J"])
+    @pytest.mark.parametrize("chunk", [1, 3, 5])
+    def test_batch_size_never_changes_a_row(self, corpus, name, chunk):
+        feature_set = get_feature_set(name)
+        summaries = [analyze(source).ensure_summary() for source in corpus]
+        full = feature_set.extract_matrix(summaries)
+        chunked = np.vstack(
+            [
+                feature_set.extract_matrix(summaries[start : start + chunk])
+                for start in range(0, len(summaries), chunk)
+            ]
+        )
+        assert np.array_equal(full, chunked)
+
+    def test_entropy_computed_once_feeds_both_sets(self, corpus):
+        """ISSUE 6 satellite: V13 and J15 are the same Shannon entropy,
+        read from the shared summary — identical columns, bit-for-bit."""
+        matrices = extract_matrices(corpus, ("V", "J"))
+        v13 = matrices["V"][:, 12]
+        j15 = matrices["J"][:, 14]
+        assert np.array_equal(v13, j15)
+        expected = np.array(
+            [shannon_entropy(source) for source in corpus], dtype=np.float64
+        )
+        # Scalar loop vs vectorized summation: same formula, last-ulp drift.
+        assert np.allclose(v13, expected, rtol=1e-12, atol=0.0)
+
+    def test_summary_is_reused_not_recomputed(self, corpus):
+        analysis = analyze(corpus[0])
+        summary = analysis.ensure_summary()
+        assert analysis.ensure_summary() is summary
+
+
+# ----------------------------------------------------------------------
+# Reference oracle: the original scalar extractors, verbatim formulas.
+
+
+def _mean_and_variance(lengths):
+    if not lengths:
+        return 0.0, 0.0
+    array = np.asarray(lengths, dtype=np.float64)
+    return float(array.mean()), float(array.var())
+
+
+def _reference_v(analysis):
+    code = analysis.code_without_comments
+    v1 = float(len(code))
+    v2 = float(len(analysis.comment_text))
+    v3, v4 = _mean_and_variance([len(word) for word in analysis.words])
+    operator_count = analysis.operator_count(STRING_CONCAT_OPERATORS)
+    v5 = operator_count / v1 if v1 else 0.0
+    string_chars = sum(
+        len(token.text)
+        for token in analysis.tokens
+        if token.kind is TokenKind.STRING
+    )
+    v6 = string_chars / v1 if v1 else 0.0
+    v7, _ = _mean_and_variance([len(s) for s in analysis.string_literals])
+    v8 = analysis.called_builtin_fraction(TEXT_FUNCTIONS)
+    v9 = analysis.called_builtin_fraction(ARITHMETIC_FUNCTIONS)
+    v10 = analysis.called_builtin_fraction(TYPE_CONVERSION_FUNCTIONS)
+    v11 = analysis.called_builtin_fraction(FINANCIAL_FUNCTIONS)
+    v12 = analysis.called_builtin_fraction(RICH_FUNCTIONS)
+    v13 = shannon_entropy(analysis.source)
+    v14, v15 = _mean_and_variance(
+        [len(name) for name in analysis.declared_identifiers]
+    )
+    return np.array(
+        [v1, v2, v3, v4, v5, v6, v7, v8, v9, v10, v11, v12, v13, v14, v15],
+        dtype=np.float64,
+    )
+
+
+_VOWELS = frozenset("aeiouAEIOU")
+_LONG_LINE_THRESHOLD = 150
+
+
+def _is_human_readable(word):
+    if not word or len(word) > 15:
+        return False
+    letters = sum(1 for ch in word if ch.isalpha())
+    if letters < len(word) * 0.5:
+        return False
+    if not any(ch in _VOWELS for ch in word):
+        return False
+    run = 0
+    for ch in word:
+        if ch.isalpha() and ch not in _VOWELS:
+            run += 1
+            if run >= 4:
+                return False
+        else:
+            run = 0
+    return True
+
+
+_BODY_PATTERN = re.compile(
+    r"(?:^|\n)[ \t]*(?:Public\s+|Private\s+)?(?:Sub|Function)\s+\w+"
+    r".*?\n(.*?)(?:^|\n)[ \t]*End (?:Sub|Function)",
+    re.DOTALL | re.IGNORECASE,
+)
+
+
+def _argument_lengths(analysis):
+    lengths = []
+    tokens = [
+        t
+        for t in analysis.tokens
+        if t.kind
+        not in (TokenKind.WHITESPACE, TokenKind.NEWLINE, TokenKind.EOF)
+    ]
+    for index, token in enumerate(tokens[:-1]):
+        if token.kind is not TokenKind.IDENTIFIER:
+            continue
+        nxt = tokens[index + 1]
+        if nxt.kind is not TokenKind.PUNCT or nxt.text != "(":
+            continue
+        depth = 0
+        size = 0
+        for inner in tokens[index + 1 :]:
+            if inner.kind is TokenKind.PUNCT and inner.text == "(":
+                depth += 1
+                if depth == 1:
+                    continue
+            if inner.kind is TokenKind.PUNCT and inner.text == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            size += len(inner.text)
+        lengths.append(size)
+    return lengths
+
+
+def _reference_j(analysis):
+    source = analysis.source
+    lines = analysis.lines
+    n_lines = max(1, len(lines))
+    j1 = float(len(source))
+    j2 = j1 / n_lines
+    j3 = float(len(lines))
+    j4 = float(len(analysis.string_literals))
+    words = analysis.words
+    readable = sum(1 for word in words if _is_human_readable(word))
+    j5 = readable / len(words) if words else 0.0
+    whitespace = sum(1 for ch in source if ch in " \t\r\n")
+    j6 = whitespace / j1 if j1 else 0.0
+    member_calls = sum(1 for call in analysis.call_sites if call.is_member)
+    j7 = member_calls / len(analysis.call_sites) if analysis.call_sites else 0.0
+    string_lengths = [len(s) for s in analysis.string_literals]
+    j8 = float(np.mean(string_lengths)) if string_lengths else 0.0
+    argument_lengths = _argument_lengths(analysis)
+    j9 = float(np.mean(argument_lengths)) if argument_lengths else 0.0
+    j10 = float(len(analysis.comments))
+    j11 = j10 / n_lines
+    j12 = float(len(words))
+    comment_text = analysis.comment_text
+    words_in_comments = sum(1 for word in words if word in comment_text)
+    j13 = (len(words) - words_in_comments) / len(words) if words else 0.0
+    long_lines = sum(1 for line in lines if len(line) > _LONG_LINE_THRESHOLD)
+    j14 = long_lines / n_lines
+    j15 = shannon_entropy(source)
+    string_chars = sum(
+        len(token.text)
+        for token in analysis.tokens
+        if token.kind is TokenKind.STRING
+    )
+    j16 = string_chars / j1 if j1 else 0.0
+    j17 = source.count("\\") / j1 if j1 else 0.0
+    bodies = [m.group(1) for m in _BODY_PATTERN.finditer(source)]
+    body_chars = sum(len(body) for body in bodies)
+    j18 = body_chars / len(bodies) if bodies else 0.0
+    j19 = body_chars / j1 if j1 else 0.0
+    j20 = len(bodies) / j1 if j1 else 0.0
+    return np.array(
+        [
+            j1, j2, j3, j4, j5, j6, j7, j8, j9, j10,
+            j11, j12, j13, j14, j15, j16, j17, j18, j19, j20,
+        ],
+        dtype=np.float64,
+    )
+
+
+class TestScalarOracleParity:
+    """The batch kernels agree with the original scalar formulas to
+    float round-off (sums-of-squares variance vs two-pass ``np.var`` can
+    differ in the last ulp; everything else is exact)."""
+
+    def test_v_matches_scalar_reference(self, corpus):
+        batch = extract_matrices(corpus, ("V",))["V"]
+        reference = np.vstack([_reference_v(analyze(s)) for s in corpus])
+        assert np.allclose(batch, reference, rtol=1e-9, atol=1e-12)
+
+    def test_j_matches_scalar_reference(self, corpus):
+        batch = extract_matrices(corpus, ("J",))["J"]
+        reference = np.vstack([_reference_j(analyze(s)) for s in corpus])
+        assert np.allclose(batch, reference, rtol=1e-9, atol=1e-12)

@@ -1,0 +1,178 @@
+"""The normalized-source feature-row cache (ISSUE 6 cache layer).
+
+Covers the normalization contract (key-only: BOM / CRLF / CR variants key
+identically but features stay raw-source), the LRU mechanics, the
+pickle-as-empty worker snapshot behavior, and the engine wiring (variant
+re-submissions skip analysis + featurization and serve the first-seen
+row — deliberate fleet-dedup semantics).
+"""
+
+import pickle
+import random
+
+import numpy as np
+import pytest
+
+from repro.corpus.benign import generate_benign_module
+from repro.engine import AnalysisEngine
+from repro.features import (
+    FeatureRowCache,
+    normalize_source,
+    normalized_digest,
+)
+
+LF_SOURCE = 'Sub Greet()\n    MsgBox "hi there"\nEnd Sub\n'
+CRLF_SOURCE = LF_SOURCE.replace("\n", "\r\n")
+BOM_SOURCE = "﻿" + LF_SOURCE
+
+
+class TestNormalization:
+    def test_variants_share_one_key(self):
+        digest = normalized_digest(LF_SOURCE)
+        assert normalized_digest(CRLF_SOURCE) == digest
+        assert normalized_digest(BOM_SOURCE) == digest
+        assert normalized_digest("﻿" + CRLF_SOURCE) == digest
+        assert normalized_digest(LF_SOURCE.replace("\n", "\r")) == digest
+
+    def test_different_code_keys_differently(self):
+        assert normalized_digest(LF_SOURCE) != normalized_digest(
+            LF_SOURCE.replace("hi", "yo")
+        )
+
+    def test_normalize_is_idempotent_and_lf_invariant(self):
+        canonical = normalize_source(CRLF_SOURCE)
+        assert canonical == LF_SOURCE
+        assert normalize_source(canonical) == canonical
+        assert normalize_source(LF_SOURCE) == LF_SOURCE
+
+    def test_interior_bom_is_not_stripped(self):
+        embedded = 'x = "﻿"\n'
+        assert normalize_source(embedded) == embedded
+
+
+class TestFeatureRowCache:
+    def test_miss_then_hit(self):
+        cache = FeatureRowCache(4)
+        row = np.arange(15, dtype=np.float64)
+        assert cache.get("k1", ("V",)) is None
+        cache.put("k1", {"V": row})
+        served = cache.get("k1", ("V",))
+        assert np.array_equal(served["V"], row)
+        assert cache.info() == {
+            "hits": 1, "misses": 1, "evictions": 0, "size": 1,
+        }
+
+    def test_partial_sets_miss_then_merge(self):
+        cache = FeatureRowCache(4)
+        v_row = np.ones(15)
+        j_row = np.ones(20) * 2
+        cache.put("k1", {"V": v_row})
+        assert cache.get("k1", ("V", "J")) is None  # J missing -> miss
+        cache.put("k1", {"J": j_row})  # merges into the same entry
+        served = cache.get("k1", ("V", "J"))
+        assert np.array_equal(served["V"], v_row)
+        assert np.array_equal(served["J"], j_row)
+        assert len(cache) == 1
+
+    def test_lru_eviction_order(self):
+        cache = FeatureRowCache(2)
+        cache.put("a", {"V": np.zeros(1)})
+        cache.put("b", {"V": np.zeros(1)})
+        cache.get("a", ("V",))  # refresh "a"
+        cache.put("c", {"V": np.zeros(1)})  # evicts "b"
+        assert cache.get("a", ("V",)) is not None
+        assert cache.get("b", ("V",)) is None
+        assert cache.info()["evictions"] == 1
+
+    def test_zero_capacity_never_stores(self):
+        cache = FeatureRowCache(0)
+        cache.put("k", {"V": np.zeros(1)})
+        assert len(cache) == 0
+
+    def test_pickles_as_empty_with_capacity(self):
+        cache = FeatureRowCache(8)
+        cache.put("k", {"V": np.zeros(1)})
+        cache.get("k", ("V",))
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.capacity == 8
+        assert len(clone) == 0
+        assert clone.info() == {
+            "hits": 0, "misses": 0, "evictions": 0, "size": 0,
+        }
+
+
+class TestEngineWiring:
+    def test_variant_resubmission_serves_first_seen_row(self):
+        engine = AnalysisEngine(feature_sets=("V", "J"))
+        first = engine.run_source(LF_SOURCE)
+        second = engine.run_source(CRLF_SOURCE)
+        third = engine.run_source(BOM_SOURCE)
+        info = engine.cache_info()
+        assert info["feature_misses"] == 1
+        assert info["feature_hits"] == 2
+        # Dedup semantics: variants get the first-seen variant's row...
+        assert np.array_equal(second.features["V"], first.features["V"])
+        assert np.array_equal(third.features["J"], first.features["J"])
+        # ...which is NOT what the CRLF variant computes fresh (raw-source
+        # features see the \r characters).
+        fresh = AnalysisEngine(feature_sets=("V", "J")).run_source(CRLF_SOURCE)
+        assert not np.array_equal(fresh.features["J"], first.features["J"])
+
+    def test_first_seen_row_is_computed_on_raw_source(self):
+        # Submit the CRLF variant first: its cached row must reflect the
+        # raw CRLF source, not the normalized LF view.
+        engine = AnalysisEngine(feature_sets=("J",))
+        crlf_first = engine.run_source(CRLF_SOURCE)
+        uncached = AnalysisEngine(feature_sets=("J",)).run_source(CRLF_SOURCE)
+        assert np.array_equal(crlf_first.features["J"], uncached.features["J"])
+        assert crlf_first.features["J"][0] == float(len(CRLF_SOURCE))  # J1
+
+    def test_distinct_macros_never_collide(self):
+        rng = random.Random(5)
+        sources = [
+            generate_benign_module(rng, target_length=300) for _ in range(4)
+        ]
+        engine = AnalysisEngine(feature_sets=("V",))
+        rows = [engine.run_source(source).features["V"] for source in sources]
+        info = engine.cache_info()
+        assert info["feature_misses"] == len(sources)
+        assert info["feature_hits"] == 0
+        baseline = AnalysisEngine(feature_sets=("V",), feature_cache_size=0)
+        for source, row in zip(sources, rows):
+            assert np.array_equal(
+                baseline.run_source(source).features["V"], row
+            )
+
+    def test_cache_disabled_by_zero_capacity(self):
+        engine = AnalysisEngine(feature_sets=("V",), feature_cache_size=0)
+        engine.run_source(LF_SOURCE)
+        engine.run_source(CRLF_SOURCE)
+        info = engine.cache_info()
+        assert info["feature_hits"] == 0
+        assert info["feature_misses"] == 0
+        assert engine._feature_cache is None
+
+    def test_keep_analysis_still_hits_but_analyzes(self):
+        # With keep_analysis the analyze stage may not skip tokenization,
+        # but the featurize stage still serves rows from the cache.
+        engine = AnalysisEngine(feature_sets=("V",), keep_analysis=True)
+        first = engine.run_source(LF_SOURCE)
+        second = engine.run_source(CRLF_SOURCE)
+        assert first.analysis is not None
+        assert second.analysis is not None
+        assert engine.cache_info()["feature_hits"] == 1
+        assert np.array_equal(second.features["V"], first.features["V"])
+
+    def test_document_path_hits_for_source_variant(self):
+        # A macro first seen via run_source is served from the feature
+        # cache when the same (normalized) macro arrives inside a document.
+        from repro.corpus.documents import build_document_bytes
+
+        engine = AnalysisEngine(feature_sets=("V",))
+        direct = engine.run_source(LF_SOURCE)
+        record = engine.run(build_document_bytes([LF_SOURCE], "docm"))
+        assert record.ok
+        info = engine.cache_info()
+        assert info["feature_hits"] >= 1
+        [macro] = record.kept_macros
+        assert np.array_equal(macro.features["V"], direct.features["V"])

@@ -1,6 +1,7 @@
 """Archive expansion and its zip-bomb guards."""
 
 import io
+import tarfile
 import zipfile
 
 import pytest
@@ -11,6 +12,7 @@ from repro.resilience import (
     ArchiveLimits,
     expand_archive,
     is_plain_archive,
+    is_tar_archive,
 )
 
 
@@ -19,6 +21,16 @@ def make_zip(members: dict[str, bytes], compress=zipfile.ZIP_DEFLATED) -> bytes:
     with zipfile.ZipFile(buffer, "w", compress) as archive:
         for name, data in members.items():
             archive.writestr(name, data)
+    return buffer.getvalue()
+
+
+def make_tar(members: dict[str, bytes], mode: str = "w") -> bytes:
+    buffer = io.BytesIO()
+    with tarfile.open(fileobj=buffer, mode=mode) as archive:
+        for name, data in members.items():
+            info = tarfile.TarInfo(name)
+            info.size = len(data)
+            archive.addfile(info, io.BytesIO(data))
     return buffer.getvalue()
 
 
@@ -111,3 +123,134 @@ class TestBombGuards:
         [(name, payload)] = expand_archive("a.zip", data, limits)
         assert name == "a.zip!zeros.bin"
         assert payload == b"\x00" * (1 << 20)
+
+
+class TestIsTarArchive:
+    def test_plain_and_gzipped_tars_are_recognized(self):
+        assert is_tar_archive(make_tar({"a.docm": b"x"}))
+        assert is_tar_archive(make_tar({"a.docm": b"x"}, mode="w:gz"))
+
+    def test_non_tar_bytes_are_not_a_tar(self):
+        assert not is_tar_archive(b"")
+        assert not is_tar_archive(b"MZ\x90\x00 garbage" + b"\x00" * 600)
+        assert not is_tar_archive(make_zip({"a": b"x"}))
+
+    def test_truncated_tar_is_not_a_tar(self):
+        data = make_tar({"a.docm": b"x" * 100})
+        assert not is_tar_archive(data[:300])
+
+
+class TestTarExpansion:
+    def test_tar_members_become_tagged_inputs(self):
+        data = make_tar({"inner/sample.docm": b"DOC", "notes.txt": b"N"})
+        expanded = expand_archive("feed.tar", data)
+        assert sorted(expanded) == [
+            ("feed.tar!inner/sample.docm", b"DOC"),
+            ("feed.tar!notes.txt", b"N"),
+        ]
+
+    def test_gzipped_tar_expands(self):
+        data = make_tar({"sample.docm": b"DOC"}, mode="w:gz")
+        assert expand_archive("feed.tar.gz", data) == [
+            ("feed.tar.gz!sample.docm", b"DOC")
+        ]
+
+    def test_tar_member_count_cap(self):
+        data = make_tar({f"m{i}": b"x" for i in range(5)})
+        with pytest.raises(ArchiveBombError, match="member cap"):
+            expand_archive("a.tar", data, ArchiveLimits(max_members=4))
+
+    def test_tar_member_size_cap(self):
+        data = make_tar({"big.bin": b"A" * 4096})
+        with pytest.raises(ArchiveBombError, match="declares"):
+            expand_archive("a.tar", data, ArchiveLimits(max_member_bytes=1024))
+
+    def test_gzipped_tar_whole_archive_ratio_cap(self):
+        data = make_tar({"zeros.bin": b"\x00" * (1 << 20)}, mode="w:gz")
+        with pytest.raises(ArchiveBombError, match="expands"):
+            expand_archive("a.tar.gz", data, ArchiveLimits(max_ratio=100.0))
+
+    def test_uncompressed_tar_skips_ratio_guard(self):
+        # No compression -> no amplification; the ratio guard is a
+        # gzip-only concern for tars.
+        data = make_tar({"zeros.bin": b"\x00" * 4096})
+        limits = ArchiveLimits(max_ratio=1.0)
+        [(_, payload)] = expand_archive("a.tar", data, limits)
+        assert payload == b"\x00" * 4096
+
+
+class TestNestedExpansion:
+    def test_zip_in_zip_expands_one_level(self):
+        inner = make_zip({"deep.docm": b"DOC"})
+        outer = make_zip({"inner.zip": inner, "flat.txt": b"F"})
+        expanded = expand_archive("feed.zip", outer)
+        assert sorted(expanded) == [
+            ("feed.zip!flat.txt", b"F"),
+            ("feed.zip!inner.zip!deep.docm", b"DOC"),
+        ]
+
+    def test_tar_in_zip_and_zip_in_tar(self):
+        inner_tar = make_tar({"a.docm": b"A"})
+        expanded = expand_archive("o.zip", make_zip({"in.tar": inner_tar}))
+        assert expanded == [("o.zip!in.tar!a.docm", b"A")]
+        inner_zip = make_zip({"b.docm": b"B"})
+        expanded = expand_archive("o.tar", make_tar({"in.zip": inner_zip}))
+        assert expanded == [("o.tar!in.zip!b.docm", b"B")]
+
+    def test_second_nesting_level_passes_through(self):
+        innermost = make_zip({"x.docm": b"X"})
+        middle = make_zip({"inner.zip": innermost})
+        outer = make_zip({"middle.zip": middle})
+        [(name, payload)] = expand_archive("feed.zip", outer)
+        # Depth 2 is beyond max_depth=1: the innermost zip rides through
+        # as an ordinary input, bytes untouched.
+        assert name == "feed.zip!middle.zip!inner.zip"
+        assert payload == innermost
+
+    def test_ooxml_document_inside_archive_is_not_reexpanded(
+        self, document_factory
+    ):
+        [(_, docm)] = document_factory(1)
+        [(name, payload)] = expand_archive(
+            "feed.zip", make_zip({"doc.docm": docm})
+        )
+        assert name == "feed.zip!doc.docm"
+        assert payload == docm
+
+    def test_nested_metrics_counters(self):
+        registry = MetricsRegistry()
+        inner = make_zip({"a.docm": b"A", "b.docm": b"B"})
+        outer = make_zip({"inner.zip": inner, "flat.txt": b"F"})
+        expand_archive("feed.zip", outer, metrics=registry)
+        assert registry.counter("archive.expanded").value == 1
+        assert registry.counter("archive.members").value == 3
+        assert registry.counter("archive.nested_expanded").value == 1
+        assert registry.counter("archive.nested_members").value == 2
+
+    def test_flat_expansion_emits_no_nested_counters(self):
+        registry = MetricsRegistry()
+        expand_archive("a.zip", make_zip({"x": b"1"}), metrics=registry)
+        assert registry.counter("archive.nested_expanded").value == 0
+
+    def test_member_cap_is_cumulative_across_nesting(self):
+        inner = make_zip({f"m{i}": b"x" for i in range(3)})
+        outer = make_zip({"inner.zip": inner, "a": b"1", "b": b"2"})
+        # 3 outer members and 3 nested members: each archive is under the
+        # per-archive cap of 4, but the whole expansion is not.
+        with pytest.raises(ArchiveBombError, match="across nested expansion"):
+            expand_archive("a.zip", outer, ArchiveLimits(max_members=4))
+
+    def test_byte_budget_is_cumulative_across_nesting(self):
+        inner = make_zip({"big.bin": bytes(1500)})
+        outer = make_zip({"inner.zip": inner, "pad.bin": bytes(1500)})
+        with pytest.raises(ArchiveBombError, match="declared total"):
+            expand_archive(
+                "a.zip", outer,
+                ArchiveLimits(max_total_bytes=2500, max_ratio=None),
+            )
+
+    def test_nested_bomb_fails_whole_expansion(self):
+        bomb = make_zip({"zeros.bin": b"\x00" * (1 << 20)})
+        outer = make_zip({"ok.txt": b"fine", "bomb.zip": bomb})
+        with pytest.raises(ArchiveBombError):
+            expand_archive("a.zip", outer, ArchiveLimits(max_ratio=100.0))

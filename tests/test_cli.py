@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import io
 import json
 
 import pytest
@@ -482,6 +483,36 @@ class TestArchiveExpansion:
         assert main(["lint", str(bundle), "--format", "json"]) == 0
         paths = {record["path"] for record in _json_records(capsys)}
         assert f"{bundle}!inner/sample.docm" in paths
+
+    @pytest.mark.parametrize("mode,suffix", [("w", "tar"), ("w:gz", "tar.gz")])
+    def test_extract_expands_tar_feeds(
+        self, demo_document, tmp_path, capsys, mode, suffix
+    ):
+        import tarfile
+
+        path = tmp_path / f"feed.{suffix}"
+        with tarfile.open(path, mode) as archive:
+            archive.add(demo_document, arcname="inner/sample.docm")
+        assert main(["extract", str(path), "--format", "json"]) == 0
+        [record] = _json_records(capsys)
+        assert record["path"] == f"{path}!inner/sample.docm"
+        assert record["ok"] and record["macros"]
+
+    def test_extract_expands_zip_in_zip_one_level(
+        self, demo_document, tmp_path, capsys
+    ):
+        import zipfile
+
+        inner = io.BytesIO()
+        with zipfile.ZipFile(inner, "w", zipfile.ZIP_DEFLATED) as archive:
+            archive.write(demo_document, "deep/sample.docm")
+        path = tmp_path / "outer.zip"
+        with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
+            archive.writestr("inner.zip", inner.getvalue())
+        assert main(["extract", str(path), "--format", "json"]) == 0
+        [record] = _json_records(capsys)
+        assert record["path"] == f"{path}!inner.zip!deep/sample.docm"
+        assert record["ok"] and record["macros"]
 
 
 class TestChaosAndQuarantine:
