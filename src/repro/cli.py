@@ -22,7 +22,13 @@ through the shared staged :class:`~repro.engine.AnalysisEngine`
 (``--jobs N`` fans the batch out over a process pool), and support
 ``--format json`` emitting one JSON record per input file — including
 structured error records, so a corrupt document never aborts the batch
-(exit code stays 0 for partial success).  ``--stats`` prints a post-run
+(exit code stays 0 for partial success).  ``scan`` and ``lint`` take
+``--recover``, inserting the budgeted static string-recovery pass
+(:mod:`repro.sa`): decoded strings show up in text output, in the JSON
+records (``recovered_strings`` / ``recovery``, schema version 2), in the
+``SA`` lint findings and in the ``R`` feature set; ``--sa-budget
+strict|default|deep`` picks how hard the folder tries.  ``--stats``
+prints a post-run
 telemetry summary (per-stage p50/p95, throughput, cache hit rate — merged
 across worker processes) to stderr and ``--trace-out FILE`` saves one
 JSON-lines event per pipeline span for offline analysis.
@@ -136,6 +142,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_batch_options(extract)
 
+    def add_recover_options(subparser) -> None:
+        subparser.add_argument(
+            "--recover", action="store_true",
+            help="run the budgeted static string-recovery pass (repro.sa): "
+            "folds Chr()/StrReverse()/Replace()/concat decoders back into "
+            "clear strings, feeds the SA lint rules and the R feature set, "
+            "and re-scans recovered strings against the AV signatures",
+        )
+        subparser.add_argument(
+            "--sa-budget", default="default",
+            choices=("strict", "default", "deep"),
+            help="budget preset for --recover: 'strict' caps harder for "
+            "untrusted bulk feeds, 'deep' folds further for single-sample "
+            "triage (default: default)",
+        )
+
     scan = commands.add_parser("scan", help="classify macros in documents")
     scan.add_argument("files", nargs="+")
     scan.add_argument(
@@ -150,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the lint rules too and show per-class findings "
         "next to each verdict",
     )
+    add_recover_options(scan)
     add_batch_options(scan)
 
     lint = commands.add_parser(
@@ -160,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules", default=None,
         help="comma-separated rule ids to run (default: all registered)",
     )
+    add_recover_options(lint)
     add_batch_options(lint)
 
     deob = commands.add_parser("deobfuscate", help="statically simplify macros")
@@ -293,6 +317,13 @@ def _chaos_spec(spec: str):
 def _make_chaos(args):
     """The hidden fault-injection plan, or None."""
     return args.chaos or None
+
+
+def _make_sa_budget(args):
+    """The ``--sa-budget`` preset for the recover stage (None when off)."""
+    from repro.sa import SA_BUDGET_PRESETS
+
+    return SA_BUDGET_PRESETS[getattr(args, "sa_budget", "default")]
 
 
 #: Zip local/central/empty magics — enough to decide "read the whole file".
@@ -552,6 +583,8 @@ def _cmd_scan(args) -> int:
         metrics=registry,
         budget=_make_budget(args),
         chaos=_make_chaos(args),
+        recover=args.recover,
+        sa_budget=_make_sa_budget(args),
     )
     entries = _prepare_entries(args, registry)
     batch = engine.run_batch(
@@ -611,6 +644,8 @@ def _cmd_scan(args) -> int:
                         f"[{finding.rule_id}/{finding.o_class} "
                         f"{finding.severity}] {finding.message}"
                     )
+            if args.recover:
+                _print_recovered(macro)
             for finding in extra["anti"][macro.module_name][:5]:
                 print(f"    [anti-analysis] {finding.technique}: {finding.detail}")
         report = extra["av"]
@@ -625,6 +660,32 @@ def _cmd_scan(args) -> int:
 
 #: File extensions treated as bare VBA source by ``repro lint``.
 _VBA_SOURCE_SUFFIXES = (".bas", ".vba", ".cls", ".frm")
+
+
+def _print_recovered(macro, indent: str = "    ") -> None:
+    """The ``[recovered]`` block under one macro in text output."""
+    recovery = macro.recovery
+    if recovery is None:
+        return
+    notes = []
+    if recovery.parse_failed:
+        notes.append("parse failed")
+    if recovery.exhausted:
+        notes.append(f"budget exhausted: {recovery.exhausted_reason}")
+    if recovery.ioc_kinds:
+        notes.append("IOCs: " + ",".join(recovery.ioc_kinds))
+    if recovery.signature_hits:
+        notes.append("signatures: " + ",".join(recovery.signature_hits))
+    suffix = f" ({'; '.join(notes)})" if notes else ""
+    print(
+        f"{indent}[recovered] {len(macro.recovered_strings)} hidden "
+        f"string{'s' if len(macro.recovered_strings) != 1 else ''}{suffix}"
+    )
+    for value in macro.recovered_strings[:5]:
+        shown = value if len(value) <= 100 else value[:99] + "…"
+        print(f"{indent}  {shown!r}")
+    if len(macro.recovered_strings) > 5:
+        print(f"{indent}  … {len(macro.recovered_strings) - 5} more")
 
 
 def _class_summary(findings) -> str:
@@ -660,7 +721,12 @@ def _cmd_lint(args) -> int:
     registry = _make_registry(args)
     try:
         engine = AnalysisEngine.for_lint(
-            rules, metrics=registry, budget=_make_budget(args), chaos=_make_chaos(args)
+            rules,
+            metrics=registry,
+            budget=_make_budget(args),
+            chaos=_make_chaos(args),
+            recover=args.recover,
+            sa_budget=_make_sa_budget(args),
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -732,6 +798,8 @@ def _cmd_lint(args) -> int:
                 f"  {macro.module_name}: {len(macro.findings)} findings "
                 f"({_class_summary(macro.findings)})"
             )
+            if args.recover:
+                _print_recovered(macro)
             for finding in macro.findings:
                 print(
                     f"    {finding.location} "

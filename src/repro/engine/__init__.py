@@ -16,6 +16,7 @@ from repro.engine.stream import StreamingPool, StreamResult
 from repro.obs.metrics import MetricsRegistry
 from repro.resilience.budgets import DEFAULT_BUDGET, Budget
 from repro.engine.records import (
+    ENGINE_SCHEMA_VERSION,
     Diagnostic,
     DocumentRecord,
     MacroRecord,
@@ -28,6 +29,7 @@ from repro.engine.stages import (
     FeaturizeStage,
     FilterShortStage,
     MacroStage,
+    RecoverStage,
     Stage,
 )
 
@@ -39,12 +41,14 @@ __all__ = [
     "ClassifyStage",
     "Diagnostic",
     "DocumentRecord",
+    "ENGINE_SCHEMA_VERSION",
     "ExtractStage",
     "FeaturizeStage",
     "FilterShortStage",
     "MacroRecord",
     "MacroStage",
     "MetricsRegistry",
+    "RecoverStage",
     "Stage",
     "StreamResult",
     "StreamingPool",

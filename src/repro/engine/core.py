@@ -51,6 +51,7 @@ from repro.engine.stages import (
     FilterShortStage,
     LintStage,
     MacroStage,
+    RecoverStage,
     Stage,
 )
 from repro.features.cache import FeatureRowCache
@@ -76,6 +77,8 @@ def default_stages(
     threshold: float = 0.5,
     lint: bool = False,
     lint_rules: tuple[str, ...] | None = None,
+    recover: bool = False,
+    sa_budget=None,
 ) -> list[Stage]:
     """The canonical stage chain for the given options."""
     stages: list[Stage] = [ExtractStage()]
@@ -83,6 +86,8 @@ def default_stages(
         stages.append(FilterShortStage(min_macro_bytes))
     if feature_sets or lint:
         stages.append(AnalyzeStage())
+    if recover:  # between analyze and featurize: R rows and recovered
+        stages.append(RecoverStage(sa_budget))  # strings feed downstream
     if feature_sets:
         stages.append(FeaturizeStage(feature_sets))
     if lint:
@@ -107,6 +112,8 @@ class AnalysisEngine:
         threshold: float = 0.5,
         lint: bool = False,
         lint_rules: tuple[str, ...] | None = None,
+        recover: bool = False,
+        sa_budget=None,
         cache_size: int = 1024,
         keep_analysis: bool = False,
         metrics: MetricsRegistry | None = None,
@@ -125,6 +132,8 @@ class AnalysisEngine:
                 threshold=threshold,
                 lint=lint,
                 lint_rules=lint_rules,
+                recover=recover,
+                sa_budget=sa_budget,
             )
         self.stages = list(stages)
         self.budget = budget
@@ -179,10 +188,13 @@ class AnalysisEngine:
                 name for stage in featurize for name in stage.feature_sets
             )
         )
+        # RecoverStage folds the raw source, not the token analysis, so it
+        # does not force tokenization on cache hits.
         analysis_needed = self.keep_analysis or any(
             isinstance(stage, MacroStage)
             and not isinstance(
-                stage, (AnalyzeStage, FeaturizeStage, ClassifyStage)
+                stage,
+                (AnalyzeStage, FeaturizeStage, ClassifyStage, RecoverStage),
             )
             for stage in self.stages
         )
@@ -232,6 +244,8 @@ class AnalysisEngine:
         feature_sets: tuple[str, ...] = ("V",),
         threshold: float = 0.5,
         lint: bool = False,
+        recover: bool = False,
+        sa_budget=None,
         metrics: MetricsRegistry | None = None,
         budget: Budget | None = DEFAULT_BUDGET,
         chaos=None,
@@ -242,6 +256,8 @@ class AnalysisEngine:
             feature_sets=feature_sets,
             threshold=threshold,
             lint=lint,
+            recover=recover,
+            sa_budget=sa_budget,
             metrics=metrics,
             budget=budget,
             chaos=chaos,
@@ -251,6 +267,8 @@ class AnalysisEngine:
     def for_lint(
         cls,
         rules: tuple[str, ...] | None = None,
+        recover: bool = False,
+        sa_budget=None,
         metrics: MetricsRegistry | None = None,
         budget: Budget | None = DEFAULT_BUDGET,
         chaos=None,
@@ -260,6 +278,8 @@ class AnalysisEngine:
             feature_sets=(),
             lint=True,
             lint_rules=rules,
+            recover=recover,
+            sa_budget=sa_budget,
             metrics=metrics,
             budget=budget,
             chaos=chaos,

@@ -16,10 +16,17 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.lint.findings import Finding
+    from repro.sa.records import StringRecovery
     from repro.vba.analyzer import AnalysisSummary, MacroAnalysis
 
 #: Diagnostic severities, mildest first.
 LEVELS = ("info", "warning", "error")
+
+#: Version of the JSON record shape (``DocumentRecord.to_dict``).  Bumped
+#: to 2 when recovered-string fields (``recovery``, ``recovered_strings``)
+#: joined the macro record; ``repro stats`` and downstream aggregators key
+#: on this instead of sniffing fields.
+ENGINE_SCHEMA_VERSION = 2
 
 
 def sha256_hex(data: bytes | str) -> str:
@@ -58,6 +65,10 @@ class MacroRecord:
     feature_digest: str | None = field(default=None, compare=False)
     features: dict[str, np.ndarray] = field(default_factory=dict)
     findings: "list[Finding]" = field(default_factory=list)
+    #: static-analysis result from the RecoverStage (None when not run)
+    recovery: "StringRecovery | None" = field(default=None, compare=False)
+    #: the recovered string values, kept flat for JSON/explain output
+    recovered_strings: list[str] = field(default_factory=list)
     score: float | None = None
     verdict: str | None = None  # "obfuscated" | "normal"
 
@@ -83,6 +94,10 @@ class MacroRecord:
             "score": self.score,
             "verdict": self.verdict,
             "findings": [finding.to_dict() for finding in self.findings],
+            "recovered_strings": list(self.recovered_strings),
+            "recovery": self.recovery.to_dict()
+            if self.recovery is not None
+            else None,
         }
 
 
@@ -139,6 +154,7 @@ class DocumentRecord:
     def to_dict(self) -> dict[str, Any]:
         """A JSON-serializable per-file record (the ``--format json`` shape)."""
         return {
+            "schema_version": ENGINE_SCHEMA_VERSION,
             "path": self.source_id,
             "sha256": self.sha256,
             "ok": self.ok,

@@ -265,13 +265,117 @@ class FeaturizeStage(MacroStage):
         pending.clear()
 
 
+class RecoverStage(MacroStage):
+    """Budgeted static string recovery (:mod:`repro.sa`) per kept macro.
+
+    Runs the constant-folding abstract interpreter over the macro source,
+    attaches the :class:`~repro.sa.records.StringRecovery` (plus the flat
+    ``recovered_strings`` list) to the record, re-scans the recovered
+    strings against the avsim master signatures, and computes the ``R``
+    feature row.  Total by construction: parse failures and budget
+    exhaustion land *in* the recovery record, never as exceptions, so the
+    stage cannot degrade a document on hostile input.
+    """
+
+    name = "recover"
+
+    #: Recovery-cache bound; one entry is one (small) StringRecovery.
+    _CACHE_LIMIT = 4096
+
+    def __init__(self, sa_budget=None, rescan_signatures: bool = True) -> None:
+        from repro.obs.metrics import NULL_REGISTRY
+        from repro.resilience.budgets import DEFAULT_SA_BUDGET
+
+        self.sa_budget = sa_budget or DEFAULT_SA_BUDGET
+        self.rescan_signatures = rescan_signatures
+        self._metrics = NULL_REGISTRY
+        #: normalized-source digest → finished StringRecovery (frozen, so
+        #: sharing across macros is safe).  Folding is a pure function of
+        #: the normalized source + budget, which makes re-encoded variants
+        #: (CRLF/BOM re-submissions) free — the same economics as the
+        #: feature-row cache, and the reason the recover stage holds the
+        #: <15% fleet-overhead budget.
+        self._cache: dict[str, object] = {}
+
+    def run(self, document: DocumentRecord, metrics) -> None:
+        from repro.obs.metrics import NULL_REGISTRY
+
+        self._metrics = metrics
+        try:
+            super().run(document, metrics)
+        finally:
+            self._metrics = NULL_REGISTRY
+
+    def run_macro(self, macro: MacroRecord, metrics) -> None:
+        from repro.obs.metrics import NULL_REGISTRY
+
+        self._metrics = metrics
+        try:
+            super().run_macro(macro, metrics)
+        finally:
+            self._metrics = NULL_REGISTRY
+
+    def process_macro(
+        self, macro: MacroRecord, document: DocumentRecord | None = None
+    ) -> None:
+        from dataclasses import replace
+
+        from repro.sa.features import summarize_recovery
+        from repro.sa.interpreter import recover_strings
+        from repro.sa.iocs import ioc_kinds
+
+        if macro.feature_digest is None:
+            macro.feature_digest = normalized_digest(macro.source)
+        recovery = self._cache.get(macro.feature_digest)
+        if recovery is None:
+            analysis = macro.analysis
+            recovery = recover_strings(
+                macro.source,
+                self.sa_budget,
+                self._metrics,
+                tokens=analysis.tokens if analysis is not None else None,
+            )
+            values = recovery.values()
+            signature_hits: tuple[str, ...] = ()
+            if self.rescan_signatures and values:
+                from repro.avsim.signatures import match_signatures
+
+                names = []
+                for value in values:
+                    for signature in match_signatures(value):
+                        if signature.name not in names:
+                            names.append(signature.name)
+                signature_hits = tuple(names)
+                if signature_hits:
+                    self._metrics.counter("sa.signature_hits").inc(
+                        len(signature_hits)
+                    )
+            recovery = replace(
+                recovery,
+                signature_hits=signature_hits,
+                ioc_kinds=ioc_kinds(values),
+            )
+            if len(self._cache) >= self._CACHE_LIMIT:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[macro.feature_digest] = recovery
+        else:
+            self._metrics.counter("sa.cache_hits").inc()
+        macro.recovery = recovery
+        macro.recovered_strings = recovery.values()
+        macro.features["R"] = get_feature_set("R").extract(
+            summarize_recovery(recovery, macro.source)
+        )
+
+
 class LintStage(MacroStage):
     """Run the registered obfuscation lint rules over each analysis.
 
     Findings land on :attr:`MacroRecord.findings` and travel with the
     record through caching and JSON output.  The stage needs the
     :class:`AnalyzeStage` substrate, so it must run after it (and before
-    ``keep_analysis`` cleanup drops the analysis).
+    ``keep_analysis`` cleanup drops the analysis).  When a
+    :class:`RecoverStage` ran first, the macro's recovery result is passed
+    through so the ``SA`` rules can lint recovered strings.
     """
 
     name = "lint"
@@ -291,7 +395,9 @@ class LintStage(MacroStage):
 
         if macro.analysis is None:
             return
-        macro.findings = lint_analysis(macro.analysis, self.rules)
+        macro.findings = lint_analysis(
+            macro.analysis, self.rules, recovery=macro.recovery
+        )
 
 
 class ClassifyStage(MacroStage):

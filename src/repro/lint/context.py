@@ -10,9 +10,13 @@ walks, never a re-tokenization per rule.
 from __future__ import annotations
 
 from functools import cached_property
+from typing import TYPE_CHECKING
 
 from repro.vba.analyzer import MacroAnalysis
 from repro.vba.tokens import Token, TokenKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sa.records import StringRecovery
 
 _NAME_KINDS = (TokenKind.IDENTIFIER, TokenKind.KEYWORD)
 
@@ -58,8 +62,16 @@ def token_span(token: Token) -> tuple[int, int]:
 class LintContext:
     """Cached views over one macro's analysis, shared across all rules."""
 
-    def __init__(self, analysis: MacroAnalysis) -> None:
+    def __init__(
+        self,
+        analysis: MacroAnalysis,
+        recovery: "StringRecovery | None" = None,
+    ) -> None:
         self.analysis = analysis
+        #: statically recovered strings from the engine's RecoverStage;
+        #: ``None`` when the recover pass did not run (the SA rules then
+        #: stay silent)
+        self.recovery = recovery
 
     @cached_property
     def significant(self) -> list[Token]:

@@ -16,8 +16,10 @@ from dataclasses import dataclass
 from typing import Any
 
 #: Obfuscation classes a rule may evidence.  ``O1``–``O4`` follow the
-#: paper's Table I taxonomy; ``AA`` covers the §VI.B anti-analysis tricks.
-O_CLASSES = ("O1", "O2", "O3", "O4", "AA")
+#: paper's Table I taxonomy; ``AA`` covers the §VI.B anti-analysis tricks;
+#: ``SA`` marks findings derived from statically recovered strings
+#: (:mod:`repro.sa`), which have no pre-decode source location to blame.
+O_CLASSES = ("O1", "O2", "O3", "O4", "AA", "SA")
 
 #: Finding severities, mildest first.
 SEVERITIES = ("info", "low", "medium", "high")

@@ -22,11 +22,15 @@ The built-in O1–O4 and anti-analysis rules register themselves when
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING
 
 from repro.lint.context import LintContext, token_span
 from repro.lint.findings import O_CLASSES, SEVERITIES, Finding, sort_findings
 from repro.vba.analyzer import MacroAnalysis, analyze
 from repro.vba.tokens import Token
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sa.records import StringRecovery
 
 
 class Rule:
@@ -117,10 +121,18 @@ def _resolve(rules: Sequence[str | Rule] | None) -> tuple[Rule, ...]:
 
 
 def lint_analysis(
-    analysis: MacroAnalysis, rules: Sequence[str | Rule] | None = None
+    analysis: MacroAnalysis,
+    rules: Sequence[str | Rule] | None = None,
+    *,
+    recovery: "StringRecovery | None" = None,
 ) -> list[Finding]:
-    """Run the selected rules (default: all) over one macro analysis."""
-    ctx = LintContext(analysis)
+    """Run the selected rules (default: all) over one macro analysis.
+
+    ``recovery`` carries the statically recovered strings from a
+    ``repro.sa`` pass; without it the ``SA`` rules have nothing to scan
+    and stay silent.
+    """
+    ctx = LintContext(analysis, recovery=recovery)
     findings: list[Finding] = []
     for rule in _resolve(rules):
         findings.extend(rule.scan(ctx))

@@ -11,4 +11,5 @@ from repro.lint.rules import (  # noqa: F401  (imported for registration)
     o2_split,
     o3_encoding,
     o4_logic,
+    recovered,
 )

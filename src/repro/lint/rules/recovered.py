@@ -1,0 +1,148 @@
+"""SA — rules over statically recovered strings.
+
+These rules read ``ctx.recovery`` (the :mod:`repro.sa` result attached by
+the engine's recover stage) instead of the token stream: the payload they
+flag only exists *after* constant folding, so there is no pre-decode
+token to anchor on.  Findings anchor at the line of the statement that
+produced the recovered string, with the decoded value as evidence.
+
+When the recover pass did not run (``ctx.recovery is None``) every rule
+here stays silent, so plain ``repro lint`` output is unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.lint.context import LintContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register_rule
+from repro.sa.iocs import find_iocs
+from repro.sa.records import RecoveredString
+
+#: Evidence cap: decoded payloads can be huge; show a grep-able prefix.
+_EVIDENCE_LIMIT = 120
+
+#: Per-rule finding cap — a 512-string recovery must not flood the report.
+_MAX_FINDINGS = 32
+
+#: Shortest recovered value worth a disagreement finding; below this the
+#: "hidden" literal is too generic to mean anything (e.g. ``"open"``).
+_MIN_DISAGREEMENT_LENGTH = 6
+
+
+def _evidence(value: str) -> str:
+    text = value.replace("\n", "\\n").replace("\r", "\\r")
+    if len(text) > _EVIDENCE_LIMIT:
+        text = text[: _EVIDENCE_LIMIT - 1] + "…"
+    return f'"{text}"'
+
+
+class RecoveredStringRule(Rule):
+    """Base for rules scanning recovered strings rather than tokens."""
+
+    o_class = "SA"
+
+    def scan(self, ctx: LintContext) -> Iterable[Finding]:
+        if ctx.recovery is None:
+            return
+        emitted = 0
+        for record in ctx.recovery.strings:
+            for message in self.inspect(ctx, record):
+                yield Finding(
+                    rule_id=self.rule_id,
+                    o_class=self.o_class,
+                    severity=self.severity,
+                    line=record.line,
+                    span=(1, 1),
+                    message=message,
+                    evidence=_evidence(record.value),
+                )
+                emitted += 1
+                if emitted >= _MAX_FINDINGS:
+                    return
+
+    def inspect(
+        self, ctx: LintContext, record: RecoveredString
+    ) -> Iterable[str]:
+        raise NotImplementedError
+
+
+@register_rule
+class RecoveredIoc(RecoveredStringRule):
+    """An IOC (URL, shell command, payload name…) inside a decoded string."""
+
+    rule_id = "sa-recovered-ioc"
+    severity = "high"
+    description = "decoded string contains an indicator of compromise"
+
+    def inspect(self, ctx: LintContext, record: RecoveredString):
+        for kind, match in find_iocs(record.value):
+            if kind == "autoexec":
+                continue  # RecoveredAutoOpen owns that kind
+            yield (
+                f"recovered string (via {record.origin}) contains "
+                f"{kind} IOC {match!r}"
+            )
+
+
+@register_rule
+class RecoveredAutoOpen(RecoveredStringRule):
+    """An auto-execution entry-point name assembled at runtime."""
+
+    rule_id = "sa-recovered-autoopen"
+    severity = "high"
+    description = "decoded string names an auto-execution entry point"
+
+    def inspect(self, ctx: LintContext, record: RecoveredString):
+        for kind, match in find_iocs(record.value):
+            if kind != "autoexec":
+                continue
+            yield (
+                f"auto-execution name {match!r} assembled at runtime "
+                f"(via {record.origin})"
+            )
+
+
+@register_rule
+class LiteralDisagreement(RecoveredStringRule):
+    """A recovered string that appears nowhere in the raw source.
+
+    Benign concatenation re-assembles text that is visible in the source
+    literals; a decoded value *absent* from the source means the literals
+    were deliberately salted, reversed or character-coded.
+    """
+
+    rule_id = "sa-literal-disagreement"
+    severity = "medium"
+    description = "decoded string does not occur in the source literals"
+
+    def scan(self, ctx: LintContext) -> Iterable[Finding]:
+        if ctx.recovery is None:
+            return
+        source_lower = ctx.analysis.source.lower()
+        emitted = 0
+        for record in ctx.recovery.strings:
+            value = record.value
+            if len(value) < _MIN_DISAGREEMENT_LENGTH:
+                continue
+            if value.lower() in source_lower:
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                o_class=self.o_class,
+                severity=self.severity,
+                line=record.line,
+                span=(1, 1),
+                message=(
+                    f"{len(value)}-char decoded string (via {record.origin}) "
+                    "never appears in the source — literals were transformed"
+                ),
+                evidence=_evidence(value),
+            )
+            emitted += 1
+            if emitted >= _MAX_FINDINGS:
+                return
+
+    def inspect(self, ctx: LintContext, record: RecoveredString):
+        raise AssertionError("unused; scan is overridden")  # pragma: no cover

@@ -505,11 +505,17 @@ class CompoundFileReader:
     # Public navigation API
 
     def _children(self, entry: DirectoryEntry) -> list[DirectoryEntry]:
+        # A corrupted left/right/child pointer can form a cycle in the
+        # red-black tree; track visited ids so traversal stays finite.
         result: list[DirectoryEntry] = []
+        seen: set[int] = set()
         stack = [entry.child]
         while stack:
             current = stack.pop()
-            if current == NOSTREAM or current not in self._by_id:
+            if current == NOSTREAM or current in seen:
+                continue
+            seen.add(current)
+            if current not in self._by_id:
                 continue
             node = self._by_id[current]
             result.append(node)
@@ -556,8 +562,14 @@ class CompoundFileReader:
     def list_paths(self) -> list[str]:
         """All entry paths, streams and storages, depth-first."""
         result: list[str] = []
+        visited: set[int] = set()
 
         def walk(entry: DirectoryEntry, prefix: str) -> None:
+            # A corrupted child pointer can make a storage its own
+            # descendant; skip storages already on the walk.
+            if entry.entry_id in visited:
+                return
+            visited.add(entry.entry_id)
             for child in sorted(self._children(entry), key=lambda e: e.entry_id):
                 path = f"{prefix}{child.name}"
                 result.append(path + ("/" if child.is_storage else ""))

@@ -34,11 +34,16 @@ from repro.resilience.archive import (
 )
 from repro.resilience.budgets import (
     BUDGET_PRESETS,
+    DEEP_SA_BUDGET,
     DEFAULT_BUDGET,
+    DEFAULT_SA_BUDGET,
+    SA_BUDGET_PRESETS,
     STRICT_BUDGET,
+    STRICT_SA_BUDGET,
     UNLIMITED_BUDGET,
     Budget,
     BudgetClock,
+    SABudget,
     StageTimeout,
     call_with_timeout,
 )
@@ -59,12 +64,17 @@ __all__ = [
     "BudgetClock",
     "ChaosError",
     "ChaosStage",
+    "DEEP_SA_BUDGET",
     "DEFAULT_BUDGET",
     "DEFAULT_RETRY",
+    "DEFAULT_SA_BUDGET",
     "Fault",
     "FaultPlan",
     "RetryPolicy",
+    "SABudget",
+    "SA_BUDGET_PRESETS",
     "STRICT_BUDGET",
+    "STRICT_SA_BUDGET",
     "StageTimeout",
     "UNLIMITED_BUDGET",
     "call_with_timeout",

@@ -86,6 +86,59 @@ BUDGET_PRESETS: dict[str, Budget] = {
 }
 
 
+@dataclass(frozen=True, slots=True)
+class SABudget:
+    """Resource limits for one static-analysis pass (:mod:`repro.sa`).
+
+    The abstract interpreter is *total*: when any limit trips it abandons
+    precision (remaining work folds to ⊤), records ``budget_exhausted`` on
+    the result, and returns whatever strings it had recovered — it never
+    raises and never runs unbounded.
+    """
+
+    #: abstract-interpretation steps (statements + expression nodes evaluated)
+    max_steps: int = 200_000
+    #: concrete iterations a single loop may execute before it is havoced
+    max_loop_iterations: int = 4_096
+    #: bounded inlining depth for module-local Function calls
+    max_call_depth: int = 8
+    #: longest string value the domain will materialize (characters)
+    max_string_length: int = 65_536
+    #: cap on recovered strings reported per macro
+    max_strings: int = 512
+    #: recovered strings shorter than this are noise and dropped
+    min_string_length: int = 4
+
+
+#: The engine's default static-analysis budget.
+DEFAULT_SA_BUDGET = SABudget()
+
+#: Tight preset for untrusted feeds — pairs with :data:`STRICT_BUDGET`.
+STRICT_SA_BUDGET = SABudget(
+    max_steps=50_000,
+    max_loop_iterations=1_024,
+    max_call_depth=4,
+    max_string_length=16_384,
+    max_strings=256,
+)
+
+#: Patient preset for forensics runs where wall-clock does not matter.
+DEEP_SA_BUDGET = SABudget(
+    max_steps=2_000_000,
+    max_loop_iterations=65_536,
+    max_call_depth=16,
+    max_string_length=1_048_576,
+    max_strings=4_096,
+)
+
+#: Named presets behind the CLI ``--sa-budget`` flag.
+SA_BUDGET_PRESETS: dict[str, SABudget] = {
+    "default": DEFAULT_SA_BUDGET,
+    "strict": STRICT_SA_BUDGET,
+    "deep": DEEP_SA_BUDGET,
+}
+
+
 class BudgetClock:
     """One document's countdown against its budget's wall clock."""
 

@@ -1,0 +1,65 @@
+"""Budgeted constant-folding static analysis for hidden-string recovery.
+
+O2/O3 obfuscation hides payload strings behind decoder expressions —
+``Chr()`` chains, ``StrReverse``, ``Replace``, concat loops.  This package
+folds those expressions *statically*: an intraprocedural abstract
+interpreter (:mod:`repro.sa.interpreter`) propagates constants over the
+:mod:`repro.vba` AST under a hard :class:`~repro.resilience.budgets.SABudget`,
+widening anything it cannot prove to ⊤ (:mod:`repro.sa.domain`), and
+reports every string it folds out as a
+:class:`~repro.sa.records.RecoveredString`.
+
+The engine surfaces this as the ``RecoverStage`` (``repro scan --recover``);
+recovered strings feed the ``SA`` lint rules, the ``R`` feature set
+(:mod:`repro.sa.features`), IOC classification (:mod:`repro.sa.iocs`) and
+an avsim signature re-scan.
+"""
+
+from repro.resilience.budgets import (
+    DEEP_SA_BUDGET,
+    DEFAULT_SA_BUDGET,
+    SA_BUDGET_PRESETS,
+    STRICT_SA_BUDGET,
+    SABudget,
+)
+from repro.sa.domain import TOP, is_concrete, is_top, join, join_envs
+from repro.sa.features import (
+    EMPTY_SUMMARY,
+    R_FEATURE_NAMES,
+    RecoverySummary,
+    r_features_batch,
+    r_features_from_summary,
+    summarize_recovery,
+)
+from repro.sa.interpreter import AbstractInterpreter, recover_strings
+from repro.sa.iocs import IOC_PATTERNS, count_iocs, find_iocs, ioc_kinds, scan_values
+from repro.sa.records import EMPTY_RECOVERY, RecoveredString, StringRecovery
+
+__all__ = [
+    "AbstractInterpreter",
+    "DEEP_SA_BUDGET",
+    "DEFAULT_SA_BUDGET",
+    "EMPTY_RECOVERY",
+    "EMPTY_SUMMARY",
+    "IOC_PATTERNS",
+    "R_FEATURE_NAMES",
+    "RecoveredString",
+    "RecoverySummary",
+    "SABudget",
+    "SA_BUDGET_PRESETS",
+    "STRICT_SA_BUDGET",
+    "StringRecovery",
+    "TOP",
+    "count_iocs",
+    "find_iocs",
+    "ioc_kinds",
+    "is_concrete",
+    "is_top",
+    "join",
+    "join_envs",
+    "r_features_batch",
+    "r_features_from_summary",
+    "recover_strings",
+    "scan_values",
+    "summarize_recovery",
+]

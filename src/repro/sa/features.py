@@ -1,0 +1,106 @@
+"""The "R" (recovered-string) feature set.
+
+Entropy of *decoded* content is a stronger obfuscation symptom than
+raw-stream entropy, and the count of decoded IOCs is a direct payload
+signal.  This module digests one :class:`~repro.sa.records.StringRecovery`
+into an array-friendly :class:`RecoverySummary` and registers the ``R``
+feature set over those summaries — with a column-batch kernel carrying
+the PR 6 parity contract (batch rows are bit-identical to per-row
+extraction, asserted in tests).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.entropy import shannon_entropy
+from repro.features.registry import register_feature_set
+from repro.sa.iocs import count_iocs
+from repro.sa.records import StringRecovery
+
+R_FEATURE_NAMES: tuple[str, ...] = (
+    "R1_recovered_count",
+    "R2_recovered_chars",
+    "R3_recovered_entropy",
+    "R4_entropy_delta",
+    "R5_recovered_ioc_count",
+    "R6_budget_exhausted",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class RecoverySummary:
+    """Pre-digested recovery numbers: everything the R kernel reads.
+
+    All fields are plain floats so a batch of summaries is one
+    ``np.array`` construction away from the feature matrix — the same
+    array-backed-digest shape the V/J kernels use.
+    """
+
+    recovered_count: float
+    recovered_chars: float
+    recovered_entropy: float
+    raw_entropy: float
+    ioc_count: float
+    exhausted: float
+
+    def row(self) -> tuple[float, ...]:
+        return (
+            self.recovered_count,
+            self.recovered_chars,
+            self.recovered_entropy,
+            self.recovered_entropy - self.raw_entropy
+            if self.recovered_count
+            else 0.0,
+            self.ioc_count,
+            self.exhausted,
+        )
+
+
+def summarize_recovery(
+    recovery: StringRecovery, raw_source: str
+) -> RecoverySummary:
+    """Digest one recovery result against the macro's raw source."""
+    values = recovery.values()
+    decoded = "\n".join(values)
+    return RecoverySummary(
+        recovered_count=float(len(values)),
+        recovered_chars=float(sum(len(value) for value in values)),
+        recovered_entropy=shannon_entropy(decoded) if decoded else 0.0,
+        raw_entropy=shannon_entropy(raw_source) if raw_source else 0.0,
+        ioc_count=float(count_iocs(values)),
+        exhausted=1.0 if recovery.exhausted else 0.0,
+    )
+
+
+#: The summary for a macro the recover stage skipped or could not parse.
+EMPTY_SUMMARY = RecoverySummary(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def r_features_from_summary(summary: RecoverySummary) -> np.ndarray:
+    """Per-row extractor: one summary → the 6-wide R vector."""
+    return np.asarray(summary.row(), dtype=np.float64)
+
+
+def r_features_batch(summaries: Sequence[RecoverySummary]) -> np.ndarray:
+    """Column-batch kernel: summaries → the ``(n, 6)`` float64 matrix.
+
+    Arithmetic is identical to :func:`r_features_from_summary` (same
+    ``row()`` products), so batch output is bit-identical to stacked
+    per-row extraction.
+    """
+    return np.asarray(
+        [summary.row() for summary in summaries], dtype=np.float64
+    ).reshape(len(summaries), len(R_FEATURE_NAMES))
+
+
+register_feature_set(
+    "R",
+    r_features_from_summary,
+    R_FEATURE_NAMES,
+    description="Recovered-string features from the repro.sa static pass",
+    batch_extractor=r_features_batch,
+)

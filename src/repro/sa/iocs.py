@@ -1,0 +1,70 @@
+"""IOC scanning over recovered strings.
+
+Obfuscated droppers hide exactly the strings defenders grep for — URLs,
+shell invocations, payload filenames, auto-execution entry points.  Once
+:mod:`repro.sa` folds those strings back into the clear, this module
+classifies them so the lint rules and the R feature set can count them.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: IOC kind → compiled pattern, checked against each recovered string.
+IOC_PATTERNS: dict[str, re.Pattern[str]] = {
+    "url": re.compile(r"\b(?:https?|hxxps?|ftp)://[^\s\"']{4,}", re.IGNORECASE),
+    "unc_path": re.compile(r"\\\\[a-z0-9_.$-]+\\[^\s\"']+", re.IGNORECASE),
+    "ip": re.compile(
+        r"\b(?:(?:25[0-5]|2[0-4]\d|1\d\d|[1-9]?\d)\.){3}"
+        r"(?:25[0-5]|2[0-4]\d|1\d\d|[1-9]?\d)\b"
+    ),
+    "exe": re.compile(
+        r"\b[\w.%~$-]+\.(?:exe|dll|scr|ps1|vbs|vbe|js|jse|bat|cmd|hta|jar|lnk)\b",
+        re.IGNORECASE,
+    ),
+    "shell": re.compile(
+        r"\b(?:powershell|cmd(?:\.exe)?\s*/c|wscript|cscript|mshta|rundll32"
+        r"|regsvr32|certutil|bitsadmin)\b",
+        re.IGNORECASE,
+    ),
+    "autoexec": re.compile(
+        r"\b(?:auto_?open|auto_?close|auto_?exec|document_open|document_close"
+        r"|workbook_open|workbook_close)\b",
+        re.IGNORECASE,
+    ),
+    "api": re.compile(
+        r"\b(?:createobject|shellexecute|getobject|urldownloadtofile"
+        r"|xmlhttp|adodb\.stream|wscript\.shell|scripting\.filesystemobject"
+        r"|virtualalloc|createthread)\b",
+        re.IGNORECASE,
+    ),
+}
+
+
+def find_iocs(text: str) -> list[tuple[str, str]]:
+    """Every (kind, matched text) IOC in one string, in pattern order."""
+    hits: list[tuple[str, str]] = []
+    for kind, pattern in IOC_PATTERNS.items():
+        for match in pattern.finditer(text):
+            hits.append((kind, match.group(0)))
+    return hits
+
+
+def scan_values(values: list[str]) -> list[tuple[str, str, str]]:
+    """Scan many recovered values; yields (kind, match, source value)."""
+    hits: list[tuple[str, str, str]] = []
+    for value in values:
+        for kind, match in find_iocs(value):
+            hits.append((kind, match, value))
+    return hits
+
+
+def count_iocs(values: list[str]) -> int:
+    """Total IOC matches across all recovered values."""
+    return len(scan_values(values))
+
+
+def ioc_kinds(values: list[str]) -> tuple[str, ...]:
+    """Distinct IOC kinds present, in IOC_PATTERNS order."""
+    present = {kind for kind, _match, _value in scan_values(values)}
+    return tuple(kind for kind in IOC_PATTERNS if kind in present)

@@ -1,0 +1,78 @@
+"""Recovered-string record schema for :mod:`repro.sa`.
+
+:class:`StringRecovery` is what one static-analysis pass over one macro
+produces.  It is attached to the engine's ``MacroRecord`` by the
+``RecoverStage`` and serialized into the JSON output, so its shape is
+part of the engine schema (``repro.engine.records.ENGINE_SCHEMA_VERSION``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveredString:
+    """One string value the analyzer folded out of obfuscated code.
+
+    Attributes:
+        value: the recovered (decoded) string.
+        line: source line of the expression that produced it.
+        origin: the operation that produced it — a builtin name
+            (``"chr"``, ``"replace"`` …), ``"&"``/``"+"`` for
+            concatenation folds, or ``"call"`` for user-function returns.
+    """
+
+    value: str
+    line: int
+    origin: str
+
+    def to_dict(self) -> dict:
+        return {"value": self.value, "line": self.line, "origin": self.origin}
+
+
+@dataclass(frozen=True, slots=True)
+class StringRecovery:
+    """The full result of one budgeted static-analysis pass.
+
+    Always produced, never raised past: a macro the parser rejects yields
+    ``parse_failed=True`` with zero strings; a macro that blows the budget
+    yields ``exhausted=True`` with whatever was recovered before the
+    budget tripped.
+    """
+
+    strings: tuple[RecoveredString, ...] = ()
+    #: the analysis hit a budget limit and degraded remaining work to ⊤
+    exhausted: bool = False
+    #: which budget limit tripped first ("" when not exhausted)
+    exhausted_reason: str = ""
+    #: the macro source failed to parse even in tolerant mode
+    parse_failed: bool = False
+    #: abstract-interpretation steps consumed
+    steps_used: int = 0
+    #: the max_strings cap dropped further distinct recovered values
+    truncated: bool = False
+    #: avsim signature names matching recovered strings (RecoverStage fills)
+    signature_hits: tuple[str, ...] = ()
+    #: IOC kinds found in recovered strings, e.g. ("url", "exe") (RecoverStage fills)
+    ioc_kinds: tuple[str, ...] = field(default=())
+
+    def values(self) -> list[str]:
+        """The recovered string values, de-duplicated in recovery order."""
+        return [record.value for record in self.strings]
+
+    def to_dict(self) -> dict:
+        return {
+            "strings": [record.to_dict() for record in self.strings],
+            "exhausted": self.exhausted,
+            "exhausted_reason": self.exhausted_reason,
+            "parse_failed": self.parse_failed,
+            "steps_used": self.steps_used,
+            "truncated": self.truncated,
+            "signature_hits": list(self.signature_hits),
+            "ioc_kinds": list(self.ioc_kinds),
+        }
+
+
+#: The do-nothing recovery attached when the stage is disabled or skipped.
+EMPTY_RECOVERY = StringRecovery()

@@ -94,14 +94,25 @@ class Lexer:
             while self._peek() in (" ", "\t"):
                 self._advance()
             # A trailing ``_`` after whitespace, followed by end of line, is a
-            # line continuation that splices the next physical line.
-            if self._peek() == "_" and self._peek(1) in ("\r", "\n", ""):
-                self._advance()
-                if self._peek() == "\r":
-                    self._advance()
-                if self._peek() == "\n":
-                    self._advance()
-                return self._make(TokenKind.LINE_CONTINUATION, start, line, column)
+            # line continuation that splices the next physical line.  Editors
+            # routinely leave spaces or tabs after the underscore, so any run
+            # of trailing whitespace between ``_`` and the line break is part
+            # of the continuation.
+            if self._peek() == "_":
+                offset = 1
+                while self._peek(offset) in (" ", "\t"):
+                    offset += 1
+                if self._peek(offset) in ("\r", "\n", ""):
+                    self._advance()  # the underscore
+                    while self._peek() in (" ", "\t"):
+                        self._advance()
+                    if self._peek() == "\r":
+                        self._advance()
+                    if self._peek() == "\n":
+                        self._advance()
+                    return self._make(
+                        TokenKind.LINE_CONTINUATION, start, line, column
+                    )
             return self._make(TokenKind.WHITESPACE, start, line, column)
 
         if char == "'":

@@ -28,15 +28,24 @@ _NOOP_STATEMENTS = frozenset({"doevents", "msgbox", "randomize", "beep", "sendke
 _MODIFIER_KEYWORDS = frozenset({"public", "private", "friend", "global", "static"})
 
 
-def parse_module(source: str, tolerant: bool = False) -> ast.Module:
+def parse_module(
+    source: str,
+    tolerant: bool = False,
+    tokens: list[Token] | None = None,
+) -> ast.Module:
     """Parse a whole module: procedures plus module-level statements.
 
     With ``tolerant=True``, statements outside the supported subset are
     preserved verbatim as :class:`~repro.vba.ast_nodes.NoOpStmt` instead of
     raising — the mode the de-obfuscator uses so host-I/O chatter
     (``Declare``, ``Open … For Binary``, ``Put #``) survives unchanged.
+
+    ``tokens`` lets a caller that already lexed ``source`` (the analyzer
+    keeps its token stream) skip the re-tokenization, which dominates
+    parse cost on large modules.  The list must be the unfiltered
+    :func:`~repro.vba.lexer.tokenize` output for exactly ``source``.
     """
-    return _Parser(source, tolerant=tolerant).parse_module()
+    return _Parser(source, tolerant=tolerant, tokens=tokens).parse_module()
 
 
 def parse_statements(source: str) -> list[ast.Statement]:
@@ -48,11 +57,16 @@ def parse_statements(source: str) -> list[ast.Statement]:
 
 
 class _Parser:
-    def __init__(self, source: str, tolerant: bool = False) -> None:
+    def __init__(
+        self,
+        source: str,
+        tolerant: bool = False,
+        tokens: list[Token] | None = None,
+    ) -> None:
         self._tolerant = tolerant
         self._tokens = [
             token
-            for token in tokenize(source)
+            for token in (tokenize(source) if tokens is None else tokens)
             if token.kind
             not in (
                 TokenKind.WHITESPACE,
@@ -61,6 +75,9 @@ class _Parser:
             )
         ]
         self._pos = 0
+        #: statements already parsed but not yet delivered — a single source
+        #: statement can expand to several AST statements (``Const A = 1, B = 2``)
+        self._pending: list[ast.Statement] = []
 
     # ------------------------------------------------------------------
     # Token cursor helpers
@@ -129,13 +146,33 @@ class _Parser:
     def parse_module(self) -> ast.Module:
         module = ast.Module()
         while True:
+            if self._pending:
+                module.module_statements.append(self._pending.pop(0))
+                continue
             self._skip_separators()
             token = self._peek()
             if token.kind is TokenKind.EOF:
                 break
             self._consume_modifiers()
             if self._at_keyword("sub", "function"):
-                procedure = self._parse_procedure()
+                start = self._pos
+                pending_mark = len(self._pending)
+                try:
+                    procedure = self._parse_procedure()
+                except VBAParseError:
+                    # A malformed header (``Sub Broken(((``) must not abort a
+                    # tolerant parse: drop the header line and resume at
+                    # module level.  A file truncated mid-procedure (EOF
+                    # before ``End Sub``) stays a hard error — its body
+                    # cannot be attributed to anything.
+                    if not self._tolerant or self._peek().kind is TokenKind.EOF:
+                        raise
+                    self._pos = start
+                    del self._pending[pending_mark:]
+                    line = self._peek().line
+                    raw = self._skip_rest_of_line()
+                    module.module_statements.append(ast.NoOpStmt(raw, line))
+                    continue
                 module.procedures[procedure.name.lower()] = procedure
                 continue
             if self._at_keyword("option"):
@@ -194,6 +231,9 @@ class _Parser:
         """Parse statements until a terminator keyword is at statement start."""
         statements: list[ast.Statement] = []
         while True:
+            if self._pending:
+                statements.append(self._pending.pop(0))
+                continue
             self._skip_separators()
             token = self._peek()
             if token.kind is TokenKind.EOF:
@@ -205,6 +245,7 @@ class _Parser:
 
     def _parse_statement_or_raw(self) -> ast.Statement:
         start = self._pos
+        pending_mark = len(self._pending)
         line = self._peek().line
         try:
             return self._parse_statement()
@@ -212,6 +253,7 @@ class _Parser:
             if not self._tolerant:
                 raise
             self._pos = start
+            del self._pending[pending_mark:]  # drop partial expansions
             raw = self._skip_rest_of_line()
             return ast.NoOpStmt(raw, line)
 
@@ -300,15 +342,24 @@ class _Parser:
 
     def _parse_const(self) -> ast.Statement:
         keyword = self._expect_keyword("const")
+        first = self._parse_one_const(keyword.line)
+        # ``Const A = 1, B = 2`` expands into one ConstStmt per name; the
+        # extras are queued and drained by the enclosing block loop.
+        while self._at_punct(","):
+            self._advance()
+            self._pending.append(self._parse_one_const(keyword.line))
+        return first
+
+    def _parse_one_const(self, line: int) -> ast.ConstStmt:
         name = self._expect_identifier()
         if self._at_keyword("as"):
             self._advance()
             self._advance()
         if not self._at_operator("="):
-            raise VBAParseError("Const requires '='", keyword.line)
+            raise VBAParseError("Const requires '='", line)
         self._advance()
         value = self._parse_expression()
-        return ast.ConstStmt(name.text, value, keyword.line)
+        return ast.ConstStmt(name.text, value, line)
 
     def _parse_assignment_or_call(self) -> ast.Statement:
         start = self._peek()
@@ -355,14 +406,16 @@ class _Parser:
         condition = self._parse_expression()
         self._expect_keyword("then")
         if not self._end_of_statement():
-            # Single-line If.
-            then_statement = self._parse_statement()
+            # Single-line If: colon-separated statements after ``Then`` are
+            # part of the then-body (``If a Then b = 1: c = 2``), up to an
+            # optional single-line ``Else``.
+            then_body = self._parse_inline_body()
             else_body: tuple[ast.Statement, ...] = ()
             if self._at_keyword("else"):
                 self._advance()
-                else_body = (self._parse_statement(),)
+                else_body = self._parse_inline_body()
             return ast.IfStmt(
-                ((condition, (then_statement,)),), else_body, keyword.line
+                ((condition, then_body),), else_body, keyword.line
             )
         branches: list[tuple[ast.Expression, tuple[ast.Statement, ...]]] = []
         body = self.parse_statement_block(
@@ -389,6 +442,26 @@ class _Parser:
         self._expect_keyword("end")
         self._expect_keyword("if")
         return ast.IfStmt(tuple(branches), else_body, keyword.line)
+
+    def _parse_inline_body(self) -> tuple[ast.Statement, ...]:
+        """Parse colon-joined statements on a single-line ``If`` branch."""
+        body = [self._parse_statement()]
+        body.extend(self._drain_pending())
+        while self._at_punct(":"):
+            while self._at_punct(":"):
+                self._advance()
+            if self._peek().kind in (TokenKind.NEWLINE, TokenKind.EOF):
+                break
+            if self._at_keyword("else", "elseif", "end", "next", "wend", "loop"):
+                break
+            body.append(self._parse_statement())
+            body.extend(self._drain_pending())
+        return tuple(body)
+
+    def _drain_pending(self) -> list[ast.Statement]:
+        drained = list(self._pending)
+        self._pending.clear()
+        return drained
 
     def _parse_for(self) -> ast.Statement:
         keyword = self._expect_keyword("for")

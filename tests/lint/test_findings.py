@@ -56,5 +56,5 @@ class TestHelpers:
 
     def test_count_by_class_includes_zero_classes(self):
         counts = count_by_class([make(), make(o_class="O3")])
-        assert counts == {"O1": 1, "O2": 0, "O3": 1, "O4": 0, "AA": 0}
+        assert counts == {"O1": 1, "O2": 0, "O3": 1, "O4": 0, "AA": 0, "SA": 0}
         assert tuple(counts) == O_CLASSES

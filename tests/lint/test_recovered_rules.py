@@ -1,0 +1,158 @@
+"""The SA lint rules over recovered strings, and the de-obfuscation loop.
+
+The loop-back test closes the circle the paper draws between the
+obfuscator, the lint rules, the de-obfuscator, and static recovery: a
+transform fires its lint class, de-obfuscating removes the firing
+construct, and the static analyzer recovers the original literal from
+the still-obfuscated code.
+"""
+
+from repro.deobfuscation import deobfuscate
+from repro.lint import lint_source
+from repro.lint.registry import lint_analysis, rule_ids
+from repro.obfuscation.base import make_context
+from repro.obfuscation.encode import StringEncoder
+from repro.sa import RecoveredString, StringRecovery, recover_strings
+from repro.vba.analyzer import analyze
+
+SECRET = "http://files.drop-zone.example/stage2/invoice.exe"
+
+PLAIN = (
+    "Sub Payload()\n"
+    f'    url = "{SECRET}"\n'
+    "End Sub"
+)
+
+
+def recovery_of(*values: str) -> StringRecovery:
+    return StringRecovery(
+        strings=tuple(
+            RecoveredString(value=value, line=2, origin="&") for value in values
+        )
+    )
+
+
+def sa_findings(source: str, recovery: StringRecovery):
+    return [
+        finding
+        for finding in lint_analysis(analyze(source), recovery=recovery)
+        if finding.o_class == "SA"
+    ]
+
+
+class TestRules:
+    def test_rules_registered(self):
+        registered = rule_ids()
+        for rule_id in (
+            "sa-recovered-ioc",
+            "sa-recovered-autoopen",
+            "sa-literal-disagreement",
+        ):
+            assert rule_id in registered
+
+    def test_no_recovery_means_no_sa_findings(self):
+        assert not [
+            finding
+            for finding in lint_source(PLAIN)
+            if finding.o_class == "SA"
+        ]
+
+    def test_recovered_ioc_fires(self):
+        findings = sa_findings(
+            "Sub A()\nEnd Sub", recovery_of("http://c2.example/drop.exe")
+        )
+        ioc = [f for f in findings if f.rule_id == "sa-recovered-ioc"]
+        assert ioc
+        assert any("url" in f.message for f in ioc)
+        assert all(f.severity == "high" for f in ioc)
+
+    def test_recovered_autoopen_fires(self):
+        findings = sa_findings(
+            "Sub A()\nEnd Sub", recovery_of("CallByName Me, \"Auto_Open\"")
+        )
+        assert any(f.rule_id == "sa-recovered-autoopen" for f in findings)
+        # the autoexec kind belongs to the autoopen rule, not the ioc rule
+        assert not any(
+            f.rule_id == "sa-recovered-ioc" and "autoexec" in f.message
+            for f in findings
+        )
+
+    def test_disagreement_fires_only_for_transformed_literals(self):
+        source = 'Sub A()\n    x = "visible-literal" & "!"\nEnd Sub'
+        hidden = sa_findings(source, recovery_of("assembled-in-memory"))
+        assert any(
+            f.rule_id == "sa-literal-disagreement" for f in hidden
+        )
+        visible = sa_findings(source, recovery_of("visible-literal"))
+        assert not any(
+            f.rule_id == "sa-literal-disagreement" for f in visible
+        )
+
+    def test_short_values_do_not_fire_disagreement(self):
+        findings = sa_findings("Sub A()\nEnd Sub", recovery_of("tiny"))
+        assert not any(
+            f.rule_id == "sa-literal-disagreement" for f in findings
+        )
+
+    def test_finding_flood_is_capped(self):
+        many = recovery_of(
+            *[f"http://host-{i}.example/x{i}.exe" for i in range(200)]
+        )
+        findings = sa_findings("Sub A()\nEnd Sub", many)
+        per_rule: dict[str, int] = {}
+        for finding in findings:
+            per_rule[finding.rule_id] = per_rule.get(finding.rule_id, 0) + 1
+        assert all(count <= 32 for count in per_rule.values())
+
+
+class TestDeobfuscationLoopBack:
+    """Transform → lint fires → deobfuscate clears it → sa recovers."""
+
+    def test_chr_chain_loop(self):
+        encoder = StringEncoder(
+            min_length=4, strategies=("chr_concat",), encode_probability=1.0
+        )
+        obfuscated = encoder.apply(PLAIN, make_context(42))
+        assert SECRET not in obfuscated
+
+        # 1. the transform fires its lint class on the obfuscated code
+        fired = {f.rule_id for f in lint_source(obfuscated)}
+        assert "o3-chr-chain" in fired
+
+        # 2. de-obfuscation folds the chain back; the rule stops firing
+        cleaned = deobfuscate(obfuscated).source
+        assert SECRET in cleaned
+        assert "o3-chr-chain" not in {
+            f.rule_id for f in lint_source(cleaned)
+        }
+
+        # 3. static recovery reads the same literal out of the *obfuscated*
+        #    code, no de-obfuscation rewrite needed
+        assert SECRET in recover_strings(obfuscated).values()
+
+    def test_replace_marker_loop(self):
+        encoder = StringEncoder(
+            min_length=4, strategies=("replace_marker",), encode_probability=1.0
+        )
+        obfuscated = encoder.apply(PLAIN, make_context(7))
+        assert SECRET not in obfuscated
+        fired = {f.rule_id for f in lint_source(obfuscated)}
+        assert "o3-replace-marker" in fired
+        cleaned = deobfuscate(obfuscated).source
+        assert "o3-replace-marker" not in {
+            f.rule_id for f in lint_source(cleaned)
+        }
+        assert SECRET in recover_strings(obfuscated).values()
+
+    def test_sa_findings_flag_the_hidden_payload_end_to_end(self):
+        from repro.engine import AnalysisEngine
+
+        encoder = StringEncoder(
+            min_length=4, strategies=("xor_array",), encode_probability=1.0
+        )
+        obfuscated = encoder.apply(PLAIN, make_context(9))
+        macro = AnalysisEngine.for_lint(recover=True).run_source(obfuscated)
+        assert SECRET in macro.recovered_strings
+        sa_rules = {f.rule_id for f in macro.findings if f.o_class == "SA"}
+        assert "sa-recovered-ioc" in sa_rules
+        assert "sa-literal-disagreement" in sa_rules

@@ -80,6 +80,17 @@ class TestBitflips:
             pass
         # Any other exception type fails the test by propagating.
 
+    def test_directory_cycle_terminates(self):
+        # Regression (hypothesis-found): zeroing this byte rewires a
+        # directory-entry pointer into a cycle; the tree walk must stay
+        # finite instead of recursing until RecursionError.
+        blob = bytearray(build_doc())
+        blob[int(len(blob) * 0.5664495014408513)] = 0
+        try:
+            extract_macros(bytes(blob))
+        except EXPECTED_ERRORS:
+            pass
+
 
 class TestFuzzArbitraryBytes:
     @settings(max_examples=60, deadline=None)

@@ -1,0 +1,109 @@
+"""R feature set: summaries, per-row/batch parity, and IOC scanning."""
+
+import numpy as np
+import pytest
+
+from repro.features.registry import get_feature_set
+from repro.sa import (
+    EMPTY_RECOVERY,
+    EMPTY_SUMMARY,
+    R_FEATURE_NAMES,
+    RecoveredString,
+    StringRecovery,
+    count_iocs,
+    find_iocs,
+    ioc_kinds,
+    r_features_batch,
+    r_features_from_summary,
+    summarize_recovery,
+)
+
+
+def make_recovery(*values: str, exhausted: bool = False) -> StringRecovery:
+    return StringRecovery(
+        strings=tuple(
+            RecoveredString(value=value, line=index + 1, origin="&")
+            for index, value in enumerate(values)
+        ),
+        exhausted=exhausted,
+    )
+
+
+class TestSummaries:
+    def test_empty_summary_row_is_zero(self):
+        assert r_features_from_summary(EMPTY_SUMMARY).tolist() == [0.0] * 6
+
+    def test_summary_counts_and_entropy(self):
+        recovery = make_recovery("http://evil.example/a.exe", "ADODB.Stream")
+        summary = summarize_recovery(recovery, raw_source="x = 1")
+        assert summary.recovered_count == 2.0
+        assert summary.recovered_chars == float(
+            len("http://evil.example/a.exe") + len("ADODB.Stream")
+        )
+        assert summary.ioc_count >= 2.0
+        assert summary.recovered_entropy > 0.0
+
+    def test_entropy_delta_zero_when_nothing_recovered(self):
+        summary = summarize_recovery(EMPTY_RECOVERY, raw_source="abcdefgh")
+        row = summary.row()
+        assert row[R_FEATURE_NAMES.index("R4_entropy_delta")] == 0.0
+
+    def test_exhausted_flag_propagates(self):
+        summary = summarize_recovery(make_recovery(exhausted=True), "src")
+        assert summary.exhausted == 1.0
+
+
+class TestBatchParity:
+    def test_batch_rows_bit_identical_to_per_row(self):
+        summaries = [
+            summarize_recovery(
+                make_recovery(f"payload-{i}" * (i + 1), exhausted=bool(i % 2)),
+                raw_source="Sub A()\nEnd Sub" * (i + 1),
+            )
+            for i in range(17)
+        ] + [EMPTY_SUMMARY]
+        matrix = r_features_batch(summaries)
+        assert matrix.shape == (18, len(R_FEATURE_NAMES))
+        for index, summary in enumerate(summaries):
+            row = r_features_from_summary(summary)
+            assert np.array_equal(matrix[index], row)  # bit-identical
+
+    def test_empty_batch(self):
+        assert r_features_batch([]).shape == (0, len(R_FEATURE_NAMES))
+
+    def test_registered_feature_set_matches_module_functions(self):
+        feature_set = get_feature_set("R")
+        assert feature_set.names == R_FEATURE_NAMES
+        summary = summarize_recovery(make_recovery("some-payload"), "raw")
+        assert np.array_equal(
+            feature_set.extract(summary), r_features_from_summary(summary)
+        )
+
+
+class TestIocs:
+    @pytest.mark.parametrize(
+        "text, kind",
+        [
+            ("GET http://c2.example/beacon now", "url"),
+            ("stealth hxxps://c2.example/b", "url"),
+            ("connect 192.168.12.9 please", "ip"),
+            ("drop to \\\\fileserv\\share\\x", "unc_path"),
+            ("run loader.exe after", "exe"),
+            ("powershell -enc AAA", "shell"),
+            ("Sub auto_open()", "autoexec"),
+            ("CreateObject call", "api"),
+        ],
+    )
+    def test_each_kind_matches(self, text, kind):
+        assert kind in {found for found, _match in find_iocs(text)}
+
+    def test_benign_text_matches_nothing(self):
+        assert find_iocs("totally ordinary sentence about quarterly totals") == []
+
+    def test_count_and_kinds(self):
+        values = ["http://a.example/x.exe", "powershell -nop"]
+        assert count_iocs(values) >= 3
+        kinds = ioc_kinds(values)
+        assert set(kinds) >= {"url", "exe", "shell"}
+        # kinds come back in IOC_PATTERNS declaration order, deduplicated
+        assert list(kinds) == sorted(kinds, key=list(kinds).index)
