@@ -9,9 +9,15 @@ stage.  This bench holds that promise to a number:
   within 5% of the pre-telemetry stage loop (the PR 2 ``run_source``
   body, reconstructed inline), asserted on best-of-N rounds;
 * **on vs. off** — a live registry's cost is measured and recorded for
-  the artifact, not asserted (spans are allowed to cost something).
+  the artifact, not asserted (spans are allowed to cost something);
+* **windowed/export off vs. bare** — attaching a :class:`SlidingWindow`
+  and :class:`DriftMonitor` to a NULL_REGISTRY engine must also stay
+  within the 5% gate on the per-document ``run`` path (the attachments
+  exist but every tick exits on the ``enabled`` check), with the live
+  windowed + Prometheus-scrape cost recorded alongside.
 
 Environment knobs: ``REPRO_BENCH_OBS_SOURCES`` (default 120 macros),
+``REPRO_BENCH_OBS_DOCS`` (default 40 documents),
 ``REPRO_BENCH_OBS_ROUNDS`` (default 5).
 """
 
@@ -28,6 +34,7 @@ from repro.corpus.benign import generate_benign_module
 from repro.obs import MetricsRegistry
 
 N_SOURCES = int(os.environ.get("REPRO_BENCH_OBS_SOURCES", "120"))
+N_DOCS = int(os.environ.get("REPRO_BENCH_OBS_DOCS", "40"))
 N_ROUNDS = int(os.environ.get("REPRO_BENCH_OBS_ROUNDS", "5"))
 MAX_OFF_OVERHEAD = 1.05  # telemetry off: < 5% over the PR 2 baseline
 
@@ -106,6 +113,100 @@ def test_run_source_telemetry_off_is_free(benchmark):
 
     benchmark.pedantic(
         lambda: [engine_off.run_source(source) for source in sources[:30]],
+        iterations=1,
+        rounds=3,
+    )
+
+
+def build_documents(n_docs: int) -> list[bytes]:
+    from repro.corpus.documents import build_document_bytes
+
+    rng = random.Random(778)
+    return [
+        build_document_bytes(
+            [generate_benign_module(rng, target_length=rng.randint(400, 1500))],
+            "docm",
+        )
+        for _ in range(n_docs)
+    ]
+
+
+def test_windowed_observability_off_is_free(benchmark):
+    """Window + drift attachments on a NULL_REGISTRY engine cost nothing."""
+    from repro.obs import DriftMonitor, SlidingWindow, render_prometheus
+    from repro.obs.drift import capture_profile
+
+    documents = build_documents(N_DOCS)
+
+    def engine(metrics=None):
+        # Caching off: every round must take the full _process path the
+        # observability tick lives on, not the cache-hit shortcut.
+        return AnalysisEngine(
+            feature_sets=("V",),
+            metrics=metrics,
+            cache_size=0,
+            feature_cache_size=0,
+        )
+
+    bare = engine()
+
+    attached_off = engine()
+    attached_off.window = SlidingWindow()
+    attached_off.drift_monitor = DriftMonitor(
+        {"metrics": {}}, attached_off.metrics
+    )
+
+    live_registry = MetricsRegistry()
+    live = engine(metrics=live_registry)
+    live.window = SlidingWindow()
+    live.drift_monitor = DriftMonitor(
+        capture_profile(live_registry), live_registry
+    )
+
+    # Warm lazy imports before the first timed round.
+    for warm in (bare, attached_off, live):
+        warm.run(documents[0])
+
+    baseline = _best_of(
+        N_ROUNDS, lambda: [bare.run(document) for document in documents]
+    )
+    off = _best_of(
+        N_ROUNDS,
+        lambda: [attached_off.run(document) for document in documents],
+    )
+    on = _best_of(
+        N_ROUNDS, lambda: [live.run(document) for document in documents]
+    )
+    scrape = _best_of(
+        N_ROUNDS,
+        lambda: render_prometheus(
+            live_registry, live.window.view(live_registry)
+        ),
+    )
+
+    off_overhead = off / baseline
+    on_overhead = on / baseline
+    text = (
+        "WINDOWED OBS OVERHEAD — engine.run document path, best of "
+        f"{N_ROUNDS} rounds x {len(documents)} documents\n"
+        f"bare NULL_REGISTRY          : {baseline:.3f} s"
+        f"  ({len(documents) / baseline:.1f} docs/s)\n"
+        f"window+drift attached, off  : {off:.3f} s"
+        f"  ({off_overhead:.3f}x bare)\n"
+        f"window+drift+registry, live : {on:.3f} s"
+        f"  ({on_overhead:.3f}x bare)\n"
+        f"prometheus scrape (+window) : {scrape * 1000:.3f} ms/scrape\n"
+        f"window snapshots kept       : {len(live.window)}\n"
+    )
+    print("\n" + text)
+    save_artifact("obs_windowed_overhead.txt", text)
+
+    # The tick path on a disabled registry is one attribute check: the
+    # attachments must not cost the no-op mode its 5% budget.
+    assert off_overhead < MAX_OFF_OVERHEAD, text
+
+    benchmark.pedantic(
+        lambda: [attached_off.run(document) for document in documents[:10]],
         iterations=1,
         rounds=3,
     )

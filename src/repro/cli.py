@@ -13,7 +13,14 @@ Commands:
 * ``demo <out.docm>``     — write a synthetic obfuscated-downloader document
   (for trying the other commands);
 * ``stats <events.jsonl>`` — aggregate a saved ``--trace-out`` trace into
-  per-stage p50/p95 latencies and throughput;
+  per-stage p50/p95 latencies and throughput (plus a ``--stage-timeout``
+  sizing hint with 2x headroom over the slowest observed stage);
+* ``drift <base> <live>`` — compare two saved metrics profiles: PSI over
+  the score/lint-rule distributions, standardized mean shift over feature
+  columns; exit 2 when any dimension drifted;
+* ``slo check <profile>`` — evaluate the declarative latency/error-budget
+  objectives (``repro slo show`` prints them; ``--slo FILE`` overrides)
+  against a saved profile; exit 2 on any violated objective;
 * ``reproduce``           — run the paper's Section V evaluation.
 
 ``extract``, ``scan``, and ``lint`` accept files *and directories*
@@ -31,7 +38,14 @@ strict|default|deep`` picks how hard the folder tries.  ``--stats``
 prints a post-run
 telemetry summary (per-stage p50/p95, throughput, cache hit rate — merged
 across worker processes) to stderr and ``--trace-out FILE`` saves one
-JSON-lines event per pipeline span for offline analysis.
+JSON-lines event per pipeline span for offline analysis.  The fleet
+observability layer rides the same registry: ``--baseline-out FILE``
+freezes the run's metric distributions into a profile, ``--baseline
+FILE`` scores live traffic against a saved profile as the batch runs
+(drift gauges, drift trace events, a summary on stderr), and
+``--metrics-port N`` serves Prometheus ``/metrics`` + ``/healthz`` for
+the duration of the batch (``--metrics-linger S`` keeps the endpoint up
+afterwards for a final scrape).
 
 The batch commands are *resilient* (see :mod:`repro.resilience`): every
 document runs under a budget (``--budget strict|default|off`` picks the
@@ -126,6 +140,28 @@ def build_parser() -> argparse.ArgumentParser:
             help="do not expand plain zip/tar archives into their member "
             "documents (expansion is guarded against archive bombs)",
         )
+        subparser.add_argument(
+            "--baseline-out", metavar="FILE", default=None,
+            help="write a baseline metrics profile of this run (classifier "
+            "score histogram, lint-rule firing rates, feature-column "
+            "summaries) for later `repro drift` / `repro slo check` runs",
+        )
+        subparser.add_argument(
+            "--baseline", metavar="FILE", default=None,
+            help="score live traffic against a saved baseline profile while "
+            "the batch runs: drift gauges on /metrics, drift events in the "
+            "trace, and a drift summary on stderr afterwards",
+        )
+        subparser.add_argument(
+            "--metrics-port", type=int, default=None, metavar="PORT",
+            help="serve Prometheus /metrics (+ /healthz) on 127.0.0.1:PORT "
+            "while the batch runs (0 picks a free port, printed to stderr)",
+        )
+        subparser.add_argument(
+            "--metrics-linger", type=float, default=0.0, metavar="SECONDS",
+            help="keep the --metrics-port endpoint up this long after the "
+            "batch finishes, so scrapers can take a final sample",
+        )
         # Fault injection for resilience drills; deliberately undocumented.
         subparser.add_argument(
             "--chaos", metavar="SPEC", default=None, help=argparse.SUPPRESS,
@@ -202,6 +238,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="human table or one JSON object of per-span aggregates",
     )
 
+    drift = commands.add_parser(
+        "drift",
+        help="compare two saved metrics profiles for distribution drift",
+    )
+    drift.add_argument(
+        "baseline", help="baseline profile written by --baseline-out"
+    )
+    drift.add_argument(
+        "live", help="live/candidate profile to compare against the baseline"
+    )
+    drift.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="human table or one JSON object of per-dimension scores",
+    )
+    drift.add_argument(
+        "--min-count", type=int, default=20, metavar="N",
+        help="observations each side needs before a dimension is graded "
+        "(default 20; tiny samples drift by noise alone)",
+    )
+
+    slo = commands.add_parser(
+        "slo", help="evaluate latency/error-budget SLOs over a profile"
+    )
+    slo_commands = slo.add_subparsers(dest="slo_command", required=True)
+    slo_check = slo_commands.add_parser(
+        "check", help="exit 2 when any objective is violated"
+    )
+    slo_check.add_argument(
+        "snapshot", help="metrics profile written by --baseline-out"
+    )
+    slo_check.add_argument(
+        "--slo", dest="slo_file", metavar="FILE", default=None,
+        help="JSON SLO config (default: the built-in objectives; "
+        "see `repro slo show`)",
+    )
+    slo_check.add_argument(
+        "--format", default="text", choices=("text", "json"),
+        help="human table or one JSON object of per-objective results",
+    )
+    slo_commands.add_parser(
+        "show", help="print the built-in objectives as a JSON config"
+    )
+
     reproduce = commands.add_parser("reproduce", help="run the paper evaluation")
     reproduce.add_argument("--scale", type=float, default=0.12)
     reproduce.add_argument("--folds", type=int, default=10)
@@ -219,6 +298,8 @@ def main(argv: list[str] | None = None) -> int:
         "deobfuscate": _cmd_deobfuscate,
         "demo": _cmd_demo,
         "stats": _cmd_stats,
+        "drift": _cmd_drift,
+        "slo": _cmd_slo,
         "reproduce": _cmd_reproduce,
     }[args.command]
     return handler(args)
@@ -274,12 +355,91 @@ def _expand_inputs(
 
 
 def _make_registry(args):
-    """A live registry when ``--stats``/``--trace-out`` asked for one."""
+    """A live registry when any telemetry consumer asked for one."""
     from repro.obs import NULL_REGISTRY, MetricsRegistry
 
-    if args.stats or args.trace_out:
+    if (
+        args.stats
+        or args.trace_out
+        or args.baseline_out
+        or args.baseline
+        or args.metrics_port is not None
+    ):
         return MetricsRegistry(trace=bool(args.trace_out))
     return NULL_REGISTRY
+
+
+def _attach_observability(args, registry, engine):
+    """Wire ``--baseline`` / ``--metrics-port`` attachments onto the engine.
+
+    Returns the running :class:`~repro.obs.export.MetricsServer` (or None).
+    Raises ``OSError``/``ValueError`` for an unreadable/invalid baseline or
+    an unbindable port — callers turn that into a usage error before any
+    document is analyzed.
+    """
+    if not registry.enabled:
+        return None
+    window = None
+    if args.metrics_port is not None or args.baseline:
+        from repro.obs import SlidingWindow
+
+        window = SlidingWindow()
+        engine.window = window
+    if args.baseline:
+        from repro.obs import DriftMonitor, read_profile
+
+        engine.drift_monitor = DriftMonitor(read_profile(args.baseline), registry)
+    server = None
+    if args.metrics_port is not None:
+        from repro.obs import MetricsServer
+
+        server = MetricsServer(registry, window=window, port=args.metrics_port)
+        port = server.start()
+        print(
+            f"metrics: http://127.0.0.1:{port}/metrics "
+            f"(healthz: http://127.0.0.1:{port}/healthz)",
+            file=sys.stderr,
+        )
+    return server
+
+
+def _finish_observability(args, registry, engine) -> None:
+    """Final drift evaluation + ``--baseline-out`` profile, post-batch.
+
+    Runs *before* :func:`_finish_telemetry` so the last drift evaluation's
+    events make it into the ``--trace-out`` file.
+    """
+    if not registry.enabled:
+        return
+    if engine.drift_monitor is not None:
+        report = engine.drift_monitor.evaluate()
+        print(report.render(), file=sys.stderr)
+    if args.baseline_out:
+        from repro.obs import capture_profile, write_profile
+
+        documents = registry.histograms.get("span.document")
+        profile = capture_profile(
+            registry,
+            source=f"repro {args.command}",
+            documents=int(documents.count) if documents is not None else None,
+        )
+        write_profile(args.baseline_out, profile)
+        print(f"wrote metrics profile to {args.baseline_out}", file=sys.stderr)
+
+
+def _shutdown_metrics_server(args, server) -> None:
+    """Linger (so scrapers catch the final state), then stop the endpoint."""
+    if server is None:
+        return
+    if args.metrics_linger > 0:
+        import time
+
+        print(
+            f"metrics endpoint lingering {args.metrics_linger:g}s...",
+            file=sys.stderr,
+        )
+        time.sleep(args.metrics_linger)
+    server.stop()
 
 
 def _make_budget(args):
@@ -493,6 +653,11 @@ def _cmd_extract(args) -> int:
     engine = AnalysisEngine.for_extraction(
         metrics=registry, budget=_make_budget(args), chaos=_make_chaos(args)
     )
+    try:
+        server = _attach_observability(args, registry, engine)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     entries = _prepare_entries(args, registry)
     if args.replay:
         try:
@@ -507,7 +672,9 @@ def _cmd_extract(args) -> int:
     )
     records = _splice_records(entries, batch)
     _write_quarantine(args, records)
+    _finish_observability(args, registry, engine)
     _finish_telemetry(args, registry, engine.cache_info())
+    _shutdown_metrics_server(args, server)
     if args.format == "json":
         _emit_json(records)
         return 0
@@ -586,6 +753,11 @@ def _cmd_scan(args) -> int:
         recover=args.recover,
         sa_budget=_make_sa_budget(args),
     )
+    try:
+        server = _attach_observability(args, registry, engine)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     entries = _prepare_entries(args, registry)
     batch = engine.run_batch(
         [payload for kind, payload in entries if kind == "input"],
@@ -595,7 +767,9 @@ def _cmd_scan(args) -> int:
     records = _splice_records(entries, batch)
     extras = _scan_extras(records)
     _write_quarantine(args, records)
+    _finish_observability(args, registry, engine)
     _finish_telemetry(args, registry, engine.cache_info())
+    _shutdown_metrics_server(args, server)
 
     if json_mode:
         payload_extras = []
@@ -731,6 +905,11 @@ def _cmd_lint(args) -> int:
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 1
+    try:
+        server = _attach_observability(args, registry, engine)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
     # Partition inputs: Office containers batch through the document
     # pipeline; bare .bas/.vba sources run the macro-level stages directly;
@@ -776,7 +955,9 @@ def _cmd_lint(args) -> int:
         for (index, _), record in zip(documents, batch):
             records[index] = record
     _write_quarantine(args, records)
+    _finish_observability(args, registry, engine)
     _finish_telemetry(args, registry, engine.cache_info())
+    _shutdown_metrics_server(args, server)
 
     if args.format == "json":
         _emit_json(records)
@@ -867,7 +1048,11 @@ def _cmd_stats(args) -> int:
             file=sys.stderr,
         )
     if args.format == "json":
-        payload = dict(aggregate_events(events))
+        from repro.obs import suggest_stage_timeout
+
+        aggregated = aggregate_events(events)
+        payload = dict(aggregated)
+        payload["suggested_stage_timeout_s"] = suggest_stage_timeout(aggregated)
         if lines_skipped:
             payload["lines_skipped"] = lines_skipped
         print(json.dumps(payload, sort_keys=True))
@@ -877,6 +1062,45 @@ def _cmd_stats(args) -> int:
             report += f"\n  lines skipped: {lines_skipped} (truncated or corrupt)"
         print(report)
     return 0
+
+
+def _cmd_drift(args) -> int:
+    from repro.obs.drift import DriftThresholds, read_profile, score_drift
+
+    try:
+        baseline = read_profile(args.baseline)
+        live = read_profile(args.live)
+        thresholds = DriftThresholds(min_count=args.min_count)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    report = score_drift(baseline["metrics"], live["metrics"], thresholds)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 2
+
+
+def _cmd_slo(args) -> int:
+    from repro.obs.drift import read_profile
+    from repro.obs.slo import DEFAULT_SLOS, dump_slos, evaluate_snapshot, load_slos
+
+    if args.slo_command == "show":
+        print(json.dumps(dump_slos(), indent=2, sort_keys=True))
+        return 0
+    try:
+        slos = load_slos(args.slo_file) if args.slo_file else DEFAULT_SLOS
+        profile = read_profile(args.snapshot)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    report = evaluate_snapshot(profile["metrics"], slos)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 2
 
 
 def _cmd_reproduce(args) -> int:

@@ -169,6 +169,14 @@ class AnalysisEngine:
         self.mp_context = mp_context
         self._pool = None  # lazily-built persistent StreamingPool
         self._pool_config: tuple | None = None
+        #: optional fleet-observability attachments, parent-side only: a
+        #: :class:`~repro.obs.windows.SlidingWindow` advanced by
+        #: :meth:`_observability_tick`, and a
+        #: :class:`~repro.obs.drift.DriftMonitor` scoring live traffic
+        #: against a baseline profile.  Both are plain assignable
+        #: attributes; workers never see them (see ``__getstate__``).
+        self.window = None
+        self.drift_monitor = None
 
     def _wire_feature_cache(self, capacity: int) -> FeatureRowCache | None:
         """Build the normalized-source feature-row cache and wire it into
@@ -296,9 +304,12 @@ class AnalysisEngine:
         # Workers fill a same-configuration empty registry; the parent
         # folds the snapshots back in as the stream flushes.
         state["metrics"] = self.metrics.spawn()
-        # The warm pool is parent-side infrastructure, never shipped.
+        # The warm pool is parent-side infrastructure, never shipped —
+        # and so are the observability attachments.
         state["_pool"] = None
         state["_pool_config"] = None
+        state["window"] = None
+        state["drift_monitor"] = None
         return state
 
     def __setstate__(self, state):
@@ -454,6 +465,7 @@ class AnalysisEngine:
             )
             if metrics.enabled:
                 metrics.counter("budget.input_rejected").inc()
+                metrics.counter("documents.degraded").inc()
             record.data = None
             return record
         clock = budget.clock() if budget is not None else None
@@ -474,6 +486,10 @@ class AnalysisEngine:
             for macro in record.macros:
                 macro.analysis = None
                 macro.summary = None
+        if metrics.enabled:
+            if record.degraded:
+                metrics.counter("documents.degraded").inc()
+            self._observability_tick()
         return record
 
     def _run_stages(self, record: DocumentRecord, clock, metrics) -> None:
@@ -659,7 +675,11 @@ class AnalysisEngine:
         """
         if jobs <= 1:
             for item in inputs:
-                yield self.run(item)
+                record = self.run(item)
+                # Cache hits skip _process, so tick here as well: sliding
+                # windows keep advancing on a hit-heavy serial feed.
+                self._observability_tick()
+                yield record
             return
         pool = self._stream_pool(jobs, window)
 
@@ -761,6 +781,23 @@ class AnalysisEngine:
             self._feature_cache.hits += cache.get("feature_hits", 0)
             self._feature_cache.misses += cache.get("feature_misses", 0)
             self._feature_cache.evictions += cache.get("feature_evictions", 0)
+        self._observability_tick()
+
+    def _observability_tick(self) -> None:
+        """Advance the attached sliding window and drift monitor.
+
+        Called from every telemetry merge point — worker snapshot folds,
+        the streaming settle loop, and the serial document path — so the
+        attachments trail live traffic by at most one merge interval.
+        Both attachments time-gate internally, and the whole call is three
+        attribute checks when nothing is attached (or telemetry is off).
+        """
+        if not self.metrics.enabled:
+            return
+        if self.window is not None:
+            self.window.tick(self.metrics)
+        if self.drift_monitor is not None:
+            self.drift_monitor.tick()
 
     def feature_matrices(
         self,

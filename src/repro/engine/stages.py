@@ -12,12 +12,20 @@ from __future__ import annotations
 from repro.engine.records import DocumentRecord, MacroRecord
 from repro.features.cache import FeatureRowCache, normalized_digest
 from repro.features.registry import get_feature_set
+from repro.obs.metrics import NULL_REGISTRY, SCORE_BUCKETS
 
 
 class Stage:
     """Base class: one named step of the analysis pipeline."""
 
     name = "stage"
+
+    #: The live registry, but only inside :meth:`run` / :meth:`run_macro`
+    #: — stages that record domain metrics (lint rule firings, score
+    #: distributions, feature moments) read it from :meth:`process` via
+    #: ``self._metrics``, and it resets to the null registry afterwards so
+    #: a bare ``process()`` call never records anything.
+    _metrics = NULL_REGISTRY
 
     def process(self, document: DocumentRecord) -> None:
         raise NotImplementedError
@@ -36,9 +44,11 @@ class Stage:
             return
         before = len(document.diagnostics)
         span = metrics.span(self.name, doc=document.sha256).start()
+        self._metrics = metrics
         try:
             self.process(document)
         finally:
+            self._metrics = NULL_REGISTRY
             errors = sum(
                 1 for d in document.diagnostics[before:] if d.level == "error"
             )
@@ -67,9 +77,11 @@ class MacroStage(Stage):
             self.process_macro(macro)
             return
         span = metrics.span(self.name, doc=macro.sha256).start()
+        self._metrics = metrics
         try:
             self.process_macro(macro)
         finally:
+            self._metrics = NULL_REGISTRY
             failed = macro.filtered == "analysis-error"
             if failed:
                 metrics.counter(f"errors.{self.name}").inc()
@@ -250,10 +262,23 @@ class FeaturizeStage(MacroStage):
         for macro in pending:
             macro.summary = macro.analysis.ensure_summary()
         summaries = [macro.summary for macro in pending]
+        metrics = self._metrics
         for name in self.feature_sets:
             matrix = get_feature_set(name).extract_matrix(summaries)
             for macro, row in zip(pending, matrix):
                 macro.features[name] = row
+            if metrics.enabled and len(matrix):
+                # One aggregate call per column per flush — the drift
+                # monitor's per-dimension moment summaries, at batch cost.
+                for index in range(matrix.shape[1]):
+                    column = matrix[:, index]
+                    metrics.moment(f"feature.{name}.c{index:02d}").observe_aggregate(
+                        matrix.shape[0],
+                        float(column.sum()),
+                        float((column * column).sum()),
+                        float(column.min()),
+                        float(column.max()),
+                    )
         cache = self.feature_cache
         if cache is not None:
             for macro in pending:
@@ -283,12 +308,10 @@ class RecoverStage(MacroStage):
     _CACHE_LIMIT = 4096
 
     def __init__(self, sa_budget=None, rescan_signatures: bool = True) -> None:
-        from repro.obs.metrics import NULL_REGISTRY
         from repro.resilience.budgets import DEFAULT_SA_BUDGET
 
         self.sa_budget = sa_budget or DEFAULT_SA_BUDGET
         self.rescan_signatures = rescan_signatures
-        self._metrics = NULL_REGISTRY
         #: normalized-source digest → finished StringRecovery (frozen, so
         #: sharing across macros is safe).  Folding is a pure function of
         #: the normalized source + budget, which makes re-encoded variants
@@ -296,24 +319,6 @@ class RecoverStage(MacroStage):
         #: feature-row cache, and the reason the recover stage holds the
         #: <15% fleet-overhead budget.
         self._cache: dict[str, object] = {}
-
-    def run(self, document: DocumentRecord, metrics) -> None:
-        from repro.obs.metrics import NULL_REGISTRY
-
-        self._metrics = metrics
-        try:
-            super().run(document, metrics)
-        finally:
-            self._metrics = NULL_REGISTRY
-
-    def run_macro(self, macro: MacroRecord, metrics) -> None:
-        from repro.obs.metrics import NULL_REGISTRY
-
-        self._metrics = metrics
-        try:
-            super().run_macro(macro, metrics)
-        finally:
-            self._metrics = NULL_REGISTRY
 
     def process_macro(
         self, macro: MacroRecord, document: DocumentRecord | None = None
@@ -398,6 +403,13 @@ class LintStage(MacroStage):
         macro.findings = lint_analysis(
             macro.analysis, self.rules, recovery=macro.recovery
         )
+        metrics = self._metrics
+        if metrics.enabled:
+            metrics.counter("lint.macros").inc()
+            if macro.findings:
+                metrics.counter("lint.findings").inc(len(macro.findings))
+                for finding in macro.findings:
+                    metrics.counter(f"lint.rule.{finding.rule_id}").inc()
 
 
 class ClassifyStage(MacroStage):
@@ -429,3 +441,9 @@ class ClassifyStage(MacroStage):
         macro.verdict = (
             "obfuscated" if macro.score >= self.threshold else "normal"
         )
+        metrics = self._metrics
+        if metrics.enabled:
+            metrics.histogram("score.probability", SCORE_BUCKETS).observe(
+                macro.score
+            )
+            metrics.counter(f"classify.{macro.verdict}").inc()

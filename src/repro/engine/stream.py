@@ -456,6 +456,11 @@ class StreamingPool:
                             if metrics.enabled:
                                 metrics.counter("stream.tasks").inc()
                             self._settle_success(task, record, buffer, primaries)
+                # Sliding windows / drift monitors advance from the settle
+                # loop too, not only on telemetry flushes — both time-gate
+                # internally, so this is a few attribute checks per wake-up.
+                if engine is not None:
+                    engine._observability_tick()
         finally:
             if engine is not None and metrics.enabled:
                 self._flush_telemetry(engine)

@@ -1,12 +1,23 @@
 """``repro.obs`` — the dependency-free observability subsystem.
 
-One :class:`MetricsRegistry` per engine collects counters, gauges, and
-fixed-bucket histograms; :meth:`MetricsRegistry.span` traces named
-wall-clock sections; ``trace=True`` buffers one JSON-ready event per span
-for :func:`write_events` / ``repro stats``.  Worker processes fill
-private registries that :meth:`MetricsRegistry.merge` folds back into the
-parent.  :data:`NULL_REGISTRY` is the always-on default that makes the
-whole layer free when telemetry is off.
+One :class:`MetricsRegistry` per engine collects counters, gauges,
+fixed-bucket histograms, and moment summaries; :meth:`MetricsRegistry.span`
+traces named wall-clock sections; ``trace=True`` buffers one JSON-ready
+event per span for :func:`write_events` / ``repro stats``.  Worker
+processes fill private registries that :meth:`MetricsRegistry.merge`
+folds back into the parent.  :data:`NULL_REGISTRY` is the always-on
+default that makes the whole layer free when telemetry is off.
+
+On top of the cumulative registry sit the fleet-facing layers:
+
+* :class:`SlidingWindow` — time-bucketed ring of snapshots answering
+  "what is happening *now*" (sliding p50/p95, throughput, rates);
+* :mod:`repro.obs.drift` — baseline profiles plus PSI/KL/SMD scoring of
+  live traffic against them (:class:`DriftMonitor`, ``repro drift``);
+* :mod:`repro.obs.slo` — declarative latency/error-budget objectives
+  with burn-rate evaluation (``repro slo check``);
+* :mod:`repro.obs.export` — Prometheus text exposition and the stdlib
+  `/metrics` + `/healthz` endpoint (``repro scan --metrics-port``).
 
 Quickstart::
 
@@ -20,19 +31,31 @@ Quickstart::
     write_events("events.jsonl", registry.events)
 """
 
+from repro.obs.drift import (
+    DriftMonitor,
+    DriftReport,
+    capture_profile,
+    read_profile,
+    score_drift,
+    write_profile,
+)
 from repro.obs.events import (
     EVENT_SCHEMA,
+    EVENT_SCHEMAS,
     read_events,
     read_events_tolerant,
     validate_event,
     write_events,
 )
+from repro.obs.export import MetricsServer, render_prometheus
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
+    SCORE_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    Moments,
     NULL_REGISTRY,
     NullRegistry,
 )
@@ -40,27 +63,57 @@ from repro.obs.report import (
     aggregate_events,
     format_duration,
     render_events_report,
+    suggest_stage_timeout,
     summarize,
 )
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    Slo,
+    SloReport,
+    evaluate_snapshot,
+    evaluate_window,
+    load_slos,
+)
 from repro.obs.tracing import NULL_SPAN, Span
+from repro.obs.windows import SlidingWindow, WindowView
 
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SLOS",
+    "DriftMonitor",
+    "DriftReport",
     "EVENT_SCHEMA",
+    "EVENT_SCHEMAS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsServer",
+    "Moments",
     "NULL_REGISTRY",
     "NULL_SPAN",
     "NullRegistry",
+    "SCORE_BUCKETS",
+    "SlidingWindow",
+    "Slo",
+    "SloReport",
     "Span",
+    "WindowView",
     "aggregate_events",
+    "capture_profile",
+    "evaluate_snapshot",
+    "evaluate_window",
     "format_duration",
+    "load_slos",
     "read_events",
     "read_events_tolerant",
+    "read_profile",
     "render_events_report",
+    "render_prometheus",
+    "score_drift",
+    "suggest_stage_timeout",
     "summarize",
     "validate_event",
     "write_events",
+    "write_profile",
 ]

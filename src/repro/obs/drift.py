@@ -1,0 +1,508 @@
+"""Score-drift monitoring: baseline profiles, PSI/KL scoring, drift events.
+
+A detector trained once and evaluated on a frozen corpus degrades quietly
+when real traffic stops resembling that corpus.  This module turns the
+registry's distribution instruments into a drift story:
+
+* :func:`capture_profile` freezes a **baseline profile** — the classifier
+  probability histogram (``score.*``), per-lint-rule firing counters
+  (``lint.rule.*``), and per-feature-column moment summaries
+  (``feature.<set>.c<idx>``) — into a JSON artifact
+  (``--baseline-out``);
+* :func:`score_drift` compares any later registry snapshot against that
+  profile: PSI (population stability index) over the probability and
+  lint-rule distributions, standardized mean shift over feature columns,
+  each dimension graded ``ok`` / ``warn`` / ``drift``;
+* :class:`DriftMonitor` runs that comparison periodically against a
+  *live* registry, publishes ``drift.<dimension>`` gauges (picked up by
+  the `/metrics` exporter), and emits validated ``"drift"`` trace events
+  next to the span events;
+* ``repro drift BASELINE LIVE`` diffs two saved profiles from the CLI
+  (exit 2 when any dimension drifted — the CI tripwire).
+
+Everything is stdlib + the registry's own dict snapshots: drift scoring
+works identically on a live registry and on a file written weeks ago.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Artifact schema tag for baseline/metrics snapshot files.
+PROFILE_SCHEMA = "repro.baseline/1"
+
+#: Additive (Laplace) smoothing applied per bucket before PSI/KL: half a
+#: count.  A fixed proportion floor would make "3 documents here, 0
+#: there" score as hard drift no matter how small the sample; half a
+#: count keeps the penalty proportional to the sample's resolution, so a
+#: genuinely novel mode still scores large while benign-vs-benign
+#: sampling noise at N=40 stays under the drift threshold.
+_PSEUDOCOUNT = 0.5
+
+
+# ----------------------------------------------------------------------
+# Profile artifacts
+
+
+def capture_profile(
+    registry: MetricsRegistry | dict[str, Any],
+    *,
+    source: str = "",
+    documents: int | None = None,
+    kind: str = "baseline",
+) -> dict[str, Any]:
+    """Freeze a registry (or its snapshot) into a profile artifact."""
+    snapshot = (
+        registry.to_dict()
+        if isinstance(registry, MetricsRegistry)
+        else dict(registry)
+    )
+    snapshot.pop("events", None)  # traces have their own artifact
+    return {
+        "schema": PROFILE_SCHEMA,
+        "kind": kind,
+        "created_unix": time.time(),
+        "source": source,
+        "documents": documents,
+        "metrics": snapshot,
+    }
+
+
+def write_profile(path: str | os.PathLike, profile: dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(profile, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+
+
+def read_profile(path: str | os.PathLike) -> dict[str, Any]:
+    """Load and sanity-check a profile artifact; raises ``ValueError``."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            profile = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}: not JSON ({error})") from None
+    if not isinstance(profile, dict) or not isinstance(
+        profile.get("metrics"), dict
+    ):
+        raise ValueError(f"{path}: not a baseline/metrics profile")
+    schema = profile.get("schema", "")
+    if not str(schema).startswith("repro.baseline/"):
+        raise ValueError(f"{path}: unknown profile schema {schema!r}")
+    return profile
+
+
+# ----------------------------------------------------------------------
+# Divergences
+
+
+def _smoothed(
+    counts: list[float], pseudocount: float = _PSEUDOCOUNT
+) -> list[float]:
+    smoothed = [max(0.0, float(count)) + pseudocount for count in counts]
+    total = sum(smoothed)
+    return [value / total for value in smoothed]
+
+
+def psi(expected: list[float], actual: list[float]) -> float:
+    """Population stability index between two bucket-count vectors.
+
+    Industry folklore thresholds: < 0.1 stable, 0.1–0.25 shifting,
+    > 0.25 drifted.  Buckets are Laplace-smoothed with half a count each
+    side, so a genuinely novel bucket scores large but finite while a
+    handful of tail observations missing from one small sample does not
+    read as drift.
+    """
+    if len(expected) != len(actual):
+        raise ValueError("PSI needs aligned bucket vectors")
+    e = _smoothed(expected)
+    a = _smoothed(actual)
+    return sum((ai - ei) * math.log(ai / ei) for ei, ai in zip(e, a))
+
+
+def kl_divergence(p: list[float], q: list[float]) -> float:
+    """``KL(p || q)`` in nats over smoothed bucket-count vectors."""
+    if len(p) != len(q):
+        raise ValueError("KL needs aligned bucket vectors")
+    cp = _smoothed(p)
+    cq = _smoothed(q)
+    return sum(pi * math.log(pi / qi) for pi, qi in zip(cp, cq))
+
+
+# ----------------------------------------------------------------------
+# Scoring
+
+
+@dataclass(frozen=True)
+class DriftThresholds:
+    """Grading knobs for :func:`score_drift`."""
+
+    #: PSI grades for distribution dimensions (score histogram, lint rules).
+    psi_warn: float = 0.10
+    psi_drift: float = 0.25
+    #: standardized-mean-difference grades for feature columns.
+    smd_warn: float = 0.50
+    smd_drift: float = 1.00
+    #: observations each side must have before a dimension is graded at
+    #: all — tiny samples drift by noise alone.
+    min_count: int = 20
+
+
+DEFAULT_THRESHOLDS = DriftThresholds()
+
+
+@dataclass(frozen=True)
+class DriftDimension:
+    """One scored dimension of a drift comparison."""
+
+    name: str
+    metric: str  # "psi" | "smd"
+    value: float
+    verdict: str  # "ok" | "warn" | "drift"
+    baseline_count: int
+    live_count: int
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "value": self.value,
+            "verdict": self.verdict,
+            "baseline_count": self.baseline_count,
+            "live_count": self.live_count,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class DriftReport:
+    """All scored dimensions of one baseline-vs-live comparison."""
+
+    dimensions: list[DriftDimension] = field(default_factory=list)
+
+    @property
+    def drifted(self) -> list[DriftDimension]:
+        return [d for d in self.dimensions if d.verdict == "drift"]
+
+    @property
+    def warned(self) -> list[DriftDimension]:
+        return [d for d in self.dimensions if d.verdict == "warn"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.drifted
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "dimensions": [d.to_dict() for d in self.dimensions],
+            "drifted": [d.name for d in self.drifted],
+            "warned": [d.name for d in self.warned],
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        if not self.dimensions:
+            return "DRIFT — no comparable dimensions (no shared instruments)"
+        lines = [
+            f"DRIFT — {len(self.drifted)} drifted, {len(self.warned)} "
+            f"warning, {len(self.dimensions)} dimensions compared"
+        ]
+        lines.append(
+            f"  {'dimension':<24} {'metric':>6} {'value':>8} "
+            f"{'verdict':>8}  detail"
+        )
+        order = {"drift": 0, "warn": 1, "ok": 2}
+        for dim in sorted(
+            self.dimensions, key=lambda d: (order[d.verdict], -d.value)
+        ):
+            lines.append(
+                f"  {dim.name:<24} {dim.metric:>6} {dim.value:>8.4f} "
+                f"{dim.verdict:>8}  {dim.detail}"
+            )
+        return "\n".join(lines)
+
+
+def _grade(value: float, warn: float, drift: float) -> str:
+    if value >= drift:
+        return "drift"
+    if value >= warn:
+        return "warn"
+    return "ok"
+
+
+def _histogram_dimensions(
+    baseline: dict[str, Any],
+    live: dict[str, Any],
+    thresholds: DriftThresholds,
+) -> list[DriftDimension]:
+    """PSI over probability-valued histograms (``score.*``) shared by both."""
+    dimensions = []
+    base_histograms = baseline.get("histograms", {})
+    live_histograms = live.get("histograms", {})
+    for name in sorted(set(base_histograms) & set(live_histograms)):
+        if not name.startswith("score."):
+            continue
+        base = base_histograms[name]
+        actual = live_histograms[name]
+        if tuple(base["buckets"]) != tuple(actual["buckets"]):
+            continue  # bucket layouts diverged; nothing comparable
+        if (
+            base["count"] < thresholds.min_count
+            or actual["count"] < thresholds.min_count
+        ):
+            dimensions.append(
+                DriftDimension(
+                    name, "psi", 0.0, "ok", base["count"], actual["count"],
+                    "insufficient data",
+                )
+            )
+            continue
+        value = psi(base["counts"], actual["counts"])
+        dimensions.append(
+            DriftDimension(
+                name,
+                "psi",
+                round(value, 6),
+                _grade(value, thresholds.psi_warn, thresholds.psi_drift),
+                base["count"],
+                actual["count"],
+                f"mean {base['sum'] / base['count']:.3f}"
+                f" -> {actual['sum'] / actual['count']:.3f}",
+            )
+        )
+    return dimensions
+
+
+def _lint_rule_dimension(
+    baseline: dict[str, Any],
+    live: dict[str, Any],
+    thresholds: DriftThresholds,
+) -> DriftDimension | None:
+    """PSI over the per-rule share of lint findings."""
+    base_counters = baseline.get("counters", {})
+    live_counters = live.get("counters", {})
+    rules = sorted(
+        name
+        for name in set(base_counters) | set(live_counters)
+        if name.startswith("lint.rule.")
+    )
+    if not rules:
+        return None
+    base_counts = [base_counters.get(name, 0) for name in rules]
+    live_counts = [live_counters.get(name, 0) for name in rules]
+    base_total = int(sum(base_counts))
+    live_total = int(sum(live_counts))
+    if base_total < thresholds.min_count or live_total < thresholds.min_count:
+        return DriftDimension(
+            "lint.rules", "psi", 0.0, "ok", base_total, live_total,
+            "insufficient data",
+        )
+    value = psi(base_counts, live_counts)
+    shifts = sorted(
+        rules,
+        key=lambda name: abs(
+            live_counters.get(name, 0) / live_total
+            - base_counters.get(name, 0) / base_total
+        ),
+        reverse=True,
+    )
+    mover = shifts[0].removeprefix("lint.rule.")
+    return DriftDimension(
+        "lint.rules",
+        "psi",
+        round(value, 6),
+        _grade(value, thresholds.psi_warn, thresholds.psi_drift),
+        base_total,
+        live_total,
+        f"top mover: {mover}",
+    )
+
+
+def _feature_dimensions(
+    baseline: dict[str, Any],
+    live: dict[str, Any],
+    thresholds: DriftThresholds,
+) -> list[DriftDimension]:
+    """Standardized mean shift per feature set (worst column wins)."""
+    base_moments = baseline.get("moments", {})
+    live_moments = live.get("moments", {})
+    by_set: dict[str, list[str]] = {}
+    for name in sorted(set(base_moments) & set(live_moments)):
+        parts = name.split(".")
+        if len(parts) == 3 and parts[0] == "feature":
+            by_set.setdefault(parts[1], []).append(name)
+    dimensions = []
+    for set_name, columns in sorted(by_set.items()):
+        worst = 0.0
+        worst_detail = ""
+        base_count = live_count = 0
+        graded = False
+        for column in columns:
+            base = base_moments[column]
+            actual = live_moments[column]
+            base_count = max(base_count, base["count"])
+            live_count = max(live_count, actual["count"])
+            if (
+                base["count"] < thresholds.min_count
+                or actual["count"] < thresholds.min_count
+            ):
+                continue
+            graded = True
+            base_mean = base["sum"] / base["count"]
+            live_mean = actual["sum"] / actual["count"]
+            scale = math.sqrt(
+                max(0.0, base["sum_sq"] / base["count"] - base_mean**2)
+            )
+            if scale <= 0.0:
+                # Constant baseline column: scale by the live spread
+                # instead; only a shift with *no* spread anywhere is
+                # treated as infinite.
+                live_var = max(
+                    0.0,
+                    actual["sum_sq"] / actual["count"] - live_mean**2,
+                )
+                scale = math.sqrt(live_var)
+            if scale <= 0.0:
+                shift = 0.0 if live_mean == base_mean else float("inf")
+            else:
+                shift = abs(live_mean - base_mean) / scale
+            if shift > worst:
+                worst = shift
+                worst_detail = (
+                    f"{column.split('.')[-1]} mean "
+                    f"{base_mean:.3f} -> {live_mean:.3f}"
+                )
+        if not graded:
+            dimensions.append(
+                DriftDimension(
+                    f"feature.{set_name}", "smd", 0.0, "ok",
+                    base_count, live_count, "insufficient data",
+                )
+            )
+            continue
+        capped = min(worst, 1e6)  # keep the artifact JSON-finite
+        dimensions.append(
+            DriftDimension(
+                f"feature.{set_name}",
+                "smd",
+                round(capped, 6),
+                _grade(capped, thresholds.smd_warn, thresholds.smd_drift),
+                base_count,
+                live_count,
+                worst_detail,
+            )
+        )
+    return dimensions
+
+
+def score_drift(
+    baseline: dict[str, Any],
+    live: dict[str, Any],
+    thresholds: DriftThresholds = DEFAULT_THRESHOLDS,
+) -> DriftReport:
+    """Compare two registry snapshots dimension by dimension.
+
+    Both arguments are ``registry.to_dict()`` payloads (the ``metrics``
+    member of a profile artifact).  Only instruments present on *both*
+    sides are compared — a baseline captured without ``--recover`` never
+    grades the ``R`` feature columns, for instance.
+    """
+    report = DriftReport()
+    report.dimensions.extend(
+        _histogram_dimensions(baseline, live, thresholds)
+    )
+    lint = _lint_rule_dimension(baseline, live, thresholds)
+    if lint is not None:
+        report.dimensions.append(lint)
+    report.dimensions.extend(_feature_dimensions(baseline, live, thresholds))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Live monitoring
+
+
+class DriftMonitor:
+    """Periodically score a live registry against a frozen baseline.
+
+    ``tick()`` is cheap to call from dispatch loops: it re-evaluates at
+    most every ``interval_s`` seconds.  Each evaluation publishes one
+    ``drift.<dimension>`` gauge per dimension plus
+    ``drift.dimensions_drifted`` (so the `/metrics` endpoint exposes live
+    drift scores), and — when the registry buffers events — appends one
+    validated ``"drift"`` trace event per dimension.
+    """
+
+    def __init__(
+        self,
+        baseline: dict[str, Any],
+        registry: MetricsRegistry,
+        *,
+        thresholds: DriftThresholds = DEFAULT_THRESHOLDS,
+        interval_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        # Accept a profile artifact or a bare metrics snapshot.
+        self.baseline = baseline.get("metrics", baseline)
+        self.registry = registry
+        self.thresholds = thresholds
+        self.interval_s = float(interval_s)
+        self.clock = clock
+        self.last_report: DriftReport | None = None
+        self._last_evaluated_at: float | None = None
+
+    def tick(self, now: float | None = None) -> DriftReport | None:
+        """Re-evaluate if the interval elapsed; returns the fresh report."""
+        if not self.registry.enabled:
+            return None
+        if now is None:
+            now = self.clock()
+        if (
+            self._last_evaluated_at is not None
+            and now - self._last_evaluated_at < self.interval_s
+        ):
+            return None
+        return self.evaluate(now)
+
+    def evaluate(self, now: float | None = None) -> DriftReport:
+        """Score right now, publish gauges, and buffer drift events."""
+        if now is None:
+            now = self.clock()
+        self._last_evaluated_at = now
+        registry = self.registry
+        report = score_drift(
+            self.baseline, registry.to_dict(), self.thresholds
+        )
+        self.last_report = report
+        if not registry.enabled:
+            return report
+        for dimension in report.dimensions:
+            registry.gauge(f"drift.{dimension.name}").set(dimension.value)
+        registry.gauge("drift.dimensions_drifted").set(len(report.drifted))
+        if registry.trace:
+            from repro.obs.events import validate_event
+
+            stamp = time.perf_counter()
+            pid = os.getpid()
+            for dimension in report.dimensions:
+                registry.events.append(
+                    validate_event(
+                        {
+                            "type": "drift",
+                            "name": dimension.name,
+                            "ts": stamp,
+                            "metric": dimension.metric,
+                            "value": dimension.value,
+                            "verdict": dimension.verdict,
+                            "pid": pid,
+                        }
+                    )
+                )
+        return report

@@ -1,14 +1,15 @@
-"""The JSON-lines trace format: one span event per line, plus a validator.
+"""The JSON-lines trace format: typed events, one per line, plus a validator.
 
-``--trace-out events.jsonl`` persists every span the registry buffered —
+``--trace-out events.jsonl`` persists every event the registry buffered —
 the offline complement to the in-process metrics, suitable for
 flame/waterfall reconstruction and for ``repro stats`` re-aggregation.
-The schema is deliberately flat and stdlib-checkable:
+The schema is deliberately flat and stdlib-checkable, dispatched on the
+``type`` field.  ``"span"`` events (one per finished pipeline span):
 
 ========  ==============  ====================================================
 field     type            meaning
 ========  ==============  ====================================================
-type      str             always ``"span"`` (room for future event kinds)
+type      str             ``"span"``
 name      str             span name (``extract``, ``analyze``, ``document``...)
 ts        number          ``time.perf_counter()`` at span start (per-process)
 dur       number >= 0     wall-clock seconds inside the span
@@ -16,6 +17,22 @@ doc       str | null      SHA-256 of the document the span worked on
 outcome   str             ``"ok"`` or ``"error"``
 pid       int             producing process (workers emit their own events)
 depth     int >= 0        span nesting level inside its process
+========  ==============  ====================================================
+
+``"drift"`` events (one per dimension per drift evaluation, emitted by
+:class:`repro.obs.drift.DriftMonitor` when live traffic is scored against
+a baseline profile):
+
+========  ==============  ====================================================
+field     type            meaning
+========  ==============  ====================================================
+type      str             ``"drift"``
+name      str             drifting dimension (``score.probability``, ...)
+ts        number          ``time.perf_counter()`` at evaluation (per-process)
+metric    str             ``"psi"``, ``"kl"``, or ``"smd"``
+value     number >= 0     the divergence / shift score
+verdict   str             ``"ok"``, ``"warn"``, or ``"drift"``
+pid       int             producing process
 ========  ==============  ====================================================
 """
 
@@ -39,17 +56,39 @@ EVENT_SCHEMA: dict[str, tuple] = {
     "depth": (int,),
 }
 
-EVENT_TYPES = ("span",)
+DRIFT_EVENT_SCHEMA: dict[str, tuple] = {
+    "type": (str,),
+    "name": (str,),
+    "ts": (int, float),
+    "metric": (str,),
+    "value": (int, float),
+    "verdict": (str,),
+    "pid": (int,),
+}
+
+#: event type → its field schema; unknown types are rejected.
+EVENT_SCHEMAS: dict[str, dict[str, tuple]] = {
+    "span": EVENT_SCHEMA,
+    "drift": DRIFT_EVENT_SCHEMA,
+}
+
+EVENT_TYPES = tuple(EVENT_SCHEMAS)
+
+DRIFT_METRICS = ("psi", "kl", "smd")
+DRIFT_VERDICTS = ("ok", "warn", "drift")
 
 
 def validate_event(event: Any) -> dict[str, Any]:
-    """Check one decoded event against the schema; raises ``ValueError``."""
+    """Check one decoded event against its type's schema; raises ``ValueError``."""
     if not isinstance(event, dict):
         raise ValueError(f"event must be an object, got {type(event).__name__}")
-    unknown = set(event) - set(EVENT_SCHEMA)
+    schema = EVENT_SCHEMAS.get(event.get("type"))
+    if schema is None:
+        raise ValueError(f"unknown event type {event.get('type')!r}")
+    unknown = set(event) - set(schema)
     if unknown:
         raise ValueError(f"unknown event fields: {sorted(unknown)}")
-    for field, allowed in EVENT_SCHEMA.items():
+    for field, allowed in schema.items():
         if field not in event:
             raise ValueError(f"event missing field {field!r}")
         value = event[field]
@@ -58,14 +97,20 @@ def validate_event(event: Any) -> dict[str, Any]:
             raise ValueError(
                 f"event field {field!r} has type {type(value).__name__}"
             )
-    if event["type"] not in EVENT_TYPES:
-        raise ValueError(f"unknown event type {event['type']!r}")
-    if event["outcome"] not in OUTCOMES:
-        raise ValueError(f"unknown event outcome {event['outcome']!r}")
-    if event["dur"] < 0:
-        raise ValueError("event dur must be non-negative")
-    if event["depth"] < 0:
-        raise ValueError("event depth must be non-negative")
+    if event["type"] == "span":
+        if event["outcome"] not in OUTCOMES:
+            raise ValueError(f"unknown event outcome {event['outcome']!r}")
+        if event["dur"] < 0:
+            raise ValueError("event dur must be non-negative")
+        if event["depth"] < 0:
+            raise ValueError("event depth must be non-negative")
+    else:  # drift
+        if event["metric"] not in DRIFT_METRICS:
+            raise ValueError(f"unknown drift metric {event['metric']!r}")
+        if event["verdict"] not in DRIFT_VERDICTS:
+            raise ValueError(f"unknown drift verdict {event['verdict']!r}")
+        if event["value"] < 0:
+            raise ValueError("drift value must be non-negative")
     return event
 
 

@@ -28,6 +28,13 @@ DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
+#: Bucket bounds for probability-valued histograms (classifier scores):
+#: twenty 0.05-wide buckets over [0, 1] — fine enough for PSI drift
+#: comparisons, coarse enough to stay cheap to merge and export.
+SCORE_BUCKETS: tuple[float, ...] = tuple(
+    round(0.05 * step, 2) for step in range(1, 21)
+)
+
 
 class Counter:
     """A monotonically increasing count (cache hits, stage errors, ...)."""
@@ -141,6 +148,103 @@ class Histogram:
         return histogram
 
 
+class Moments:
+    """Streaming first/second-moment summary (count, sum, sum of squares).
+
+    The instrument for values whose *distribution shift* matters more than
+    their latency ladder — feature-column values, probability scores —
+    where fixed histogram buckets can't be chosen up front.  Mean and
+    variance fall out of the three running sums, which add under
+    :meth:`merge` exactly like counter values do, so worker summaries fold
+    into the parent without loss.
+    """
+
+    __slots__ = ("count", "sum", "sum_sq", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.sum_sq = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.sum_sq += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def observe_aggregate(
+        self,
+        count: int,
+        total: float,
+        total_sq: float,
+        minimum: float,
+        maximum: float,
+    ) -> None:
+        """Fold a pre-aggregated block of observations in one call.
+
+        The batch feature kernels hand whole column aggregates over
+        (``n``, ``col.sum()``, ``(col**2).sum()``, ``col.min()``,
+        ``col.max()``), so instrumenting a 256-row flush costs one call
+        per column instead of 256 ``observe`` calls.
+        """
+        if count <= 0:
+            return
+        self.count += int(count)
+        self.sum += float(total)
+        self.sum_sq += float(total_sq)
+        if minimum < self.min:
+            self.min = float(minimum)
+        if maximum > self.max:
+            self.max = float(maximum)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        # Population variance from the running sums, clamped: float
+        # cancellation can push the raw difference slightly negative.
+        return max(0.0, self.sum_sq / self.count - self.mean**2)
+
+    @property
+    def std(self) -> float:
+        return self.variance**0.5
+
+    def merge(self, other: "Moments") -> None:
+        self.count += other.count
+        self.sum += other.sum
+        self.sum_sq += other.sum_sq
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "sum_sq": self.sum_sq,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Moments":
+        moments = cls()
+        moments.count = payload["count"]
+        moments.sum = payload["sum"]
+        moments.sum_sq = payload["sum_sq"]
+        moments.min = payload["min"] if payload["min"] is not None else float("inf")
+        moments.max = payload["max"] if payload["max"] is not None else float("-inf")
+        return moments
+
+
 class MetricsRegistry:
     """Named counters/gauges/histograms plus an optional span-event buffer.
 
@@ -157,6 +261,7 @@ class MetricsRegistry:
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
+        self.moments: dict[str, Moments] = {}
         self.events: list[dict[str, Any]] = []
         self._span_depth = 0  # live nesting level; not serialized state
 
@@ -181,6 +286,12 @@ class MetricsRegistry:
         if histogram is None:
             histogram = self.histograms[name] = Histogram(buckets)
         return histogram
+
+    def moment(self, name: str) -> Moments:
+        moments = self.moments.get(name)
+        if moments is None:
+            moments = self.moments[name] = Moments()
+        return moments
 
     def span(self, name: str, doc: str | None = None) -> "Span":
         from repro.obs.tracing import Span
@@ -207,6 +318,8 @@ class MetricsRegistry:
             self.histogram(name, tuple(histogram["buckets"])).merge(
                 Histogram.from_dict(histogram)
             )
+        for name, moments in payload.get("moments", {}).items():
+            self.moment(name).merge(Moments.from_dict(moments))
         self.events.extend(payload.get("events", []))
         return self
 
@@ -219,6 +332,7 @@ class MetricsRegistry:
             "histograms": {
                 name: h.to_dict() for name, h in self.histograms.items()
             },
+            "moments": {name: m.to_dict() for name, m in self.moments.items()},
             "events": list(self.events),
         }
 
@@ -258,6 +372,7 @@ class NullRegistry(MetricsRegistry):
         self._null_counter = Counter()
         self._null_gauge = Gauge()
         self._null_histogram = Histogram((1.0,))
+        self._null_moments = Moments()
 
     def counter(self, name: str) -> Counter:
         return self._null_counter
@@ -270,6 +385,9 @@ class NullRegistry(MetricsRegistry):
     ) -> Histogram:
         return self._null_histogram
 
+    def moment(self, name: str) -> Moments:
+        return self._null_moments
+
     def span(self, name: str, doc: str | None = None):
         from repro.obs.tracing import NULL_SPAN
 
@@ -279,7 +397,13 @@ class NullRegistry(MetricsRegistry):
         return self
 
     def to_dict(self) -> dict[str, Any]:
-        return {"counters": {}, "gauges": {}, "histograms": {}, "events": []}
+        return {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "moments": {},
+            "events": [],
+        }
 
     def spawn(self) -> "NullRegistry":
         return self

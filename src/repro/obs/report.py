@@ -12,6 +12,7 @@ Two consumers:
 
 from __future__ import annotations
 
+import math
 from typing import Any, Iterable
 
 #: Pipeline-order ranking for stage rows; unknown names sort after, A–Z.
@@ -19,6 +20,11 @@ _STAGE_ORDER = (
     "extract", "filter", "analyze", "featurize", "lint", "classify",
     "document", "batch",
 )
+
+#: Span names that aggregate whole documents/batches (or are pool
+#: bookkeeping) rather than one pipeline stage — excluded when sizing a
+#: per-stage watchdog timeout.
+_NON_STAGE_SPANS = frozenset({"document", "batch", "pool.recover"})
 
 
 def _stage_key(name: str) -> tuple[int, str]:
@@ -157,6 +163,10 @@ def aggregate_events(events: Iterable[dict[str, Any]]) -> dict[str, dict[str, An
     durations: dict[str, list[float]] = {}
     errors: dict[str, int] = {}
     for event in events:
+        # Traces may interleave other event types (e.g. "drift"); only
+        # span events carry durations to aggregate.
+        if event.get("type", "span") != "span":
+            continue
         durations.setdefault(event["name"], []).append(float(event["dur"]))
         if event["outcome"] == "error":
             errors[event["name"]] = errors.get(event["name"], 0) + 1
@@ -180,14 +190,51 @@ def _nearest_rank(sorted_values: list[float], q: float) -> float:
     return sorted_values[index]
 
 
+def _ladder_round(value: float) -> float:
+    """Round up to the 1-2-5 ladder (0.2, 0.5, 1, 2, 5, 10, ...)."""
+    exponent = math.floor(math.log10(value))
+    for mantissa in (1.0, 2.0, 5.0, 10.0):
+        candidate = mantissa * 10.0**exponent
+        if candidate >= value - 1e-12:
+            return candidate
+    raise AssertionError("unreachable")
+
+
+def suggest_stage_timeout(
+    aggregated: dict[str, dict[str, Any]]
+) -> float | None:
+    """A ``--stage-timeout`` suggestion from observed per-stage maxima.
+
+    Takes the slowest single-stage observation in the trace (document- and
+    batch-level aggregate spans excluded — a watchdog bounds *stages*),
+    doubles it for headroom, and rounds up the 1-2-5 ladder so the hint is
+    a number a human would actually type.  Returns ``None`` when the trace
+    has no stage spans to size from; floors at 0.1s — tighter watchdogs
+    misfire on ordinary scheduler jitter.
+    """
+    slowest = max(
+        (
+            stats["max"]
+            for name, stats in aggregated.items()
+            if name not in _NON_STAGE_SPANS
+        ),
+        default=0.0,
+    )
+    if slowest <= 0.0:
+        return None
+    return max(0.1, _ladder_round(slowest * 2.0))
+
+
 def render_events_report(events: list[dict[str, Any]]) -> str:
     """The ``repro stats`` table over a saved JSON-lines trace."""
     if not events:
         return "no events"
     aggregated = aggregate_events(events)
+    drift_events = [e for e in events if e.get("type") == "drift"]
+    span_count = len(events) - len(drift_events)
     pids = {event["pid"] for event in events}
     lines = [
-        f"TRACE — {len(events)} spans across {len(pids)} process"
+        f"TRACE — {span_count} spans across {len(pids)} process"
         f"{'es' if len(pids) != 1 else ''}"
     ]
     rows = [
@@ -203,6 +250,13 @@ def render_events_report(events: list[dict[str, Any]]) -> str:
     ]
     if error_rows:
         lines.append("  errors: " + ", ".join(error_rows))
+    if drift_events:
+        drifted = sum(1 for e in drift_events if e["verdict"] == "drift")
+        warned = sum(1 for e in drift_events if e["verdict"] == "warn")
+        lines.append(
+            f"  drift: {len(drift_events)} evaluations"
+            f" ({drifted} drifted, {warned} warning)"
+        )
     documents = aggregated.get("document")
     if documents:
         wall = aggregated.get("batch", documents)["total"]
@@ -211,4 +265,10 @@ def render_events_report(events: list[dict[str, Any]]) -> str:
                 f"  throughput: {documents['count'] / wall:.1f} docs/s "
                 f"({documents['count']} documents in {format_duration(wall)})"
             )
+    suggestion = suggest_stage_timeout(aggregated)
+    if suggestion is not None:
+        lines.append(
+            f"  hint: --stage-timeout {suggestion:g} gives >=2x headroom "
+            f"over the slowest stage observed here"
+        )
     return "\n".join(lines)

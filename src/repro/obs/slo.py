@@ -1,0 +1,330 @@
+"""Declarative SLOs: per-stage latency targets and error-budget burn rates.
+
+An SLO here is a small declarative record evaluated against any registry
+snapshot — the cumulative ``registry.to_dict()``, a saved profile
+artifact, or a :class:`~repro.obs.windows.WindowView` for window-based
+burn rates.  Two kinds cover the fleet questions this repo cares about:
+
+``latency_p95``
+    The p95 of one ``span.<stage>`` histogram must stay at or under
+    ``target_s``.  *Burn rate* is ``observed / target`` — 1.0 means the
+    objective is exactly spent.
+
+``error_budget``
+    The ratio ``numerator / denominator`` (counters, with ``span.*``
+    histogram counts as fallback) must stay at or under ``budget``.
+    Burn rate is ``observed_ratio / budget`` — the standard SRE framing:
+    a burn rate of 4 sustains at 4x the allowed error spend.
+
+:data:`DEFAULT_SLOS` encodes the repo's own objectives (stage latency
+ceilings, quarantine/degraded/timeout budgets); ``repro slo check
+SNAPSHOT`` evaluates them (or a ``--slo`` JSON config) and exits
+non-zero when any objective is violated, which is what CI gates on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.windows import WindowView
+
+#: Artifact schema tag for SLO config files.
+SLO_SCHEMA = "repro.slo/1"
+
+SLO_KINDS = ("latency_p95", "error_budget")
+
+
+@dataclass(frozen=True)
+class Slo:
+    """One declarative objective (see module docstring for the kinds)."""
+
+    name: str
+    kind: str
+    #: ``latency_p95``: histogram to read and the p95 ceiling in seconds.
+    histogram: str = ""
+    target_s: float = 0.0
+    #: ``error_budget``: ratio instruments and the budget (allowed ratio).
+    numerator: str = ""
+    denominator: str = ""
+    budget: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.kind == "latency_p95":
+            if not self.histogram or self.target_s <= 0:
+                raise ValueError(
+                    f"SLO {self.name!r}: latency_p95 needs histogram and "
+                    "a positive target_s"
+                )
+        else:
+            if not self.numerator or not self.denominator or self.budget <= 0:
+                raise ValueError(
+                    f"SLO {self.name!r}: error_budget needs numerator, "
+                    "denominator, and a positive budget"
+                )
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"name": self.name, "kind": self.kind}
+        if self.kind == "latency_p95":
+            payload["histogram"] = self.histogram
+            payload["target_s"] = self.target_s
+        else:
+            payload["numerator"] = self.numerator
+            payload["denominator"] = self.denominator
+            payload["budget"] = self.budget
+        return payload
+
+
+#: The repo's own objectives.  Latency ceilings are generous on purpose —
+#: they exist to catch order-of-magnitude regressions (a quadratic lint
+#: rule, a recovery loop gone wild), not to grade hardware.  Rate budgets
+#: mirror the resilience layer: quarantine and hard timeouts should be
+#: rare, degraded-mode analysis merely uncommon.
+DEFAULT_SLOS: tuple[Slo, ...] = (
+    Slo("extract-p95", "latency_p95", histogram="span.extract", target_s=0.5),
+    Slo("filter-p95", "latency_p95", histogram="span.filter", target_s=0.25),
+    Slo("analyze-p95", "latency_p95", histogram="span.analyze", target_s=1.0),
+    Slo("recover-p95", "latency_p95", histogram="span.recover", target_s=2.5),
+    Slo(
+        "featurize-p95", "latency_p95",
+        histogram="span.featurize", target_s=1.0,
+    ),
+    Slo("lint-p95", "latency_p95", histogram="span.lint", target_s=1.0),
+    Slo("classify-p95", "latency_p95", histogram="span.classify", target_s=0.5),
+    Slo("document-p95", "latency_p95", histogram="span.document", target_s=5.0),
+    Slo(
+        "quarantine-rate", "error_budget",
+        numerator="resilience.quarantined",
+        denominator="span.document",
+        budget=0.02,
+    ),
+    Slo(
+        "degraded-rate", "error_budget",
+        numerator="documents.degraded",
+        denominator="span.document",
+        budget=0.05,
+    ),
+    Slo(
+        "timeout-rate", "error_budget",
+        numerator="budget.timeouts",
+        denominator="span.document",
+        budget=0.02,
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Config artifacts
+
+
+def load_slos(path: str | os.PathLike) -> tuple[Slo, ...]:
+    """Load an SLO config file; raises ``ValueError`` on a bad one."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}: not JSON ({error})") from None
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("slos"), list
+    ):
+        raise ValueError(f"{path}: not an SLO config (needs a 'slos' list)")
+    schema = payload.get("schema", SLO_SCHEMA)
+    if not str(schema).startswith("repro.slo/"):
+        raise ValueError(f"{path}: unknown SLO config schema {schema!r}")
+    slos = []
+    for index, entry in enumerate(payload["slos"]):
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}: slos[{index}] is not an object")
+        try:
+            slos.append(Slo(**entry))
+        except (TypeError, ValueError) as error:
+            raise ValueError(f"{path}: slos[{index}]: {error}") from None
+    if not slos:
+        raise ValueError(f"{path}: SLO config declares no objectives")
+    return tuple(slos)
+
+
+def dump_slos(slos: tuple[Slo, ...] = DEFAULT_SLOS) -> dict[str, Any]:
+    """The JSON form of a config — ``repro slo show`` prints this."""
+    return {"schema": SLO_SCHEMA, "slos": [slo.to_dict() for slo in slos]}
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+
+
+def _count(snapshot: dict[str, Any], name: str) -> float:
+    """Resolve a count by name: counters first, then histogram counts.
+
+    Rate SLOs name things like ``span.document`` as denominators — that
+    is a histogram, and its ``count`` is the per-document throughput
+    counter this repo never kept separately.
+    """
+    value = snapshot.get("counters", {}).get(name)
+    if value is not None:
+        return float(value)
+    histogram = snapshot.get("histograms", {}).get(name)
+    if histogram is not None:
+        return float(histogram["count"])
+    return 0.0
+
+
+def _percentile(snapshot: dict[str, Any], name: str, q: float) -> float:
+    from repro.obs.metrics import Histogram
+
+    payload = snapshot.get("histograms", {}).get(name)
+    if payload is None or not payload["count"]:
+        return 0.0
+    return Histogram.from_dict(payload).percentile(q)
+
+
+@dataclass(frozen=True)
+class SloResult:
+    """One evaluated objective."""
+
+    slo: Slo
+    observed: float
+    threshold: float
+    burn_rate: float
+    samples: int
+    ok: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.slo.name,
+            "kind": self.slo.kind,
+            "observed": self.observed,
+            "threshold": self.threshold,
+            "burn_rate": self.burn_rate,
+            "samples": self.samples,
+            "ok": self.ok,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class SloReport:
+    """All evaluated objectives of one check."""
+
+    results: list[SloResult] = field(default_factory=list)
+    window_s: float | None = None
+
+    @property
+    def violated(self) -> list[SloResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violated
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "window_s": self.window_s,
+            "results": [r.to_dict() for r in self.results],
+            "violated": [r.slo.name for r in self.violated],
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        scope = (
+            f"last {self.window_s:.0f}s window"
+            if self.window_s is not None
+            else "cumulative"
+        )
+        lines = [
+            f"SLO — {len(self.violated)} violated of {len(self.results)} "
+            f"objectives ({scope})"
+        ]
+        lines.append(
+            f"  {'objective':<18} {'kind':<12} {'observed':>10} "
+            f"{'threshold':>10} {'burn':>7}  status"
+        )
+        for result in sorted(
+            self.results, key=lambda r: (r.ok, -r.burn_rate)
+        ):
+            status = "ok" if result.ok else "VIOLATED"
+            detail = f"  ({result.detail})" if result.detail else ""
+            lines.append(
+                f"  {result.slo.name:<18} {result.slo.kind:<12} "
+                f"{result.observed:>10.4f} {result.threshold:>10.4f} "
+                f"{result.burn_rate:>7.2f}  {status}{detail}"
+            )
+        return "\n".join(lines)
+
+
+def _evaluate_one(
+    slo: Slo,
+    *,
+    percentile,
+    count,
+) -> SloResult:
+    if slo.kind == "latency_p95":
+        samples = int(count(slo.histogram))
+        observed = percentile(slo.histogram, 0.95) if samples else 0.0
+        burn = observed / slo.target_s
+        return SloResult(
+            slo,
+            round(observed, 6),
+            slo.target_s,
+            round(burn, 4),
+            samples,
+            observed <= slo.target_s,
+            "no samples" if not samples else "",
+        )
+    base = count(slo.denominator)
+    numerator = count(slo.numerator)
+    observed = numerator / base if base else 0.0
+    burn = observed / slo.budget
+    return SloResult(
+        slo,
+        round(observed, 6),
+        slo.budget,
+        round(burn, 4),
+        int(base),
+        observed <= slo.budget,
+        "no samples" if not base else f"{int(numerator)}/{int(base)}",
+    )
+
+
+def evaluate_snapshot(
+    snapshot: dict[str, Any], slos: tuple[Slo, ...] = DEFAULT_SLOS
+) -> SloReport:
+    """Evaluate objectives against a cumulative registry snapshot.
+
+    ``snapshot`` is a ``registry.to_dict()`` payload or the ``metrics``
+    member of a saved profile artifact.  Objectives whose instruments
+    never fired pass with ``detail="no samples"`` — an SLO cannot be
+    violated by work that did not run.
+    """
+    report = SloReport()
+    for slo in slos:
+        report.results.append(
+            _evaluate_one(
+                slo,
+                percentile=lambda name, q: _percentile(snapshot, name, q),
+                count=lambda name: _count(snapshot, name),
+            )
+        )
+    return report
+
+
+def evaluate_window(
+    view: WindowView, slos: tuple[Slo, ...] = DEFAULT_SLOS
+) -> SloReport:
+    """Evaluate objectives over one sliding-window view.
+
+    This is the *burn-rate* form: a violated error budget here means the
+    budget is being spent faster than allowed **right now**, not that the
+    whole run's average crossed the line.
+    """
+    report = SloReport(window_s=view.window_s)
+    for slo in slos:
+        report.results.append(
+            _evaluate_one(slo, percentile=view.percentile, count=view.count)
+        )
+    return report

@@ -1,0 +1,110 @@
+"""Windowed telemetry over the engine: serial vs parallel parity.
+
+A :class:`SlidingWindow` attached to the engine is ticked from the serial
+dispatch loop and from every worker-telemetry merge.  With a window wide
+enough to hold the whole run, the final view must equal the cumulative
+registry — and therefore be identical (over counts) between ``jobs=1``
+and ``jobs=N`` runs of the same inputs, exactly like the registry itself.
+"""
+
+import random
+
+import pytest
+
+from repro.corpus.benign import generate_benign_module
+from repro.corpus.documents import build_document_bytes
+from repro.engine import AnalysisEngine, MetricsRegistry
+from repro.obs import SlidingWindow
+
+
+@pytest.fixture(scope="module")
+def documents():
+    rng = random.Random(23)
+    return [
+        build_document_bytes(
+            [generate_benign_module(rng, target_length=rng.randint(300, 1200))],
+            "docm",
+        )
+        for _ in range(6)
+    ]
+
+
+def _windowed_run(documents, jobs):
+    registry = MetricsRegistry()
+    engine = AnalysisEngine.for_lint(metrics=registry)
+    # Hour-wide window: nothing ages out, so the final view must match
+    # the cumulative registry exactly — the strongest parity oracle.
+    engine.window = SlidingWindow(window_s=3600.0, buckets=12)
+    records = engine.run_batch(documents, jobs=jobs)
+    return records, registry, engine
+
+
+def _window_counts(view):
+    histogram_counts = {
+        name: histogram.count for name, histogram in view.histograms.items()
+    }
+    moment_counts = {
+        name: payload["count"] for name, payload in view.moments.items()
+    }
+    return dict(view.counters), histogram_counts, moment_counts
+
+
+class TestWindowParity:
+    def test_serial_view_equals_cumulative_registry(self, documents):
+        _, registry, engine = _windowed_run(documents, jobs=1)
+        view = engine.window.view(registry)
+        snapshot = registry.to_dict()
+        assert view.counters == pytest.approx(snapshot["counters"])
+        for name, payload in snapshot["histograms"].items():
+            assert view.histograms[name].count == payload["count"]
+            assert view.histograms[name].counts == payload["counts"]
+        for name, payload in snapshot["moments"].items():
+            assert view.moments[name]["count"] == payload["count"]
+            assert view.moments[name]["sum"] == pytest.approx(payload["sum"])
+
+    def test_parallel_view_equals_cumulative_registry(self, documents):
+        _, registry, engine = _windowed_run(documents, jobs=3)
+        view = engine.window.view(registry)
+        snapshot = registry.to_dict()
+        assert view.counters == pytest.approx(snapshot["counters"])
+        for name, payload in snapshot["histograms"].items():
+            assert view.histograms[name].count == payload["count"]
+
+    def test_serial_and_parallel_views_agree(self, documents):
+        _, serial_registry, serial_engine = _windowed_run(documents, jobs=1)
+        _, parallel_registry, parallel_engine = _windowed_run(
+            documents, jobs=3
+        )
+        serial = _window_counts(serial_engine.window.view(serial_registry))
+        parallel = _window_counts(
+            parallel_engine.window.view(parallel_registry)
+        )
+        s_counters, s_histograms, s_moments = serial
+        p_counters, p_histograms, p_moments = parallel
+        # Cache counters are process-local bookkeeping; everything the
+        # pipeline recorded about the documents themselves must agree.
+        for name in ("span.document", "span.extract", "span.lint"):
+            assert s_histograms[name] == p_histograms[name] == len(documents)
+        assert s_histograms.keys() == p_histograms.keys()
+        assert s_moments == p_moments
+        assert s_counters.get("lint.macros") == p_counters.get("lint.macros")
+
+    def test_serial_stream_ticks_the_window(self, documents):
+        registry = MetricsRegistry()
+        engine = AnalysisEngine.for_lint(metrics=registry)
+        engine.window = SlidingWindow(window_s=3600.0, buckets=12)
+        for record in engine.stream(iter(documents)):
+            assert record.ok
+        assert len(engine.window) >= 1
+        view = engine.window.view(registry)
+        assert view.count("span.document") == len(documents)
+
+    def test_window_survives_pickling_engines(self, documents):
+        import pickle
+
+        _, _, engine = _windowed_run(documents, jobs=1)
+        clone = pickle.loads(pickle.dumps(engine))
+        # Observability attachments are parent-process state: workers
+        # must not inherit (or try to pickle) the ring of snapshots.
+        assert clone.window is None
+        assert clone.drift_monitor is None

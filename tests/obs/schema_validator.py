@@ -19,21 +19,39 @@ FIELDS = {
     "depth": (int,),
 }
 
+DRIFT_FIELDS = {
+    "type": (str,),
+    "name": (str,),
+    "ts": (int, float),
+    "metric": (str,),
+    "value": (int, float),
+    "verdict": (str,),
+    "pid": (int,),
+}
+
+FIELDS_BY_TYPE = {"span": FIELDS, "drift": DRIFT_FIELDS}
+
 
 def validate_event(event) -> dict:
     assert isinstance(event, dict), f"event is {type(event).__name__}, not object"
-    assert set(event) == set(FIELDS), (
-        f"fields {sorted(event)} != {sorted(FIELDS)}"
+    assert event.get("type") in FIELDS_BY_TYPE, f"unknown type {event.get('type')!r}"
+    fields = FIELDS_BY_TYPE[event["type"]]
+    assert set(event) == set(fields), (
+        f"fields {sorted(event)} != {sorted(fields)}"
     )
-    for field, allowed in FIELDS.items():
+    for field, allowed in fields.items():
         value = event[field]
         assert not isinstance(value, bool) and isinstance(value, allowed), (
             f"{field}={value!r} has type {type(value).__name__}"
         )
-    assert event["type"] == "span", event["type"]
-    assert event["outcome"] in ("ok", "error"), event["outcome"]
-    assert event["dur"] >= 0, event["dur"]
-    assert event["depth"] >= 0, event["depth"]
+    if event["type"] == "span":
+        assert event["outcome"] in ("ok", "error"), event["outcome"]
+        assert event["dur"] >= 0, event["dur"]
+        assert event["depth"] >= 0, event["depth"]
+    else:
+        assert event["metric"] in ("psi", "kl", "smd"), event["metric"]
+        assert event["verdict"] in ("ok", "warn", "drift"), event["verdict"]
+        assert event["value"] >= 0, event["value"]
     return event
 
 

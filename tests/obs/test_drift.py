@@ -1,0 +1,271 @@
+"""Drift scoring: PSI/KL math, profile artifacts, the live monitor."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.drift import (
+    DriftMonitor,
+    DriftThresholds,
+    capture_profile,
+    kl_divergence,
+    psi,
+    read_profile,
+    score_drift,
+    write_profile,
+)
+from repro.obs.metrics import SCORE_BUCKETS, MetricsRegistry
+
+
+def _score_registry(values, rules=(), feature_columns=()):
+    """A registry shaped like post-run state: scores, rules, features."""
+    registry = MetricsRegistry()
+    if values:
+        histogram = registry.histogram("score.probability", SCORE_BUCKETS)
+        for value in values:
+            histogram.observe(value)
+    for rule, count in rules:
+        registry.counter(f"lint.rule.{rule}").inc(count)
+    for column, samples in feature_columns:
+        moment = registry.moment(column)
+        for sample in samples:
+            moment.observe(sample)
+    return registry
+
+
+class TestDivergences:
+    def test_psi_of_identical_distributions_is_zero(self):
+        assert psi([10, 20, 30], [10, 20, 30]) == pytest.approx(0.0)
+
+    def test_psi_grows_with_shift(self):
+        mild = psi([30, 30, 30], [30, 35, 25])
+        wild = psi([90, 5, 5], [5, 5, 90])
+        assert 0.0 < mild < wild
+        assert wild > 0.25  # folklore "drifted" threshold
+
+    def test_psi_novel_bucket_is_large_but_finite(self):
+        value = psi([100, 0, 0], [0, 0, 100])
+        assert math.isfinite(value)
+        assert value > 1.0
+
+    def test_psi_rejects_misaligned_vectors(self):
+        with pytest.raises(ValueError):
+            psi([1, 2], [1, 2, 3])
+
+    def test_kl_identity_and_positivity(self):
+        assert kl_divergence([5, 5], [5, 5]) == pytest.approx(0.0)
+        assert kl_divergence([9, 1], [1, 9]) > 0.0
+        with pytest.raises(ValueError):
+            kl_divergence([1], [1, 2])
+
+
+class TestProfileArtifacts:
+    def test_capture_drops_the_event_buffer(self):
+        registry = MetricsRegistry(trace=True)
+        with registry.span("extract"):
+            pass
+        profile = capture_profile(
+            registry, source="unit test", documents=3
+        )
+        assert profile["schema"] == "repro.baseline/1"
+        assert profile["source"] == "unit test"
+        assert profile["documents"] == 3
+        assert "events" not in profile["metrics"]
+        assert "span.extract" in profile["metrics"]["histograms"]
+
+    def test_roundtrip_through_disk(self, tmp_path):
+        registry = _score_registry([0.1, 0.9])
+        path = tmp_path / "baseline.json"
+        write_profile(path, capture_profile(registry))
+        loaded = read_profile(path)
+        expected = registry.to_dict()
+        expected.pop("events")  # capture_profile drops the event buffer
+        assert loaded["metrics"] == expected
+
+    def test_read_rejects_garbage(self, tmp_path):
+        bad_json = tmp_path / "bad.json"
+        bad_json.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="not JSON"):
+            read_profile(bad_json)
+
+        no_metrics = tmp_path / "no_metrics.json"
+        no_metrics.write_text(json.dumps({"schema": "repro.baseline/1"}))
+        with pytest.raises(ValueError, match="not a baseline"):
+            read_profile(no_metrics)
+
+        wrong_schema = tmp_path / "wrong.json"
+        wrong_schema.write_text(
+            json.dumps({"schema": "other/9", "metrics": {}})
+        )
+        with pytest.raises(ValueError, match="unknown profile schema"):
+            read_profile(wrong_schema)
+
+
+class TestScoreDrift:
+    def test_empty_snapshots_have_no_dimensions(self):
+        report = score_drift({}, {})
+        assert report.dimensions == []
+        assert report.ok
+        assert "no comparable dimensions" in report.render()
+
+    def test_score_histogram_shift_is_flagged(self):
+        benign = [0.05 + 0.01 * (i % 5) for i in range(40)]
+        hostile = [0.85 + 0.01 * (i % 5) for i in range(40)]
+        baseline = _score_registry(benign).to_dict()
+        live = _score_registry(hostile).to_dict()
+        report = score_drift(baseline, live)
+        (dim,) = report.dimensions
+        assert dim.name == "score.probability"
+        assert dim.metric == "psi"
+        assert dim.verdict == "drift"
+        assert "mean 0.070 -> 0.870" in dim.detail
+        assert not report.ok
+        assert report.to_dict()["drifted"] == ["score.probability"]
+
+    def test_self_comparison_is_ok(self):
+        snapshot = _score_registry(
+            [0.1 * (i % 9) for i in range(50)],
+            rules=[("o1-hex", 30), ("o2-concat", 20)],
+        ).to_dict()
+        report = score_drift(snapshot, snapshot)
+        assert report.ok
+        assert all(d.verdict == "ok" for d in report.dimensions)
+        assert all(d.value == pytest.approx(0.0) for d in report.dimensions)
+
+    def test_small_samples_pass_as_insufficient_data(self):
+        baseline = _score_registry([0.1] * 5).to_dict()
+        live = _score_registry([0.9] * 5).to_dict()
+        report = score_drift(baseline, live)
+        (dim,) = report.dimensions
+        assert dim.verdict == "ok"
+        assert dim.detail == "insufficient data"
+        # A looser floor grades the same data for real.
+        strict = score_drift(
+            baseline, live, DriftThresholds(min_count=5)
+        )
+        assert strict.dimensions[0].verdict == "drift"
+
+    def test_lint_rule_mix_shift(self):
+        baseline = _score_registry(
+            [], rules=[("o1-hex", 40), ("o2-concat", 10)]
+        ).to_dict()
+        live = _score_registry(
+            [], rules=[("o1-hex", 10), ("o2-concat", 40)]
+        ).to_dict()
+        report = score_drift(baseline, live)
+        (dim,) = report.dimensions
+        assert dim.name == "lint.rules"
+        assert dim.verdict == "drift"
+        assert "top mover:" in dim.detail
+
+    def test_rule_missing_on_one_side_still_compares(self):
+        baseline = _score_registry([], rules=[("o1-hex", 40)]).to_dict()
+        live = _score_registry(
+            [], rules=[("o1-hex", 20), ("o9-novel", 20)]
+        ).to_dict()
+        (dim,) = score_drift(baseline, live).dimensions
+        assert dim.verdict == "drift"
+        # The union of rule names is compared, so a brand-new rule on the
+        # live side still yields a single aligned PSI dimension.
+        assert dim.baseline_count == 40
+        assert dim.live_count == 40
+
+    def test_feature_mean_shift_uses_worst_column(self):
+        steady = [float(i % 10) for i in range(30)]
+        shifted = [value + 20.0 for value in steady]
+        baseline = _score_registry(
+            [],
+            feature_columns=[
+                ("feature.V.c00", steady), ("feature.V.c01", steady)
+            ],
+        ).to_dict()
+        live = _score_registry(
+            [],
+            feature_columns=[
+                ("feature.V.c00", steady), ("feature.V.c01", shifted)
+            ],
+        ).to_dict()
+        (dim,) = score_drift(baseline, live).dimensions
+        assert dim.name == "feature.V"
+        assert dim.metric == "smd"
+        assert dim.verdict == "drift"
+        assert dim.detail.startswith("c01 mean")
+
+    def test_constant_baseline_column_scales_by_live_spread(self):
+        flat = [5.0] * 30
+        live_values = [5.0 + 0.2 * (i % 10) for i in range(30)]
+        baseline = _score_registry(
+            [], feature_columns=[("feature.J.c03", flat)]
+        ).to_dict()
+        live = _score_registry(
+            [], feature_columns=[("feature.J.c03", live_values)]
+        ).to_dict()
+        (dim,) = score_drift(baseline, live).dimensions
+        assert math.isfinite(dim.value)
+        assert dim.value < 1e6
+
+    def test_both_sides_constant_but_shifted_caps_at_finite(self):
+        baseline = _score_registry(
+            [], feature_columns=[("feature.J.c03", [5.0] * 30)]
+        ).to_dict()
+        live = _score_registry(
+            [], feature_columns=[("feature.J.c03", [6.0] * 30)]
+        ).to_dict()
+        (dim,) = score_drift(baseline, live).dimensions
+        assert dim.value == 1e6  # JSON-safe cap, still "drift"
+        assert dim.verdict == "drift"
+
+
+class TestDriftMonitor:
+    def test_evaluate_publishes_gauges_and_events(self):
+        registry = MetricsRegistry(trace=True)
+        histogram = registry.histogram("score.probability", SCORE_BUCKETS)
+        for i in range(40):
+            histogram.observe(0.9 - 0.01 * (i % 5))
+        baseline = capture_profile(
+            _score_registry([0.05 + 0.01 * (i % 5) for i in range(40)])
+        )
+        monitor = DriftMonitor(baseline, registry)
+        report = monitor.evaluate()
+        assert not report.ok
+        snapshot = registry.to_dict()
+        assert snapshot["gauges"]["drift.score.probability"] > 0.25
+        assert snapshot["gauges"]["drift.dimensions_drifted"] == 1
+        drift_events = [
+            e for e in registry.events if e.get("type") == "drift"
+        ]
+        assert len(drift_events) == 1
+        event = drift_events[0]
+        assert event["name"] == "score.probability"
+        assert event["metric"] == "psi"
+        assert event["verdict"] == "drift"
+
+    def test_tick_is_interval_gated(self):
+        clock = {"now": 0.0}
+        registry = MetricsRegistry()
+        monitor = DriftMonitor(
+            capture_profile(registry),
+            registry,
+            interval_s=5.0,
+            clock=lambda: clock["now"],
+        )
+        assert monitor.tick() is not None
+        assert monitor.tick() is None
+        clock["now"] = 4.9
+        assert monitor.tick() is None
+        clock["now"] = 5.1
+        assert monitor.tick() is not None
+
+    def test_disabled_registry_is_a_no_op(self):
+        from repro.obs.metrics import NULL_REGISTRY
+
+        monitor = DriftMonitor({}, NULL_REGISTRY)
+        assert monitor.tick() is None
+        assert monitor.last_report is None
+
+    def test_accepts_bare_metrics_snapshots(self):
+        registry = _score_registry([0.5] * 25)
+        monitor = DriftMonitor(registry.to_dict(), registry)
+        report = monitor.evaluate()
+        assert report.ok

@@ -166,7 +166,34 @@ class TestEngineEvents:
         assert any(event["outcome"] == "error" for event in events)
 
     def test_validators_agree(self):
-        """The library schema and the test suite's independent copy match."""
-        from repro.obs import EVENT_SCHEMA
+        """The library schemas and the test suite's independent copy match."""
+        from repro.obs import EVENT_SCHEMAS
 
-        assert EVENT_SCHEMA == schema_validator.FIELDS
+        assert EVENT_SCHEMAS == schema_validator.FIELDS_BY_TYPE
+
+    def test_drift_events_roundtrip(self, tmp_path):
+        """Drift events validate, serialize, and agree across validators."""
+        event = {
+            "type": "drift",
+            "name": "score.probability",
+            "ts": 12.5,
+            "metric": "psi",
+            "value": 0.31,
+            "verdict": "drift",
+            "pid": 4242,
+        }
+        path = tmp_path / "drift.jsonl"
+        assert write_events(path, [event]) == 1
+        assert read_events(path) == [event]
+        assert schema_validator.validate_lines(path.read_text()) == 1
+
+        for bad in (
+            {**event, "metric": "chi2"},
+            {**event, "verdict": "maybe"},
+            {**event, "value": -0.1},
+            {**event, "outcome": "ok"},  # span field on a drift event
+        ):
+            with pytest.raises(ValueError):
+                validate_event(bad)
+            with pytest.raises(AssertionError):
+                schema_validator.validate_event(bad)

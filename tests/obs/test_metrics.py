@@ -9,6 +9,7 @@ from repro.obs import (
     DEFAULT_LATENCY_BUCKETS,
     Histogram,
     MetricsRegistry,
+    Moments,
     NULL_REGISTRY,
 )
 
@@ -227,7 +228,8 @@ class TestNullRegistry:
         after = NULL_REGISTRY.to_dict()
         assert before == after
         assert after == {
-            "counters": {}, "gauges": {}, "histograms": {}, "events": [],
+            "counters": {}, "gauges": {}, "histograms": {}, "moments": {},
+            "events": [],
         }
         assert NULL_REGISTRY.events == []
 
@@ -247,3 +249,74 @@ class TestNullRegistry:
 
     def test_spawn_returns_itself(self):
         assert NULL_REGISTRY.spawn() is NULL_REGISTRY
+
+
+class TestMoments:
+    def test_observe_tracks_running_sums(self):
+        moments = Moments()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            moments.observe(value)
+        assert moments.count == 4
+        assert moments.mean == pytest.approx(2.5)
+        assert moments.variance == pytest.approx(1.25)
+        assert moments.std == pytest.approx(1.25**0.5)
+        assert (moments.min, moments.max) == (1.0, 4.0)
+
+    def test_observe_aggregate_matches_pointwise(self):
+        values = [0.5, 1.5, 2.5, 9.0]
+        pointwise = Moments()
+        for value in values:
+            pointwise.observe(value)
+        batched = Moments()
+        batched.observe_aggregate(
+            len(values),
+            sum(values),
+            sum(v * v for v in values),
+            min(values),
+            max(values),
+        )
+        assert batched.to_dict() == pointwise.to_dict()
+
+    def test_observe_aggregate_ignores_empty_blocks(self):
+        moments = Moments()
+        moments.observe_aggregate(0, 0.0, 0.0, float("inf"), float("-inf"))
+        assert moments.count == 0
+        assert moments.to_dict()["min"] is None
+
+    def test_merge_equals_interleaved_observation(self):
+        left, right, combined = Moments(), Moments(), Moments()
+        for value in (1.0, 2.0):
+            left.observe(value)
+            combined.observe(value)
+        for value in (10.0, 20.0):
+            right.observe(value)
+            combined.observe(value)
+        left.merge(right)
+        assert left.to_dict() == combined.to_dict()
+
+    def test_dict_roundtrip(self):
+        moments = Moments()
+        moments.observe(3.0)
+        clone = Moments.from_dict(moments.to_dict())
+        assert clone.to_dict() == moments.to_dict()
+        empty = Moments.from_dict(Moments().to_dict())
+        assert empty.count == 0
+        assert empty.min == float("inf")
+
+    def test_small_samples_have_zero_variance(self):
+        moments = Moments()
+        assert moments.variance == 0.0
+        moments.observe(5.0)
+        assert moments.variance == 0.0
+
+    def test_registry_moments_merge_by_addition(self):
+        parent = MetricsRegistry()
+        parent.moment("feature.V.c00").observe(1.0)
+        worker = MetricsRegistry()
+        worker.moment("feature.V.c00").observe(3.0)
+        worker.moment("feature.V.c01").observe(7.0)
+        parent.merge(worker.to_dict())
+        snapshot = parent.to_dict()["moments"]
+        assert snapshot["feature.V.c00"]["count"] == 2
+        assert snapshot["feature.V.c00"]["sum"] == 4.0
+        assert snapshot["feature.V.c01"]["count"] == 1

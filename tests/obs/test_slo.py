@@ -1,0 +1,191 @@
+"""SLO declarations, config round-trips, and burn-rate evaluation."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    Slo,
+    dump_slos,
+    evaluate_snapshot,
+    evaluate_window,
+    load_slos,
+)
+from repro.obs.windows import SlidingWindow
+
+
+class TestSloDeclaration:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown SLO kind"):
+            Slo("x", "latency_p99", histogram="span.x", target_s=1.0)
+
+    def test_latency_needs_histogram_and_target(self):
+        with pytest.raises(ValueError, match="latency_p95"):
+            Slo("x", "latency_p95", target_s=1.0)
+        with pytest.raises(ValueError, match="latency_p95"):
+            Slo("x", "latency_p95", histogram="span.x", target_s=0.0)
+
+    def test_error_budget_needs_ratio_and_budget(self):
+        with pytest.raises(ValueError, match="error_budget"):
+            Slo("x", "error_budget", numerator="a", budget=0.1)
+        with pytest.raises(ValueError, match="error_budget"):
+            Slo("x", "error_budget", numerator="a", denominator="b")
+
+    def test_defaults_cover_every_stage_and_resilience_budget(self):
+        names = {slo.name for slo in DEFAULT_SLOS}
+        assert {
+            "extract-p95", "classify-p95", "document-p95",
+            "quarantine-rate", "degraded-rate", "timeout-rate",
+        } <= names
+
+    def test_to_dict_keeps_only_the_kind_relevant_fields(self):
+        latency = Slo(
+            "x", "latency_p95", histogram="span.x", target_s=1.0
+        ).to_dict()
+        assert set(latency) == {"name", "kind", "histogram", "target_s"}
+        budget = Slo(
+            "y", "error_budget", numerator="a", denominator="b", budget=0.1
+        ).to_dict()
+        assert set(budget) == {
+            "name", "kind", "numerator", "denominator", "budget"
+        }
+
+
+class TestSloConfig:
+    def test_dump_load_roundtrip(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(dump_slos()), encoding="utf-8")
+        assert load_slos(path) == DEFAULT_SLOS
+
+    def test_load_rejects_bad_files(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("nope", encoding="utf-8")
+        with pytest.raises(ValueError, match="not JSON"):
+            load_slos(bad)
+
+        not_config = tmp_path / "not_config.json"
+        not_config.write_text(json.dumps({"slos": "many"}))
+        with pytest.raises(ValueError, match="'slos' list"):
+            load_slos(not_config)
+
+        wrong_schema = tmp_path / "schema.json"
+        wrong_schema.write_text(json.dumps({"schema": "x/1", "slos": []}))
+        with pytest.raises(ValueError, match="unknown SLO config schema"):
+            load_slos(wrong_schema)
+
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"slos": []}))
+        with pytest.raises(ValueError, match="no objectives"):
+            load_slos(empty)
+
+        bad_entry = tmp_path / "entry.json"
+        bad_entry.write_text(
+            json.dumps({"slos": [{"name": "x", "kind": "nope"}]})
+        )
+        with pytest.raises(ValueError, match=r"slos\[0\]"):
+            load_slos(bad_entry)
+
+
+def _snapshot(latencies=(), quarantined=0, documents=0):
+    registry = MetricsRegistry()
+    for value in latencies:
+        registry.histogram("span.extract").observe(value)
+    for _ in range(documents):
+        registry.histogram("span.document").observe(0.01)
+    if quarantined:
+        registry.counter("resilience.quarantined").inc(quarantined)
+    return registry.to_dict()
+
+
+class TestEvaluateSnapshot:
+    def test_idle_instruments_pass_with_no_samples(self):
+        report = evaluate_snapshot(_snapshot())
+        assert report.ok
+        assert all(r.detail == "no samples" for r in report.results)
+        assert report.window_s is None
+        assert "cumulative" in report.render()
+
+    def test_latency_violation_and_burn_rate(self):
+        slos = (
+            Slo("extract-p95", "latency_p95",
+                histogram="span.extract", target_s=0.1),
+        )
+        report = evaluate_snapshot(_snapshot(latencies=[0.4] * 30), slos)
+        (result,) = report.results
+        assert not result.ok
+        assert result.observed > 0.1
+        assert result.burn_rate == pytest.approx(
+            result.observed / 0.1, rel=1e-3
+        )
+        assert result.samples == 30
+        assert "VIOLATED" in report.render()
+        assert report.to_dict()["violated"] == ["extract-p95"]
+
+    def test_error_budget_burn_rate(self):
+        snapshot = _snapshot(quarantined=5, documents=50)
+        report = evaluate_snapshot(snapshot)
+        result = next(
+            r for r in report.results if r.slo.name == "quarantine-rate"
+        )
+        assert not result.ok  # 10% quarantined vs a 2% budget
+        assert result.observed == pytest.approx(0.1)
+        assert result.burn_rate == pytest.approx(5.0)
+        assert result.detail == "5/50"
+
+    def test_within_budget_passes(self):
+        report = evaluate_snapshot(_snapshot(quarantined=1, documents=100))
+        result = next(
+            r for r in report.results if r.slo.name == "quarantine-rate"
+        )
+        assert result.ok
+        assert result.burn_rate == pytest.approx(0.5)
+
+
+class TestEvaluateWindow:
+    def test_window_report_carries_the_window_span(self):
+        clock = {"now": 0.0}
+        window = SlidingWindow(10.0, 5, clock=lambda: clock["now"])
+        registry = MetricsRegistry()
+        window.tick(registry)
+        for _ in range(10):
+            registry.histogram("span.document").observe(0.01)
+        registry.counter("resilience.quarantined").inc(4)
+        clock["now"] = 2.0
+        report = evaluate_window(window.view(registry))
+        assert report.window_s == 10.0
+        assert "last 10s window" in report.render()
+        result = next(
+            r for r in report.results if r.slo.name == "quarantine-rate"
+        )
+        assert not result.ok  # 40% in-window quarantine rate
+        assert result.observed == pytest.approx(0.4)
+
+    def test_old_burn_falls_out_of_the_window(self):
+        clock = {"now": 0.0}
+        window = SlidingWindow(10.0, 5, clock=lambda: clock["now"])
+        registry = MetricsRegistry()
+        registry.counter("resilience.quarantined").inc(10)
+        for _ in range(10):
+            registry.histogram("span.document").observe(0.01)
+        window.tick(registry)  # the bad past, snapshotted
+        for step in range(15):
+            clock["now"] = float(step)
+            window.tick(registry)
+            for _ in range(4):
+                registry.histogram("span.document").observe(0.01)
+        clock["now"] = 15.0
+        report = evaluate_window(window.view(registry))
+        result = next(
+            r for r in report.results if r.slo.name == "quarantine-rate"
+        )
+        # Cumulative rate is 10/70, but the window saw zero quarantines.
+        assert result.ok
+        assert result.observed == pytest.approx(0.0)
+        cumulative = evaluate_snapshot(registry.to_dict())
+        bad = next(
+            r for r in cumulative.results
+            if r.slo.name == "quarantine-rate"
+        )
+        assert not bad.ok

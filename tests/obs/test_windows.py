@@ -1,0 +1,177 @@
+"""Sliding-window views: snapshot deltas, time gating, eviction."""
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.windows import SlidingWindow, WindowView, _snapshot_delta
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _window(window_s=60.0, buckets=12):
+    clock = FakeClock()
+    return SlidingWindow(window_s, buckets, clock=clock), clock
+
+
+class TestSnapshotDelta:
+    def test_none_baseline_is_the_whole_state(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(5)
+        registry.histogram("h", (1.0, 2.0)).observe(0.5)
+        counters, histograms, moments = _snapshot_delta(
+            registry.to_dict(), None
+        )
+        assert counters["a"] == 5
+        assert histograms["h"].count == 1
+        assert moments == {}
+
+    def test_counters_and_buckets_subtract_exactly(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(3)
+        registry.histogram("h", (1.0, 2.0)).observe(0.5)
+        old = registry.to_dict()
+        registry.counter("a").inc(4)
+        registry.histogram("h", (1.0, 2.0)).observe(1.5)
+        registry.histogram("h", (1.0, 2.0)).observe(1.5)
+        counters, histograms, _ = _snapshot_delta(registry.to_dict(), old)
+        assert counters["a"] == 4
+        assert histograms["h"].count == 2
+        assert histograms["h"].counts == [0, 2, 0]
+
+    def test_delta_minmax_bounded_by_occupied_buckets(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h", (1.0, 2.0, 4.0))
+        h.observe(0.5)  # only in the baseline
+        old = registry.to_dict()
+        h.observe(3.0)  # only in the window
+        _, histograms, _ = _snapshot_delta(registry.to_dict(), old)
+        delta = histograms["h"]
+        # The 0.5 observation is subtracted out: bounds come from the
+        # (2.0, 4.0] bucket alone, not from the cumulative min of 0.5.
+        assert delta.min == 2.0
+        assert delta.max == 4.0
+        assert 2.0 <= delta.percentile(0.5) <= 4.0
+
+    def test_moment_deltas(self):
+        registry = MetricsRegistry()
+        registry.moment("m").observe(1.0)
+        old = registry.to_dict()
+        registry.moment("m").observe(5.0)
+        _, _, moments = _snapshot_delta(registry.to_dict(), old)
+        assert moments["m"] == {"count": 1, "sum": 5.0, "mean": 5.0}
+
+
+class TestSlidingWindow:
+    def test_tick_is_time_gated_per_bucket(self):
+        window, clock = _window(window_s=60.0, buckets=12)  # bucket = 5s
+        registry = MetricsRegistry()
+        assert window.tick(registry) is True
+        assert window.tick(registry) is False  # same bucket
+        clock.advance(4.9)
+        assert window.tick(registry) is False
+        clock.advance(0.2)
+        assert window.tick(registry) is True
+        assert len(window) == 2
+
+    def test_disabled_registry_never_snapshots(self):
+        window, _ = _window()
+        assert window.tick(NULL_REGISTRY) is False
+        assert len(window) == 0
+
+    def test_ring_stays_bounded_on_unbounded_feeds(self):
+        window, clock = _window(window_s=10.0, buckets=5)
+        registry = MetricsRegistry()
+        for _ in range(100):
+            registry.counter("tasks").inc()
+            window.tick(registry)
+            clock.advance(2.0)
+        # buckets + 1 snapshots: the extra one is the sub-horizon baseline.
+        assert len(window) <= 6
+
+    def test_view_subtracts_the_out_of_window_baseline(self):
+        window, clock = _window(window_s=10.0, buckets=5)
+        registry = MetricsRegistry()
+        for step in range(20):
+            registry.counter("tasks").inc()
+            registry.histogram("span.document").observe(0.01 * (step + 1))
+            window.tick(registry)
+            clock.advance(1.0)
+        view = window.view(registry)
+        # 20 total, but the window only covers the last ~10 seconds.
+        assert view.count("tasks") < 20
+        assert 9 <= view.count("tasks") <= 12
+        assert view.rate("tasks") > 0.0
+        assert view.count("span.document") == view.count("tasks")
+        # Windowed p95 reflects recent (larger) observations only.
+        assert view.percentile("span.document", 0.95) > 0.1
+
+    def test_huge_window_equals_cumulative_totals(self):
+        window, clock = _window(window_s=3600.0, buckets=12)
+        registry = MetricsRegistry()
+        for _ in range(10):
+            registry.counter("tasks").inc()
+            registry.histogram("span.document").observe(0.02)
+            window.tick(registry)
+            clock.advance(1.0)
+        view = window.view(registry)
+        assert view.count("tasks") == 10
+        assert view.histograms["span.document"].count == 10
+        assert view.span_s <= 3600.0
+
+    def test_ratio_and_idle_rates(self):
+        window, clock = _window(window_s=10.0, buckets=5)
+        registry = MetricsRegistry()
+        window.tick(registry)
+        view = window.view(registry)
+        assert view.rate("anything") == 0.0
+        assert view.ratio("a", "b") == 0.0
+        registry.counter("quarantined").inc(1)
+        registry.histogram("span.document").observe(0.01)
+        registry.histogram("span.document").observe(0.01)
+        clock.advance(2.0)
+        view = window.view(registry)
+        assert view.ratio("quarantined", "span.document") == 0.5
+
+    def test_view_to_dict_roundtrips_to_json(self):
+        import json
+
+        window, clock = _window(window_s=10.0, buckets=5)
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("h").observe(0.1)
+        registry.moment("m").observe(2.0)
+        registry.gauge("g").set(7.0)
+        window.tick(registry)
+        clock.advance(1.0)
+        payload = json.loads(json.dumps(window.view(registry).to_dict()))
+        assert payload["window_s"] == 10.0
+        assert payload["counters"]["a"] == 1
+        assert payload["gauges"]["g"] == 7.0
+        assert payload["histograms"]["h"]["count"] == 1
+        assert payload["moments"]["m"]["count"] == 1
+
+    def test_bucket_layout_change_treated_as_fresh(self):
+        old = {"histograms": {"h": {
+            "buckets": [1.0], "counts": [1, 0], "count": 1, "sum": 0.5,
+            "min": 0.5, "max": 0.5,
+        }}}
+        new = {"histograms": {"h": {
+            "buckets": [1.0, 2.0], "counts": [2, 1, 0], "count": 3,
+            "sum": 3.0, "min": 0.5, "max": 1.5,
+        }}}
+        _, histograms, _ = _snapshot_delta(new, old)
+        assert histograms["h"].count == 3  # no subtraction across layouts
+
+
+class TestWindowView:
+    def test_percentile_of_missing_histogram_is_zero(self):
+        view = WindowView(60.0, 60.0, {}, {}, {}, {})
+        assert view.percentile("nope", 0.95) == 0.0
+        assert view.count("nope") == 0.0

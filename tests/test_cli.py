@@ -2,6 +2,7 @@
 
 import io
 import json
+import pathlib
 
 import pytest
 
@@ -676,3 +677,239 @@ class TestReplay:
     def test_extract_without_inputs_or_replay_fails(self, capsys):
         assert main(["extract"]) == 1
         assert "no inputs" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Observability: baseline profiles, drift, SLOs, the /metrics endpoint
+
+
+_CANNED_TRACE = (
+    pathlib.Path(__file__).parent / "obs" / "data" / "canned_trace.jsonl"
+)
+
+
+def _synthetic_profile(path, scores=(), quarantined=0, documents=0):
+    """Write a profile artifact from a hand-built registry."""
+    from repro.obs import SCORE_BUCKETS, MetricsRegistry
+    from repro.obs.drift import capture_profile, write_profile
+
+    registry = MetricsRegistry()
+    if scores:
+        histogram = registry.histogram("score.probability", SCORE_BUCKETS)
+        for value in scores:
+            histogram.observe(value)
+    for _ in range(documents):
+        registry.histogram("span.document").observe(0.01)
+    if quarantined:
+        registry.counter("resilience.quarantined").inc(quarantined)
+    write_profile(path, capture_profile(registry))
+    return path
+
+
+class TestDriftCommand:
+    def test_self_comparison_exits_zero(self, tmp_path, capsys):
+        profile = _synthetic_profile(
+            tmp_path / "p.json", scores=[0.1 * (i % 9) for i in range(40)]
+        )
+        assert main(["drift", str(profile), str(profile)]) == 0
+        out = capsys.readouterr().out
+        assert "DRIFT" in out
+        assert "0 drifted" in out
+
+    def test_shifted_scores_exit_two(self, tmp_path, capsys):
+        baseline = _synthetic_profile(
+            tmp_path / "base.json", scores=[0.05] * 40
+        )
+        live = _synthetic_profile(tmp_path / "live.json", scores=[0.9] * 40)
+        assert main(["drift", str(baseline), str(live)]) == 2
+        out = capsys.readouterr().out
+        assert "score.probability" in out
+        assert "drift" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        baseline = _synthetic_profile(
+            tmp_path / "base.json", scores=[0.05] * 40
+        )
+        live = _synthetic_profile(tmp_path / "live.json", scores=[0.9] * 40)
+        assert main(
+            ["drift", str(baseline), str(live), "--format", "json"]
+        ) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["drifted"] == ["score.probability"]
+
+    def test_min_count_floor_gates_small_samples(self, tmp_path, capsys):
+        baseline = _synthetic_profile(
+            tmp_path / "base.json", scores=[0.05] * 5
+        )
+        live = _synthetic_profile(tmp_path / "live.json", scores=[0.9] * 5)
+        assert main(["drift", str(baseline), str(live)]) == 0
+        assert "insufficient data" in capsys.readouterr().out
+        assert main(
+            ["drift", str(baseline), str(live), "--min-count", "5"]
+        ) == 2
+        capsys.readouterr()
+
+    def test_unreadable_profile_is_usage_error(self, tmp_path, capsys):
+        good = _synthetic_profile(tmp_path / "good.json", scores=[0.5] * 25)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["drift", str(bad), str(good)]) == 1
+        assert "error" in capsys.readouterr().err
+        assert main(["drift", str(good), str(tmp_path / "missing.json")]) == 1
+        capsys.readouterr()
+
+
+class TestSloCommand:
+    def test_clean_snapshot_passes(self, tmp_path, capsys):
+        profile = _synthetic_profile(
+            tmp_path / "p.json", quarantined=0, documents=100
+        )
+        assert main(["slo", "check", str(profile)]) == 0
+        out = capsys.readouterr().out
+        assert "SLO" in out
+        assert "0 violated" in out
+
+    def test_burned_budget_exits_two(self, tmp_path, capsys):
+        profile = _synthetic_profile(
+            tmp_path / "p.json", quarantined=10, documents=50
+        )
+        assert main(["slo", "check", str(profile)]) == 2
+        out = capsys.readouterr().out
+        assert "quarantine-rate" in out
+        assert "VIOLATED" in out
+
+    def test_json_format_reports_burn_rate(self, tmp_path, capsys):
+        profile = _synthetic_profile(
+            tmp_path / "p.json", quarantined=10, documents=50
+        )
+        main(["slo", "check", str(profile), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violated"] == ["quarantine-rate"]
+        burned = next(
+            r for r in payload["results"] if r["name"] == "quarantine-rate"
+        )
+        assert burned["burn_rate"] == pytest.approx(10.0)
+
+    def test_custom_config_and_bad_config(self, tmp_path, capsys):
+        profile = _synthetic_profile(tmp_path / "p.json", documents=10)
+        config = tmp_path / "slo.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.slo/1",
+                    "slos": [
+                        {
+                            "name": "docs-p95",
+                            "kind": "latency_p95",
+                            "histogram": "span.document",
+                            "target_s": 10.0,
+                        }
+                    ],
+                }
+            )
+        )
+        assert main(
+            ["slo", "check", str(profile), "--slo", str(config)]
+        ) == 0
+        capsys.readouterr()
+        config.write_text("broken")
+        assert main(
+            ["slo", "check", str(profile), "--slo", str(config)]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_show_prints_the_default_config(self, capsys):
+        assert main(["slo", "show"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.slo/1"
+        names = {slo["name"] for slo in payload["slos"]}
+        assert "quarantine-rate" in names
+
+
+class TestBatchObservabilityFlags:
+    def test_baseline_out_writes_a_profile(
+        self, lint_directory, tmp_path, capsys
+    ):
+        from repro.obs.drift import read_profile
+
+        out_path = tmp_path / "baseline.json"
+        main(
+            ["lint", str(lint_directory), "--format", "json",
+             "--baseline-out", str(out_path)]
+        )
+        captured = capsys.readouterr()
+        assert "wrote metrics profile" in captured.err
+        profile = read_profile(out_path)
+        assert profile["schema"] == "repro.baseline/1"
+        assert profile["source"] == "repro lint"
+        assert profile["documents"] >= 1
+        assert "span.document" in profile["metrics"]["histograms"]
+        assert "events" not in profile["metrics"]
+
+    def test_baseline_flag_prints_drift_summary(
+        self, lint_directory, tmp_path, capsys
+    ):
+        baseline = tmp_path / "baseline.json"
+        main(
+            ["lint", str(lint_directory), "--format", "json",
+             "--baseline-out", str(baseline)]
+        )
+        capsys.readouterr()
+        main(
+            ["lint", str(lint_directory), "--format", "json",
+             "--baseline", str(baseline)]
+        )
+        err = capsys.readouterr().err
+        assert "DRIFT" in err
+
+    def test_bad_baseline_is_a_usage_error(
+        self, lint_directory, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(
+            ["lint", str(lint_directory), "--baseline", str(bad)]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_metrics_port_announces_and_serves(
+        self, lint_directory, tmp_path, capsys
+    ):
+        import re
+        import urllib.request
+
+        # Lingering keeps the endpoint alive only while the command runs;
+        # scrape-after-run coverage lives in tests/obs/test_export.py.
+        # Here: port 0 binds a free port and announces it on stderr.
+        status = main(
+            ["lint", str(lint_directory), "--format", "json",
+             "--metrics-port", "0"]
+        )
+        err = capsys.readouterr().err
+        assert status == 0
+        match = re.search(r"metrics: http://127\.0\.0\.1:(\d+)/metrics", err)
+        assert match is not None
+        # The server is stopped after the batch: the scrape must fail.
+        with pytest.raises(OSError):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{match.group(1)}/metrics", timeout=1
+            )
+
+
+class TestStatsHint:
+    def test_text_report_includes_hint_and_drift_line(self, capsys):
+        assert main(["stats", str(_CANNED_TRACE)]) == 0
+        out = capsys.readouterr().out
+        # Slowest stage span is extract at 0.18s: doubled and rounded up
+        # the 1-2-5 ladder that is 0.5 (the document span is excluded).
+        assert "hint: --stage-timeout 0.5" in out
+        assert "drift: 1 evaluations (1 drifted, 0 warning)" in out
+        assert "TRACE — 6 spans" in out
+
+    def test_json_report_includes_suggestion(self, capsys):
+        assert main(["stats", str(_CANNED_TRACE), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["suggested_stage_timeout_s"] == 0.5
+        assert payload["extract"]["count"] == 2
+        assert "document" in payload
