@@ -1,0 +1,256 @@
+"""Serving front-end under overload — shed, survive, stay within SLO.
+
+One scenario, benchmarked end to end over real sockets: a burst of
+**4× the shed line** hits a 2-worker ``repro serve`` application while
+one request poisons (and kills) a worker and ~10% of the bodies are
+malformed non-documents.  The serving promise under test:
+
+* **every request gets a typed terminal response** — 200 with an NDJSON
+  record (including the quarantined poison and the malformed bodies,
+  which analyze into ``ok=false`` records) or a typed 429/503 refusal;
+  zero connection resets, zero untyped failures;
+* **the shed line holds** — at least ``burst − shed_line − jobs``
+  requests are refused with ``503 queue_full`` (the queue plus the
+  workers that settle mid-burst are the only capacity that may admit);
+* **admitted requests stay within SLO** — the ``serve.latency.lint``
+  p95 (admitted requests only; refusals never enter the histogram) is
+  evaluated through the same :func:`repro.obs.slo.serve_slos` machinery
+  CI gates on, together with the ``serve.errors``/``serve.requests``
+  error budget (deliberate sheds burn nothing);
+* **the warm pool survives** — exactly one worker restart, and a
+  follow-up request after the burst is served 200 by the healed pool.
+
+Results land in ``benchmarks/results/serve_overload.json``; if a
+committed artifact is present, the run additionally fails on a >25%
+p95 regression against it.
+
+Environment knobs: ``REPRO_BENCH_SERVE_SHED`` (shed line, default 8),
+``REPRO_BENCH_SERVE_HANG`` (per-document hang seconds that simulate
+analysis cost, default 0.25).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import http.client
+import json
+import os
+import random
+import time
+
+from conftest import RESULTS_DIR, save_artifact
+
+from repro.corpus.benign import generate_benign_module
+from repro.corpus.documents import build_document_bytes
+from repro.engine import AnalysisEngine
+from repro.obs import MetricsRegistry
+from repro.obs.slo import evaluate_snapshot, serve_slos
+from repro.resilience import Fault, FaultPlan
+from repro.resilience.recovery import RetryPolicy
+from repro.serve import ServeApp, ServeConfig
+
+SHED_LINE = int(os.environ.get("REPRO_BENCH_SERVE_SHED", "8"))
+HANG_S = float(os.environ.get("REPRO_BENCH_SERVE_HANG", "0.25"))
+BURST = 4 * SHED_LINE
+JOBS = 2
+#: Requests that may legitimately be admitted during the burst: the
+#: queue itself plus the workers that can settle a document while the
+#: burst is still arriving.  Everything past this must be shed.
+EXCESS = BURST - SHED_LINE - JOBS
+MALFORMED = max(1, BURST // 10)
+
+#: Terminal statuses the protocol allows under overload.
+TYPED_STATUSES = frozenset({200, 408, 429, 503})
+
+#: Allowed p95 growth vs the committed artifact before the bench fails.
+REGRESSION_TOLERANCE = 0.8
+
+
+def _post(port: int, path: str, body: bytes):
+    """One blocking request; returns (status, code-or-None, elapsed_s)."""
+    started = time.perf_counter()
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        conn.request(
+            "POST", path, body=body,
+            headers={"Content-Length": str(len(body))},
+        )
+        response = conn.getresponse()
+        payload = response.read()
+        status = response.status
+    finally:
+        conn.close()
+    record = json.loads(payload.splitlines()[0])
+    code = record.get("error", {}).get("code") if status != 200 else None
+    return status, code, record, time.perf_counter() - started
+
+
+def _build_burst(docm: bytes) -> list[tuple[str, bytes]]:
+    """(source_id, body) pairs: one poison, ~10% malformed, rest clean.
+
+    All but the poison carry the ``bench-doc`` marker, so the hang
+    fault prices each admitted document at ``HANG_S`` — the burst must outrun the
+    drain rate for the shed line to be observable, and a fixed per-doc
+    cost makes the p95 a statement about queueing, not parsing speed.
+    """
+    requests = []
+    for index in range(BURST):
+        if index == 0:
+            requests.append((f"bench-kill-{index}", docm))
+        elif index <= MALFORMED:
+            requests.append(
+                (f"bench-doc-mal-{index}", b"not a document %d" % index)
+            )
+        else:
+            requests.append((f"bench-doc-{index:03d}", docm))
+    return requests
+
+
+def _previous_artifact() -> dict | None:
+    path = RESULTS_DIR / "serve_overload.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def test_overload_sheds_excess_and_serves_admitted_within_slo():
+    previous = _previous_artifact()
+    rng = random.Random(99)
+    docm = build_document_bytes(
+        [generate_benign_module(rng, target_length=300)], "docm"
+    )
+    burst = _build_burst(docm)
+
+    registry = MetricsRegistry()
+    chaos = FaultPlan(
+        faults=(Fault("hang", "bench-doc"), Fault("exit", "bench-kill")),
+        hang_s=HANG_S,
+    )
+    engine = AnalysisEngine.for_lint(metrics=registry, chaos=chaos)
+    # Exactly one kill: no retry, so the poison quarantines after its
+    # first worker death instead of burning three workers (and tripping
+    # the breaker) on a document that is never going to parse.
+    engine.retry = RetryPolicy(max_attempts=1)
+    config = ServeConfig(
+        jobs=JOBS,
+        max_queue=SHED_LINE,
+        per_client_window=2 * BURST,   # the whole burst is one client
+        rate_per_s=10_000.0,
+        burst=float(2 * BURST),
+        default_deadline_s=60.0,
+    )
+    app = ServeApp(engine, config, metrics=registry)
+
+    async def scenario():
+        port = await app.start()
+        loop = asyncio.get_running_loop()
+        # One thread per request: the burst must be genuinely
+        # concurrent, or slow executors would serialize arrivals and
+        # let the queue drain between them.
+        pool = concurrent.futures.ThreadPoolExecutor(max_workers=BURST)
+        try:
+            calls = [
+                loop.run_in_executor(
+                    pool, _post, port, f"/lint?id={sid}", body
+                )
+                for sid, body in burst
+            ]
+            outcomes = await asyncio.gather(*calls, return_exceptions=True)
+            # The healed pool serves a follow-up after the storm.
+            after = await loop.run_in_executor(
+                pool, _post, port, "/lint?id=bench-doc-after", docm
+            )
+            restarts = app.gateway._pool.worker_restarts
+            report = await app.drain(budget_s=60.0)
+            return outcomes, after, restarts, report
+        finally:
+            pool.shutdown(wait=False)
+
+    outcomes, after, restarts, drain_report = asyncio.run(
+        asyncio.wait_for(scenario(), 300.0)
+    )
+
+    resets = [o for o in outcomes if isinstance(o, BaseException)]
+    assert not resets, f"untyped transport failures: {resets!r}"
+    statuses: dict[str, int] = {}
+    codes: dict[str, int] = {}
+    served_s = []
+    for status, code, record, elapsed in outcomes:
+        assert status in TYPED_STATUSES, (status, code)
+        statuses[str(status)] = statuses.get(str(status), 0) + 1
+        if code is not None:
+            codes[code] = codes.get(code, 0) + 1
+        if status == 200:
+            served_s.append(elapsed)
+
+    counters = registry.to_dict()["counters"]
+    sheds = counters.get("serve.shed", 0)
+    admitted = counters.get("serve.admitted", 0)
+
+    slo_report = evaluate_snapshot(registry.to_dict(), serve_slos(("lint",)))
+    p95_result = next(
+        r for r in slo_report.results if r.slo.kind == "latency_p95"
+    )
+
+    text = (
+        "SERVE OVERLOAD — shed line holds, admitted stay within SLO\n"
+        f"burst              : {BURST} requests "
+        f"({MALFORMED} malformed, 1 poison), shed line {SHED_LINE}, "
+        f"jobs={JOBS}, hang={HANG_S:g}s/doc\n"
+        f"statuses           : {dict(sorted(statuses.items()))}\n"
+        f"refusal codes      : {dict(sorted(codes.items()))}\n"
+        f"admitted / shed    : {admitted} / {sheds} "
+        f"(must shed >= {EXCESS})\n"
+        f"p95 (admitted)     : {p95_result.observed:.3f} s "
+        f"(SLO <= {p95_result.threshold:g} s, "
+        f"burn {p95_result.burn_rate:.2f})\n"
+        f"worker restarts    : {restarts} (exactly 1 kill)\n"
+        f"follow-up          : {after[0]} after drain of the storm\n"
+    )
+    print("\n" + text)
+
+    save_artifact(
+        "serve_overload.json",
+        json.dumps(
+            {
+                "burst": BURST,
+                "shed_line": SHED_LINE,
+                "jobs": JOBS,
+                "hang_s": HANG_S,
+                "malformed": MALFORMED,
+                "excess": EXCESS,
+                "statuses": statuses,
+                "refusal_codes": codes,
+                "admitted": admitted,
+                "sheds": sheds,
+                "p95_s": round(p95_result.observed, 4),
+                "slo": slo_report.to_dict(),
+                "worker_restarts": restarts,
+                "followup_status": after[0],
+                "drain_settled": drain_report.settled,
+            },
+            indent=2,
+            sort_keys=True,
+        ),
+    )
+
+    # Typed totality: the burst is fully accounted for.
+    assert sum(statuses.values()) == BURST
+    # The shed line held: everything past queue + in-flight was refused.
+    assert sheds >= EXCESS, text
+    assert codes.get("queue_full", 0) == sheds
+    # Admitted requests stayed within the declared serving SLOs.
+    assert slo_report.ok, slo_report.render()
+    assert served_s, "no admitted requests were served"
+    # The warm pool survived its one kill and kept serving.
+    assert restarts == 1, f"expected exactly one worker kill, saw {restarts}"
+    assert after[0] == 200, f"post-burst request failed: {after!r}"
+    assert drain_report.settled and drain_report.abandoned == 0
+
+    if previous is not None and "p95_s" in previous:
+        ceiling = previous["p95_s"] / REGRESSION_TOLERANCE
+        assert p95_result.observed <= ceiling, (
+            f"admitted p95 regressed >25%: {p95_result.observed:.3f}s vs "
+            f"committed {previous['p95_s']}s"
+        )

@@ -286,6 +286,97 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--folds", type=int, default=10)
     reproduce.add_argument("--jobs", type=int, default=1)
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the analysis HTTP service over a persistent warm pool",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8100,
+        help="listen port (0 picks a free one, printed to stderr)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=2,
+        help="warm worker processes behind the gateway (default 2)",
+    )
+    serve.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="pool admission window (default max(8, 4*jobs))",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="shed line: unresolved requests beyond this get 503 (default 64)",
+    )
+    serve.add_argument(
+        "--client-window", type=int, default=8, metavar="N",
+        help="max in-flight requests per client IP (default 8)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=50.0, metavar="R",
+        help="per-client sustained requests/s (default 50)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=100.0, metavar="N",
+        help="per-client burst allowance on top of --rate (default 100)",
+    )
+    serve.add_argument(
+        "--default-deadline", type=float, default=30.0, metavar="SECONDS",
+        help="request deadline when the client sends none (default 30; "
+        "0 disables)",
+    )
+    serve.add_argument(
+        "--max-deadline", type=float, default=120.0, metavar="SECONDS",
+        help="cap on client-requested ?deadline_s= (default 120; 0 = no cap)",
+    )
+    serve.add_argument(
+        "--drain-budget", type=float, default=10.0, metavar="SECONDS",
+        help="SIGTERM grace: settle in-flight work this long, then "
+        "quarantine the rest (default 10)",
+    )
+    serve.add_argument(
+        "--max-body-bytes", type=int, default=32 * 1024 * 1024,
+        help="request body cap (default 32 MiB; larger bodies get 413)",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="worker deaths inside the breaker window that open the "
+        "circuit (default 3)",
+    )
+    serve.add_argument(
+        "--breaker-cooloff", type=float, default=5.0, metavar="SECONDS",
+        help="open-state quiet period before half-open probes (default 5)",
+    )
+    serve.add_argument(
+        "--classifier", default="MLP", choices=("SVM", "RF", "MLP", "LDA", "BNB")
+    )
+    serve.add_argument(
+        "--train-seed", type=int, default=42,
+        help="seed for the on-the-fly training corpus",
+    )
+    serve.add_argument(
+        "--budget", default="default", choices=("strict", "default", "off"),
+        help="per-document budget preset (see scan --budget)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-document wall-clock budget override",
+    )
+    serve.add_argument(
+        "--stage-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-stage watchdog override (a request ?deadline_s= shorter "
+        "than this still wins)",
+    )
+    serve.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write serve/span events as JSON lines at shutdown "
+        "(aggregate with `repro stats FILE`)",
+    )
+    # Fault injection for resilience drills; deliberately undocumented.
+    serve.add_argument(
+        "--chaos", metavar="SPEC", default=None, help=argparse.SUPPRESS,
+        type=_chaos_spec,
+    )
+
     return parser
 
 
@@ -301,6 +392,7 @@ def main(argv: list[str] | None = None) -> int:
         "drift": _cmd_drift,
         "slo": _cmd_slo,
         "reproduce": _cmd_reproduce,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 
@@ -1119,6 +1211,73 @@ def _cmd_reproduce(args) -> int:
     print(render_table5(result))
     print(render_fig6(result))
     print(render_fig7(result))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.engine import AnalysisEngine
+    from repro.obs import MetricsRegistry, SlidingWindow
+    from repro.serve import ServeApp, ServeConfig, serve_forever
+
+    print(
+        f"training {args.classifier} detector on synthetic corpus...",
+        file=sys.stderr,
+    )
+    detector = _train_detector(args.classifier, args.train_seed)
+    # Serving always runs with live telemetry: /metrics and /readyz are
+    # part of the endpoint contract, not an opt-in extra.
+    registry = MetricsRegistry(trace=bool(args.trace_out))
+    window = SlidingWindow()
+    engine = AnalysisEngine.for_scan(
+        detector,
+        lint=True,  # one engine answers /scan, /lint, and /extract
+        metrics=registry,
+        budget=_make_budget(args),
+        chaos=_make_chaos(args),
+    )
+    engine.window = window
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=max(2, args.jobs),
+        window=args.window,
+        max_queue=args.max_queue,
+        per_client_window=args.client_window,
+        rate_per_s=args.rate,
+        burst=args.burst,
+        default_deadline_s=(
+            args.default_deadline if args.default_deadline > 0 else None
+        ),
+        max_deadline_s=args.max_deadline,
+        drain_budget_s=args.drain_budget,
+        max_body_bytes=args.max_body_bytes,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooloff_s=args.breaker_cooloff,
+    )
+    app = ServeApp(engine, config, metrics=registry, window=window)
+
+    def announce(running: ServeApp) -> None:
+        print(
+            f"serving on http://{args.host}:{running.port} "
+            f"(scan/lint/extract; /metrics /healthz /readyz; "
+            f"{config.jobs} warm workers, shed line {config.max_queue})",
+            file=sys.stderr,
+        )
+
+    report = asyncio.run(serve_forever(app, on_ready=announce))
+    if report is not None:
+        state = "settled" if report.settled else "drain budget expired"
+        print(
+            f"drained: {state}, {report.abandoned} request(s) quarantined",
+            file=sys.stderr,
+        )
+    if args.trace_out:
+        from repro.obs import write_events
+
+        count = write_events(args.trace_out, registry.events)
+        print(f"wrote {count} events to {args.trace_out}", file=sys.stderr)
     return 0
 
 

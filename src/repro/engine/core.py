@@ -34,10 +34,13 @@ worker is rebuilt (survivors stay warm, no bisection rounds).
 
 from __future__ import annotations
 
+import asyncio
 import math
 import os
+import threading
+import time
 import weakref
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import AsyncIterator, Iterable, Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -62,6 +65,7 @@ from repro.resilience.budgets import (
     Budget,
     StageTimeout,
     call_with_timeout,
+    clip_budget,
 )
 
 #: chunks per worker for :meth:`AnalysisEngine.feature_matrices` fan-out
@@ -169,6 +173,9 @@ class AnalysisEngine:
         self.mp_context = mp_context
         self._pool = None  # lazily-built persistent StreamingPool
         self._pool_config: tuple | None = None
+        #: serializes pool build/teardown: async shutdown may close from a
+        #: signal handler and a context manager simultaneously
+        self._lifecycle_lock = threading.Lock()
         #: optional fleet-observability attachments, parent-side only: a
         #: :class:`~repro.obs.windows.SlidingWindow` advanced by
         #: :meth:`_observability_tick`, and a
@@ -310,10 +317,13 @@ class AnalysisEngine:
         state["_pool_config"] = None
         state["window"] = None
         state["drift_monitor"] = None
+        state["_lifecycle_lock"] = None  # locks don't pickle; rebuilt on load
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        if self.__dict__.get("_lifecycle_lock") is None:
+            self._lifecycle_lock = threading.Lock()
 
     # -- warm-pool lifecycle -------------------------------------------
 
@@ -328,31 +338,37 @@ class AnalysisEngine:
         from repro.engine.stream import StreamingPool
 
         config = (jobs, window)
-        if self._pool is not None and self._pool_config != config:
-            self._pool.close()
-            self._pool = None
-        if self._pool is None:
-            pool = StreamingPool(
-                self,
-                jobs,
-                window=window,
-                retry=self.retry,
-                mp_context=self.mp_context,
-            )
-            self._pool = pool
-            self._pool_config = config
-            # The pool holds only a weak reference back to the engine, so
-            # this finalizer can fire and shut the workers down.
-            weakref.finalize(self, StreamingPool.close, pool)
-        return self._pool
+        with self._lifecycle_lock:
+            if self._pool is not None and self._pool_config != config:
+                self._pool.close()
+                self._pool = None
+            if self._pool is None:
+                pool = StreamingPool(
+                    self,
+                    jobs,
+                    window=window,
+                    retry=self.retry,
+                    mp_context=self.mp_context,
+                )
+                self._pool = pool
+                self._pool_config = config
+                # The pool holds only a weak reference back to the engine,
+                # so this finalizer can fire and shut the workers down.
+                weakref.finalize(self, StreamingPool.close, pool)
+            return self._pool
 
     def close(self) -> None:
         """Shut the warm pool down (workers exit).  The engine stays usable;
-        the next ``jobs > 1`` call builds a fresh pool."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool = None
-            self._pool_config = None
+        the next ``jobs > 1`` call builds a fresh pool.
+
+        Idempotent and safe under concurrent callers: exactly one caller
+        detaches the pool under the lifecycle lock and tears it down (the
+        pool's own close is likewise race-safe for the finalizer path).
+        """
+        with self._lifecycle_lock:
+            pool, self._pool, self._pool_config = self._pool, None, None
+        if pool is not None:
+            pool.close()
 
     def __enter__(self) -> "AnalysisEngine":
         return self
@@ -405,6 +421,12 @@ class AnalysisEngine:
         if record.quarantine is not None:
             # Quarantine is an infrastructure observation about this run,
             # not a property of the content — never serve it from cache.
+            return
+        if record.degraded and any(
+            diag.stage == "deadline" for diag in record.diagnostics
+        ):
+            # Shaped by one request's deadline, not by the content: the
+            # same document under a patient caller analyzes fully.
             return
         while len(self._cache) >= self._cache_size:
             self._cache.pop(next(iter(self._cache)))
@@ -685,25 +707,122 @@ class AnalysisEngine:
 
         def entries():
             for seq, item in enumerate(inputs):
-                sid, data, error = _coerce_input(item)
-                if error is not None:
-                    record = DocumentRecord(source_id=sid)
-                    record.diag("read", "error", error)
-                    yield ("ready", seq, record)
-                    continue
-                digest = sha256_hex(data)
-                cached = self._cache_get(digest)
-                if cached is not None:
-                    yield ("ready", seq, self._cached_copy(cached, sid))
-                else:
-                    yield ("task", seq, sid, data, digest)
+                yield self._stream_entry(seq, item)
 
         for result in pool.stream(entries(), ordered=ordered):
-            if result.computed:
-                self._cache_put(result.record.sha256, result.record)
-            elif result.coalesced:
-                self.cache_hits += 1
+            self._settle_stream_result(result)
             yield result.record
+
+    def _stream_entry(self, key, item, deadline_s: float | None = None) -> tuple:
+        """Coerce one input into a tagged :meth:`StreamingPool.stream` entry."""
+        sid, data, error = _coerce_input(item)
+        if error is not None:
+            record = DocumentRecord(source_id=sid)
+            record.diag("read", "error", error)
+            return ("ready", key, record)
+        digest = sha256_hex(data)
+        cached = self._cache_get(digest)
+        if cached is not None:
+            return ("ready", key, self._cached_copy(cached, sid))
+        if deadline_s is not None:
+            return ("task", key, sid, data, digest, time.monotonic() + deadline_s)
+        return ("task", key, sid, data, digest)
+
+    def _settle_stream_result(self, result) -> None:
+        """Parent-side bookkeeping for one settled stream result."""
+        if result.computed:
+            self._cache_put(result.record.sha256, result.record)
+        elif result.coalesced:
+            self.cache_hits += 1
+
+    async def astream(
+        self,
+        inputs,
+        *,
+        jobs: int = 1,
+        window: int | None = None,
+        ordered: bool = True,
+        deadline_s: float | None = None,
+    ) -> AsyncIterator[DocumentRecord]:
+        """:meth:`stream` for a running event loop.
+
+        ``inputs`` may be a sync or async iterable; every other contract —
+        laziness under the admission window, ordering, caching,
+        coalescing, totality, quarantine — matches :meth:`stream`.
+        ``deadline_s`` propagates a per-document deadline into the
+        :class:`~repro.resilience.budgets.Budget` machinery: documents
+        still queued when it passes settle as degraded ``deadline``
+        records (their admission slots released, nothing cached), and
+        dispatched documents analyze under a budget clipped to the time
+        remaining — so a request deadline shorter than a configured
+        ``--stage-timeout`` wins.
+
+        ``jobs <= 1`` runs serially on a worker thread, keeping the loop
+        free; ``jobs > 1`` multiplexes onto the persistent warm pool's
+        :meth:`~repro.engine.stream.StreamingPool.astream` loop.
+        """
+        if jobs <= 1:
+            if hasattr(inputs, "__aiter__"):
+                async for item in inputs:
+                    yield await asyncio.to_thread(
+                        self._run_with_deadline, item, deadline_s
+                    )
+            else:
+                for item in inputs:
+                    yield await asyncio.to_thread(
+                        self._run_with_deadline, item, deadline_s
+                    )
+            return
+        pool = self._stream_pool(jobs, window)
+
+        async def entries():
+            seq = 0
+            if hasattr(inputs, "__aiter__"):
+                async for item in inputs:
+                    yield self._stream_entry(seq, item, deadline_s)
+                    seq += 1
+            else:
+                for item in inputs:
+                    yield self._stream_entry(seq, item, deadline_s)
+                    seq += 1
+
+        async for result in pool.astream(entries(), ordered=ordered):
+            self._settle_stream_result(result)
+            yield result.record
+
+    def _run_with_deadline(
+        self, item, deadline_s: float | None
+    ) -> DocumentRecord:
+        """Serial :meth:`run` under an optional per-request deadline."""
+        if deadline_s is None:
+            record = self.run(item)
+            self._observability_tick()
+            return record
+        sid, data, error = _coerce_input(item)
+        if error is not None:
+            record = DocumentRecord(source_id=sid)
+            record.diag("read", "error", error)
+            return record
+        digest = sha256_hex(data)
+        cached = self._cache_get(digest)
+        if cached is not None:
+            self._observability_tick()
+            return self._cached_copy(cached, sid)
+        saved = self.budget
+        self.budget = clip_budget(saved, deadline_s)
+        try:
+            record = self._process(sid, data, digest)
+        finally:
+            self.budget = saved
+        if record.degraded:
+            record.diag(
+                "deadline",
+                "info",
+                f"analyzed under a {deadline_s:.3f}s request deadline",
+            )
+        self._cache_put(digest, record)  # refuses deadline-shaped records
+        self._observability_tick()
+        return record
 
     def _run_batch(
         self, inputs: Iterable, jobs: int, window: int | None = None

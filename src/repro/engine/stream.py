@@ -60,22 +60,26 @@ PR-4 meanings (with ``resilience.bisections`` now structurally zero).
 
 from __future__ import annotations
 
+import asyncio
 import atexit
 import hashlib
 import multiprocessing
 import os
 import pickle
 import struct
+import threading
 import time
 import weakref
 from collections import deque
-from collections.abc import Iterable, Iterator
+from collections.abc import AsyncIterator, Iterable, Iterator
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
 
 from repro.engine.records import DocumentRecord
+from repro.resilience import recovery as _recovery
+from repro.resilience.budgets import clip_budget
 from repro.resilience.quarantine import quarantine_record
 from repro.resilience.recovery import DEFAULT_RETRY, RetryPolicy
 
@@ -140,15 +144,51 @@ class StreamResult:
 class _Task:
     """One dispatched document plus its retry state and coalesced twins."""
 
-    __slots__ = ("key", "source_id", "data", "digest", "attempt", "followers")
+    __slots__ = (
+        "key",
+        "source_id",
+        "data",
+        "digest",
+        "attempt",
+        "followers",
+        "deadline",
+    )
 
-    def __init__(self, key, source_id: str, data: bytes, digest: str) -> None:
+    def __init__(
+        self,
+        key,
+        source_id: str,
+        data: bytes,
+        digest: str,
+        deadline: float | None = None,
+    ) -> None:
         self.key = key
         self.source_id = source_id
         self.data = data
         self.digest = digest
         self.attempt = 0
         self.followers: list[tuple[object, str]] = []
+        #: absolute ``time.monotonic()`` request deadline, or None
+        self.deadline = deadline
+
+
+def deadline_expired_record(source_id: str, digest: str) -> DocumentRecord:
+    """A degraded record for a task whose deadline expired before dispatch."""
+    record = DocumentRecord(source_id=source_id, sha256=digest)
+    record.degrade(
+        "deadline",
+        "request deadline expired before dispatch; document was not analyzed",
+    )
+    return record
+
+
+def deadline_limited(record: DocumentRecord) -> bool:
+    """True when ``record`` was shaped by a per-request deadline.
+
+    Such records must never enter the shared content cache: the same
+    document under a patient caller could analyze fully.
+    """
+    return any(diag.stage == "deadline" for diag in record.diagnostics)
 
 
 class _Slot:
@@ -205,6 +245,8 @@ class StreamingPool:
             multiprocessing.get_context(mp_context) if mp_context else None
         )
         self._closed = False
+        self._close_lock = threading.Lock()
+        self._streaming = False
         self.worker_restarts = 0
         self.peak_in_flight = 0  # peak window occupancy (admitted - yielded)
         self.peak_dispatched = 0  # peak tasks simultaneously on workers
@@ -291,10 +333,16 @@ class StreamingPool:
         return [slot.pid for slot in self._slots]
 
     def close(self) -> None:
-        """Shut every worker down.  Idempotent; the pool is unusable after."""
-        if self._closed:
-            return
-        self._closed = True
+        """Shut every worker down.  Idempotent; the pool is unusable after.
+
+        Safe under concurrent callers: async shutdown closes from signal
+        handlers and context managers simultaneously, so exactly one caller
+        wins the flag under a lock and performs the teardown.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         for slot in self._slots:
             slot.executor.shutdown(wait=False, cancel_futures=True)
             self._unlink_segments(slot)
@@ -316,7 +364,12 @@ class StreamingPool:
 
         * ``("task", key, source_id, data, digest)`` — analyze ``data`` on
           a worker.  Entries sharing a ``digest`` while one is in flight
-          are *coalesced*: analyzed once, the twins yielded as copies;
+          are *coalesced*: analyzed once, the twins yielded as copies.  An
+          optional sixth element is an absolute ``time.monotonic()``
+          deadline: tasks still queued when it passes settle immediately
+          as degraded deadline records (releasing their window slot), and
+          dispatched tasks analyze under a budget clipped to the seconds
+          remaining;
         * ``("ready", key, record)`` — a pre-completed record (a parent
           cache hit, a coercion error) that only needs ordering.
 
@@ -326,8 +379,7 @@ class StreamingPool:
         yielded, which bounds the reorder buffer and the in-flight set
         alike.
         """
-        if self._closed:
-            raise RuntimeError("cannot stream on a closed StreamingPool")
+        self._begin_stream()
         engine = self._engine_ref()
         metrics = self._metrics
         source = iter(entries)
@@ -356,25 +408,15 @@ class StreamingPool:
                         exhausted = True
                         break
                     admitted += 1
-                    kind = entry[0]
-                    if ordered:
-                        expected.append(entry[1])
-                    if kind == "ready":
-                        _, key, record = entry
-                        buffer[key] = StreamResult(key, record, False, False)
-                        continue
-                    _, key, source_id, data, digest = entry
-                    primary = primaries.get(digest)
-                    if primary is not None:
-                        primary.followers.append((key, source_id))
-                        continue
-                    task = _Task(key, source_id, data, digest)
-                    primaries[digest] = task
-                    waiting.append(task)
+                    self._admit_entry(entry, ordered, expected, buffer, primaries, waiting)
 
-                # 2. Dispatch while workers are free.
+                # 2. Dispatch while workers are free (expired tasks settle
+                #    in place instead of occupying a worker).
                 while waiting and idle:
                     task = waiting.popleft()
+                    if task.deadline is not None and time.monotonic() >= task.deadline:
+                        self._expire_task(task, buffer, primaries)
+                        continue
                     slot = idle.pop()
                     inflight[self._submit(slot, task)] = (slot, task)
 
@@ -412,56 +454,21 @@ class StreamingPool:
                 done, _ = wait(inflight, return_when=FIRST_COMPLETED)
                 for future in done:
                     slot, task = inflight.pop(future)
-                    try:
-                        payload = future.result()
-                    except BrokenProcessPool:
-                        # One task per worker: the dead pool indicts
-                        # exactly this task.  Rebuild only this slot.
-                        self._restart_slot(slot)
-                        idle.append(slot)
-                        error = BrokenProcessPool(
-                            "worker died mid-task; per-task dispatch "
-                            "attributes the failure to this document"
-                        )
-                        self._settle_failure(task, error, waiting, buffer, primaries)
-                    except Exception as error:
-                        # Attributable failure (e.g. an unpicklable
-                        # result): the worker survived, only the task pays.
-                        idle.append(slot)
-                        self._settle_failure(task, error, waiting, buffer, primaries)
-                    else:
-                        idle.append(slot)
-                        raw, pid, telemetry = payload
-                        slot.pid = pid
-                        slot.unflushed += 1
-                        if telemetry is not None:
-                            slot.unflushed = 0
-                            if engine is not None:
-                                engine._merge_worker_telemetry(telemetry)
-                        try:
-                            record = (
-                                self._materialize(slot, raw)
-                                if isinstance(raw, _ShmResult)
-                                else raw
-                            )
-                        except Exception as error:
-                            # A corrupt/vanished segment indicts only this
-                            # task; the worker recomputes it on retry.
-                            self._settle_failure(
-                                task, error, waiting, buffer, primaries
-                            )
-                        else:
-                            completed += 1
-                            self.tasks_completed += 1
-                            if metrics.enabled:
-                                metrics.counter("stream.tasks").inc()
-                            self._settle_success(task, record, buffer, primaries)
+                    step, delay = self._settle_future(
+                        engine, slot, task, future, idle, waiting, buffer, primaries
+                    )
+                    completed += step
+                    if delay is not None:
+                        # Backoff before the retry runs; tests monkeypatch
+                        # recovery._sleep.
+                        _recovery._sleep(delay)
                 # Sliding windows / drift monitors advance from the settle
                 # loop too, not only on telemetry flushes — both time-gate
                 # internally, so this is a few attribute checks per wake-up.
                 if engine is not None:
                     engine._observability_tick()
         finally:
+            self._streaming = False
             if engine is not None and metrics.enabled:
                 self._flush_telemetry(engine)
                 elapsed = time.perf_counter() - started_at
@@ -469,6 +476,279 @@ class StreamingPool:
                     metrics.gauge("stream.tasks_per_sec").set(
                         round(completed / elapsed, 3)
                     )
+
+    async def astream(
+        self, entries, *, ordered: bool = False
+    ) -> AsyncIterator[StreamResult]:
+        """:meth:`stream`, but friendly to a running event loop.
+
+        Accepts a sync or async iterable of the same tagged entries and
+        preserves every contract — ordered/completion-order yields, the
+        admission window, coalescing, per-task blame, quarantine, and
+        telemetry merge — while never blocking the loop: worker futures
+        are awaited through :func:`asyncio.wrap_future`, retry backoff
+        runs in the default executor, and admission pulls from the feed
+        *concurrently* with settling (a live server feed may be idle while
+        tasks are in flight, so blocking on the next entry would deadlock
+        a request multiplexer).
+        """
+        self._begin_stream()
+        engine = self._engine_ref()
+        metrics = self._metrics
+        loop = asyncio.get_running_loop()
+        source = _aiter_entries(entries)
+        exhausted = False
+        fetch: asyncio.Task | None = None  # the one outstanding feed pull
+        waiting: deque[_Task] = deque()
+        inflight: dict[Future, tuple[_Slot, _Task]] = {}
+        bridges: dict[asyncio.Future, Future] = {}  # wrapped -> worker future
+        idle: list[_Slot] = list(self._slots)
+        primaries: dict[str, _Task] = {}
+        buffer: dict[object, StreamResult] = {}
+        expected: deque = deque()
+        admitted = 0
+        yielded = 0
+        completed = 0
+        started_at = time.perf_counter()
+
+        in_flight_gauge = metrics.gauge("stream.in_flight")
+        depth_gauge = metrics.gauge("stream.queue_depth")
+
+        try:
+            while True:
+                # 1. Keep one feed pull outstanding while the window has room.
+                if not exhausted and fetch is None and admitted - yielded < self.window:
+                    fetch = asyncio.ensure_future(anext(source))
+
+                # 2. Dispatch while workers are free.
+                now = time.monotonic()
+                while waiting and idle:
+                    task = waiting.popleft()
+                    if task.deadline is not None and now >= task.deadline:
+                        self._expire_task(task, buffer, primaries)
+                        continue
+                    slot = idle.pop()
+                    future = self._submit(slot, task)
+                    inflight[future] = (slot, task)
+                    bridges[asyncio.wrap_future(future, loop=loop)] = future
+
+                occupancy = admitted - yielded
+                if occupancy > self.peak_in_flight:
+                    self.peak_in_flight = occupancy
+                    in_flight_gauge.set(occupancy)
+                if len(inflight) > self.peak_dispatched:
+                    self.peak_dispatched = len(inflight)
+                if len(buffer) > depth_gauge.value:
+                    depth_gauge.set(len(buffer))
+
+                # 3. Yield whatever the contract allows.
+                progressed = False
+                if ordered:
+                    while expected and expected[0] in buffer:
+                        yield buffer.pop(expected.popleft())
+                        yielded += 1
+                        progressed = True
+                else:
+                    while buffer:
+                        key, result = next(iter(buffer.items()))
+                        del buffer[key]
+                        yield result
+                        yielded += 1
+                        progressed = True
+                if progressed:
+                    continue  # freed window slots: admit before parking
+
+                # 4. Done?
+                if exhausted and fetch is None and not inflight and not waiting:
+                    break
+
+                # 5. Park until the feed produces, any worker finishes, or
+                #    the nearest queued deadline expires.
+                waits: set = set(bridges)
+                if fetch is not None:
+                    waits.add(fetch)
+                timeout = self._nearest_deadline(waiting)
+                if not waits:
+                    # Only queued-but-undispatchable tasks remain (every
+                    # deadline task waiting on a slot): sleep to its expiry.
+                    await asyncio.sleep(timeout if timeout is not None else 0.01)
+                    continue
+                done, _ = await asyncio.wait(
+                    waits, timeout=timeout, return_when=asyncio.FIRST_COMPLETED
+                )
+                if fetch is not None and fetch in done:
+                    done.discard(fetch)
+                    try:
+                        entry = fetch.result()
+                    except StopAsyncIteration:
+                        exhausted = True
+                    else:
+                        admitted += 1
+                        self._admit_entry(
+                            entry, ordered, expected, buffer, primaries, waiting
+                        )
+                    fetch = None
+                for bridge in done:
+                    if not bridge.cancelled():
+                        bridge.exception()  # mark retrieved; settled below
+                    future = bridges.pop(bridge)
+                    slot, task = inflight.pop(future)
+                    step, delay = self._settle_future(
+                        engine, slot, task, future, idle, waiting, buffer, primaries
+                    )
+                    completed += step
+                    if delay is not None:
+                        # Same monkeypatchable backoff as the sync path,
+                        # parked on a thread so the loop stays responsive.
+                        await loop.run_in_executor(None, _recovery._sleep, delay)
+                if engine is not None:
+                    engine._observability_tick()
+        finally:
+            self._streaming = False
+            if fetch is not None:
+                fetch.cancel()
+            for bridge in bridges:
+                bridge.cancel()  # drop wrappers; worker tasks run to completion
+            if engine is not None and metrics.enabled:
+                try:
+                    await loop.run_in_executor(None, self._flush_telemetry, engine)
+                except RuntimeError:  # loop already shutting down its executor
+                    pass
+                elapsed = time.perf_counter() - started_at
+                if completed and elapsed > 0.0:
+                    metrics.gauge("stream.tasks_per_sec").set(
+                        round(completed / elapsed, 3)
+                    )
+
+    # -- pieces shared by the sync and async dispatch loops ------------
+
+    def _begin_stream(self) -> None:
+        if self._closed:
+            raise RuntimeError("cannot stream on a closed StreamingPool")
+        if self._streaming:
+            raise RuntimeError(
+                "StreamingPool is already streaming; one dispatch loop per "
+                "pool — multiplex requests onto it instead"
+            )
+        self._streaming = True
+
+    def _admit_entry(
+        self,
+        entry: tuple,
+        ordered: bool,
+        expected: deque,
+        buffer: dict,
+        primaries: dict,
+        waiting: deque,
+    ) -> None:
+        """Fold one tagged feed entry into the dispatch state."""
+        kind = entry[0]
+        if ordered:
+            expected.append(entry[1])
+        if kind == "ready":
+            _, key, record = entry
+            buffer[key] = StreamResult(key, record, False, False)
+            return
+        _, key, source_id, data, digest, *rest = entry
+        deadline = rest[0] if rest else None
+        primary = primaries.get(digest)
+        if primary is not None:
+            primary.followers.append((key, source_id))
+            return
+        task = _Task(key, source_id, data, digest, deadline)
+        primaries[digest] = task
+        waiting.append(task)
+
+    def _expire_task(self, task: _Task, buffer: dict, primaries: dict) -> None:
+        """Settle a task whose deadline passed while it queued for a slot.
+
+        The task (and its coalesced followers) yield degraded deadline
+        records, releasing their window slots — expired requests must not
+        leak admission capacity.  Nothing is cached: ``computed`` stays
+        False and the record carries the ``deadline`` marker.
+        """
+        from repro.engine.core import AnalysisEngine
+
+        metrics = self._metrics
+        if metrics.enabled:
+            metrics.counter("stream.deadline_expired").inc(1 + len(task.followers))
+        record = deadline_expired_record(task.source_id, task.digest)
+        primaries.pop(task.digest, None)
+        buffer[task.key] = StreamResult(task.key, record, False, False)
+        for key, source_id in task.followers:
+            buffer[key] = StreamResult(
+                key, AnalysisEngine._cached_copy(record, source_id), False, False
+            )
+
+    @staticmethod
+    def _nearest_deadline(waiting: deque) -> float | None:
+        """Seconds until the earliest queued deadline, or None."""
+        nearest = None
+        for task in waiting:
+            if task.deadline is not None and (
+                nearest is None or task.deadline < nearest
+            ):
+                nearest = task.deadline
+        if nearest is None:
+            return None
+        return max(0.0, nearest - time.monotonic())
+
+    def _settle_future(
+        self,
+        engine,
+        slot: _Slot,
+        task: _Task,
+        future: Future,
+        idle: list,
+        waiting: deque,
+        buffer: dict,
+        primaries: dict,
+    ) -> tuple[int, float | None]:
+        """Settle one completed worker future.
+
+        Returns ``(completed_delta, retry_delay)``.  A non-None delay
+        means the task was requeued for retry and the caller owes it a
+        backoff sleep (blocking in the sync loop, off-loop in async).
+        """
+        metrics = self._metrics
+        try:
+            payload = future.result()
+        except BrokenProcessPool:
+            # One task per worker: the dead pool indicts exactly this
+            # task.  Rebuild only this slot.
+            self._restart_slot(slot)
+            idle.append(slot)
+            error = BrokenProcessPool(
+                "worker died mid-task; per-task dispatch "
+                "attributes the failure to this document"
+            )
+            return 0, self._settle_failure(task, error, waiting, buffer, primaries)
+        except Exception as error:
+            # Attributable failure (e.g. an unpicklable result): the
+            # worker survived, only the task pays.
+            idle.append(slot)
+            return 0, self._settle_failure(task, error, waiting, buffer, primaries)
+        idle.append(slot)
+        raw, pid, telemetry = payload
+        slot.pid = pid
+        slot.unflushed += 1
+        if telemetry is not None:
+            slot.unflushed = 0
+            if engine is not None:
+                engine._merge_worker_telemetry(telemetry)
+        try:
+            record = (
+                self._materialize(slot, raw) if isinstance(raw, _ShmResult) else raw
+            )
+        except Exception as error:
+            # A corrupt/vanished segment indicts only this task; the
+            # worker recomputes it on retry.
+            return 0, self._settle_failure(task, error, waiting, buffer, primaries)
+        self.tasks_completed += 1
+        if metrics.enabled:
+            metrics.counter("stream.tasks").inc()
+        self._settle_success(task, record, buffer, primaries)
+        return 1, None
 
     def _materialize(self, slot: _Slot, descriptor: _ShmResult) -> DocumentRecord:
         """Decode one record out of a worker's shared-memory segment.
@@ -519,10 +799,18 @@ class StreamingPool:
 
     def _submit(self, slot: _Slot, task: _Task) -> Future:
         """Submit one task to one slot, reviving the slot if it died idle."""
+        remaining = None
+        if task.deadline is not None:
+            remaining = max(0.001, task.deadline - time.monotonic())
         for attempt in (0, 1):
             try:
                 return slot.executor.submit(
-                    _stream_task, task.key, task.source_id, task.data, task.digest
+                    _stream_task,
+                    task.key,
+                    task.source_id,
+                    task.data,
+                    task.digest,
+                    remaining,
                 )
             except (BrokenProcessPool, RuntimeError):
                 if attempt:
@@ -553,20 +841,22 @@ class StreamingPool:
         waiting: deque,
         buffer: dict,
         primaries: dict,
-    ) -> None:
-        """Per-task blame: retry with capped backoff, then quarantine."""
-        from repro.resilience import recovery as recovery_module
+    ) -> float | None:
+        """Per-task blame: retry with capped backoff, then quarantine.
 
+        Returns the backoff delay the caller owes before the retry runs
+        (the task is already requeued), or None when the task was
+        quarantined instead.
+        """
         metrics = self._metrics
         attempts = task.attempt + 1
         if attempts < self.retry.max_attempts:
             if metrics.enabled:
                 metrics.counter("resilience.retries").inc()
-            # Backoff before the retry; tests monkeypatch recovery._sleep.
-            recovery_module._sleep(self.retry.backoff(task.attempt))
+            delay = self.retry.backoff(task.attempt)
             task.attempt = attempts
             waiting.appendleft(task)  # retries outrank fresh admissions
-            return
+            return delay
         reason = (
             f"{type(error).__name__}: {error}"
             if str(error)
@@ -581,6 +871,7 @@ class StreamingPool:
                 outcome="error"
             )
         self._settle_success(task, record, buffer, primaries)
+        return None
 
     def _flush_telemetry(self, engine) -> None:
         """Collect what the workers recorded since their last flush."""
@@ -599,6 +890,19 @@ class StreamingPool:
                 continue
             slot.unflushed = 0
             engine._merge_worker_telemetry(telemetry)
+
+
+def _aiter_entries(entries) -> AsyncIterator[tuple]:
+    """An async iterator over ``entries``, whichever flavor it already is."""
+    if hasattr(entries, "__aiter__"):
+        return entries.__aiter__()
+    iterator = iter(entries)
+
+    async def adapt() -> AsyncIterator[tuple]:
+        for item in iterator:
+            yield item
+
+    return adapt()
 
 
 # ----------------------------------------------------------------------
@@ -736,12 +1040,38 @@ def _telemetry_snapshot(engine) -> dict:
     return snapshot
 
 
-def _stream_task(key, source_id: str, data: bytes, digest: str):
+def _stream_task(
+    key,
+    source_id: str,
+    data: bytes,
+    digest: str,
+    deadline_s: float | None = None,
+):
     """One document through the warm engine; telemetry rides along
-    every ``telemetry_every`` tasks."""
+    every ``telemetry_every`` tasks.
+
+    ``deadline_s`` is the request deadline remaining at dispatch: the
+    document analyzes under the engine budget clipped to it (which also
+    arms the per-stage watchdog), and a record it degrades is marked with
+    a ``deadline`` diagnostic so the parent never caches it.
+    """
     engine = _WORKER_STATE["engine"]
     _shm_reclaim()
-    record = engine._process(source_id, data, digest)
+    if deadline_s is None:
+        record = engine._process(source_id, data, digest)
+    else:
+        saved = engine.budget
+        engine.budget = clip_budget(saved, deadline_s)
+        try:
+            record = engine._process(source_id, data, digest)
+        finally:
+            engine.budget = saved
+        if record.degraded:
+            record.diag(
+                "deadline",
+                "info",
+                f"analyzed under a {deadline_s:.3f}s request deadline",
+            )
     telemetry = None
     every = _WORKER_STATE["telemetry_every"]
     if every:

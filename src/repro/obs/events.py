@@ -34,6 +34,20 @@ value     number >= 0     the divergence / shift score
 verdict   str             ``"ok"``, ``"warn"``, or ``"drift"``
 pid       int             producing process
 ========  ==============  ====================================================
+
+``"serve"`` events (one per admission-control decision or lifecycle
+transition in the :mod:`repro.serve` front-end):
+
+========  ==============  ====================================================
+field     type            meaning
+========  ==============  ====================================================
+type      str             ``"serve"``
+name      str             endpoint (``scan``...) or ``"gateway"``
+ts        number          ``time.perf_counter()`` at the decision (per-process)
+event     str             one of :data:`SERVE_EVENTS`
+detail    str             decision detail (rejection code, breaker edge, ...)
+pid       int             producing process
+========  ==============  ====================================================
 """
 
 from __future__ import annotations
@@ -66,16 +80,52 @@ DRIFT_EVENT_SCHEMA: dict[str, tuple] = {
     "pid": (int,),
 }
 
+SERVE_EVENT_SCHEMA: dict[str, tuple] = {
+    "type": (str,),
+    "name": (str,),
+    "ts": (int, float),
+    "event": (str,),
+    "detail": (str,),
+    "pid": (int,),
+}
+
 #: event type → its field schema; unknown types are rejected.
 EVENT_SCHEMAS: dict[str, dict[str, tuple]] = {
     "span": EVENT_SCHEMA,
     "drift": DRIFT_EVENT_SCHEMA,
+    "serve": SERVE_EVENT_SCHEMA,
 }
 
 EVENT_TYPES = tuple(EVENT_SCHEMAS)
 
 DRIFT_METRICS = ("psi", "kl", "smd")
 DRIFT_VERDICTS = ("ok", "warn", "drift")
+
+#: admission-control decisions and lifecycle transitions a front-end traces.
+SERVE_EVENTS = (
+    "admitted",
+    "shed",
+    "rejected",
+    "deadline_expired",
+    "breaker",
+    "drain",
+)
+
+
+def serve_event(name: str, event: str, detail: str = "") -> dict[str, Any]:
+    """Build one validated ``"serve"`` trace event."""
+    import time
+
+    return validate_event(
+        {
+            "type": "serve",
+            "name": name,
+            "ts": time.perf_counter(),
+            "event": event,
+            "detail": detail,
+            "pid": os.getpid(),
+        }
+    )
 
 
 def validate_event(event: Any) -> dict[str, Any]:
@@ -104,13 +154,16 @@ def validate_event(event: Any) -> dict[str, Any]:
             raise ValueError("event dur must be non-negative")
         if event["depth"] < 0:
             raise ValueError("event depth must be non-negative")
-    else:  # drift
+    elif event["type"] == "drift":
         if event["metric"] not in DRIFT_METRICS:
             raise ValueError(f"unknown drift metric {event['metric']!r}")
         if event["verdict"] not in DRIFT_VERDICTS:
             raise ValueError(f"unknown drift verdict {event['verdict']!r}")
         if event["value"] < 0:
             raise ValueError("drift value must be non-negative")
+    else:  # serve
+        if event["event"] not in SERVE_EVENTS:
+            raise ValueError(f"unknown serve event {event['event']!r}")
     return event
 
 

@@ -10,7 +10,10 @@ stdlib HTTP server (``ThreadingHTTPServer``) with two routes:
 ``/metrics``
     the exposition text, scrape-ready;
 ``/healthz``
-    a one-line JSON liveness probe.
+    a one-line JSON liveness probe;
+``/readyz``
+    readiness: 200 when the optional ``readiness`` callback says so (or
+    no callback is installed), 503 with the reasons otherwise.
 
 ``repro scan --metrics-port N`` attaches one to a batch run; the class is
 equally importable on its own for gateway embedders::
@@ -178,10 +181,13 @@ class MetricsServer:
         window: SlidingWindow | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        readiness=None,
     ) -> None:
         self.registry = registry
         self.window = window
         self.host = host
+        #: optional ``() -> (ready: bool, detail: dict)`` probe for /readyz
+        self.readiness = readiness
         self.requested_port = port
         self.port: int | None = None
         self._httpd: ThreadingHTTPServer | None = None
@@ -206,6 +212,15 @@ class MetricsServer:
     def health(self) -> str:
         return json.dumps({"status": "ok", "telemetry": self.registry.enabled})
 
+    def ready(self) -> tuple[int, str]:
+        """The /readyz payload: (status code, JSON body)."""
+        if self.readiness is None:
+            return 200, json.dumps({"ready": True})
+        ready, detail = self.readiness()
+        payload = {"ready": bool(ready)}
+        payload.update(detail)
+        return (200 if ready else 503), json.dumps(payload)
+
     # -- lifecycle -----------------------------------------------------
 
     def start(self) -> int:
@@ -226,6 +241,10 @@ class MetricsServer:
                     body = (server.health() + "\n").encode("utf-8")
                     content_type = "application/json"
                     status = 200
+                elif path == "/readyz":
+                    status, payload = server.ready()
+                    body = (payload + "\n").encode("utf-8")
+                    content_type = "application/json"
                 else:
                     body = b"not found\n"
                     content_type = "text/plain"

@@ -150,6 +150,25 @@ def summarize(registry, cache_info: dict[str, int] | None = None) -> str:
             f"({counters.get('archive.members', 0)} members), "
             f"{counters.get('archive.rejected', 0)} rejected by zip-bomb guards"
         )
+    serving = {
+        name.removeprefix("serve."): value
+        for name, value in counters.items()
+        if name.startswith("serve.") and not name.startswith("serve.requests.")
+        and not name.startswith("serve.errors.") and value
+    }
+    requests = sum(
+        value
+        for name, value in counters.items()
+        if name.startswith("serve.requests.")
+    )
+    if serving or requests:
+        detail = ", ".join(
+            f"{event} {count}" for event, count in sorted(serving.items())
+        )
+        lines.append(
+            f"  serving: {requests} requests"
+            + (f" ({detail})" if detail else "")
+        )
     return "\n".join(lines)
 
 
@@ -231,7 +250,8 @@ def render_events_report(events: list[dict[str, Any]]) -> str:
         return "no events"
     aggregated = aggregate_events(events)
     drift_events = [e for e in events if e.get("type") == "drift"]
-    span_count = len(events) - len(drift_events)
+    serve_events = [e for e in events if e.get("type") == "serve"]
+    span_count = len(events) - len(drift_events) - len(serve_events)
     pids = {event["pid"] for event in events}
     lines = [
         f"TRACE — {span_count} spans across {len(pids)} process"
@@ -257,6 +277,14 @@ def render_events_report(events: list[dict[str, Any]]) -> str:
             f"  drift: {len(drift_events)} evaluations"
             f" ({drifted} drifted, {warned} warning)"
         )
+    if serve_events:
+        by_kind: dict[str, int] = {}
+        for event in serve_events:
+            by_kind[event["event"]] = by_kind.get(event["event"], 0) + 1
+        breakdown = ", ".join(
+            f"{kind} {count}" for kind, count in sorted(by_kind.items())
+        )
+        lines.append(f"  serving: {len(serve_events)} events ({breakdown})")
     documents = aggregated.get("document")
     if documents:
         wall = aggregated.get("batch", documents)["total"]

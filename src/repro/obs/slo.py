@@ -116,6 +116,56 @@ DEFAULT_SLOS: tuple[Slo, ...] = (
     ),
 )
 
+#: Endpoints the serving front-end declares objectives for.
+SERVE_ENDPOINTS = ("scan", "lint", "extract")
+
+#: Per-endpoint p95 ceilings for *admitted* requests (seconds).  Scan runs
+#: the full chain (featurize + classify), lint stops at findings, extract
+#: is parse-only — the ceilings grade the service under load, not the
+#: hardware, and the overload bench gates against them.
+_SERVE_P95_TARGETS = {"scan": 5.0, "lint": 2.5, "extract": 1.0}
+
+
+def serve_slos(
+    endpoints: tuple[str, ...] = SERVE_ENDPOINTS,
+    *,
+    error_budget: float = 0.05,
+) -> tuple[Slo, ...]:
+    """Declarative objectives for the :mod:`repro.serve` front-end.
+
+    Per endpoint: a ``latency_p95`` ceiling over the
+    ``serve.latency.<endpoint>`` histogram (admitted requests only —
+    typed rejections are the overload *mechanism*, not a latency sample)
+    and an ``error_budget`` over ``serve.errors.<endpoint>`` /
+    ``serve.requests.<endpoint>`` (internal failures; shed and
+    rate-limited requests are deliberate and excluded).
+    """
+    slos: list[Slo] = []
+    for endpoint in endpoints:
+        slos.append(
+            Slo(
+                f"serve-{endpoint}-p95",
+                "latency_p95",
+                histogram=f"serve.latency.{endpoint}",
+                target_s=_SERVE_P95_TARGETS.get(endpoint, 2.5),
+            )
+        )
+        slos.append(
+            Slo(
+                f"serve-{endpoint}-errors",
+                "error_budget",
+                numerator=f"serve.errors.{endpoint}",
+                denominator=f"serve.requests.{endpoint}",
+                budget=error_budget,
+            )
+        )
+    return tuple(slos)
+
+
+#: The serving objectives, evaluated by ``repro slo`` alongside
+#: :data:`DEFAULT_SLOS` when a snapshot contains serve traffic.
+SERVE_SLOS: tuple[Slo, ...] = serve_slos()
+
 
 # ----------------------------------------------------------------------
 # Config artifacts

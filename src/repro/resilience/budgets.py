@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 
 class StageTimeout(Exception):
@@ -137,6 +137,36 @@ SA_BUDGET_PRESETS: dict[str, SABudget] = {
     "strict": STRICT_SA_BUDGET,
     "deep": DEEP_SA_BUDGET,
 }
+
+
+def clip_budget(budget: Budget | None, deadline_s: float) -> Budget:
+    """The tighter of a standing budget and a per-request deadline.
+
+    Serving front-ends carry an absolute deadline per request; the engine
+    enforces it by analyzing the document under a budget whose wall clock
+    is clipped to the seconds remaining.  Because
+    :meth:`BudgetClock.stage_timeout` further clips the per-stage watchdog
+    to the remaining wall clock, a request deadline shorter than a
+    configured ``--stage-timeout`` wins automatically.  The watchdog is
+    always armed under a deadline (a cooperative wall clock alone cannot
+    interrupt a hung stage, and "408 on expiry" is a promise).
+    """
+    deadline_s = max(0.001, deadline_s)
+    if budget is None:
+        return Budget(
+            wall_clock_s=deadline_s,
+            stage_timeout_s=deadline_s,
+            max_input_bytes=None,
+            max_macro_count=None,
+            max_output_bytes=None,
+        )
+    stage = budget.stage_timeout_s
+    stage = deadline_s if stage is None else min(stage, deadline_s)
+    wall = budget.wall_clock_s
+    wall = deadline_s if wall is None else min(wall, deadline_s)
+    if wall == budget.wall_clock_s and stage == budget.stage_timeout_s:
+        return budget
+    return replace(budget, wall_clock_s=wall, stage_timeout_s=stage)
 
 
 class BudgetClock:

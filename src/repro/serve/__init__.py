@@ -1,0 +1,60 @@
+"""``repro serve`` — the asyncio HTTP front-end over the warm pool.
+
+Layers, bottom-up (each importable and testable on its own):
+
+:mod:`repro.serve.http`
+    stdlib asyncio HTTP/1.1 shell: bounded reads, typed JSON errors,
+    chunked NDJSON streaming, one request per connection.
+:mod:`repro.serve.admission`
+    per-client token buckets + admission windows and queue-depth load
+    shedding; refusals are typed :class:`~repro.serve.admission.Rejection`
+    data.
+:mod:`repro.serve.breaker`
+    circuit breaker over worker-pool collapse with half-open probes.
+:mod:`repro.serve.gateway`
+    the request multiplexer feeding one warm pool's ``astream`` loop;
+    deadlines, breaker feeding, graceful drain live here.
+:mod:`repro.serve.app`
+    the routed application (``/scan`` ``/lint`` ``/extract`` +
+    ``/healthz`` ``/readyz`` ``/metrics``) and the SIGTERM lifecycle.
+"""
+
+from repro.serve.admission import AdmissionController, Rejection, TokenBucket
+from repro.serve.app import ServeApp, ServeConfig, render_record, serve_forever
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serve.gateway import (
+    AnalysisGateway,
+    DeadlineExpired,
+    DrainReport,
+    GatewayClosed,
+)
+from repro.serve.http import (
+    HttpError,
+    HttpServer,
+    Request,
+    Response,
+    StreamingResponse,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AnalysisGateway",
+    "CircuitBreaker",
+    "CLOSED",
+    "DeadlineExpired",
+    "DrainReport",
+    "GatewayClosed",
+    "HALF_OPEN",
+    "HttpError",
+    "HttpServer",
+    "OPEN",
+    "Rejection",
+    "Request",
+    "Response",
+    "ServeApp",
+    "ServeConfig",
+    "StreamingResponse",
+    "TokenBucket",
+    "render_record",
+    "serve_forever",
+]

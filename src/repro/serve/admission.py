@@ -1,0 +1,163 @@
+"""Admission control: decide *before any work* whether a request runs.
+
+Three independent guards, cheapest first, each with its own typed
+rejection so clients (and the smoke harness) can tell deliberate
+overload handling from failure:
+
+* **token-bucket rate limit** per client — sustained request *rate* is
+  capped at ``rate_per_s`` with a burst allowance, and a limited client
+  learns exactly when a token frees (``Retry-After``);
+* **per-client admission window** — one client may hold at most
+  ``per_client_window`` requests in flight, so a single aggressive
+  client cannot monopolize the queue ahead of everyone else;
+* **queue-depth load shedding** — when the gateway's unresolved-request
+  count reaches ``max_queue`` (the *shed line*), new work is refused
+  with 503 rather than queued into latency collapse.
+
+Rejections are data, not exceptions: the HTTP layer maps a
+:class:`Rejection` to its status + ``Retry-After`` header, and every
+decision lands in the ``serve.*`` counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.obs.metrics import NULL_REGISTRY
+
+#: Clients tracked before the oldest-idle one is evicted (memory bound).
+DEFAULT_MAX_CLIENTS = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class Rejection:
+    """One typed admission refusal."""
+
+    status: int  # 429 (client-scoped) or 503 (server-scoped)
+    code: str
+    message: str
+    retry_after: float
+
+
+class TokenBucket:
+    """The classic leaky token bucket: ``rate`` tokens/s, ``burst`` deep."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated_at")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated_at = now
+
+    def take(self, now: float) -> float:
+        """Take one token.  0.0 = granted; else seconds until one frees."""
+        elapsed = max(0.0, now - self.updated_at)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated_at = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class _Client:
+    __slots__ = ("bucket", "in_flight", "last_seen")
+
+    def __init__(self, bucket: TokenBucket, now: float) -> None:
+        self.bucket = bucket
+        self.in_flight = 0
+        self.last_seen = now
+
+
+class AdmissionController:
+    """Per-client windows + rate limits + queue-depth shedding."""
+
+    def __init__(
+        self,
+        *,
+        max_queue: int = 64,
+        per_client_window: int = 8,
+        rate_per_s: float = 50.0,
+        burst: float = 100.0,
+        max_clients: int = DEFAULT_MAX_CLIENTS,
+        clock=time.monotonic,
+        metrics=NULL_REGISTRY,
+    ) -> None:
+        self.max_queue = max(1, int(max_queue))
+        self.per_client_window = max(1, int(per_client_window))
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self.max_clients = max(1, int(max_clients))
+        self._clock = clock
+        self._metrics = metrics
+        self._clients: dict[str, _Client] = {}
+
+    @property
+    def shed_line(self) -> int:
+        """The queue depth at and beyond which new work is shed."""
+        return self.max_queue
+
+    def _client(self, client: str, now: float) -> _Client:
+        state = self._clients.get(client)
+        if state is None:
+            if len(self._clients) >= self.max_clients:
+                idle = min(self._clients, key=lambda c: self._clients[c].last_seen)
+                # Never evict a client with requests still in flight — its
+                # release() would corrupt a re-created entry's accounting.
+                if self._clients[idle].in_flight == 0:
+                    del self._clients[idle]
+            state = _Client(TokenBucket(self.rate_per_s, self.burst, now), now)
+            self._clients[client] = state
+        state.last_seen = now
+        return state
+
+    def admit(self, client: str, queue_depth: int) -> Rejection | None:
+        """Admit one request, or explain the refusal.
+
+        On admission the client's in-flight count is taken; the caller
+        *must* pair every successful admit with a :meth:`release`.
+        """
+        now = self._clock()
+        metrics = self._metrics
+        state = self._client(client, now)
+        wait = state.bucket.take(now)
+        if wait > 0.0:
+            if metrics.enabled:
+                metrics.counter("serve.rate_limited").inc()
+            return Rejection(
+                429,
+                "rate_limited",
+                f"client exceeds {self.rate_per_s:g} requests/s",
+                wait,
+            )
+        if state.in_flight >= self.per_client_window:
+            if metrics.enabled:
+                metrics.counter("serve.client_saturated").inc()
+            return Rejection(
+                429,
+                "client_saturated",
+                f"client already has {state.in_flight} requests in flight "
+                f"(window {self.per_client_window})",
+                0.5,
+            )
+        if queue_depth >= self.max_queue:
+            if metrics.enabled:
+                metrics.counter("serve.shed").inc()
+            return Rejection(
+                503,
+                "queue_full",
+                f"queue depth {queue_depth} at shed line {self.max_queue}",
+                1.0,
+            )
+        state.in_flight += 1
+        if metrics.enabled:
+            metrics.counter("serve.admitted").inc()
+        return None
+
+    def release(self, client: str) -> None:
+        """Return one admitted request's per-client window slot."""
+        state = self._clients.get(client)
+        if state is not None and state.in_flight > 0:
+            state.in_flight -= 1

@@ -1,0 +1,135 @@
+"""A circuit breaker over worker-pool collapse.
+
+A hostile burst that repeatedly kills workers (poisoned documents, a
+resource-exhausted host) makes analysis *worse than useless*: every
+admitted request pays a worker respawn and still fails.  The breaker
+watches pool failures and, past ``failure_threshold`` of them inside
+``window_s``, **opens** — requests are refused with a typed 503 until a
+``cooloff_s`` quiet period passes.  Then it **half-opens**: up to
+``probe_limit`` concurrent probe requests are admitted, and the first
+clean success closes the circuit while another pool failure re-opens it.
+
+States are strings (``closed`` / ``open`` / ``half_open``), published as
+the ``serve.breaker_state`` gauge (0 / 2 / 1 — "how broken"), counted on
+every transition, and traced as ``serve`` events when tracing is on.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from repro.obs.metrics import NULL_REGISTRY
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: gauge encoding: how broken, monotone in badness.
+STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Failure-rate tripwire with half-open probes.  Not thread-safe —
+    drive it from one event loop (the gateway's)."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        window_s: float = 30.0,
+        cooloff_s: float = 5.0,
+        probe_limit: int = 2,
+        clock=time.monotonic,
+        metrics=NULL_REGISTRY,
+        on_transition=None,
+    ) -> None:
+        self.failure_threshold = max(1, int(failure_threshold))
+        self.window_s = float(window_s)
+        self.cooloff_s = float(cooloff_s)
+        self.probe_limit = max(1, int(probe_limit))
+        self._clock = clock
+        self._metrics = metrics
+        #: optional ``(old_state, new_state) -> None`` hook (tracing)
+        self.on_transition = on_transition
+        self.state = CLOSED
+        self._failures: deque[float] = deque()
+        self._opened_at = 0.0
+        self._probes = 0
+        self.transitions = 0
+        self._publish()
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _publish(self) -> None:
+        if self._metrics.enabled:
+            self._metrics.gauge("serve.breaker_state").set(
+                STATE_GAUGE[self.state]
+            )
+
+    def _transition(self, new_state: str) -> None:
+        old = self.state
+        if old == new_state:
+            return
+        self.state = new_state
+        self.transitions += 1
+        if self._metrics.enabled:
+            self._metrics.counter(f"serve.breaker.{new_state}").inc()
+        self._publish()
+        if self.on_transition is not None:
+            self.on_transition(old, new_state)
+
+    # -- the protocol --------------------------------------------------
+
+    def allow(self) -> bool:
+        """May one more request be admitted right now?
+
+        In ``half_open`` a True return *takes a probe slot*; the caller
+        must report the request's outcome (or :meth:`abandon_probe`).
+        """
+        if self.state == CLOSED:
+            return True
+        now = self._clock()
+        if self.state == OPEN:
+            if now - self._opened_at < self.cooloff_s:
+                return False
+            self._transition(HALF_OPEN)
+            self._probes = 0
+        if self._probes >= self.probe_limit:
+            return False
+        self._probes += 1
+        return True
+
+    def record_failure(self) -> None:
+        """A pool-collapse signal (worker death) was observed."""
+        now = self._clock()
+        if self.state == HALF_OPEN:
+            # The probe proved the pool is still collapsing: re-open and
+            # restart the cooloff from now.
+            self._opened_at = now
+            self._failures.clear()
+            self._transition(OPEN)
+            return
+        if self.state == OPEN:
+            self._opened_at = now  # failures during open extend the cooloff
+            return
+        self._failures.append(now)
+        while self._failures and now - self._failures[0] > self.window_s:
+            self._failures.popleft()
+        if len(self._failures) >= self.failure_threshold:
+            self._opened_at = now
+            self._failures.clear()
+            self._transition(OPEN)
+
+    def record_success(self) -> None:
+        """An admitted request completed without pool damage."""
+        if self.state == HALF_OPEN:
+            self._probes = max(0, self._probes - 1)
+            self._transition(CLOSED)
+            self._failures.clear()
+
+    def abandon_probe(self) -> None:
+        """A half-open probe ended without a clean verdict (e.g. the
+        client's deadline expired first): free its slot, decide nothing."""
+        if self.state == HALF_OPEN:
+            self._probes = max(0, self._probes - 1)

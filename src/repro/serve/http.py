@@ -1,0 +1,314 @@
+"""A minimal, robustness-first stdlib asyncio HTTP/1.1 front-end.
+
+No framework: the serving layer's promise is *every connection gets a
+typed response, never a hang and never a reset*, and the simplest server
+that can keep that promise is one we fully control.  Decisions, all in
+service of that promise:
+
+* **one request per connection** (``Connection: close``) — no keep-alive
+  state machine to get wrong under load-shed and drain;
+* **bounded everything** — header block, body size, and per-phase read
+  deadlines are all capped, and every violation maps to a typed JSON
+  error (400/408/411/413/431), not a dropped socket;
+* **chunked streaming** for JSONL responses — lines flush as results
+  settle, so a client watching an archive scan sees members as they
+  complete;
+* **handler exceptions become 500 bodies** — the handler contract is
+  "return a Response or raise HttpError"; anything else is a bug that
+  the *client* still sees as a well-formed JSON error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections.abc import AsyncIterator, Awaitable, Callable
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+#: Request-line + header block cap (DoS guard, not a tuning knob).
+MAX_HEADER_BYTES = 16 * 1024
+#: Default request-body cap; ``repro serve --max-body-bytes`` overrides.
+DEFAULT_MAX_BODY_BYTES = 32 * 1024 * 1024
+#: Seconds a client gets to finish sending headers / body.
+READ_TIMEOUT_S = 30.0
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A typed protocol-level failure the client must see as JSON."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retry_after: float | None = None,
+        extra: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+        self.extra = extra or {}
+
+    def to_response(self) -> "Response":
+        return error_response(
+            self.status,
+            self.code,
+            self.message,
+            retry_after=self.retry_after,
+            extra=self.extra,
+        )
+
+
+@dataclass(slots=True)
+class Request:
+    """One parsed request (body fully read before the handler runs)."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]  # keys lowercased
+    body: bytes
+    client: str  # peer IP (admission-control identity)
+
+
+@dataclass(slots=True)
+class Response:
+    """A complete response; ``Content-Length`` framing."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class StreamingResponse:
+    """A chunked response whose body is an async iterator of byte chunks."""
+
+    chunks: AsyncIterator[bytes]
+    status: int = 200
+    content_type: str = "application/x-ndjson"
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+def json_response(
+    payload, status: int = 200, *, headers: dict[str, str] | None = None
+) -> Response:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return Response(status=status, body=body, headers=headers or {})
+
+
+def error_response(
+    status: int,
+    code: str,
+    message: str,
+    *,
+    retry_after: float | None = None,
+    extra: dict | None = None,
+) -> Response:
+    """The typed error shape every non-2xx response uses."""
+    payload = {"error": {"code": code, "message": message, "status": status}}
+    if extra:
+        payload["error"].update(extra)
+    headers = {}
+    if retry_after is not None:
+        # Retry-After is delta-seconds; round up so "0.2" is not "retry now".
+        headers["Retry-After"] = str(max(1, int(retry_after + 0.999)))
+    return json_response(payload, status, headers=headers)
+
+
+Handler = Callable[[Request], Awaitable[Response | StreamingResponse]]
+
+
+class HttpServer:
+    """`asyncio.start_server` shell around one async ``handler``."""
+
+    def __init__(
+        self,
+        handler: Handler,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        read_timeout_s: float = READ_TIMEOUT_S,
+    ) -> None:
+        self.handler = handler
+        self.host = host
+        self.requested_port = port
+        self.port: int | None = None
+        self.max_body_bytes = max_body_bytes
+        self.read_timeout_s = read_timeout_s
+        self._server: asyncio.Server | None = None
+
+    async def start(self) -> int:
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    # -- one connection ------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        client = peer[0] if isinstance(peer, tuple) else "unknown"
+        try:
+            try:
+                request = await self._read_request(reader, client)
+            except HttpError as error:
+                await self._write_response(writer, error.to_response())
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return  # client went away mid-request; nothing to answer
+            try:
+                response = await self.handler(request)
+            except HttpError as error:
+                response = error.to_response()
+            except Exception as error:  # noqa: BLE001 - typed 500, never a reset
+                response = error_response(
+                    500, "internal", f"{type(error).__name__}: {error}"
+                )
+            if isinstance(response, StreamingResponse):
+                await self._write_streaming(writer, response)
+            else:
+                await self._write_response(writer, response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # peer reset or server teardown; the socket is closed below
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader, client: str
+    ) -> Request:
+        try:
+            header_block = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), self.read_timeout_s
+            )
+        except asyncio.TimeoutError:
+            raise HttpError(408, "header_timeout", "request headers too slow")
+        except asyncio.LimitOverrunError:
+            raise HttpError(431, "headers_too_large", "header block too large")
+        if len(header_block) > MAX_HEADER_BYTES:
+            raise HttpError(431, "headers_too_large", "header block too large")
+        try:
+            text = header_block.decode("latin-1")
+            request_line, *header_lines = text.split("\r\n")
+            method, target, version = request_line.split(" ", 2)
+        except ValueError:
+            raise HttpError(400, "bad_request_line", "malformed request line")
+        if not version.startswith("HTTP/1."):
+            raise HttpError(400, "bad_version", f"unsupported {version!r}")
+        headers: dict[str, str] = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, separator, value = line.partition(":")
+            if not separator:
+                raise HttpError(400, "bad_header", f"malformed header {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        parts = urlsplit(target)
+        query = dict(parse_qsl(parts.query, keep_blank_values=True))
+
+        body = b""
+        if method in ("POST", "PUT"):
+            length_header = headers.get("content-length")
+            if length_header is None:
+                raise HttpError(
+                    411, "length_required", "POST requires Content-Length"
+                )
+            try:
+                length = int(length_header)
+                if length < 0:
+                    raise ValueError
+            except ValueError:
+                raise HttpError(400, "bad_length", "bad Content-Length")
+            if length > self.max_body_bytes:
+                raise HttpError(
+                    413,
+                    "payload_too_large",
+                    f"body is {length:,} bytes; limit {self.max_body_bytes:,}",
+                )
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), self.read_timeout_s
+                )
+            except asyncio.TimeoutError:
+                raise HttpError(408, "body_timeout", "request body too slow")
+        return Request(
+            method=method,
+            path=parts.path or "/",
+            query=query,
+            headers=headers,
+            body=body,
+            client=client,
+        )
+
+    @staticmethod
+    def _head(response: Response | StreamingResponse, framing: str) -> bytes:
+        reason = REASONS.get(response.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {response.content_type}",
+            framing,
+            "Connection: close",
+        ]
+        for name, value in response.headers.items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, response: Response
+    ) -> None:
+        writer.write(
+            self._head(response, f"Content-Length: {len(response.body)}")
+        )
+        writer.write(response.body)
+        await writer.drain()
+
+    async def _write_streaming(
+        self, writer: asyncio.StreamWriter, response: StreamingResponse
+    ) -> None:
+        writer.write(self._head(response, "Transfer-Encoding: chunked"))
+        await writer.drain()
+        try:
+            async for chunk in response.chunks:
+                if not chunk:
+                    continue
+                writer.write(f"{len(chunk):x}\r\n".encode("latin-1"))
+                writer.write(chunk)
+                writer.write(b"\r\n")
+                await writer.drain()
+        finally:
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()

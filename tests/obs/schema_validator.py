@@ -29,7 +29,25 @@ DRIFT_FIELDS = {
     "pid": (int,),
 }
 
-FIELDS_BY_TYPE = {"span": FIELDS, "drift": DRIFT_FIELDS}
+SERVE_FIELDS = {
+    "type": (str,),
+    "name": (str,),
+    "ts": (int, float),
+    "event": (str,),
+    "detail": (str,),
+    "pid": (int,),
+}
+
+FIELDS_BY_TYPE = {"span": FIELDS, "drift": DRIFT_FIELDS, "serve": SERVE_FIELDS}
+
+SERVE_EVENTS = (
+    "admitted",
+    "shed",
+    "rejected",
+    "deadline_expired",
+    "breaker",
+    "drain",
+)
 
 
 def validate_event(event) -> dict:
@@ -48,10 +66,12 @@ def validate_event(event) -> dict:
         assert event["outcome"] in ("ok", "error"), event["outcome"]
         assert event["dur"] >= 0, event["dur"]
         assert event["depth"] >= 0, event["depth"]
-    else:
+    elif event["type"] == "drift":
         assert event["metric"] in ("psi", "kl", "smd"), event["metric"]
         assert event["verdict"] in ("ok", "warn", "drift"), event["verdict"]
         assert event["value"] >= 0, event["value"]
+    else:
+        assert event["event"] in SERVE_EVENTS, event["event"]
     return event
 
 

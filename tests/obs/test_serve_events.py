@@ -1,0 +1,109 @@
+"""The ``serve`` trace event family: schema, validators, and stats.
+
+Satellite of the serving PR: ``serve.*`` events (admitted, shed,
+rejected, deadline_expired, breaker, drain) must validate under the
+library validator *and* the test suite's independent schema copy,
+round-trip through the JSON-lines trace files, and aggregate into the
+``repro stats`` report without polluting the span table.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.obs import read_events, validate_event, write_events
+from repro.obs.events import SERVE_EVENTS, serve_event
+from repro.obs.report import render_events_report
+
+from tests.obs import schema_validator
+
+_CANNED_TRACE = pathlib.Path(__file__).parent / "data" / "canned_trace.jsonl"
+
+
+def _valid_event(**overrides) -> dict:
+    event = {
+        "type": "serve",
+        "name": "scan",
+        "ts": 3.25,
+        "event": "admitted",
+        "detail": "doc-1",
+        "pid": 4242,
+    }
+    event.update(overrides)
+    return event
+
+
+class TestServeEventSchema:
+    def test_builder_emits_valid_events(self):
+        for kind in SERVE_EVENTS:
+            event = serve_event("scan", kind, "detail text")
+            assert validate_event(event) == event
+            schema_validator.validate_event(event)
+
+    def test_all_kinds_accepted_by_both_validators(self):
+        for kind in SERVE_EVENTS:
+            event = _valid_event(event=kind)
+            validate_event(event)
+            schema_validator.validate_event(event)
+
+    @pytest.mark.parametrize("field", ["type", "name", "ts", "event",
+                                       "detail", "pid"])
+    def test_missing_field_rejected(self, field):
+        event = _valid_event()
+        del event[field]
+        with pytest.raises(ValueError, match=field):
+            validate_event(event)
+        with pytest.raises(AssertionError):
+            schema_validator.validate_event(event)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"event": "exploded"},   # unknown serve event kind
+            {"detail": 7},           # wrong type
+            {"pid": 1.5},            # float pid
+            {"outcome": "ok"},       # span field on a serve event
+            {"dur": 0.1},            # span field on a serve event
+        ],
+    )
+    def test_bad_events_rejected_by_both_validators(self, overrides):
+        event = _valid_event(**overrides)
+        with pytest.raises(ValueError):
+            validate_event(event)
+        with pytest.raises(AssertionError):
+            schema_validator.validate_event(event)
+
+    def test_serve_kind_lists_agree(self):
+        """The library's event-kind list and the test suite's independent
+        copy must stay in sync (same pact as the field schemas)."""
+        assert tuple(SERVE_EVENTS) == tuple(schema_validator.SERVE_EVENTS)
+
+    def test_roundtrip_through_trace_file(self, tmp_path):
+        events = [
+            serve_event("scan", "admitted", "doc-1"),
+            serve_event("scan", "shed", "queue_full"),
+            serve_event("gateway", "breaker", "closed->open"),
+            serve_event("gateway", "drain", "settled=True abandoned=0"),
+        ]
+        path = tmp_path / "serve.jsonl"
+        assert write_events(path, events) == len(events)
+        assert read_events(path) == events
+        assert schema_validator.validate_lines(path.read_text()) == len(events)
+
+
+class TestCannedTraceFixture:
+    def test_canned_trace_validates_under_both_validators(self):
+        text = _CANNED_TRACE.read_text()
+        count = schema_validator.validate_lines(text)
+        events = read_events(_CANNED_TRACE)
+        assert len(events) == count
+        assert sum(1 for e in events if e["type"] == "serve") == 4
+
+    def test_report_summarizes_serve_events_out_of_band(self):
+        events = read_events(_CANNED_TRACE)
+        report = render_events_report(events)
+        assert "TRACE — 6 spans" in report  # serve events are not spans
+        assert (
+            "serving: 4 events (admitted 1, breaker 1, deadline_expired 1, "
+            "shed 1)" in report
+        )

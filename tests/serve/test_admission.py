@@ -1,0 +1,120 @@
+"""Admission control decisions under a fake clock.
+
+Every refusal must be *typed* (status + code + retry hint) and every
+grant must be balanced by a release — these tests drive the controller
+through rate limiting, per-client windows, queue shedding, and client
+eviction without any real time passing.
+"""
+
+from repro.obs import MetricsRegistry
+from repro.serve import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, now=clock())
+        assert [bucket.take(clock()) for _ in range(3)] == [0.0, 0.0, 0.0]
+        wait = bucket.take(clock())
+        assert wait == 0.5  # one token at 2/s
+        clock.advance(0.5)
+        assert bucket.take(clock()) == 0.0
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, now=clock())
+        clock.advance(100.0)
+        assert bucket.take(clock()) == 0.0
+        assert bucket.take(clock()) == 0.0
+        assert bucket.take(clock()) > 0.0  # only burst-many accumulated
+
+
+class TestAdmission:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        defaults = dict(
+            max_queue=8,
+            per_client_window=2,
+            rate_per_s=10.0,
+            burst=100.0,
+            clock=clock,
+            metrics=registry,
+        )
+        defaults.update(kwargs)
+        return AdmissionController(**defaults), clock, registry
+
+    def test_admit_and_release_balance(self):
+        controller, _, registry = self.make()
+        assert controller.admit("1.2.3.4", 0) is None
+        assert controller.admit("1.2.3.4", 1) is None
+        controller.release("1.2.3.4")
+        controller.release("1.2.3.4")
+        assert registry.to_dict()["counters"]["serve.admitted"] == 2
+
+    def test_rate_limit_is_client_scoped_with_retry_hint(self):
+        controller, clock, registry = self.make(rate_per_s=2.0, burst=2.0)
+        assert controller.admit("a", 0) is None
+        controller.release("a")
+        assert controller.admit("a", 0) is None
+        controller.release("a")
+        rejection = controller.admit("a", 0)
+        assert rejection is not None
+        assert (rejection.status, rejection.code) == (429, "rate_limited")
+        assert rejection.retry_after == 0.5
+        # A different client has its own bucket.
+        assert controller.admit("b", 0) is None
+        # And the limited client recovers once a token refills.
+        clock.advance(0.5)
+        assert controller.admit("a", 2) is None
+        assert registry.to_dict()["counters"]["serve.rate_limited"] == 1
+
+    def test_per_client_window_blocks_the_third_in_flight(self):
+        controller, _, registry = self.make(per_client_window=2)
+        assert controller.admit("a", 0) is None
+        assert controller.admit("a", 1) is None
+        rejection = controller.admit("a", 2)
+        assert (rejection.status, rejection.code) == (429, "client_saturated")
+        controller.release("a")
+        assert controller.admit("a", 2) is None
+        assert registry.to_dict()["counters"]["serve.client_saturated"] == 1
+
+    def test_queue_depth_shed_is_server_scoped(self):
+        controller, _, registry = self.make(max_queue=4)
+        assert controller.shed_line == 4
+        rejection = controller.admit("a", 4)
+        assert (rejection.status, rejection.code) == (503, "queue_full")
+        assert rejection.retry_after > 0
+        # Below the line the same client is fine — nothing was consumed.
+        assert controller.admit("a", 3) is None
+        assert registry.to_dict()["counters"]["serve.shed"] == 1
+
+    def test_release_of_unknown_client_is_harmless(self):
+        controller, _, _ = self.make()
+        controller.release("never-seen")  # no KeyError, no negative count
+        assert controller.admit("never-seen", 0) is None
+
+    def test_eviction_skips_clients_with_requests_in_flight(self):
+        controller, clock, _ = self.make(max_clients=2)
+        assert controller.admit("busy", 0) is None  # holds one in flight
+        clock.advance(1.0)
+        assert controller.admit("idle", 1) is None
+        controller.release("idle")
+        clock.advance(1.0)
+        # A third client forces an eviction: "busy" is oldest but has a
+        # request in flight, so it must survive; "idle" may go.
+        assert controller.admit("new", 1) is None
+        assert "busy" in controller._clients
+        controller.release("busy")
+        controller.release("new")

@@ -1,0 +1,328 @@
+"""End-to-end tests of the serving application over real sockets.
+
+Each scenario boots a real :class:`~repro.serve.app.ServeApp` (warm
+worker pool included) inside ``asyncio.run`` and drives it with plain
+``http.client`` requests from executor threads — the same way an
+external client would see it.  The serving promise under test: every
+request gets a *typed* terminal response, overload is refused with
+429/503 + Retry-After, deadlines produce 408 without leaking capacity,
+the breaker flips ``/readyz``, and drain is graceful.
+"""
+
+import asyncio
+import http.client
+import io
+import json
+import random
+import socket
+import zipfile
+
+import pytest
+
+from repro.corpus.benign import generate_benign_module
+from repro.corpus.documents import build_document_bytes
+from repro.engine import AnalysisEngine
+from repro.obs import MetricsRegistry
+from repro.resilience import Fault, FaultPlan
+from repro.serve import ServeApp, ServeConfig
+
+
+@pytest.fixture(scope="module")
+def docm():
+    rng = random.Random(7)
+    return build_document_bytes(
+        [generate_benign_module(rng, target_length=300)], "docm"
+    )
+
+
+@pytest.fixture(scope="module")
+def archive(docm):
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w") as zf:
+        zf.writestr("a.docm", docm)
+        zf.writestr("b.docm", docm)
+    return buffer.getvalue()
+
+
+class Client:
+    """Blocking http.client calls, awaited from the app's event loop."""
+
+    def __init__(self, port: int) -> None:
+        self.port = port
+
+    def _request(self, method, path, body=None):
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=60)
+        headers = {"Content-Length": str(len(body))} if body is not None else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        data = response.read()
+        status, headers = response.status, dict(response.getheaders())
+        conn.close()
+        return status, headers, data
+
+    async def request(self, method, path, body=None):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self._request, method, path, body
+        )
+
+
+def run_scenario(scenario, *, config=None, chaos=None, timeout_s=180.0):
+    """Boot an app, run the scenario coroutine, always drain."""
+    registry = MetricsRegistry(trace=True)
+    engine = AnalysisEngine.for_lint(metrics=registry, chaos=chaos)
+    app = ServeApp(engine, config or ServeConfig(jobs=2), metrics=registry)
+
+    async def main():
+        port = await app.start()
+        client = Client(port)
+        try:
+            return await scenario(app, client, registry)
+        finally:
+            await app.drain(budget_s=30.0)
+
+    return asyncio.run(asyncio.wait_for(main(), timeout_s))
+
+
+class TestRequestLifecycle:
+    def test_endpoints_probes_and_drain(self, docm, archive):
+        async def scenario(app, client, registry):
+            status, _, body = await client.request("GET", "/healthz")
+            assert status == 200
+
+            status, _, body = await client.request("GET", "/readyz")
+            ready = json.loads(body)
+            assert status == 200 and ready["ready"] is True
+            assert ready["breaker"] == "closed" and ready["warm"] is True
+
+            # The three endpoints answer NDJSON with endpoint shapes.
+            status, headers, body = await client.request(
+                "POST", "/lint?id=doc-lint", docm
+            )
+            assert status == 200
+            assert headers["Content-Type"] == "application/x-ndjson"
+            record = json.loads(body)
+            assert record["path"] == "doc-lint" and record["ok"] is True
+            assert "verdict" not in record["macros"][0]
+            assert "findings" in record["macros"][0]
+
+            status, _, body = await client.request(
+                "POST", "/extract?id=doc-x", docm
+            )
+            record = json.loads(body)
+            assert status == 200
+            assert "findings" not in record["macros"][0]
+
+            status, _, body = await client.request(
+                "POST", "/scan?id=doc-scan", docm
+            )
+            assert status == 200  # lint engine: scan view, no classifier
+
+            # An archive streams one NDJSON line per member (chunked).
+            status, headers, body = await client.request(
+                "POST", "/scan?id=arch", archive
+            )
+            assert status == 200
+            assert headers.get("Transfer-Encoding") == "chunked"
+            lines = [json.loads(line) for line in body.splitlines()]
+            assert sorted(line["path"] for line in lines) == [
+                "arch!a.docm",
+                "arch!b.docm",
+            ]
+
+            # Typed protocol errors.
+            status, _, body = await client.request("POST", "/scan", b"")
+            assert (status, json.loads(body)["error"]["code"]) == (
+                400, "empty_body",
+            )
+            status, _, body = await client.request("GET", "/nope")
+            assert status == 404
+            status, _, body = await client.request("GET", "/scan")
+            assert status == 405
+            status, _, body = await client.request(
+                "POST", "/scan?deadline_s=-2", docm
+            )
+            assert (status, json.loads(body)["error"]["code"]) == (
+                400, "bad_deadline",
+            )
+
+            # /metrics is served in-process from the live registry.
+            status, headers, body = await client.request("GET", "/metrics")
+            assert status == 200
+            text = body.decode()
+            assert "repro_serve_admitted_total" in text
+            assert "repro_serve_latency_scan_bucket" in text
+            assert "repro_serve_breaker_state 0" in text
+
+            # Graceful drain: the report says settled, requests refused.
+            report = await app.drain(budget_s=30.0)
+            assert report.settled and report.abandoned == 0
+            return registry
+
+        registry = run_scenario(scenario)
+        counters = registry.to_dict()["counters"]
+        assert counters["serve.requests.scan"] >= 3
+        assert counters["serve.admitted"] >= 4
+        # Every admitted serve trace event is a known kind.
+        kinds = {
+            e["event"] for e in registry.events if e["type"] == "serve"
+        }
+        assert "admitted" in kinds and "drain" in kinds
+
+    def test_malformed_and_lengthless_requests_get_typed_errors(self, docm):
+        async def scenario(app, client, registry):
+            def raw(payload: bytes) -> bytes:
+                sock = socket.create_connection(
+                    ("127.0.0.1", client.port), timeout=30
+                )
+                sock.sendall(payload)
+                chunks = b""
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    chunks += chunk
+                sock.close()
+                return chunks
+
+            loop = asyncio.get_running_loop()
+            reply = await loop.run_in_executor(
+                None, raw, b"POST /scan HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            assert b"411" in reply.split(b"\r\n", 1)[0]
+            assert b"length_required" in reply
+
+            reply = await loop.run_in_executor(
+                None, raw, b"garbage\r\n\r\n"
+            )
+            assert b"400" in reply.split(b"\r\n", 1)[0]
+            return True
+
+        assert run_scenario(scenario)
+
+
+class TestOverloadPolicy:
+    def test_rate_limit_yields_429_with_retry_after(self, docm):
+        config = ServeConfig(jobs=2, rate_per_s=1.0, burst=2.0)
+
+        async def scenario(app, client, registry):
+            statuses = []
+            retry_after = None
+            for index in range(4):
+                status, headers, body = await client.request(
+                    "POST", f"/lint?id=rl-{index}", docm
+                )
+                statuses.append(status)
+                if status == 429:
+                    payload = json.loads(body)["error"]
+                    assert payload["code"] == "rate_limited"
+                    retry_after = headers.get("Retry-After")
+            assert statuses.count(429) >= 1
+            assert retry_after is not None and int(retry_after) >= 1
+            return registry
+
+        registry = run_scenario(scenario, config=config)
+        assert registry.to_dict()["counters"]["serve.rate_limited"] >= 1
+
+    def test_queue_shed_at_the_shed_line(self, docm):
+        # Shed line of 1: while one hanging request occupies the queue,
+        # the next is refused with a typed 503 — and once the hang
+        # resolves, service continues.
+        config = ServeConfig(jobs=2, max_queue=1, default_deadline_s=30.0)
+        chaos = FaultPlan(faults=(Fault("hang", "hang"),), hang_s=2.0)
+
+        async def scenario(app, client, registry):
+            slow = asyncio.ensure_future(
+                client.request("POST", "/lint?id=hang-1", docm)
+            )
+            for _ in range(100):  # wait until the slow one is admitted
+                if app.gateway.queue_depth >= 1:
+                    break
+                await asyncio.sleep(0.05)
+            status, headers, body = await client.request(
+                "POST", "/lint?id=fast-1", docm
+            )
+            assert status == 503
+            assert json.loads(body)["error"]["code"] == "queue_full"
+            assert "Retry-After" in headers
+
+            slow_status, _, slow_body = await slow
+            assert slow_status == 200  # the hang finished inside deadline
+            status, _, _ = await client.request(
+                "POST", "/lint?id=fast-2", docm
+            )
+            assert status == 200  # capacity came back
+            return registry
+
+        registry = run_scenario(scenario, config=config, chaos=chaos)
+        counters = registry.to_dict()["counters"]
+        assert counters["serve.shed"] >= 1
+        events = [e for e in registry.events if e["type"] == "serve"]
+        assert any(e["event"] == "shed" for e in events)
+
+    def test_deadline_expiry_is_408_and_releases_capacity(self, docm):
+        config = ServeConfig(jobs=2, per_client_window=4)
+        chaos = FaultPlan(faults=(Fault("hang", "hang"),), hang_s=30.0)
+
+        async def scenario(app, client, registry):
+            for index in range(3):
+                status, _, body = await client.request(
+                    "POST", f"/lint?id=hang-{index}&deadline_s=0.4", docm
+                )
+                assert status == 408
+                assert json.loads(body)["error"]["code"] == "deadline_expired"
+            # All three 408s released their window slots: a normal
+            # request on the same client is admitted and served.
+            status, _, _ = await client.request(
+                "POST", "/lint?id=ok-1", docm
+            )
+            assert status == 200
+            return registry
+
+        registry = run_scenario(scenario, config=config, chaos=chaos)
+        counters = registry.to_dict()["counters"]
+        assert counters["serve.deadline_expired"] >= 3
+        events = [e for e in registry.events if e["type"] == "serve"]
+        assert any(e["event"] == "deadline_expired" for e in events)
+
+
+class TestBreakerIntegration:
+    def test_open_breaker_flips_readyz_and_refuses(self, docm):
+        async def scenario(app, client, registry):
+            for _ in range(app.breaker.failure_threshold):
+                app.breaker.record_failure()
+            assert app.breaker.state == "open"
+
+            status, _, body = await client.request("GET", "/readyz")
+            payload = json.loads(body)
+            assert status == 503
+            assert payload["ready"] is False and payload["breaker"] == "open"
+
+            status, headers, body = await client.request(
+                "POST", "/scan?id=refused", docm
+            )
+            assert status == 503
+            assert json.loads(body)["error"]["code"] == "breaker_open"
+            assert "Retry-After" in headers
+            return registry
+
+        registry = run_scenario(scenario)
+        snapshot = registry.to_dict()
+        assert snapshot["counters"]["serve.breaker.open"] == 1
+        assert snapshot["gauges"]["serve.breaker_state"] == 2
+
+
+class TestDrainDiscipline:
+    def test_drained_app_refuses_then_socket_closes(self, docm):
+        async def scenario(app, client, registry):
+            status, _, _ = await client.request("POST", "/lint?id=a", docm)
+            assert status == 200
+            report = await app.drain(budget_s=30.0)
+            assert report.settled
+            with pytest.raises(OSError):
+                await client.request("POST", "/lint?id=b", docm)
+            # Drain is idempotent.
+            assert await app.drain() is None
+            return True
+
+        assert run_scenario(scenario)

@@ -1,0 +1,144 @@
+"""The circuit breaker's state machine, driven by a fake clock.
+
+closed → (threshold failures in window) → open → (cooloff) → half_open
+→ (probe success) → closed, or → (probe failure) → open again.
+"""
+
+from repro.obs import MetricsRegistry
+from repro.serve import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make(**kwargs):
+    clock = FakeClock()
+    registry = MetricsRegistry()
+    defaults = dict(
+        failure_threshold=3,
+        window_s=10.0,
+        cooloff_s=5.0,
+        probe_limit=2,
+        clock=clock,
+        metrics=registry,
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults), clock, registry
+
+
+class TestBreaker:
+    def test_stays_closed_below_threshold(self):
+        breaker, _, _ = make()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_old_failures_age_out_of_the_window(self):
+        breaker, clock, _ = make(window_s=10.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(11.0)  # both fall out of the window
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_threshold_opens_and_refuses(self):
+        breaker, _, registry = make()
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        snapshot = registry.to_dict()
+        assert snapshot["gauges"]["serve.breaker_state"] == 2
+        assert snapshot["counters"]["serve.breaker.open"] == 1
+
+    def test_cooloff_half_opens_with_bounded_probes(self):
+        breaker, clock, registry = make(probe_limit=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()  # first probe
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # second probe
+        assert not breaker.allow()  # probe slots exhausted
+        assert registry.to_dict()["gauges"]["serve.breaker_state"] == 1
+
+    def test_probe_success_closes_and_resets(self):
+        breaker, clock, registry = make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        # The old failures were cleared: two fresh ones do not re-open.
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert registry.to_dict()["counters"]["serve.breaker.closed"] == 1
+
+    def test_probe_failure_reopens_with_fresh_cooloff(self):
+        breaker, clock, _ = make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(4.9)  # cooloff restarted at the probe failure
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()
+
+    def test_failures_while_open_extend_the_cooloff(self):
+        breaker, clock, _ = make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(4.0)
+        breaker.record_failure()  # still collapsing; cooloff restarts
+        clock.advance(4.0)
+        assert not breaker.allow()
+        clock.advance(1.1)
+        assert breaker.allow()
+
+    def test_abandoned_probe_frees_its_slot_without_deciding(self):
+        breaker, clock, _ = make(probe_limit=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        assert not breaker.allow()  # slot held
+        breaker.abandon_probe()  # probe ended with no verdict (e.g. 408)
+        assert breaker.state == HALF_OPEN  # no decision was made
+        assert breaker.allow()  # slot is available again
+
+    def test_success_while_closed_is_a_no_op(self):
+        breaker, _, _ = make()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.transitions == 0
+
+    def test_transition_hook_sees_every_edge(self):
+        breaker, clock, _ = make()
+        edges = []
+        breaker.on_transition = lambda old, new: edges.append((old, new))
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.record_success()
+        assert edges == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]

@@ -905,6 +905,12 @@ class TestStatsHint:
         # the 1-2-5 ladder that is 0.5 (the document span is excluded).
         assert "hint: --stage-timeout 0.5" in out
         assert "drift: 1 evaluations (1 drifted, 0 warning)" in out
+        # The serve.* event family aggregates its own line and stays out
+        # of the span count.
+        assert (
+            "serving: 4 events (admitted 1, breaker 1, deadline_expired 1, "
+            "shed 1)" in out
+        )
         assert "TRACE — 6 spans" in out
 
     def test_json_report_includes_suggestion(self, capsys):
