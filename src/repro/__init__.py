@@ -90,6 +90,16 @@ class ObfuscationDetector:
             X = self._preprocessor.transform(X)
         return self._model.predict_proba(X)
 
+    def proba_from_matrix(self, X):
+        """Batch-score raw feature rows: ``(n, 15) -> (n, 2)``.
+
+        The batched classification kernel's canonical name for
+        :meth:`proba_from_features`; the preprocessor transform and every
+        classifier's inference path are row-stable, so any micro-batching
+        of the same rows produces bit-identical probabilities.
+        """
+        return self.proba_from_features(X)
+
 
 def detect_obfuscation(source: str, detector: ObfuscationDetector) -> bool:
     """Classify one macro source with a fitted detector."""

@@ -338,6 +338,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="request body cap (default 32 MiB; larger bodies get 413)",
     )
     serve.add_argument(
+        "--keepalive-idle", type=float, default=5.0, metavar="SECONDS",
+        help="close a kept-alive connection after this much quiet "
+        "(default 5)",
+    )
+    serve.add_argument(
+        "--max-requests-per-connection", type=int, default=100, metavar="N",
+        help="requests one connection may serve before the server forces "
+        "a fresh one (default 100)",
+    )
+    serve.add_argument(
         "--breaker-threshold", type=int, default=3, metavar="N",
         help="worker deaths inside the breaker window that open the "
         "circuit (default 3)",
@@ -1253,6 +1263,8 @@ def _cmd_serve(args) -> int:
         max_deadline_s=args.max_deadline,
         drain_budget_s=args.drain_budget,
         max_body_bytes=args.max_body_bytes,
+        keepalive_idle_s=args.keepalive_idle,
+        max_requests_per_connection=args.max_requests_per_connection,
         breaker_threshold=args.breaker_threshold,
         breaker_cooloff_s=args.breaker_cooloff,
     )

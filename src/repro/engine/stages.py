@@ -9,10 +9,13 @@ implement :meth:`Stage.process`; macro-level stages additionally expose
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.engine.records import DocumentRecord, MacroRecord
 from repro.features.cache import FeatureRowCache, normalized_digest
 from repro.features.registry import get_feature_set
 from repro.obs.metrics import NULL_REGISTRY, SCORE_BUCKETS
+from repro.pipeline.classifiers import proba_from_matrix
 
 
 class Stage:
@@ -405,15 +408,56 @@ class LintStage(MacroStage):
         )
         metrics = self._metrics
         if metrics.enabled:
-            metrics.counter("lint.macros").inc()
+            macros, findings, rules = self._instruments(metrics)
+            macros.inc()
             if macro.findings:
-                metrics.counter("lint.findings").inc(len(macro.findings))
+                findings.inc(len(macro.findings))
                 for finding in macro.findings:
-                    metrics.counter(f"lint.rule.{finding.rule_id}").inc()
+                    counter = rules.get(finding.rule_id)
+                    if counter is None:
+                        counter = metrics.counter(
+                            f"lint.rule.{finding.rule_id}"
+                        )
+                        rules[finding.rule_id] = counter
+                    counter.inc()
+
+    def _instruments(self, metrics):
+        """Instrument handles cached per registry, off the per-macro path."""
+        cached = self._instrument_cache
+        if cached is None or cached[0] is not metrics:
+            cached = (
+                metrics,
+                metrics.counter("lint.macros"),
+                metrics.counter("lint.findings"),
+                {},
+            )
+            self._instrument_cache = cached
+        return cached[1], cached[2], cached[3]
+
+    _instrument_cache = None
+
+    def __getstate__(self):
+        # Workers bind to their own registry; never ship the parent's
+        # cached instrument handles inside the engine pickle.
+        state = self.__dict__.copy()
+        state.pop("_instrument_cache", None)
+        return state
 
 
 class ClassifyStage(MacroStage):
-    """Score feature rows with a fitted detector and attach the verdict."""
+    """Score feature rows with a fitted detector — in micro-batches.
+
+    Mirrors :class:`FeaturizeStage`: a document's kept macros accumulate
+    into a pending batch and flush through one
+    :func:`~repro.pipeline.classifiers.proba_from_matrix` call, so a
+    500-module document costs one matrix product instead of 500 Python
+    round-trips into the detector.  The scoring kernels are row-stable
+    (see :mod:`repro.ml.linalg`), so a macro's score and verdict are
+    bit-identical whether it flushes alone (the bare-source
+    :meth:`process_macro` path scores a batch of one through the same
+    kernel) or inside a fleet-sized batch.  Macros without a feature row
+    never enter the batch — exactly the rows the per-row path skipped.
+    """
 
     name = "classify"
 
@@ -422,28 +466,79 @@ class ClassifyStage(MacroStage):
         detector,
         feature_set: str = "V",
         threshold: float = 0.5,
+        batch_size: int = 256,
     ) -> None:
         self.detector = detector
         self.feature_set = feature_set
         self.threshold = threshold
+        self.batch_size = max(1, int(batch_size))
+
+    def process(self, document: DocumentRecord) -> None:
+        pending: list[MacroRecord] = []
+        for macro in document.macros:
+            if macro.kept:
+                self._accumulate(macro, pending)
+                if len(pending) >= self.batch_size:
+                    self._flush(pending)
+        self._flush(pending)
 
     def process_macro(
         self, macro: MacroRecord, document: DocumentRecord | None = None
     ) -> None:
-        row = macro.features.get(self.feature_set)
-        if row is None:
+        pending: list[MacroRecord] = []
+        self._accumulate(macro, pending)
+        self._flush(pending)
+
+    def _accumulate(
+        self, macro: MacroRecord, pending: list[MacroRecord]
+    ) -> None:
+        if macro.features.get(self.feature_set) is not None:
+            pending.append(macro)
+
+    def _instruments(self, metrics):
+        """Instrument handles cached per registry, off the per-macro path."""
+        cached = self._instrument_cache
+        if cached is None or cached[0] is not metrics:
+            cached = (
+                metrics,
+                metrics.histogram("score.probability", SCORE_BUCKETS),
+                {
+                    "obfuscated": metrics.counter("classify.obfuscated"),
+                    "normal": metrics.counter("classify.normal"),
+                },
+            )
+            self._instrument_cache = cached
+        return cached[1], cached[2]
+
+    _instrument_cache = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_instrument_cache", None)
+        return state
+
+    def _flush(self, pending: list[MacroRecord]) -> None:
+        if not pending:
             return
-        if hasattr(self.detector, "proba_from_features"):
-            proba = self.detector.proba_from_features(row.reshape(1, -1))
-        else:  # any sklearn-style estimator over raw feature rows
-            proba = self.detector.predict_proba(row.reshape(1, -1))
-        macro.score = float(proba[0][1])
-        macro.verdict = (
-            "obfuscated" if macro.score >= self.threshold else "normal"
+        matrix = np.stack(
+            [macro.features[self.feature_set] for macro in pending]
         )
+        proba = np.asarray(proba_from_matrix(self.detector, matrix))
+        threshold = self.threshold
         metrics = self._metrics
         if metrics.enabled:
-            metrics.histogram("score.probability", SCORE_BUCKETS).observe(
-                macro.score
-            )
-            metrics.counter(f"classify.{macro.verdict}").inc()
+            score_hist, verdict_counters = self._instruments(metrics)
+            for macro, row in zip(pending, proba):
+                macro.score = float(row[1])
+                macro.verdict = (
+                    "obfuscated" if macro.score >= threshold else "normal"
+                )
+                score_hist.observe(macro.score)
+                verdict_counters[macro.verdict].inc()
+        else:
+            for macro, row in zip(pending, proba):
+                macro.score = float(row[1])
+                macro.verdict = (
+                    "obfuscated" if macro.score >= threshold else "normal"
+                )
+        pending.clear()

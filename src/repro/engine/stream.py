@@ -37,6 +37,14 @@ result and resets, and a final flush at end of stream collects the
 remainder — so a long-lived stream's parent registry trails the workers
 by a bounded interval instead of an entire batch.
 
+Each task is one document through ``engine._process``, so the
+vectorized stages' micro-batch accumulators (featurize *and* classify)
+flush once per streamed document: a 500-module attachment costs one
+feature-matrix pass and one ``proba_from_matrix`` call inside its
+worker.  Because those kernels are row-stable (:mod:`repro.ml.linalg`),
+a macro scored through the stream is bit-identical to the same macro
+scored serially or through the bare-source ``run_source`` path.
+
 Large results skip the result pipe: a worker whose pickled record reaches
 the engine's ``shm_threshold`` (default 64 KiB) writes the pickle into a
 reused ``multiprocessing.shared_memory`` segment and returns only a tiny

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import ClassifierMixin, check_array, check_X_y
+from repro.ml.linalg import row_stable_matmul
 
 
 class LinearDiscriminantAnalysis(ClassifierMixin):
@@ -70,7 +71,7 @@ class LinearDiscriminantAnalysis(ClassifierMixin):
             raise ValueError(
                 f"expected {self.n_features_} features, got {X.shape[1]}"
             )
-        return X @ self.coef_.T + self.intercept_
+        return row_stable_matmul(X, self.coef_.T) + self.intercept_
 
     def predict_proba(self, X) -> np.ndarray:
         scores = self.decision_values(X)

@@ -1,0 +1,31 @@
+"""Batch-size-invariant linear algebra for the inference paths.
+
+``numpy``'s ``@`` dispatches to the BLAS GEMM/GEMV kernels, which pick
+different blocking strategies for different operand shapes — the same
+row scored inside a ``(1, d)`` and a ``(n, d)`` product can differ in the
+last few ulps.  That is invisible to model quality but fatal to the
+engine's parity contract: a macro's score must be *bit-identical*
+whether it flows through :meth:`ClassifyStage.process_macro` (batch of
+one) or a document/stream micro-batch.
+
+``np.einsum`` without ``optimize`` runs numpy's own C sum-of-products
+loop in a fixed per-element reduction order, so row ``i`` of the result
+depends only on row ``i`` of the left operand — any batch size, any
+slicing, same bits.  The predict paths of every matmul-based classifier
+(SVM, MLP, LDA, BNB) route through these helpers; training keeps plain
+``@`` where it never feeds a per-row score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def row_stable_matmul(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """``A @ B`` with rows independent of ``A``'s batch size."""
+    return np.einsum("ij,jk->ik", A, B, optimize=False)
+
+
+def row_stable_matvec(A: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """``A @ v`` with entries independent of ``A``'s batch size."""
+    return np.einsum("ij,j->i", A, v, optimize=False)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import ClassifierMixin, check_array, check_X_y
+from repro.ml.linalg import row_stable_matmul
 
 
 def _relu(z: np.ndarray) -> np.ndarray:
@@ -153,12 +154,16 @@ class MLPClassifier(ClassifierMixin):
     # ------------------------------------------------------------------
 
     def _forward(self, X: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        # Row-stable layer products: a sample's activations (hence score)
+        # are bit-identical at any batch size.
         activations = [X]
         hidden = X
         for weight, bias in zip(self._weights[:-1], self._biases[:-1]):
-            hidden = _relu(hidden @ weight + bias)
+            hidden = _relu(row_stable_matmul(hidden, weight) + bias)
             activations.append(hidden)
-        output = _sigmoid(hidden @ self._weights[-1] + self._biases[-1]).ravel()
+        output = _sigmoid(
+            row_stable_matmul(hidden, self._weights[-1]) + self._biases[-1]
+        ).ravel()
         return activations, output
 
     def _loss(self, X: np.ndarray, targets: np.ndarray) -> float:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import ClassifierMixin, check_array, check_X_y
+from repro.ml.linalg import row_stable_matmul
 
 
 class BernoulliNB(ClassifierMixin):
@@ -55,8 +56,8 @@ class BernoulliNB(ClassifierMixin):
 
     def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
         X = self._binarize(X)
-        on = X @ self.feature_log_prob_.T
-        off = (1.0 - X) @ self._feature_log_neg_prob.T
+        on = row_stable_matmul(X, self.feature_log_prob_.T)
+        off = row_stable_matmul(1.0 - X, self._feature_log_neg_prob.T)
         return on + off + self.class_log_prior_
 
     def predict_proba(self, X) -> np.ndarray:

@@ -15,19 +15,24 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import ClassifierMixin, check_array, check_X_y
+from repro.ml.linalg import row_stable_matmul, row_stable_matvec
 
 
 def rbf_kernel(A: np.ndarray, B: np.ndarray, gamma: float) -> np.ndarray:
-    """Gaussian kernel matrix K[i, j] = exp(-γ‖a_i − b_j‖²)."""
+    """Gaussian kernel matrix K[i, j] = exp(-γ‖a_i − b_j‖²).
+
+    Row-stable: K's row ``i`` is bit-identical whatever ``A``'s batch
+    size, which keeps per-row and batched scoring exactly equal.
+    """
     a_sq = np.sum(A * A, axis=1)[:, None]
     b_sq = np.sum(B * B, axis=1)[None, :]
-    distances = a_sq + b_sq - 2.0 * (A @ B.T)
+    distances = a_sq + b_sq - 2.0 * row_stable_matmul(A, B.T)
     np.maximum(distances, 0.0, out=distances)
     return np.exp(-gamma * distances)
 
 
 def linear_kernel(A: np.ndarray, B: np.ndarray, gamma: float) -> np.ndarray:
-    return A @ B.T
+    return row_stable_matmul(A, B.T)
 
 
 _KERNELS = {"rbf": rbf_kernel, "linear": linear_kernel}
@@ -194,7 +199,7 @@ class SVC(ClassifierMixin):
             return np.full(X.shape[0], self.intercept_)
         kernel_fn = _KERNELS[self.kernel]
         K = kernel_fn(X, self.support_vectors_, self._gamma_value)
-        return K @ self.dual_coef_ + self.intercept_
+        return row_stable_matvec(K, self.dual_coef_) + self.intercept_
 
     def predict(self, X) -> np.ndarray:
         decisions = self.decision_function(X)

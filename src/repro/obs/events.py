@@ -109,7 +109,12 @@ SERVE_EVENTS = (
     "deadline_expired",
     "breaker",
     "drain",
+    "connection",
 )
+
+#: a ``"connection"`` serve event's detail leads with one of these
+#: keep-alive lifecycle phases (``"<phase> <client>"``).
+CONNECTION_PHASES = ("opened", "reused", "closed", "idle_timeout")
 
 
 def serve_event(name: str, event: str, detail: str = "") -> dict[str, Any]:
@@ -164,6 +169,12 @@ def validate_event(event: Any) -> dict[str, Any]:
     else:  # serve
         if event["event"] not in SERVE_EVENTS:
             raise ValueError(f"unknown serve event {event['event']!r}")
+        if event["event"] == "connection":
+            phase = event["detail"].split(" ", 1)[0]
+            if phase not in CONNECTION_PHASES:
+                raise ValueError(
+                    f"unknown connection phase {phase!r} in detail"
+                )
     return event
 
 

@@ -39,6 +39,28 @@ def make_classifier(name: str, random_state: int = 0):
     raise ValueError(f"unknown classifier {name!r}")
 
 
+def proba_from_matrix(detector, X) -> "object":
+    """Score a feature matrix through any detector: ``(n, d) -> (n, 2)``.
+
+    The batched classification kernel's single entry point.  Dispatches to
+    the richest API the detector offers — a ``proba_from_matrix`` method
+    (e.g. :class:`repro.ObfuscationDetector`, which applies its fitted
+    preprocessor), then ``proba_from_features`` (the legacy name for the
+    same contract), then a bare sklearn-style ``predict_proba`` over raw
+    rows.  Every path is row-stable: row ``i`` of the result is
+    bit-identical whether ``X`` holds one row or a fleet's worth, which is
+    the contract :class:`~repro.engine.stages.ClassifyStage` relies on to
+    keep per-macro and micro-batched scoring exactly equal.
+    """
+    method = getattr(detector, "proba_from_matrix", None)
+    if method is not None:
+        return method(X)
+    method = getattr(detector, "proba_from_features", None)
+    if method is not None:
+        return method(X)
+    return detector.predict_proba(X)
+
+
 def preprocessor_for(name: str):
     """The preprocessing factory paired with each classifier.
 

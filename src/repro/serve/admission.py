@@ -156,6 +156,27 @@ class AdmissionController:
             metrics.counter("serve.admitted").inc()
         return None
 
+    def take_member(self, client: str) -> bool:
+        """Take one window slot for an archive member, if one is free.
+
+        Archive expansion converts one admitted envelope into many member
+        analyses; each member re-enters the *window* individually so a
+        500-member zip holds at most ``per_client_window`` queue slots at
+        a time instead of flooding the gateway and starving everyone
+        else.  Window-only on purpose: the envelope already paid the rate
+        limit and queue-depth checks at admission, and members are not
+        new requests — so a full window means "not yet", never a typed
+        rejection.  Pair every granted take with a :meth:`release`.
+        """
+        now = self._clock()
+        state = self._client(client, now)
+        if state.in_flight >= self.per_client_window:
+            return False
+        state.in_flight += 1
+        if self._metrics.enabled:
+            self._metrics.counter("serve.member_admitted").inc()
+        return True
+
     def release(self, client: str) -> None:
         """Return one admitted request's per-client window slot."""
         state = self._clients.get(client)

@@ -48,6 +48,8 @@ from repro.serve.breaker import HALF_OPEN, CircuitBreaker
 from repro.serve.gateway import AnalysisGateway, DeadlineExpired, GatewayClosed
 from repro.serve.http import (
     DEFAULT_MAX_BODY_BYTES,
+    KEEPALIVE_IDLE_S,
+    MAX_REQUESTS_PER_CONNECTION,
     HttpError,
     HttpServer,
     Request,
@@ -106,6 +108,8 @@ class ServeConfig:
     drain_budget_s: float = 10.0
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
     read_timeout_s: float = 30.0
+    keepalive_idle_s: float = KEEPALIVE_IDLE_S
+    max_requests_per_connection: int = MAX_REQUESTS_PER_CONNECTION
     breaker_threshold: int = 3
     breaker_window_s: float = 30.0
     breaker_cooloff_s: float = 5.0
@@ -178,6 +182,9 @@ class ServeApp:
             port=self.config.port,
             max_body_bytes=self.config.max_body_bytes,
             read_timeout_s=self.config.read_timeout_s,
+            keepalive_idle_s=self.config.keepalive_idle_s,
+            max_requests_per_connection=self.config.max_requests_per_connection,
+            on_connection=self._on_connection,
         )
         self._draining = False
         self.port: int | None = None
@@ -196,6 +203,10 @@ class ServeApp:
         if self._draining:
             return None
         self._draining = True
+        # Kept-alive connections must learn about the drain *before* their
+        # next response head is written: every in-flight reply goes out
+        # ``Connection: close`` and no further requests are read.
+        self.http.draining = True
         self._trace("app", "drain", "begin")
         report = await self.gateway.drain(budget_s)
         # In-flight handlers hold resolved futures now; let them flush
@@ -242,6 +253,15 @@ class ServeApp:
         metrics = self.metrics
         if metrics.enabled and getattr(metrics, "trace", False):
             metrics.events.append(serve_event(name, event, detail))
+
+    def _on_connection(self, phase: str, client: str, active: int) -> None:
+        """HttpServer lifecycle observer → connection instruments."""
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.gauge("serve.connections.active").set(active)
+            if phase == "reused":
+                metrics.counter("serve.connections.reused").inc()
+        self._trace("http", "connection", f"{phase} {client}")
 
     # -- routing ---------------------------------------------------------
 
@@ -414,11 +434,17 @@ class ServeApp:
 
         if members is not None:
             # Archive: one NDJSON line per member, flushed in completion
-            # order.  The admission slot releases when the stream
-            # finishes (or the client disconnects), not at return.
+            # order.  Members admit through the per-client window
+            # individually (see _stream_members), so the envelope's own
+            # slot converts rather than multiplying.
             return StreamingResponse(
                 self._stream_members(
-                    endpoint, members, deadline_s, started, release_once
+                    endpoint,
+                    members,
+                    deadline_s,
+                    started,
+                    release_once,
+                    request.client,
                 )
             )
 
@@ -446,53 +472,88 @@ class ServeApp:
         deadline_s: float | None,
         started: float,
         release_once,
+        client: str,
     ):
+        """Stream one NDJSON line per member, window slots permitting.
+
+        The archive's envelope slot converts to member-level admission:
+        release it up front, then dispatch each member only when
+        :meth:`AdmissionController.take_member` grants a window slot, and
+        return the slot the moment that member settles.  A 500-member
+        archive therefore holds at most ``per_client_window`` gateway
+        queue slots at any instant — concurrent small requests keep
+        admitting instead of being shed behind a wall of members.
+        """
         deadline_at = (
             time.monotonic() + deadline_s if deadline_s is not None else None
         )
-        tasks: list[asyncio.Task] = []
-        try:
-            for member_id, data in members:
-                remaining = None
-                if deadline_at is not None:
-                    remaining = max(0.001, deadline_at - time.monotonic())
 
-                async def analyze_member(mid=member_id, payload=data, rem=remaining):
-                    try:
-                        record = await self.gateway.analyze(
-                            mid, payload, deadline_s=rem
-                        )
-                        return render_record(endpoint, record)
-                    except DeadlineExpired as error:
-                        self._trace(endpoint, "deadline_expired", mid)
-                        return {
-                            "path": mid,
-                            "error": {
-                                "code": "deadline_expired",
-                                "message": str(error),
-                                "status": 408,
-                            },
-                        }
-                    except GatewayClosed as error:
-                        return {
-                            "path": mid,
-                            "error": {
-                                "code": "draining",
-                                "message": str(error),
-                                "status": 503,
-                            },
-                        }
-
-                tasks.append(asyncio.ensure_future(analyze_member()))
-            for settled in asyncio.as_completed(tasks):
-                payload = await settled
-                yield (json.dumps(payload, sort_keys=True) + "\n").encode(
-                    "utf-8"
+        async def analyze_member(mid, payload, rem):
+            try:
+                record = await self.gateway.analyze(
+                    mid, payload, deadline_s=rem
                 )
+                return render_record(endpoint, record)
+            except DeadlineExpired as error:
+                self._trace(endpoint, "deadline_expired", mid)
+                return {
+                    "path": mid,
+                    "error": {
+                        "code": "deadline_expired",
+                        "message": str(error),
+                        "status": 408,
+                    },
+                }
+            except GatewayClosed as error:
+                return {
+                    "path": mid,
+                    "error": {
+                        "code": "draining",
+                        "message": str(error),
+                        "status": 503,
+                    },
+                }
+
+        release_once()
+        queued = list(members)  # expansion order; dispatched FIFO
+        running: set[asyncio.Task] = set()
+        held = 0  # window slots taken but not yet released
+        try:
+            while queued or running:
+                while queued and self.admission.take_member(client):
+                    held += 1
+                    member_id, data = queued.pop(0)
+                    remaining = None
+                    if deadline_at is not None:
+                        remaining = max(
+                            0.001, deadline_at - time.monotonic()
+                        )
+                    running.add(
+                        asyncio.ensure_future(
+                            analyze_member(member_id, data, remaining)
+                        )
+                    )
+                if not running:
+                    # The client's other requests hold the whole window;
+                    # members wait for capacity, they do not jump it.
+                    await asyncio.sleep(0.005)
+                    continue
+                done, running = await asyncio.wait(
+                    running, return_when=asyncio.FIRST_COMPLETED
+                )
+                for settled in done:
+                    self.admission.release(client)
+                    held -= 1
+                    payload = settled.result()  # analyze_member never raises
+                    yield (
+                        json.dumps(payload, sort_keys=True) + "\n"
+                    ).encode("utf-8")
         finally:
-            for task in tasks:
+            for task in running:
                 if not task.done():
                     task.cancel()
+            for _ in range(held):
+                self.admission.release(client)
             release_once()
             self._observe(endpoint, started)
 

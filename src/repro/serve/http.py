@@ -5,8 +5,20 @@ typed response, never a hang and never a reset*, and the simplest server
 that can keep that promise is one we fully control.  Decisions, all in
 service of that promise:
 
-* **one request per connection** (``Connection: close``) — no keep-alive
-  state machine to get wrong under load-shed and drain;
+* **keep-alive with a bounded state machine** — HTTP/1.1 connections
+  persist through a per-connection request loop, so a storming client
+  pays TCP setup once instead of per request.  The loop is bounded in
+  every direction: an idle timeout closes quiet connections
+  (``keepalive_idle_s``), a per-connection request cap bounds how long
+  one socket can monopolize server state
+  (``max_requests_per_connection``), ``Connection: close`` (and any
+  HTTP/1.0 request not asking for keep-alive) is honored, and a server
+  that is :attr:`draining` finishes the in-flight response with
+  ``Connection: close`` and stops reading.  Protocol-level violations
+  (bad request line, oversized headers, slow bodies) still answer typed
+  and then close — after a framing error the stream position is
+  untrusted.  Handler-level errors (404/429/503...) keep the connection:
+  a shed request must not poison the requests queued behind it;
 * **bounded everything** — header block, body size, and per-phase read
   deadlines are all capped, and every violation maps to a typed JSON
   error (400/408/411/413/431), not a dropped socket;
@@ -16,6 +28,12 @@ service of that promise:
 * **handler exceptions become 500 bodies** — the handler contract is
   "return a Response or raise HttpError"; anything else is a bug that
   the *client* still sees as a well-formed JSON error.
+
+Connection lifecycle is observable without this module knowing about
+metrics: ``on_connection(phase, client, active)`` fires with phases
+``opened`` / ``reused`` / ``closed`` / ``idle_timeout`` and the current
+open-connection count, and the app layer turns those into the
+``serve.connections.*`` instruments and ``connection`` trace events.
 """
 
 from __future__ import annotations
@@ -32,6 +50,14 @@ MAX_HEADER_BYTES = 16 * 1024
 DEFAULT_MAX_BODY_BYTES = 32 * 1024 * 1024
 #: Seconds a client gets to finish sending headers / body.
 READ_TIMEOUT_S = 30.0
+#: Seconds a kept-alive connection may sit quiet before the server closes it.
+KEEPALIVE_IDLE_S = 5.0
+#: Requests one connection may serve before the server forces a fresh one.
+MAX_REQUESTS_PER_CONNECTION = 100
+
+#: ``on_connection`` lifecycle phases (mirrored by
+#: :data:`repro.obs.events.CONNECTION_PHASES`).
+CONNECTION_PHASES = ("opened", "reused", "closed", "idle_timeout")
 
 REASONS = {
     200: "OK",
@@ -87,6 +113,18 @@ class Request:
     headers: dict[str, str]  # keys lowercased
     body: bytes
     client: str  # peer IP (admission-control identity)
+    version: str = "HTTP/1.1"
+
+    def wants_close(self) -> bool:
+        """Did the client opt out of keep-alive for this request?"""
+        tokens = {
+            token.strip().lower()
+            for token in self.headers.get("connection", "").split(",")
+        }
+        if "close" in tokens:
+            return True
+        # HTTP/1.0 defaults to one-shot unless keep-alive is requested.
+        return self.version == "HTTP/1.0" and "keep-alive" not in tokens
 
 
 @dataclass(slots=True)
@@ -137,6 +175,15 @@ def error_response(
 
 Handler = Callable[[Request], Awaitable[Response | StreamingResponse]]
 
+#: Optional observer: ``on_connection(phase, client, active)`` where
+#: ``phase`` is one of :data:`CONNECTION_PHASES` and ``active`` is the
+#: number of currently open connections.
+ConnectionObserver = Callable[[str, str, int], None]
+
+
+class _IdleTimeout(Exception):
+    """A kept-alive connection sat quiet past the idle budget (not an error)."""
+
 
 class HttpServer:
     """`asyncio.start_server` shell around one async ``handler``."""
@@ -149,6 +196,9 @@ class HttpServer:
         port: int = 0,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         read_timeout_s: float = READ_TIMEOUT_S,
+        keepalive_idle_s: float = KEEPALIVE_IDLE_S,
+        max_requests_per_connection: int = MAX_REQUESTS_PER_CONNECTION,
+        on_connection: ConnectionObserver | None = None,
     ) -> None:
         self.handler = handler
         self.host = host
@@ -156,7 +206,14 @@ class HttpServer:
         self.port: int | None = None
         self.max_body_bytes = max_body_bytes
         self.read_timeout_s = read_timeout_s
+        self.keepalive_idle_s = keepalive_idle_s
+        self.max_requests_per_connection = max(1, max_requests_per_connection)
+        self.on_connection = on_connection
+        #: Set by the app layer at drain start: every in-flight response
+        #: goes out ``Connection: close`` and no further requests are read.
+        self.draining = False
         self._server: asyncio.Server | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
 
     async def start(self) -> int:
         self._server = await asyncio.start_server(
@@ -169,36 +226,75 @@ class HttpServer:
         if self._server is None:
             return
         self._server.close()
+        # Python 3.12+ wait_closed() waits for connection handlers too;
+        # kept-alive sockets parked in an idle read would stall shutdown
+        # for up to keepalive_idle_s each unless forced shut first.
+        for writer in list(self._writers):
+            writer.close()
         await self._server.wait_closed()
         self._server = None
 
     # -- one connection ------------------------------------------------
+
+    def _notify(self, phase: str, client: str) -> None:
+        if self.on_connection is None:
+            return
+        try:
+            self.on_connection(phase, client, len(self._writers))
+        except Exception:  # noqa: BLE001 - observers must never kill a socket
+            pass
 
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         peer = writer.get_extra_info("peername")
         client = peer[0] if isinstance(peer, tuple) else "unknown"
+        self._writers.add(writer)
+        self._notify("opened", client)
+        served = 0
+        closing_phase = "closed"
         try:
-            try:
-                request = await self._read_request(reader, client)
-            except HttpError as error:
-                await self._write_response(writer, error.to_response())
-                return
-            except (asyncio.IncompleteReadError, ConnectionError):
-                return  # client went away mid-request; nothing to answer
-            try:
-                response = await self.handler(request)
-            except HttpError as error:
-                response = error.to_response()
-            except Exception as error:  # noqa: BLE001 - typed 500, never a reset
-                response = error_response(
-                    500, "internal", f"{type(error).__name__}: {error}"
+            while True:
+                try:
+                    request = await self._read_request(
+                        reader, client, idle=served > 0
+                    )
+                except _IdleTimeout:
+                    closing_phase = "idle_timeout"
+                    return
+                except HttpError as error:
+                    # Protocol-level failure: the stream position is no
+                    # longer trustworthy, so answer typed and close.
+                    await self._write_response(
+                        writer, error.to_response(), close=True
+                    )
+                    return
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # client went away mid-request; nothing to answer
+                if served:
+                    self._notify("reused", client)
+                served += 1
+                try:
+                    response = await self.handler(request)
+                except HttpError as error:
+                    # Handler-level refusal (404/429/503...): the request
+                    # was fully framed, so the connection stays usable.
+                    response = error.to_response()
+                except Exception as error:  # noqa: BLE001 - typed 500, never a reset
+                    response = error_response(
+                        500, "internal", f"{type(error).__name__}: {error}"
+                    )
+                close = (
+                    self.draining
+                    or served >= self.max_requests_per_connection
+                    or request.wants_close()
                 )
-            if isinstance(response, StreamingResponse):
-                await self._write_streaming(writer, response)
-            else:
-                await self._write_response(writer, response)
+                if isinstance(response, StreamingResponse):
+                    await self._write_streaming(writer, response, close=close)
+                else:
+                    await self._write_response(writer, response, close=close)
+                if close:
+                    return
         except (ConnectionError, asyncio.CancelledError):
             pass  # peer reset or server teardown; the socket is closed below
         finally:
@@ -207,15 +303,22 @@ class HttpServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+            self._writers.discard(writer)
+            self._notify(closing_phase, client)
 
     async def _read_request(
-        self, reader: asyncio.StreamReader, client: str
+        self, reader: asyncio.StreamReader, client: str, *, idle: bool = False
     ) -> Request:
+        timeout = self.keepalive_idle_s if idle else self.read_timeout_s
         try:
             header_block = await asyncio.wait_for(
-                reader.readuntil(b"\r\n\r\n"), self.read_timeout_s
+                reader.readuntil(b"\r\n\r\n"), timeout
             )
         except asyncio.TimeoutError:
+            if idle:
+                # A quiet kept-alive connection, not a slow client: close
+                # without a response (there is no request to answer).
+                raise _IdleTimeout
             raise HttpError(408, "header_timeout", "request headers too slow")
         except asyncio.LimitOverrunError:
             raise HttpError(431, "headers_too_large", "header block too large")
@@ -272,34 +375,51 @@ class HttpServer:
             headers=headers,
             body=body,
             client=client,
+            version=version,
         )
 
     @staticmethod
-    def _head(response: Response | StreamingResponse, framing: str) -> bytes:
+    def _head(
+        response: Response | StreamingResponse, framing: str, *, close: bool
+    ) -> bytes:
         reason = REASONS.get(response.status, "Unknown")
         lines = [
             f"HTTP/1.1 {response.status} {reason}",
             f"Content-Type: {response.content_type}",
             framing,
-            "Connection: close",
+            f"Connection: {'close' if close else 'keep-alive'}",
         ]
         for name, value in response.headers.items():
             lines.append(f"{name}: {value}")
         return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
 
     async def _write_response(
-        self, writer: asyncio.StreamWriter, response: Response
+        self,
+        writer: asyncio.StreamWriter,
+        response: Response,
+        *,
+        close: bool = True,
     ) -> None:
         writer.write(
-            self._head(response, f"Content-Length: {len(response.body)}")
+            self._head(
+                response,
+                f"Content-Length: {len(response.body)}",
+                close=close,
+            )
         )
         writer.write(response.body)
         await writer.drain()
 
     async def _write_streaming(
-        self, writer: asyncio.StreamWriter, response: StreamingResponse
+        self,
+        writer: asyncio.StreamWriter,
+        response: StreamingResponse,
+        *,
+        close: bool = True,
     ) -> None:
-        writer.write(self._head(response, "Transfer-Encoding: chunked"))
+        writer.write(
+            self._head(response, "Transfer-Encoding: chunked", close=close)
+        )
         await writer.drain()
         try:
             async for chunk in response.chunks:

@@ -1,0 +1,180 @@
+"""Batched ``ClassifyStage`` — bit-exact parity with per-row scoring.
+
+The batch kernel's contract: a macro's score and verdict are *exactly*
+the same (``np.array_equal``, not ``allclose``) whether it is scored
+alone through :meth:`ClassifyStage.process_macro` (the bare-source
+path), inside a document flush, or split across multiple flushes by a
+tiny ``batch_size``.  The edges ride along: macros without a feature row
+are skipped identically, degraded documents still settle, and a score
+landing exactly on the threshold keeps the ``>=`` verdict.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import ObfuscationDetector
+from repro.corpus.benign import generate_benign_module
+from repro.corpus.documents import build_document_bytes
+from repro.corpus.malicious import generate_malicious_macro
+from repro.engine import AnalysisEngine, ClassifyStage
+from repro.engine.records import DocumentRecord, MacroRecord
+from repro.obfuscation.pipeline import default_pipeline
+from repro.pipeline.classifiers import CLASSIFIER_ORDER, proba_from_matrix
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """Benign / malicious / obfuscated sources — the fleet mix."""
+    rng = random.Random(23)
+    benign = [
+        generate_benign_module(rng, target_length=rng.randint(300, 2000))
+        for _ in range(6)
+    ]
+    malicious = [generate_malicious_macro(rng, "word") for _ in range(3)]
+    pipeline = default_pipeline()
+    obfuscated = [
+        pipeline.run(source, seed=index).source
+        for index, source in enumerate(malicious)
+    ]
+    return benign, malicious, obfuscated
+
+
+@pytest.fixture(scope="module")
+def detectors(corpus):
+    benign, malicious, obfuscated = corpus
+    sources = benign + malicious + obfuscated
+    labels = [0] * len(benign) + [0] * len(malicious) + [1] * len(obfuscated)
+    return {
+        name: ObfuscationDetector(name).fit(sources, labels)
+        for name in CLASSIFIER_ORDER
+    }
+
+
+class TestBatchParity:
+    @pytest.mark.parametrize("name", CLASSIFIER_ORDER)
+    def test_document_batch_matches_bare_source(self, corpus, detectors, name):
+        """Every classifier: document flush == batch-of-1, bitwise."""
+        benign, malicious, obfuscated = corpus
+        sources = benign + malicious + obfuscated
+        detector = detectors[name]
+        engine = AnalysisEngine.for_scan(detector)
+        document = build_document_bytes(sources, "docm")
+        [record] = engine.run_batch([document])
+        assert record.ok
+        assert len(record.macros) == len(sources)
+
+        solo_engine = AnalysisEngine.for_scan(detector)
+        batched = np.array([macro.score for macro in record.macros])
+        solo = np.array(
+            [solo_engine.run_source(source).score for source in sources]
+        )
+        assert np.array_equal(batched, solo)
+        for macro, source in zip(record.macros, sources):
+            assert macro.verdict == solo_engine.run_source(source).verdict
+
+    @pytest.mark.parametrize("name", CLASSIFIER_ORDER)
+    def test_batch_matches_direct_matrix_call(self, corpus, detectors, name):
+        """Engine scores equal one raw proba_from_matrix over all rows."""
+        benign, malicious, obfuscated = corpus
+        sources = benign + malicious + obfuscated
+        detector = detectors[name]
+        engine = AnalysisEngine.for_scan(detector)
+        records = engine.run_batch(
+            [build_document_bytes([source], "docm") for source in sources]
+        )
+        rows = np.vstack([r.macros[0].features["V"] for r in records])
+        direct = np.asarray(proba_from_matrix(detector, rows))[:, 1]
+        engine_scores = np.array([r.macros[0].score for r in records])
+        assert np.array_equal(engine_scores, direct)
+
+    def test_tiny_batch_size_forces_multiple_flushes(self, corpus, detectors):
+        """batch_size=2 over 12 macros: flush boundaries change nothing."""
+        benign, malicious, obfuscated = corpus
+        sources = benign + malicious + obfuscated
+        detector = detectors["MLP"]
+        big = AnalysisEngine.for_scan(detector)
+        small = AnalysisEngine.for_scan(detector)
+        for stage in small.stages:
+            if isinstance(stage, ClassifyStage):
+                stage.batch_size = 2
+        document = build_document_bytes(sources, "docm")
+        [whole] = big.run_batch([document])
+        [chunked] = small.run_batch([document])
+        assert np.array_equal(
+            np.array([m.score for m in whole.macros]),
+            np.array([m.score for m in chunked.macros]),
+        )
+
+
+class _HalfDetector:
+    """Scores every row at exactly the default threshold."""
+
+    def proba_from_matrix(self, X):
+        X = np.asarray(X)
+        return np.column_stack(
+            [np.full(X.shape[0], 0.5), np.full(X.shape[0], 0.5)]
+        )
+
+
+class TestEdges:
+    def _macro(self, name, row):
+        macro = MacroRecord(module_name=name, source=f"Sub {name}()\nEnd Sub")
+        if row is not None:
+            macro.features["V"] = np.asarray(row, dtype=np.float64)
+        return macro
+
+    def test_missing_feature_rows_skipped_identically(self, detectors):
+        """Macros without a row stay unscored on both paths."""
+        detector = detectors["RF"]
+        stage = ClassifyStage(detector)
+        rng = np.random.default_rng(5)
+        rows = [
+            rng.uniform(size=15) if index % 3 else None for index in range(9)
+        ]
+
+        batched = DocumentRecord(source_id="batch", sha256="x")
+        batched.macros = [
+            self._macro(f"m{index}", row) for index, row in enumerate(rows)
+        ]
+        stage.process(batched)
+
+        solo = [self._macro(f"m{index}", row) for index, row in enumerate(rows)]
+        for macro in solo:
+            stage.process_macro(macro)
+
+        for row, via_batch, via_solo in zip(rows, batched.macros, solo):
+            if row is None:
+                assert via_batch.score is None and via_solo.score is None
+                assert via_batch.verdict is None and via_solo.verdict is None
+            else:
+                assert via_batch.score == via_solo.score
+                assert via_batch.verdict == via_solo.verdict
+
+    def test_degraded_document_settles(self, detectors):
+        """Garbage bytes: an error record comes back, never an exception."""
+        engine = AnalysisEngine.for_scan(detectors["RF"])
+        [record] = engine.run_batch([b"\x00\x01 not a document"])
+        assert not record.ok
+        assert record.macros == []
+
+    def test_threshold_boundary_is_obfuscated(self):
+        """score == threshold verdicts 'obfuscated' on both paths."""
+        stage = ClassifyStage(_HalfDetector(), threshold=0.5)
+        row = np.ones(15)
+
+        document = DocumentRecord(source_id="doc", sha256="y")
+        document.macros = [self._macro("a", row), self._macro("b", row)]
+        stage.process(document)
+        assert [m.verdict for m in document.macros] == ["obfuscated"] * 2
+        assert [m.score for m in document.macros] == [0.5] * 2
+
+        solo = self._macro("c", row)
+        stage.process_macro(solo)
+        assert solo.verdict == "obfuscated" and solo.score == 0.5
+
+        above = ClassifyStage(_HalfDetector(), threshold=0.5000001)
+        solo = self._macro("d", row)
+        above.process_macro(solo)
+        assert solo.verdict == "normal"

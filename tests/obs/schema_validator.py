@@ -47,7 +47,10 @@ SERVE_EVENTS = (
     "deadline_expired",
     "breaker",
     "drain",
+    "connection",
 )
+
+CONNECTION_PHASES = ("opened", "reused", "closed", "idle_timeout")
 
 
 def validate_event(event) -> dict:
@@ -72,6 +75,9 @@ def validate_event(event) -> dict:
         assert event["value"] >= 0, event["value"]
     else:
         assert event["event"] in SERVE_EVENTS, event["event"]
+        if event["event"] == "connection":
+            phase = event["detail"].split(" ", 1)[0]
+            assert phase in CONNECTION_PHASES, phase
     return event
 
 

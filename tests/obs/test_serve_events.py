@@ -12,7 +12,7 @@ import pathlib
 import pytest
 
 from repro.obs import read_events, validate_event, write_events
-from repro.obs.events import SERVE_EVENTS, serve_event
+from repro.obs.events import CONNECTION_PHASES, SERVE_EVENTS, serve_event
 from repro.obs.report import render_events_report
 
 from tests.obs import schema_validator
@@ -33,18 +33,46 @@ def _valid_event(**overrides) -> dict:
     return event
 
 
+def _detail_for(kind: str) -> str:
+    # "connection" details lead with a lifecycle phase; everything else
+    # is free-form.
+    return "opened 127.0.0.1" if kind == "connection" else "detail text"
+
+
 class TestServeEventSchema:
     def test_builder_emits_valid_events(self):
         for kind in SERVE_EVENTS:
-            event = serve_event("scan", kind, "detail text")
+            event = serve_event("scan", kind, _detail_for(kind))
             assert validate_event(event) == event
             schema_validator.validate_event(event)
 
     def test_all_kinds_accepted_by_both_validators(self):
         for kind in SERVE_EVENTS:
-            event = _valid_event(event=kind)
+            event = _valid_event(event=kind, detail=_detail_for(kind))
             validate_event(event)
             schema_validator.validate_event(event)
+
+    def test_connection_phases_accepted_by_both_validators(self):
+        for phase in CONNECTION_PHASES:
+            event = _valid_event(
+                name="http", event="connection", detail=f"{phase} 10.0.0.9"
+            )
+            validate_event(event)
+            schema_validator.validate_event(event)
+
+    def test_bad_connection_phase_rejected_by_both_validators(self):
+        event = _valid_event(
+            name="http", event="connection", detail="exploded 10.0.0.9"
+        )
+        with pytest.raises(ValueError, match="phase"):
+            validate_event(event)
+        with pytest.raises(AssertionError):
+            schema_validator.validate_event(event)
+
+    def test_connection_phase_lists_agree(self):
+        assert tuple(CONNECTION_PHASES) == tuple(
+            schema_validator.CONNECTION_PHASES
+        )
 
     @pytest.mark.parametrize("field", ["type", "name", "ts", "event",
                                        "detail", "pid"])
@@ -84,6 +112,9 @@ class TestServeEventSchema:
             serve_event("scan", "shed", "queue_full"),
             serve_event("gateway", "breaker", "closed->open"),
             serve_event("gateway", "drain", "settled=True abandoned=0"),
+            serve_event("http", "connection", "opened 127.0.0.1"),
+            serve_event("http", "connection", "reused 127.0.0.1"),
+            serve_event("http", "connection", "idle_timeout 127.0.0.1"),
         ]
         path = tmp_path / "serve.jsonl"
         assert write_events(path, events) == len(events)
@@ -97,13 +128,13 @@ class TestCannedTraceFixture:
         count = schema_validator.validate_lines(text)
         events = read_events(_CANNED_TRACE)
         assert len(events) == count
-        assert sum(1 for e in events if e["type"] == "serve") == 4
+        assert sum(1 for e in events if e["type"] == "serve") == 6
 
     def test_report_summarizes_serve_events_out_of_band(self):
         events = read_events(_CANNED_TRACE)
         report = render_events_report(events)
         assert "TRACE — 6 spans" in report  # serve events are not spans
         assert (
-            "serving: 4 events (admitted 1, breaker 1, deadline_expired 1, "
-            "shed 1)" in report
+            "serving: 6 events (admitted 1, breaker 1, connection 2, "
+            "deadline_expired 1, shed 1)" in report
         )

@@ -1,0 +1,355 @@
+"""Keep-alive protocol edges and member-level archive admission.
+
+The serving PR's connection-lifecycle contract, tested over real
+sockets:
+
+* an HTTP/1.1 connection is reused across requests, and the reuse is
+  observable (``serve.connections.*`` instruments, ``connection`` trace
+  events with opened/reused/closed/idle_timeout phases);
+* a quiet kept-alive connection is closed at the idle budget without a
+  response — there is no request to answer;
+* the per-connection request cap forces a fresh connection with an
+  honest ``Connection: close``;
+* a 429 on a reused connection refuses *that request only* — the next
+  request on the same socket is served;
+* during drain, an in-flight response finishes with ``Connection:
+  close`` and a pipelined follow-up is never read — clean EOF, no RST;
+* archive members admit through the per-client window individually, so
+  a many-member archive holds at most ``per_client_window`` queue slots
+  and concurrent small clients keep being served.
+"""
+
+import asyncio
+import http.client
+import io
+import json
+import random
+import socket
+import time
+import zipfile
+
+from repro.corpus.benign import generate_benign_module
+from repro.corpus.documents import build_document_bytes
+from repro.resilience import Fault, FaultPlan
+from repro.serve import ServeConfig
+
+from tests.serve.test_app import run_scenario
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def docm():
+    rng = random.Random(11)
+    return build_document_bytes(
+        [generate_benign_module(rng, target_length=300)], "docm"
+    )
+
+
+def make_archive(docm: bytes, names) -> bytes:
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w") as zf:
+        for name in names:
+            zf.writestr(name, docm)
+    return buffer.getvalue()
+
+
+class PersistentClient:
+    """One ``http.client`` connection, deliberately reused across requests."""
+
+    def __init__(self, port: int, source: str | None = None) -> None:
+        self.conn = http.client.HTTPConnection(
+            "127.0.0.1",
+            port,
+            timeout=60,
+            source_address=(source, 0) if source else None,
+        )
+
+    def _request(self, method, path, body=None, close=False):
+        headers = {"Content-Length": str(len(body))} if body is not None else {}
+        if close:
+            headers["Connection"] = "close"
+        self.conn.request(method, path, body=body, headers=headers)
+        response = self.conn.getresponse()
+        data = response.read()
+        return response.status, dict(response.getheaders()), data
+
+    async def request(self, method, path, body=None, close=False):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self._request, method, path, body, close
+        )
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+def read_response(sock: socket.socket):
+    """Parse one Content-Length-framed response off a raw socket."""
+    buffered = b""
+    while b"\r\n\r\n" not in buffered:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return None
+        buffered += chunk
+    head, _, rest = buffered.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    while len(rest) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        rest += chunk
+    return status, headers, rest[:length]
+
+
+def raw_post(path: str, body: bytes, extra: str = "") -> bytes:
+    return (
+        f"POST {path} HTTP/1.1\r\nHost: x\r\n"
+        f"Content-Length: {len(body)}\r\n{extra}\r\n"
+    ).encode("latin-1") + body
+
+
+def connection_phases(registry) -> list[str]:
+    return [
+        event["detail"].split(" ", 1)[0]
+        for event in registry.events
+        if event["type"] == "serve" and event["event"] == "connection"
+    ]
+
+
+class TestKeepAlive:
+    def test_connection_reused_across_requests(self, docm):
+        async def scenario(app, client, registry):
+            persistent = PersistentClient(client.port)
+            try:
+                for index in range(3):
+                    status, headers, _ = await persistent.request(
+                        "POST", f"/lint?id=ka-{index}", docm
+                    )
+                    assert status == 200
+                    assert headers["Connection"] == "keep-alive"
+                # An explicit Connection: close is honored.
+                status, headers, _ = await persistent.request(
+                    "POST", "/lint?id=ka-last", docm, close=True
+                )
+                assert status == 200
+                assert headers["Connection"] == "close"
+            finally:
+                persistent.close()
+            # Give the server's connection handler a beat to settle.
+            await asyncio.sleep(0.1)
+            return registry
+
+        registry = run_scenario(scenario)
+        counters = registry.to_dict()["counters"]
+        assert counters["serve.connections.reused"] == 3
+        assert registry.to_dict()["gauges"]["serve.connections.active"] == 0
+        phases = connection_phases(registry)
+        assert "opened" in phases and "reused" in phases
+        assert "closed" in phases
+
+    def test_idle_connection_times_out_quietly(self, docm):
+        config = ServeConfig(jobs=2, keepalive_idle_s=0.2)
+
+        async def scenario(app, client, registry):
+            def drive() -> bytes:
+                sock = socket.create_connection(
+                    ("127.0.0.1", client.port), timeout=30
+                )
+                try:
+                    sock.sendall(raw_post("/lint?id=idle-1", docm))
+                    status, headers, _ = read_response(sock)
+                    assert status == 200
+                    assert headers["connection"] == "keep-alive"
+                    time.sleep(0.8)  # well past keepalive_idle_s
+                    return sock.recv(65536)
+                finally:
+                    sock.close()
+
+            loop = asyncio.get_running_loop()
+            trailing = await loop.run_in_executor(None, drive)
+            assert trailing == b""  # clean EOF, no 408 and no RST
+            return registry
+
+        registry = run_scenario(scenario, config=config)
+        assert "idle_timeout" in connection_phases(registry)
+
+    def test_max_requests_per_connection_cap(self, docm):
+        config = ServeConfig(jobs=2, max_requests_per_connection=2)
+
+        async def scenario(app, client, registry):
+            persistent = PersistentClient(client.port)
+            try:
+                connections = []
+                for index in range(4):
+                    status, headers, _ = await persistent.request(
+                        "POST", f"/lint?id=cap-{index}", docm
+                    )
+                    assert status == 200
+                    connections.append(headers["Connection"])
+                # http.client transparently reconnects after each forced
+                # close, so the cap shows as a keep-alive/close cadence.
+                assert connections == [
+                    "keep-alive", "close", "keep-alive", "close",
+                ]
+            finally:
+                persistent.close()
+            return registry
+
+        registry = run_scenario(scenario, config=config)
+        # Two requests per connection: exactly one reuse per pair.
+        assert registry.to_dict()["counters"]["serve.connections.reused"] == 2
+
+    def test_429_on_reused_connection_does_not_poison_it(self, docm):
+        config = ServeConfig(jobs=2, per_client_window=1)
+        chaos = FaultPlan(faults=(Fault("hang", "hang"),), hang_s=1.5)
+
+        async def scenario(app, client, registry):
+            slow = asyncio.ensure_future(
+                client.request("POST", "/lint?id=hang-1", docm)
+            )
+            for _ in range(100):
+                if app.gateway.queue_depth >= 1:
+                    break
+                await asyncio.sleep(0.05)
+            persistent = PersistentClient(client.port)
+            try:
+                # The hanging request holds the whole client window, so
+                # this one is refused — but the refusal is typed and the
+                # connection stays open.
+                status, headers, body = await persistent.request(
+                    "POST", "/lint?id=fast-1", docm
+                )
+                assert status == 429
+                assert json.loads(body)["error"]["code"] == "client_saturated"
+                assert headers["Connection"] == "keep-alive"
+
+                slow_status, _, _ = await slow
+                assert slow_status == 200
+
+                # Same socket, next request: served.
+                status, _, _ = await persistent.request(
+                    "POST", "/lint?id=fast-2", docm
+                )
+                assert status == 200
+            finally:
+                persistent.close()
+            return registry
+
+        registry = run_scenario(scenario, config=config, chaos=chaos)
+        assert registry.to_dict()["counters"]["serve.connections.reused"] >= 1
+
+    def test_pipelined_request_refused_cleanly_mid_drain(self, docm):
+        chaos = FaultPlan(faults=(Fault("hang", "hang"),), hang_s=1.0)
+
+        async def scenario(app, client, registry):
+            sock = socket.create_connection(
+                ("127.0.0.1", client.port), timeout=30
+            )
+            try:
+                # Two pipelined requests: the first hangs in the pool,
+                # the second sits in the kernel buffer behind it.
+                sock.sendall(
+                    raw_post("/lint?id=hang-1", docm)
+                    + raw_post("/lint?id=behind-1", docm)
+                )
+                for _ in range(100):
+                    if app.gateway.queue_depth >= 1:
+                        break
+                    await asyncio.sleep(0.05)
+                drain = asyncio.ensure_future(app.drain(budget_s=30.0))
+
+                loop = asyncio.get_running_loop()
+                first = await loop.run_in_executor(None, read_response, sock)
+                assert first is not None
+                status, headers, _ = first
+                assert status == 200  # in-flight work settled, not dropped
+                assert headers["connection"] == "close"
+                # The pipelined follow-up is never read: clean EOF.
+                trailing = await loop.run_in_executor(None, sock.recv, 65536)
+                assert trailing == b""
+
+                report = await drain
+                assert report.settled
+            finally:
+                sock.close()
+            return True
+
+        assert run_scenario(scenario, chaos=chaos)
+
+
+class TestMemberAdmission:
+    def test_archive_peak_occupancy_stays_within_window(self, docm):
+        config = ServeConfig(jobs=2, per_client_window=4, max_queue=32)
+        archive = make_archive(
+            docm, [f"m{index:03d}.docm" for index in range(100)]
+        )
+
+        async def scenario(app, client, registry):
+            status, headers, body = await client.request(
+                "POST", "/lint?id=big", archive
+            )
+            assert status == 200
+            assert headers.get("Transfer-Encoding") == "chunked"
+            lines = [json.loads(line) for line in body.splitlines()]
+            assert len(lines) == 100
+            assert all(line["error"] is None for line in lines)
+            return registry
+
+        registry = run_scenario(scenario, config=config)
+        snapshot = registry.to_dict()
+        # serve.queue_depth records the *peak* unresolved count: 100
+        # members never held more than the client window's 4 slots.
+        assert snapshot["gauges"]["serve.queue_depth"] <= 4
+        assert snapshot["counters"]["serve.member_admitted"] == 100
+
+    def test_archive_does_not_starve_concurrent_small_requests(self, docm):
+        # Member ids contain "hang", so every member occupies a worker
+        # for hang_s — the archive is in flight long enough for small
+        # requests from another client to arrive mid-stream.  Without
+        # member-level admission, 24 members against a shed line of 6
+        # would 503 every bystander.
+        config = ServeConfig(jobs=2, per_client_window=4, max_queue=6)
+        chaos = FaultPlan(faults=(Fault("hang", "hang"),), hang_s=0.25)
+        archive = make_archive(
+            docm, [f"hang-{index:02d}.docm" for index in range(24)]
+        )
+
+        async def scenario(app, client, registry):
+            big = asyncio.ensure_future(
+                client.request("POST", "/lint?id=big", archive)
+            )
+            for _ in range(100):
+                if app.gateway.queue_depth >= 1:
+                    break
+                await asyncio.sleep(0.05)
+
+            bystander = PersistentClient(client.port, source="127.0.0.2")
+            try:
+                for index in range(3):
+                    status, _, body = await bystander.request(
+                        "POST", f"/lint?id=small-{index}", docm
+                    )
+                    assert status == 200, body
+                    await asyncio.sleep(0.1)
+            finally:
+                bystander.close()
+
+            status, _, body = await big
+            assert status == 200
+            lines = [json.loads(line) for line in body.splitlines()]
+            assert len(lines) == 24
+            return registry
+
+        registry = run_scenario(scenario, config=config, chaos=chaos)
+        snapshot = registry.to_dict()
+        assert snapshot["counters"].get("serve.shed", 0) == 0
+        # Archive members (≤ 4) plus the bystander never reached the
+        # shed line.
+        assert snapshot["gauges"]["serve.queue_depth"] < 6

@@ -908,8 +908,8 @@ class TestStatsHint:
         # The serve.* event family aggregates its own line and stays out
         # of the span count.
         assert (
-            "serving: 4 events (admitted 1, breaker 1, deadline_expired 1, "
-            "shed 1)" in out
+            "serving: 6 events (admitted 1, breaker 1, connection 2, "
+            "deadline_expired 1, shed 1)" in out
         )
         assert "TRACE — 6 spans" in out
 
